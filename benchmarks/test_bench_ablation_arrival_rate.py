@@ -1,0 +1,74 @@
+"""A2 — ablation: arrival intensity (design choice, paper §V).
+
+The paper fixes one uniform arrival stream; this ablation sweeps the
+mean inter-arrival gap to show *where the crossover falls*: with little
+contention the energy-centric system's always-stall rule is harmless
+(every best core is usually idle), while under contention the proposed
+system's energy-advantageous decision pulls decisively ahead.  The
+timed kernel is one proposed-system run at the default intensity.
+"""
+
+from repro.analysis import format_table, percent_change
+from repro.core import (
+    OraclePredictor,
+    SchedulerSimulation,
+    make_policy,
+    base_system,
+    paper_system,
+)
+from repro.workloads import eembc_suite, uniform_arrivals
+
+GAPS = (200_000, 120_000, 80_000, 56_000)
+N_JOBS = 1500
+
+
+def run(store, policy_name, gap, seed=4):
+    arrivals = uniform_arrivals(
+        eembc_suite(), count=N_JOBS, seed=seed, mean_interarrival_cycles=gap
+    )
+    policy = make_policy(policy_name)
+    system = base_system() if policy_name == "base" else paper_system()
+    sim = SchedulerSimulation(
+        system, policy, store,
+        predictor=OraclePredictor(store) if policy.uses_predictor else None,
+    )
+    return sim.run(arrivals)
+
+
+def test_bench_ablation_arrival_rate(benchmark, store):
+    benchmark.pedantic(
+        lambda: run(store, "proposed", 56_000), rounds=3, iterations=1
+    )
+
+    rows = []
+    ratios = {}
+    for gap in GAPS:
+        base = run(store, "base", gap)
+        proposed = run(store, "proposed", gap)
+        energy_centric = run(store, "energy_centric", gap)
+        proposed_ratio = proposed.total_energy_nj / base.total_energy_nj
+        ec_ratio = energy_centric.total_energy_nj / base.total_energy_nj
+        ratios[gap] = (proposed_ratio, ec_ratio)
+        rows.append((
+            gap,
+            f"{percent_change(proposed_ratio):+.1f}%",
+            f"{percent_change(ec_ratio):+.1f}%",
+            proposed.non_best_decisions,
+            f"{energy_centric.mean_waiting_cycles / 1e3:.0f}k",
+        ))
+    print()
+    print(format_table(
+        ("interarrival (cycles)", "proposed vs base", "energy-centric vs base",
+         "proposed non-best runs", "energy-centric mean wait"),
+        rows,
+    ))
+
+    # Proposed always saves energy, at every intensity.
+    for proposed_ratio, _ in ratios.values():
+        assert proposed_ratio < 0.8
+
+    # Crossover: the energy-centric system's disadvantage versus the
+    # proposed system widens as contention grows.
+    light_gap = ratios[GAPS[0]][1] - ratios[GAPS[0]][0]
+    heavy_gap = ratios[GAPS[-1]][1] - ratios[GAPS[-1]][0]
+    assert heavy_gap > light_gap

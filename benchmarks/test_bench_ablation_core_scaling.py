@@ -1,0 +1,79 @@
+"""A7 — ablation: scaling the system up and down (§III).
+
+"This general structure could be scaled up or down for different system
+requirements."  This ablation runs the proposed system on a dual-core
+(4+8 KB), the paper's quad-core (2+4+8+8 KB) and an eight-core machine
+(2+2+4+4+8+8+8+8 KB) against the *same* arrival stream, reporting energy
+per job, makespan and waiting time.  The timed kernel is the eight-core
+run.
+"""
+
+from repro.analysis import format_table
+from repro.core import (
+    OraclePredictor,
+    SchedulerSimulation,
+    make_policy,
+    scaled_system,
+)
+from repro.workloads import eembc_suite, uniform_arrivals
+
+SYSTEMS = {
+    "dual (4+8)": (4, 8),
+    "paper quad (2+4+8+8)": (2, 4, 8, 8),
+    "octa (2+2+4+4+8+8+8+8)": (2, 2, 4, 4, 8, 8, 8, 8),
+}
+N_JOBS = 1500
+
+
+def run(store, sizes):
+    arrivals = uniform_arrivals(
+        eembc_suite(), count=N_JOBS, seed=6, mean_interarrival_cycles=70_000
+    )
+    sim = SchedulerSimulation(
+        scaled_system(sizes),
+        make_policy("proposed"),
+        store,
+        predictor=OraclePredictor(store),
+    )
+    return sim.run(arrivals)
+
+
+def test_bench_ablation_core_scaling(benchmark, store):
+    benchmark.pedantic(
+        lambda: run(store, SYSTEMS["octa (2+2+4+4+8+8+8+8)"]),
+        rounds=3, iterations=1,
+    )
+
+    results = {name: run(store, sizes) for name, sizes in SYSTEMS.items()}
+    rows = []
+    for name, result in results.items():
+        rows.append((
+            name,
+            f"{result.total_energy_nj / result.jobs_completed / 1e3:.1f} uJ",
+            f"{result.makespan_cycles / 1e6:.0f}M",
+            f"{result.mean_waiting_cycles / 1e3:.0f}k",
+            f"{result.idle_energy_nj / result.total_energy_nj * 100:.0f}%",
+        ))
+    print()
+    print(format_table(
+        ("system", "energy per job", "makespan", "mean wait", "idle share"),
+        rows,
+    ))
+
+    dual = results["dual (4+8)"]
+    quad = results["paper quad (2+4+8+8)"]
+    octa = results["octa (2+2+4+4+8+8+8+8)"]
+
+    # Everyone finishes the workload.
+    for result in results.values():
+        assert result.jobs_completed == N_JOBS
+
+    # More cores: less waiting under the same stream...
+    assert octa.mean_waiting_cycles < quad.mean_waiting_cycles
+    assert quad.mean_waiting_cycles < dual.mean_waiting_cycles
+
+    # ...but more leakage: the idle-energy share grows with core count.
+    assert (
+        octa.idle_energy_nj / octa.total_energy_nj
+        > quad.idle_energy_nj / quad.total_energy_nj
+    )

@@ -1,0 +1,120 @@
+"""A11 — limitation probe: phased applications.
+
+The paper's scheduler profiles each application *once* and the tuning
+heuristic converges to a *single* configuration per core — assumptions
+that hold for steady kernels but not for programs with distinct
+execution phases (the phase-tracking line of related work the paper
+cites).  This ablation builds phased benchmarks whose phases prefer
+different cache sizes, then compares:
+
+* the paper's whole-program treatment (one best configuration), and
+* a per-phase oracle that re-characterises each phase separately and
+  charges each phase its own best configuration,
+
+quantifying the energy the single-configuration assumption leaves on
+the table.  The timed kernel is one phased characterisation.
+"""
+
+from repro.analysis import format_table
+from repro.characterization import characterize_benchmark
+from repro.workloads import (
+    BenchmarkSpec,
+    InstructionMix,
+    LoopedArray,
+    PhasedTraceMix,
+    SequentialStream,
+    TraceMix,
+)
+
+MIX = InstructionMix(load=0.28, store=0.10, branch=0.12, int_op=0.40,
+                     fp_op=0.10)
+
+
+def phase_mixes():
+    """A small-working-set phase and a large-working-set phase."""
+    small = TraceMix(
+        components=((LoopedArray(region_bytes=1024, stride=4), 3.0),
+                    (SequentialStream(region_bytes=16_384, stride=4), 0.5)),
+    )
+    large = TraceMix(
+        components=((LoopedArray(region_bytes=6656, stride=8), 3.0),),
+    )
+    return small, large
+
+
+def make_phased(share_small):
+    small, large = phase_mixes()
+    return BenchmarkSpec(
+        name=f"phased_{int(share_small * 100)}",
+        family="phased",
+        instructions=80_000,
+        mix=MIX,
+        trace_mix=PhasedTraceMix(
+            phases=((small, share_small), (large, 1.0 - share_small)),
+        ),
+        description="Synthetic two-phase program: small-WS compute phase "
+                    "followed by a large-WS phase.",
+    )
+
+
+def make_phase_benchmark(mix, name, instructions):
+    return BenchmarkSpec(
+        name=name, family="phase", instructions=instructions, mix=MIX,
+        trace_mix=mix,
+    )
+
+
+def test_bench_ablation_phases(benchmark):
+    benchmark.pedantic(
+        lambda: characterize_benchmark(make_phased(0.5)),
+        rounds=3, iterations=1,
+    )
+
+    small, large = phase_mixes()
+    rows = []
+    gaps = []
+    for share_small in (0.8, 0.5, 0.2):
+        spec = make_phased(share_small)
+        whole = characterize_benchmark(spec)
+        whole_best = whole.best_config()
+        whole_energy = whole.result(whole_best).total_energy_nj
+
+        # Per-phase oracle: each phase characterised as its own program
+        # with its share of the instruction stream.
+        n_small = int(spec.instructions * share_small)
+        phase_specs = (
+            make_phase_benchmark(small, f"{spec.name}.small", n_small),
+            make_phase_benchmark(large, f"{spec.name}.large",
+                                 spec.instructions - n_small),
+        )
+        phase_energy = 0.0
+        phase_bests = []
+        for phase_spec in phase_specs:
+            char = characterize_benchmark(phase_spec)
+            best = char.best_config()
+            phase_bests.append(best.name)
+            phase_energy += char.result(best).total_energy_nj
+
+        gap = whole_energy / phase_energy - 1.0
+        gaps.append(gap)
+        rows.append((
+            f"{int(share_small * 100)}% small-WS phase",
+            whole_best.name,
+            " / ".join(phase_bests),
+            f"{gap * 100:+.1f}%",
+        ))
+
+    print()
+    print(format_table(
+        ("phase split", "whole-program best", "per-phase bests",
+         "energy left on the table"),
+        rows,
+    ))
+    print("(positive = the single-configuration assumption costs energy "
+          "on phased programs)")
+
+    # The single-configuration treatment is never better than the
+    # per-phase oracle, and the phases genuinely disagree about the
+    # best configuration for at least one split.
+    assert all(gap >= -0.01 for gap in gaps)
+    assert max(gaps) > 0.02

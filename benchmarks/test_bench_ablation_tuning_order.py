@@ -1,0 +1,65 @@
+"""A3 — ablation: tuning-heuristic parameter order (design choice §IV.F).
+
+The paper sweeps associativity before line size "since the associativity
+has the second largest impact on energy after the size".  This ablation
+runs both orders over every (benchmark, core size) pair and compares
+exploration cost and the quality of the configuration each converges to.
+The timed kernel is one full assoc-first sweep across the suite.
+"""
+
+from repro.analysis import format_table
+from repro.cache import CACHE_SIZES_KB
+from repro.core.tuning import TuningSession
+from repro.workloads import eembc_suite
+
+
+def sweep(store, line_first):
+    explored = 0
+    hits = 0
+    total_gap = 0.0
+    pairs = 0
+    for spec in eembc_suite():
+        char = store.get(spec.name)
+        for size in CACHE_SIZES_KB:
+            session = TuningSession(size_kb=size, line_first=line_first)
+            while not session.done:
+                config = session.next_config()
+                session.record(config, char.result(config).total_energy_nj)
+            true_best = char.best_config_for_size(size)
+            explored += session.exploration_count
+            hits += session.best_config == true_best
+            total_gap += (
+                session.best_energy_nj
+                / char.result(true_best).total_energy_nj
+                - 1.0
+            )
+            pairs += 1
+    return explored, hits / pairs, total_gap / pairs
+
+
+def test_bench_ablation_tuning_order(benchmark, store):
+    assoc_first = benchmark.pedantic(
+        lambda: sweep(store, line_first=False), rounds=3, iterations=1
+    )
+    line_first = sweep(store, line_first=True)
+
+    rows = [
+        ("assoc first (paper)", assoc_first[0], f"{assoc_first[1]:.2f}",
+         f"{assoc_first[2] * 100:.2f}%"),
+        ("line first", line_first[0], f"{line_first[1]:.2f}",
+         f"{line_first[2] * 100:.2f}%"),
+    ]
+    print()
+    print(format_table(
+        ("order", "total configs explored", "true-best hit rate",
+         "mean energy gap"),
+        rows,
+    ))
+
+    # The paper's order must be at least as good on converged quality.
+    assert assoc_first[2] <= line_first[2] + 1e-9
+
+    # Both orders stay within the heuristic's exploration bounds.
+    pairs = len(eembc_suite()) * len(CACHE_SIZES_KB)
+    assert assoc_first[0] <= 5 * pairs
+    assert line_first[0] <= 5 * pairs

@@ -1,0 +1,80 @@
+"""E4 — ANN prediction quality (paper §IV.D).
+
+Paper claim: the bagged 30-ANN ensemble's predicted best cache sizes
+"only degraded the average energy consumption by less than 2 % over all
+the benchmarks as compared to the optimal cache size".
+
+Reported here at full paper scale (30 members, {n, 18, 5, 1} topology,
+70/15/15 split): per-benchmark predictions, the mean/max energy
+degradation (paper-style shuffled split), and — beyond the paper — the
+held-out-family generalisation accuracy.  The timed kernel is one
+ensemble training run.
+
+Run with ``pytest benchmarks/test_bench_ann_accuracy.py --benchmark-only
+-s`` to see the tables.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.ann.metrics import class_accuracy
+from repro.ann.training import TrainingConfig
+from repro.core.predictor import AnnPredictor
+from repro.experiment import default_dataset
+from repro.workloads import eembc_suite
+
+
+def test_bench_ann_accuracy(benchmark, store):
+    dataset, dataset_store = default_dataset(variants_per_family=24, seed=0)
+    split = dataset.split(seed=0, by_family=False)
+
+    def train():
+        predictor = AnnPredictor(n_members=30, seed=0)
+        predictor.fit(
+            split.train,
+            val_dataset=split.val,
+            config=TrainingConfig(epochs=300, seed=0),
+        )
+        return predictor
+
+    predictor = benchmark.pedantic(train, rounds=1, iterations=1)
+
+    rows = []
+    degradations = []
+    for spec in eembc_suite():
+        char = dataset_store.get(spec.name)
+        predicted = predictor.predict_size_kb(spec.name, char.counters)
+        degradation = char.energy_degradation(
+            char.best_config_for_size(predicted)
+        )
+        degradations.append(degradation)
+        rows.append((spec.name, char.best_size_kb(), predicted,
+                     f"{degradation * 100:.2f}%"))
+    print()
+    print(format_table(
+        ("benchmark", "true best (KB)", "predicted (KB)", "degradation"),
+        rows,
+    ))
+
+    test_pred = predictor.predict_sizes_kb(split.test.features)
+    test_acc = class_accuracy(test_pred, split.test.labels_kb)
+    mean_degr = float(np.mean(degradations))
+    print()
+    print(f"test-split accuracy (paper-style shuffled split): {test_acc:.3f}")
+    print(f"mean energy degradation: {mean_degr * 100:.2f}%  (paper: < 2%)")
+
+    # Extension: held-out-family generalisation (not measured in the
+    # paper; families unseen in training).
+    family_split = dataset.split(seed=0, by_family=True)
+    family_predictor = AnnPredictor(n_members=10, seed=0)
+    family_predictor.fit(
+        family_split.train,
+        val_dataset=family_split.val,
+        config=TrainingConfig(epochs=200, seed=0),
+    )
+    family_pred = family_predictor.predict_sizes_kb(family_split.test.features)
+    family_acc = class_accuracy(family_pred, family_split.test.labels_kb)
+    print(f"held-out-family accuracy (beyond the paper): {family_acc:.3f}")
+
+    assert mean_degr < 0.02  # the paper's claim
+    assert test_acc > 0.8

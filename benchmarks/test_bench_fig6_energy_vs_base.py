@@ -1,0 +1,75 @@
+"""E2 — Figure 6: idle/dynamic/total energy normalised to the base system.
+
+Paper numbers (percent change vs base):
+
+=================  =====  ========  ======
+system             idle   dynamic   total
+=================  =====  ========  ======
+optimal            -3%    -35%      -6%
+energy-centric     +6%    -58%      +2%
+proposed (ours)    -27%   -55%      -29%   (abstract: 28% average)
+=================  =====  ========  ======
+
+The reproduction checks the *shape*: the proposed system wins total
+energy by a wide margin; the energy-centric system has the deepest
+dynamic reduction but pays so much idle energy that its total ends near
+the base system; the optimal system sits between them with the weakest
+dynamic reduction of the three.  The timed kernel is one proposed-system
+simulation at 1000 jobs.
+
+Run with ``pytest benchmarks/test_bench_fig6_energy_vs_base.py
+--benchmark-only -s`` to see the figure.
+"""
+
+from repro.analysis import normalize_results, percent_change, render_figure6
+from repro.core import OraclePredictor, SchedulerSimulation, make_policy, paper_system
+from repro.workloads import eembc_suite, uniform_arrivals
+
+
+def test_bench_fig6_energy_vs_base(benchmark, store, four_results):
+    def run_proposed():
+        arrivals = uniform_arrivals(eembc_suite(), count=1000, seed=2)
+        sim = SchedulerSimulation(
+            paper_system(),
+            make_policy("proposed"),
+            store,
+            predictor=OraclePredictor(store),
+        )
+        return sim.run(arrivals)
+
+    timed = benchmark.pedantic(run_proposed, rounds=3, iterations=1)
+    assert timed.jobs_completed == 1000
+
+    print()
+    print(render_figure6(four_results))
+
+    normalized = normalize_results(four_results, "base")
+    total = {name: r["total_energy"] for name, r in normalized.items()}
+    dynamic = {name: r["dynamic_energy"] for name, r in normalized.items()}
+    idle = {name: r["idle_energy"] for name, r in normalized.items()}
+
+    print()
+    print("shape checks vs paper Figure 6:")
+    print(f"  proposed total: {percent_change(total['proposed']):+.1f}% "
+          "(paper -29%)")
+    print(f"  optimal  total: {percent_change(total['optimal']):+.1f}% "
+          "(paper -6%)")
+    print(f"  e-centr. total: {percent_change(total['energy_centric']):+.1f}% "
+          "(paper +2%)")
+
+    # Who wins: proposed < optimal < energy-centric in total energy.
+    assert total["proposed"] < total["optimal"]
+    assert total["optimal"] < total["energy_centric"]
+    assert total["proposed"] < 0.75  # substantial reduction vs base
+
+    # Energy-centric: deepest dynamic cut of all systems...
+    assert dynamic["energy_centric"] <= min(
+        dynamic["optimal"], 1.02 * dynamic["proposed"]
+    )
+    # ...but the worst idle energy, above the base system's.
+    assert idle["energy_centric"] > 1.0
+    assert idle["energy_centric"] > idle["proposed"]
+
+    # Optimal has the weakest dynamic reduction of the three systems.
+    assert dynamic["optimal"] > dynamic["energy_centric"]
+    assert dynamic["optimal"] > dynamic["proposed"]

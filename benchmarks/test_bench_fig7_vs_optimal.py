@@ -1,0 +1,71 @@
+"""E3 — Figure 7: cycles and energy normalised to the optimal system.
+
+Paper numbers (percent change vs the optimal system):
+
+=================  =======  =====  ========  ======
+system             cycles   idle   dynamic   total
+=================  =======  =====  ========  ======
+energy-centric     -17%     +10%   -35%      +9%
+proposed (ours)    -25%     -26%   -31%      -24%
+=================  =======  =====  ========  ======
+
+Shape checks: the proposed system is faster than the optimal system and
+reduces its total energy; the energy-centric system *increases* total
+energy over the optimal system despite a dynamic-energy win.  One known
+deviation (EXPERIMENTS.md): in this substrate the energy-centric
+system's per-best-core queueing makes it *slower* than the optimal
+system, where the paper reports it 17 % faster.  The timed kernel is one
+optimal-system simulation at 1000 jobs (exhaustive exploration included).
+
+Run with ``pytest benchmarks/test_bench_fig7_vs_optimal.py
+--benchmark-only -s`` to see the figure.
+"""
+
+from repro.analysis import normalize_results, percent_change, render_figure7
+from repro.core import SchedulerSimulation, make_policy, paper_system
+from repro.workloads import eembc_suite, uniform_arrivals
+
+
+def test_bench_fig7_vs_optimal(benchmark, store, four_results):
+    def run_optimal():
+        arrivals = uniform_arrivals(eembc_suite(), count=1000, seed=2)
+        sim = SchedulerSimulation(
+            paper_system(), make_policy("optimal"), store
+        )
+        return sim.run(arrivals)
+
+    timed = benchmark.pedantic(run_optimal, rounds=3, iterations=1)
+    assert timed.jobs_completed == 1000
+
+    print()
+    print(render_figure7(four_results))
+
+    normalized = normalize_results(four_results, "optimal")
+    proposed = normalized["proposed"]
+    energy_centric = normalized["energy_centric"]
+
+    print()
+    print("shape checks vs paper Figure 7:")
+    print(f"  proposed cycles: {percent_change(proposed['cycles']):+.1f}% "
+          "(paper -25%)")
+    print(f"  proposed total:  {percent_change(proposed['total_energy']):+.1f}% "
+          "(paper -24%)")
+    print(f"  e-centr. total:  "
+          f"{percent_change(energy_centric['total_energy']):+.1f}% (paper +9%)")
+    print(f"  e-centr. cycles: "
+          f"{percent_change(energy_centric['cycles']):+.1f}% "
+          "(paper -17%; known deviation, see EXPERIMENTS.md)")
+
+    # The proposed system beats the optimal system on both axes.
+    assert proposed["cycles"] < 1.0
+    assert proposed["total_energy"] < 1.0
+    assert proposed["dynamic_energy"] < 1.0
+
+    # The energy-centric system wins dynamic energy but loses total.
+    assert energy_centric["dynamic_energy"] < 1.0
+    assert energy_centric["total_energy"] > 1.0
+
+    # And the proposed system beats the energy-centric system outright
+    # (§VI: naive always-stall "can not be made naively").
+    assert proposed["total_energy"] < energy_centric["total_energy"]
+    assert proposed["cycles"] < energy_centric["cycles"]

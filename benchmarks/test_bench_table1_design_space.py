@@ -1,0 +1,41 @@
+"""E1 — Table 1: the 18-configuration cache design space.
+
+Regenerates the design-space characterisation behind every other
+experiment: all 15 benchmarks through all 18 configurations of Table 1,
+printing the per-benchmark energy matrix and best configuration.  The
+timed kernel is one full benchmark characterisation (the SimpleScalar
+role of the reproduction).
+
+Run with ``pytest benchmarks/test_bench_table1_design_space.py
+--benchmark-only -s`` to see the table.
+"""
+
+from repro.analysis import format_table
+from repro.cache import DESIGN_SPACE
+from repro.characterization import characterize_benchmark
+from repro.workloads import eembc_benchmark, eembc_suite
+
+
+def test_bench_table1_design_space(benchmark, store):
+    spec = eembc_benchmark("idctrn")
+    result = benchmark.pedantic(
+        lambda: characterize_benchmark(spec), rounds=3, iterations=1
+    )
+    assert len(result.configs()) == 18
+
+    print()
+    print("Table 1 design space - total energy (uJ) per configuration")
+    headers = ["benchmark"] + [c.name for c in DESIGN_SPACE] + ["best"]
+    rows = []
+    for suite_spec in eembc_suite():
+        char = store.get(suite_spec.name)
+        row = [suite_spec.name]
+        for config in DESIGN_SPACE:
+            row.append(f"{char.result(config).total_energy_nj / 1e3:.0f}")
+        row.append(char.best_config().name)
+        rows.append(row)
+    print(format_table(headers, rows))
+
+    # The paper's premise: the suite spans all three cache sizes.
+    best_sizes = {store.best_size_kb(s.name) for s in eembc_suite()}
+    assert best_sizes == {2, 4, 8}

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Explore one benchmark's cache-configuration design space (Table 1).
+
+Characterises a single benchmark over all 18 configurations, prints the
+full energy/performance table, and then runs the paper's cache tuning
+heuristic (its Figure 5) against the measurements to show how few
+configurations it needs to find the best one on each core.
+
+Run with::
+
+    python examples/cache_design_space.py [benchmark]
+"""
+
+import sys
+
+from repro.analysis import format_table
+from repro.cache import CACHE_SIZES_KB
+from repro.characterization import characterize_benchmark
+from repro.core.tuning import TuningSession
+from repro.workloads import eembc_benchmark
+
+
+def main(benchmark: str = "idctrn") -> None:
+    spec = eembc_benchmark(benchmark)
+    print(f"{spec.name}: {spec.description}")
+    print(
+        f"  {spec.instructions} instructions, "
+        f"{spec.mem_accesses} memory references, "
+        f"footprint ~{spec.trace_mix.footprint_bytes // 1024} KB"
+    )
+
+    char = characterize_benchmark(spec)
+    best = char.best_config()
+
+    rows = []
+    for config in char.configs():
+        result = char.result(config)
+        rows.append((
+            config.name + (" *" if config == best else ""),
+            f"{result.stats.miss_rate * 100:.2f}%",
+            result.total_cycles,
+            f"{result.estimate.energy.static_nj / 1e3:.1f}",
+            f"{result.estimate.energy.dynamic_nj / 1e3:.1f}",
+            f"{result.total_energy_nj / 1e3:.1f}",
+        ))
+    print()
+    print(format_table(
+        ("config (* = best)", "miss rate", "cycles", "static uJ",
+         "dynamic uJ", "total uJ"),
+        rows,
+    ))
+
+    # Run the tuning heuristic against the measured design space, per
+    # core size, exactly as the scheduler would across executions.
+    print()
+    print("tuning heuristic (assoc sweep, then line size):")
+    for size in CACHE_SIZES_KB:
+        session = TuningSession(size_kb=size)
+        while not session.done:
+            config = session.next_config()
+            session.record(config, char.result(config).total_energy_nj)
+        true_best = char.best_config_for_size(size)
+        found = session.best_config
+        outcome = "found true best" if found == true_best else (
+            f"local optimum (true best {true_best.name})"
+        )
+        print(
+            f"  {size}KB core: explored {session.exploration_count} of "
+            f"{len([c for c in char.configs() if c.size_kb == size])} "
+            f"configs -> {found.name} ({outcome})"
+        )
+
+
+def working_set_sweep(benchmark: str) -> None:
+    """Show how the best size moves as the working set scales."""
+    from repro.characterization import sweep_working_set
+
+    spec = eembc_benchmark(benchmark)
+    print()
+    print("working-set sweep (all regions scaled):")
+    points = sweep_working_set(spec, scales=(0.25, 0.5, 1.0, 2.0, 4.0))
+    rows = [
+        (f"x{p.scale:g}", f"~{p.footprint_bytes // 1024} KB",
+         p.best_config.name,
+         *(f"{p.energy_by_size_nj[s] / 1e3:.1f}" for s in (2, 4, 8)))
+        for p in points
+    ]
+    print(format_table(
+        ("scale", "footprint", "best config", "E@2KB uJ", "E@4KB uJ",
+         "E@8KB uJ"),
+        rows,
+    ))
+
+
+if __name__ == "__main__":
+    main(*sys.argv[1:2])
+    working_set_sweep(*(sys.argv[1:2] or ["idctrn"]))

@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Full four-system comparison at paper scale (Figures 6 and 7).
+
+Runs the complete evaluation of §V-VI: 5000 uniformly-arriving jobs
+from the EEMBC-analogue suite through the base, optimal, energy-centric
+and proposed systems, then prints both of the paper's result figures
+and the per-system summaries.  Takes a minute or two on first run
+(characterisation and ANN training are cached afterwards).
+
+Run with::
+
+    python examples/compare_systems.py [n_jobs] [seed]
+"""
+
+import sys
+
+from repro import default_predictor, default_store, run_four_systems
+from repro.analysis import (
+    render_figure6,
+    render_figure7,
+    render_result_summary,
+)
+from repro.workloads import eembc_suite, uniform_arrivals
+
+
+def main(n_jobs: int = 5000, seed: int = 1) -> None:
+    store = default_store()
+    predictor = default_predictor(store, seed=seed)
+    arrivals = uniform_arrivals(eembc_suite(), count=n_jobs, seed=seed)
+
+    results = run_four_systems(arrivals, store, predictor)
+
+    print(render_figure6(results))
+    print()
+    print(render_figure7(results))
+    print()
+    for result in results.values():
+        print(render_result_summary(result))
+        print()
+
+
+if __name__ == "__main__":
+    args = [int(a) for a in sys.argv[1:3]]
+    main(*args)

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Why do benchmarks prefer different cache sizes?
+
+Uses the locality toolkit to explain the premise behind the paper's
+heterogeneous system: different applications have different working
+sets, so no single cache size is best.  For three benchmarks with
+different best sizes the script prints
+
+* the miss-ratio curve over the design-space sizes (its knee locates
+  the natural capacity),
+* the working-set curve (distinct lines per window),
+* the reuse-distance mass below each cache's capacity.
+
+Run with::
+
+    python examples/locality_analysis.py
+"""
+
+from repro.analysis import format_table
+from repro.cache import CACHE_SIZES_KB
+from repro.workloads import (
+    eembc_benchmark,
+    miss_ratio_curve,
+    reuse_distance_histogram,
+    working_set_curve,
+)
+
+#: One benchmark per best size (2, 4 and 8 KB).
+EXAMPLES = ("puwmod", "idctrn", "pntrch")
+LINE_B = 32
+
+
+def main() -> None:
+    rows = []
+    for name in EXAMPLES:
+        spec = eembc_benchmark(name)
+        trace = spec.generate_trace(seed=0)
+        curve = miss_ratio_curve(trace.addresses, line_b=LINE_B)
+        ws = working_set_curve(trace.addresses, window=2000, line_b=LINE_B)
+        peak_ws_kb = max(d for _, d in ws) * LINE_B / 1024
+        rows.append((
+            name,
+            f"~{peak_ws_kb:.1f} KB",
+            *(f"{curve[s] * 100:.2f}%" for s in CACHE_SIZES_KB),
+        ))
+    print(format_table(
+        ("benchmark", "peak working set")
+        + tuple(f"miss ratio @ {s}KB" for s in CACHE_SIZES_KB),
+        rows,
+    ))
+
+    print()
+    print("reuse-distance mass captured by each capacity "
+          f"(fully-associative, {LINE_B}B lines):")
+    rows = []
+    for name in EXAMPLES:
+        spec = eembc_benchmark(name)
+        trace = spec.generate_trace(seed=0)
+        histogram = reuse_distance_histogram(trace.addresses, line_b=LINE_B)
+        total = sum(histogram.values())
+        row = [name]
+        for size_kb in CACHE_SIZES_KB:
+            capacity_lines = size_kb * 1024 // LINE_B
+            captured = sum(
+                count for distance, count in histogram.items()
+                if 0 <= distance < capacity_lines
+            )
+            row.append(f"{captured / total * 100:.1f}%")
+        rows.append(tuple(row))
+    print(format_table(
+        ("benchmark",) + tuple(f"hits @ {s}KB" for s in CACHE_SIZES_KB),
+        rows,
+    ))
+    print()
+    print("The knee of each curve sits at a different size - exactly the "
+          "diversity the heterogeneous system exploits.")
+
+
+if __name__ == "__main__":
+    main()

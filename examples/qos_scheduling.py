@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Priority, deadline and preemption scheduling (paper future work).
+
+The paper's future work (§VIII) includes "considering systems with
+preemption, priority, and deadlines".  This example annotates a
+contended arrival stream with deadlines (4x each benchmark's base
+execution time) and three priority levels, then runs the proposed
+scheduler under five queueing variants:
+
+* FIFO (the paper's discipline),
+* static priority, with and without preemption,
+* earliest-deadline-first, with and without preemption.
+
+Run with::
+
+    python examples/qos_scheduling.py
+"""
+
+from repro.analysis import format_table
+from repro.cache import BASE_CONFIG
+from repro.core import (
+    OraclePredictor,
+    SchedulerSimulation,
+    make_policy,
+    paper_system,
+)
+from repro.experiment import default_store
+from repro.workloads import eembc_suite, uniform_arrivals, with_qos
+
+VARIANTS = (
+    ("fifo", False),
+    ("priority", False),
+    ("priority", True),
+    ("edf", False),
+    ("edf", True),
+)
+
+
+def main() -> None:
+    store = default_store()
+    raw = uniform_arrivals(
+        eembc_suite(), count=1200, seed=5, mean_interarrival_cycles=70_000
+    )
+    arrivals = with_qos(
+        raw,
+        service_estimate=lambda name: store.estimate(
+            name, BASE_CONFIG
+        ).total_cycles,
+        priority_levels=3,
+        deadline_slack=4.0,
+        seed=5,
+    )
+    print(f"{len(arrivals)} jobs, all with deadlines "
+          f"(4x base execution time), priorities 0-2")
+
+    rows = []
+    for discipline, preemptive in VARIANTS:
+        sim = SchedulerSimulation(
+            paper_system(),
+            make_policy("proposed"),
+            store,
+            predictor=OraclePredictor(store),
+            discipline=discipline,
+            preemptive=preemptive,
+        )
+        result = sim.run(arrivals)
+        high = [r for r in result.jobs if r.priority == 2]
+        rows.append((
+            discipline + ("+preempt" if preemptive else ""),
+            f"{result.deadline_miss_rate * 100:.1f}%",
+            f"{result.mean_turnaround_cycles / 1e3:.0f}k",
+            f"{sum(r.turnaround_cycles for r in high) / len(high) / 1e3:.0f}k",
+            result.preemption_count,
+            f"{result.total_energy_nj / 1e6:.2f} mJ",
+        ))
+
+    print()
+    print(format_table(
+        ("variant", "deadline misses", "mean turnaround",
+         "high-prio turnaround", "preemptions", "total energy"),
+        rows,
+    ))
+    print()
+    print("Preemption buys high-priority responsiveness and deadline "
+          "adherence for almost no energy: the same executions happen, "
+          "split across cores and time.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's full evaluation into ``results/``.
+
+One command reproduces everything the paper reports — the four-system
+comparison (Figures 6 and 7), the ANN-accuracy claim, the profiling-
+overhead claim and the tuning-efficiency claim — and writes:
+
+* ``results/REPORT.md`` — all tables in one markdown report,
+* ``results/summary.csv`` — per-system summary metrics,
+* ``results/results.json`` — full results including per-job records,
+* ``results/jobs_proposed.csv`` — the proposed system's per-job trace.
+
+Takes a few minutes cold (characterisation and training are cached
+under ``~/.cache/repro`` afterwards).  Equivalent to
+``python -m repro reproduce``.
+
+Run with::
+
+    python examples/reproduce_paper.py [output_dir]
+"""
+
+import sys
+
+from repro.reporting import write_report
+
+
+if __name__ == "__main__":
+    write_report(*(sys.argv[1:2] or ["results"]))

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Train and evaluate the paper's bagged-ANN best-core predictor.
+
+Walks through §IV.C/D of the paper end to end:
+
+1. grow the 15-benchmark suite into a training dataset with seeded
+   parameter-jittered variants (DESIGN.md §5 documents this
+   substitution for the paper's 270-input EEMBC dataset);
+2. split 70/15/15 and train a bagging ensemble of small MLPs
+   (topology {n_features, 18, 5, 1}, random weight init per member);
+3. report accuracy, the confusion matrix over {2, 4, 8} KB, and the
+   paper's headline metric: how much energy is lost by trusting the
+   predicted best cache size instead of the true one (< 2 % claimed).
+
+Run with::
+
+    python examples/train_predictor.py
+"""
+
+import numpy as np
+
+from repro.ann.metrics import class_accuracy, confusion_counts
+from repro.ann.training import TrainingConfig
+from repro.analysis import format_table
+from repro.core.predictor import AnnPredictor
+from repro.experiment import default_dataset
+from repro.workloads import eembc_suite
+
+
+def main() -> None:
+    dataset, store = default_dataset(variants_per_family=12, seed=0)
+    print(
+        f"dataset: {len(dataset)} samples x {len(dataset.feature_names)} "
+        f"features ({', '.join(dataset.feature_names)})"
+    )
+
+    # Paper-style shuffled 70/15/15 split (§IV.D).
+    split = dataset.split(seed=0, by_family=False)
+    predictor = AnnPredictor(n_members=10, seed=0)
+    predictor.fit(
+        split.train,
+        val_dataset=split.val,
+        config=TrainingConfig(epochs=200, seed=0),
+    )
+
+    rows = []
+    for name, part in (("train", split.train), ("val", split.val),
+                       ("test", split.test)):
+        pred = predictor.predict_sizes_kb(part.features)
+        rows.append((name, len(part), class_accuracy(pred, part.labels_kb)))
+    print()
+    print(format_table(("split", "samples", "accuracy"), rows))
+
+    # Confusion matrix on the test split.
+    pred = predictor.predict_sizes_kb(split.test.features)
+    counts = confusion_counts(pred, split.test.labels_kb, classes=[2, 4, 8])
+    print()
+    print("test confusion (rows = true size, cols = predicted):")
+    print(format_table(
+        ("true\\pred", "2KB", "4KB", "8KB"),
+        [(f"{size}KB", *counts[i]) for i, size in enumerate((2, 4, 8))],
+    ))
+
+    # The paper's metric: energy degradation on the deployed benchmarks.
+    rows = []
+    degradations = []
+    for spec in eembc_suite():
+        char = store.get(spec.name)
+        predicted = predictor.predict_size_kb(spec.name, char.counters)
+        best_at_predicted = char.best_config_for_size(predicted)
+        degradation = char.energy_degradation(best_at_predicted)
+        degradations.append(degradation)
+        rows.append(
+            (spec.name, char.best_size_kb(), predicted,
+             f"{degradation * 100:.2f}%")
+        )
+    print()
+    print(format_table(
+        ("benchmark", "true best", "predicted", "energy degradation"), rows
+    ))
+    print(
+        f"\nmean energy degradation vs optimal cache size: "
+        f"{np.mean(degradations) * 100:.2f}%  (paper: < 2%)"
+    )
+
+
+if __name__ == "__main__":
+    main()

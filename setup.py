@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+The offline evaluation environment lacks ``wheel``, which PEP 660
+editable installs require; with this shim and no ``[build-system]``
+table, ``pip install -e .`` falls back to the legacy ``setup.py
+develop`` path, which works everywhere.
+"""
+
+from setuptools import setup
+
+setup()

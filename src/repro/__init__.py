@@ -1,0 +1,46 @@
+"""repro — reproduction of *Dynamic Scheduling on Heterogeneous
+Multicores* (Edun, Vazquez, Gordon-Ross, Stitt; DATE 2019).
+
+An ANN-guided, energy-aware dynamic scheduler for heterogeneous
+multicores with run-time configurable L1 caches, together with every
+substrate the evaluation needs: a set-associative cache simulator, a
+CACTI-style energy model, synthetic EEMBC-analogue workloads, a
+from-scratch neural network, and a deterministic discrete-event
+scheduler simulation.
+
+Quick start::
+
+    from repro import quick_experiment
+    results = quick_experiment(n_jobs=500, seed=0)
+    print(results["proposed"].total_energy_nj / results["base"].total_energy_nj)
+
+Subpackages
+-----------
+``repro.core``
+    The paper's contribution: scheduler, policies, ANN predictor,
+    tuning heuristic, energy-advantageous decision, simulation driver.
+``repro.cache`` / ``repro.energy`` / ``repro.workloads`` /
+``repro.ann`` / ``repro.characterization`` / ``repro.sim``
+    The substrates (see DESIGN.md for the full inventory).
+``repro.analysis``
+    Normalisation and text rendering of the paper's figures.
+"""
+
+from repro.experiment import (
+    default_dataset,
+    default_predictor,
+    default_store,
+    quick_experiment,
+    run_four_systems,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "default_dataset",
+    "default_predictor",
+    "default_store",
+    "quick_experiment",
+    "run_four_systems",
+]

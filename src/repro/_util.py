@@ -1,0 +1,19 @@
+"""Small internal utilities shared across the package."""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = ["stable_seed"]
+
+
+def stable_seed(*parts: object) -> int:
+    """Deterministic 63-bit seed from arbitrary hashable parts.
+
+    Python's built-in ``hash`` of strings is salted per process, which
+    would make trace generation irreproducible across runs; this instead
+    hashes the ``repr`` of the parts with BLAKE2, which is stable
+    everywhere.
+    """
+    digest = hashlib.blake2s(repr(parts).encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big") >> 1

@@ -1,0 +1,35 @@
+"""Result normalisation and text reporting for the paper's figures."""
+
+from .export import (
+    jobs_to_csv,
+    result_summary_dict,
+    results_to_csv,
+    results_to_json,
+)
+from .normalize import METRICS, normalize_results, percent_change
+from .report import (
+    format_table,
+    render_benchmark_breakdown,
+    render_figure6,
+    render_energy_decomposition,
+    render_figure7,
+    render_gantt,
+    render_result_summary,
+)
+
+__all__ = [
+    "METRICS",
+    "format_table",
+    "jobs_to_csv",
+    "normalize_results",
+    "percent_change",
+    "render_benchmark_breakdown",
+    "render_figure6",
+    "render_energy_decomposition",
+    "render_figure7",
+    "render_gantt",
+    "render_result_summary",
+    "result_summary_dict",
+    "results_to_csv",
+    "results_to_json",
+]

@@ -1,0 +1,40 @@
+"""Normalisation helpers for the paper's figures.
+
+Both result figures report ratios: Figure 6 normalises idle/dynamic/total
+energy to the *base* system, Figure 7 normalises cycles and energies to
+the *optimal* system.  :func:`normalize_results` produces those ratio
+tables from raw :class:`~repro.core.results.SimulationResult` objects.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+from repro.core.results import SimulationResult
+
+__all__ = ["normalize_results", "percent_change"]
+
+#: Metrics reported by the paper's figures.
+METRICS = ("idle_energy", "dynamic_energy", "total_energy", "cycles")
+
+
+def normalize_results(
+    results: Mapping[str, SimulationResult],
+    baseline: str,
+) -> Dict[str, Dict[str, float]]:
+    """Ratio of each system's metrics to a baseline system.
+
+    Returns ``{system: {metric: ratio}}`` including the baseline itself
+    (all ratios 1.0), ordered as the input mapping.
+    """
+    if baseline not in results:
+        raise KeyError(f"baseline {baseline!r} not among results")
+    base = results[baseline]
+    return {
+        name: result.normalized_to(base) for name, result in results.items()
+    }
+
+
+def percent_change(ratio: float) -> float:
+    """Ratio → signed percent change (0.72 → -28.0)."""
+    return (ratio - 1.0) * 100.0

@@ -1,0 +1,218 @@
+"""Plain-text rendering of the paper's tables and figures.
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers keep that formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+from repro.core.results import SimulationResult
+
+from .normalize import METRICS, normalize_results, percent_change
+
+__all__ = [
+    "format_table",
+    "render_benchmark_breakdown",
+    "render_figure6",
+    "render_figure7",
+    "render_energy_decomposition",
+    "render_gantt",
+    "render_result_summary",
+]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Fixed-width text table (no external dependencies)."""
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return float_format.format(cell)
+        return str(cell)
+
+    text_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in text_rows))
+        if text_rows
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(str(h).ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in text_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _normalized_table(
+    results: Mapping[str, SimulationResult],
+    baseline: str,
+    metrics: Sequence[str],
+    title: str,
+) -> str:
+    normalized = normalize_results(results, baseline)
+    headers = ["system"] + [f"{m} (norm)" for m in metrics] + [
+        f"{m} (%)" for m in metrics
+    ]
+    rows = []
+    for name, ratios in normalized.items():
+        rows.append(
+            [name]
+            + [ratios[m] for m in metrics]
+            + [percent_change(ratios[m]) for m in metrics]
+        )
+    return f"{title}\n(baseline = {baseline})\n" + format_table(
+        headers, rows, float_format="{:+.3f}"
+    )
+
+
+def render_figure6(results: Mapping[str, SimulationResult]) -> str:
+    """Figure 6: idle/dynamic/total energy normalised to the base system."""
+    metrics = ("idle_energy", "dynamic_energy", "total_energy")
+    return _normalized_table(
+        results, "base", metrics, "Figure 6 — energy normalised to base"
+    )
+
+
+def render_figure7(results: Mapping[str, SimulationResult]) -> str:
+    """Figure 7: cycles and energy normalised to the optimal system."""
+    return _normalized_table(
+        results,
+        "optimal",
+        METRICS,
+        "Figure 7 — cycles and energy normalised to optimal",
+    )
+
+
+def render_benchmark_breakdown(result: SimulationResult) -> str:
+    """Per-benchmark placement/energy table for one run.
+
+    Shows, for each benchmark: how many jobs ran, the configurations
+    used (profiling and tuning runs included), the core-placement
+    spread and the mean per-job energy — the level of detail the
+    paper's aggregate figures hide.
+    """
+    by_benchmark: Dict[str, list] = {}
+    for record in result.jobs:
+        by_benchmark.setdefault(record.benchmark, []).append(record)
+    rows = []
+    for benchmark in sorted(by_benchmark):
+        records = by_benchmark[benchmark]
+        configs = sorted({r.config_name for r in records})
+        cores = sorted({r.core_index + 1 for r in records})
+        mean_energy = sum(r.energy_nj for r in records) / len(records)
+        mean_wait = sum(r.waiting_cycles for r in records) / len(records)
+        rows.append((
+            benchmark,
+            len(records),
+            f"{mean_energy / 1e3:.1f}",
+            f"{mean_wait / 1e3:.0f}k",
+            ",".join(str(c) for c in cores),
+            configs[0] if len(configs) == 1 else f"{len(configs)} configs",
+        ))
+    return f"per-benchmark breakdown ({result.policy})\n" + format_table(
+        ("benchmark", "jobs", "mean energy (uJ)", "mean wait",
+         "cores used", "configuration(s)"),
+        rows,
+    )
+
+
+def render_gantt(
+    result: SimulationResult,
+    *,
+    width: int = 78,
+) -> str:
+    """ASCII timeline of core occupancy for one run.
+
+    One row per core; each executed job paints its span with a
+    single-character tag cycling through the benchmark's first letter.
+    Meant for small runs (examples, debugging) — at paper scale the
+    lines just show solid occupancy.
+    """
+    if width < 10:
+        raise ValueError("width must be at least 10")
+    if not result.jobs:
+        return "(no jobs)"
+    makespan = max(result.makespan_cycles, 1)
+    cores: Dict[int, list] = {}
+    for record in result.jobs:
+        cores.setdefault(record.core_index, []).append(record)
+    lines = [f"schedule timeline ({result.policy}; "
+             f"{makespan} cycles across {width} columns)"]
+    for core_index in sorted(cores):
+        row = [" "] * width
+        for record in cores[core_index]:
+            start = int(record.start_cycle / makespan * (width - 1))
+            stop = max(start + 1,
+                       int(record.completion_cycle / makespan * (width - 1)))
+            tag = record.benchmark[0]
+            if record.profiled:
+                tag = tag.upper()
+            for i in range(start, min(stop, width)):
+                row[i] = tag
+        lines.append(f"core {core_index + 1} |{''.join(row)}|")
+    lines.append(
+        "(lower-case = normal execution, upper-case first letter = "
+        "profiling run)"
+    )
+    return "\n".join(lines)
+
+
+def render_energy_decomposition(configs=None) -> str:
+    """CACTI-style per-access energy decomposition table.
+
+    Shows where each configuration's access energy goes (decoder, word
+    lines, bit lines, sense amps, tags, output drivers) — the structural
+    view behind the monotone size/associativity trends the scheduler
+    exploits.  Defaults to the full Table 1 design space.
+    """
+    from repro.cache.config import DESIGN_SPACE
+    from repro.energy.cacti import CactiModel
+
+    model = CactiModel()
+    rows = []
+    for config in (configs if configs is not None else DESIGN_SPACE):
+        c = model.components(config)
+        rows.append((
+            config.name,
+            f"{c.decode_nj:.3f}",
+            f"{c.wordline_nj:.3f}",
+            f"{c.bitline_nj:.3f}",
+            f"{c.senseamp_nj:.3f}",
+            f"{c.tag_nj:.3f}",
+            f"{c.output_nj:.3f}",
+            f"{c.total_nj:.3f}",
+        ))
+    return "per-access energy decomposition (nJ)\n" + format_table(
+        ("config", "decode", "wordline", "bitline", "sense",
+         "tag", "output", "total"),
+        rows,
+    )
+
+
+def render_result_summary(result: SimulationResult) -> str:
+    """Human-readable single-run summary."""
+    rows = [
+        ("jobs completed", result.jobs_completed),
+        ("makespan (cycles)", result.makespan_cycles),
+        ("idle energy (uJ)", result.idle_energy_nj / 1e3),
+        ("busy static energy (uJ)", result.busy_static_energy_nj / 1e3),
+        ("dynamic energy (uJ)", result.dynamic_energy_nj / 1e3),
+        ("total energy (uJ)", result.total_energy_nj / 1e3),
+        ("reconfigurations (cycles)", result.reconfig_cycles),
+        ("profiling runs", result.profiling_executions),
+        ("tuning executions", result.tuning_executions),
+        ("stall decisions", result.stall_decisions),
+        ("non-best decisions", result.non_best_decisions),
+        ("mean waiting (cycles)", result.mean_waiting_cycles),
+    ]
+    return f"system: {result.policy}\n" + format_table(
+        ("metric", "value"), rows, float_format="{:.1f}"
+    )

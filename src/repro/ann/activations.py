@@ -1,0 +1,134 @@
+"""Activation functions with analytic derivatives.
+
+Each activation is a stateless object with ``forward`` and ``backward``;
+``backward`` receives the *pre-activation* input that ``forward`` saw and
+the upstream gradient, and returns the downstream gradient.  Keeping the
+derivative next to the function keeps the backpropagation in
+:mod:`repro.ann.network` a three-line chain rule.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Type
+
+import numpy as np
+
+__all__ = [
+    "Activation",
+    "Identity",
+    "Tanh",
+    "Sigmoid",
+    "ReLU",
+    "LeakyReLU",
+    "make_activation",
+    "ACTIVATION_NAMES",
+]
+
+
+class Activation(ABC):
+    """Elementwise nonlinearity."""
+
+    name: str = "activation"
+
+    @abstractmethod
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Apply the activation elementwise."""
+
+    @abstractmethod
+    def backward(self, x: np.ndarray, grad_out: np.ndarray) -> np.ndarray:
+        """Gradient w.r.t. ``x`` given the gradient w.r.t. the output."""
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"{type(self).__name__}()"
+
+
+class Identity(Activation):
+    """Linear pass-through (used for regression output layers)."""
+
+    name = "identity"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return x
+
+    def backward(self, x: np.ndarray, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out
+
+
+class Tanh(Activation):
+    """Hyperbolic tangent, the classic small-MLP nonlinearity."""
+
+    name = "tanh"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return np.tanh(x)
+
+    def backward(self, x: np.ndarray, grad_out: np.ndarray) -> np.ndarray:
+        y = np.tanh(x)
+        return grad_out * (1.0 - y * y)
+
+
+class Sigmoid(Activation):
+    """Logistic sigmoid."""
+
+    name = "sigmoid"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        # Numerically stable piecewise evaluation.
+        out = np.empty_like(x, dtype=float)
+        pos = x >= 0
+        out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+        ex = np.exp(x[~pos])
+        out[~pos] = ex / (1.0 + ex)
+        return out
+
+    def backward(self, x: np.ndarray, grad_out: np.ndarray) -> np.ndarray:
+        y = self.forward(x)
+        return grad_out * y * (1.0 - y)
+
+
+class ReLU(Activation):
+    """Rectified linear unit."""
+
+    name = "relu"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return np.maximum(x, 0.0)
+
+    def backward(self, x: np.ndarray, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out * (x > 0.0)
+
+
+class LeakyReLU(Activation):
+    """ReLU with a small negative-side slope (avoids dead units)."""
+
+    name = "leaky_relu"
+
+    def __init__(self, slope: float = 0.01) -> None:
+        if slope < 0:
+            raise ValueError(f"slope must be non-negative, got {slope}")
+        self.slope = slope
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return np.where(x > 0.0, x, self.slope * x)
+
+    def backward(self, x: np.ndarray, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out * np.where(x > 0.0, 1.0, self.slope)
+
+
+_REGISTRY: Dict[str, Type[Activation]] = {
+    cls.name: cls for cls in (Identity, Tanh, Sigmoid, ReLU, LeakyReLU)
+}
+
+#: Names accepted by :func:`make_activation`.
+ACTIVATION_NAMES = tuple(sorted(_REGISTRY))
+
+
+def make_activation(name: str) -> Activation:
+    """Construct an activation by name."""
+    try:
+        return _REGISTRY[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown activation {name!r}; choose from {ACTIVATION_NAMES}"
+        ) from None

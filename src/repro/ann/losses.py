@@ -1,0 +1,107 @@
+"""Loss functions for training.
+
+Each loss exposes ``value`` and ``gradient`` (w.r.t. the prediction).
+The reproduction's best-cache-size predictor is a regression net, so MSE
+is the default; Huber is provided for robustness experiments.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+__all__ = ["Loss", "MSELoss", "MAELoss", "HuberLoss", "make_loss", "LOSS_NAMES"]
+
+
+def _check_shapes(pred: np.ndarray, target: np.ndarray) -> None:
+    if pred.shape != target.shape:
+        raise ValueError(
+            f"prediction shape {pred.shape} != target shape {target.shape}"
+        )
+    if pred.size == 0:
+        raise ValueError("loss evaluated on empty arrays")
+
+
+class Loss(ABC):
+    """Scalar training objective."""
+
+    name: str = "loss"
+
+    @abstractmethod
+    def value(self, pred: np.ndarray, target: np.ndarray) -> float:
+        """Mean loss over the batch."""
+
+    @abstractmethod
+    def gradient(self, pred: np.ndarray, target: np.ndarray) -> np.ndarray:
+        """Gradient of the mean loss w.r.t. ``pred``."""
+
+
+class MSELoss(Loss):
+    """Mean squared error."""
+
+    name = "mse"
+
+    def value(self, pred: np.ndarray, target: np.ndarray) -> float:
+        _check_shapes(pred, target)
+        diff = pred - target
+        return float(np.mean(diff * diff))
+
+    def gradient(self, pred: np.ndarray, target: np.ndarray) -> np.ndarray:
+        _check_shapes(pred, target)
+        return 2.0 * (pred - target) / pred.size
+
+
+class MAELoss(Loss):
+    """Mean absolute error (subgradient at zero is zero)."""
+
+    name = "mae"
+
+    def value(self, pred: np.ndarray, target: np.ndarray) -> float:
+        _check_shapes(pred, target)
+        return float(np.mean(np.abs(pred - target)))
+
+    def gradient(self, pred: np.ndarray, target: np.ndarray) -> np.ndarray:
+        _check_shapes(pred, target)
+        return np.sign(pred - target) / pred.size
+
+
+class HuberLoss(Loss):
+    """Huber loss: quadratic near zero, linear in the tails."""
+
+    name = "huber"
+
+    def __init__(self, delta: float = 1.0) -> None:
+        if delta <= 0:
+            raise ValueError(f"delta must be positive, got {delta}")
+        self.delta = delta
+
+    def value(self, pred: np.ndarray, target: np.ndarray) -> float:
+        _check_shapes(pred, target)
+        diff = pred - target
+        abs_diff = np.abs(diff)
+        quad = 0.5 * diff * diff
+        lin = self.delta * (abs_diff - 0.5 * self.delta)
+        return float(np.mean(np.where(abs_diff <= self.delta, quad, lin)))
+
+    def gradient(self, pred: np.ndarray, target: np.ndarray) -> np.ndarray:
+        _check_shapes(pred, target)
+        diff = pred - target
+        clipped = np.clip(diff, -self.delta, self.delta)
+        return clipped / pred.size
+
+
+_REGISTRY = {cls.name: cls for cls in (MSELoss, MAELoss, HuberLoss)}
+
+#: Names accepted by :func:`make_loss`.
+LOSS_NAMES = tuple(sorted(_REGISTRY))
+
+
+def make_loss(name: str) -> Loss:
+    """Construct a loss by name."""
+    try:
+        return _REGISTRY[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown loss {name!r}; choose from {LOSS_NAMES}"
+        ) from None

@@ -1,0 +1,64 @@
+"""Evaluation metrics for the predictor."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["mse", "mae", "r2_score", "class_accuracy", "confusion_counts"]
+
+
+def _pair(pred: np.ndarray, target: np.ndarray):
+    pred = np.asarray(pred, dtype=float).ravel()
+    target = np.asarray(target, dtype=float).ravel()
+    if pred.shape != target.shape:
+        raise ValueError("prediction/target length mismatch")
+    if pred.size == 0:
+        raise ValueError("metric evaluated on empty arrays")
+    return pred, target
+
+
+def mse(pred: np.ndarray, target: np.ndarray) -> float:
+    """Mean squared error."""
+    pred, target = _pair(pred, target)
+    return float(np.mean((pred - target) ** 2))
+
+
+def mae(pred: np.ndarray, target: np.ndarray) -> float:
+    """Mean absolute error."""
+    pred, target = _pair(pred, target)
+    return float(np.mean(np.abs(pred - target)))
+
+
+def r2_score(pred: np.ndarray, target: np.ndarray) -> float:
+    """Coefficient of determination; 0.0 for constant targets with error."""
+    pred, target = _pair(pred, target)
+    ss_res = float(np.sum((target - pred) ** 2))
+    ss_tot = float(np.sum((target - target.mean()) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def class_accuracy(pred_classes: np.ndarray, target_classes: np.ndarray) -> float:
+    """Fraction of exactly matching class predictions."""
+    pred, target = _pair(pred_classes, target_classes)
+    return float(np.mean(pred == target))
+
+
+def confusion_counts(
+    pred_classes: np.ndarray,
+    target_classes: np.ndarray,
+    classes: Sequence[float],
+) -> np.ndarray:
+    """Confusion matrix ``counts[true_index, pred_index]``."""
+    pred, target = _pair(pred_classes, target_classes)
+    classes_arr = np.asarray(sorted(classes), dtype=float)
+    index = {value: i for i, value in enumerate(classes_arr)}
+    counts = np.zeros((len(classes_arr), len(classes_arr)), dtype=int)
+    for t, p in zip(target, pred):
+        if t not in index or p not in index:
+            raise ValueError(f"value outside class set: true={t}, pred={p}")
+        counts[index[t], index[p]] += 1
+    return counts

@@ -1,0 +1,82 @@
+"""k-nearest-neighbour regression.
+
+The paper's future work includes "evaluating different machine learning
+techniques"; its related work (Chen et al.) schedules by Euclidean
+distance in a feature space — which is exactly 1-NN.  This module
+provides a from-scratch k-NN regressor with the same fit/predict surface
+as the bagged MLP so the predictor-comparison ablation can swap models.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["KNNRegressor"]
+
+
+class KNNRegressor:
+    """Distance-weighted k-nearest-neighbour regression.
+
+    Parameters
+    ----------
+    k:
+        Neighbour count.
+    weights:
+        ``"uniform"`` averages the k neighbours; ``"distance"`` weights
+        each by inverse distance (an exact-match neighbour dominates).
+    """
+
+    def __init__(self, k: int = 5, weights: str = "distance") -> None:
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        if weights not in ("uniform", "distance"):
+            raise ValueError(f"unknown weighting {weights!r}")
+        self.k = k
+        self.weights = weights
+        self._x: Optional[np.ndarray] = None
+        self._y: Optional[np.ndarray] = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "KNNRegressor":
+        """Memorise the training set."""
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        y = np.asarray(y, dtype=float).ravel()
+        if x.shape[0] != y.shape[0]:
+            raise ValueError("x and y row counts differ")
+        if x.shape[0] == 0:
+            raise ValueError("empty training set")
+        self._x = x
+        self._y = y
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predict targets for a query matrix, shape ``(n,)``."""
+        if self._x is None:
+            raise RuntimeError("predict() called before fit()")
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        if x.shape[1] != self._x.shape[1]:
+            raise ValueError(
+                f"expected {self._x.shape[1]} features, got {x.shape[1]}"
+            )
+        k = min(self.k, self._x.shape[0])
+        # Squared Euclidean distances, vectorised: (n_query, n_train).
+        d2 = (
+            (x * x).sum(axis=1)[:, None]
+            - 2.0 * x @ self._x.T
+            + (self._x * self._x).sum(axis=1)[None, :]
+        )
+        np.maximum(d2, 0.0, out=d2)
+        neighbour_idx = np.argpartition(d2, k - 1, axis=1)[:, :k]
+        rows = np.arange(x.shape[0])[:, None]
+        neighbour_d = np.sqrt(d2[rows, neighbour_idx])
+        neighbour_y = self._y[neighbour_idx]
+        if self.weights == "uniform":
+            return neighbour_y.mean(axis=1)
+        w = 1.0 / (neighbour_d + 1e-12)
+        return (neighbour_y * w).sum(axis=1) / w.sum(axis=1)
+
+    @property
+    def n_samples(self) -> int:
+        """Size of the memorised training set (0 before fit)."""
+        return 0 if self._x is None else self._x.shape[0]

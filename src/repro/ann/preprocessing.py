@@ -1,0 +1,80 @@
+"""Feature preprocessing.
+
+Hardware counters span wildly different magnitudes (instruction counts in
+the tens of thousands next to miss rates below one), so the networks
+train on standardised features.  :class:`StandardScaler` is the usual
+fit-on-train / apply-everywhere z-score transform;
+:func:`snap_to_classes` converts the regressor's continuous output back
+to a legal cache size.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = ["StandardScaler", "snap_to_classes", "log_transform"]
+
+
+class StandardScaler:
+    """Per-feature z-score normalisation with degenerate-feature guard."""
+
+    def __init__(self) -> None:
+        self.mean_: Optional[np.ndarray] = None
+        self.scale_: Optional[np.ndarray] = None
+
+    def fit(self, x: np.ndarray) -> "StandardScaler":
+        """Estimate mean/std per column; constant columns get scale 1."""
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        if x.shape[0] == 0:
+            raise ValueError("cannot fit a scaler on an empty matrix")
+        self.mean_ = x.mean(axis=0)
+        std = x.std(axis=0)
+        std[std == 0.0] = 1.0
+        self.scale_ = std
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        """Apply the fitted transform."""
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("scaler used before fit()")
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        if x.shape[1] != self.mean_.shape[0]:
+            raise ValueError(
+                f"expected {self.mean_.shape[0]} features, got {x.shape[1]}"
+            )
+        return (x - self.mean_) / self.scale_
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        """Fit then transform in one call."""
+        return self.fit(x).transform(x)
+
+    def inverse_transform(self, x: np.ndarray) -> np.ndarray:
+        """Undo the transform."""
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("scaler used before fit()")
+        return np.atleast_2d(np.asarray(x, dtype=float)) * self.scale_ + self.mean_
+
+
+def log_transform(x: np.ndarray) -> np.ndarray:
+    """``log1p`` compression for heavy-tailed count features."""
+    x = np.asarray(x, dtype=float)
+    if (x < 0).any():
+        raise ValueError("log_transform requires non-negative features")
+    return np.log1p(x)
+
+
+def snap_to_classes(values: np.ndarray, classes: Sequence[float]) -> np.ndarray:
+    """Map each continuous value to the nearest legal class value.
+
+    Used to turn the regressor's continuous cache-size prediction into
+    one of the design space's sizes {2, 4, 8} (in log2 space the caller's
+    choice).  Ties resolve toward the smaller class.
+    """
+    if len(classes) == 0:
+        raise ValueError("need at least one class")
+    values = np.asarray(values, dtype=float)
+    classes_arr = np.sort(np.asarray(classes, dtype=float))
+    distances = np.abs(values[..., None] - classes_arr)
+    return classes_arr[np.argmin(distances, axis=-1)]

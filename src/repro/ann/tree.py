@@ -1,0 +1,195 @@
+"""CART regression tree (and a tiny random forest).
+
+Second alternative model for the paper's "different machine learning
+techniques" future work.  A from-scratch binary regression tree with
+variance-reduction splits, plus a bagged forest reusing the same
+bootstrap scheme as the MLP ensemble.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["DecisionTreeRegressor", "RandomForestRegressor"]
+
+
+@dataclass
+class _Node:
+    """One tree node; leaves have ``feature is None``."""
+
+    value: float
+    feature: Optional[int] = None
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature is None
+
+
+class DecisionTreeRegressor:
+    """Binary regression tree minimising within-leaf variance.
+
+    Parameters
+    ----------
+    max_depth:
+        Depth bound (a root-only tree has depth 0).
+    min_samples_leaf:
+        A split is rejected if either side would fall below this.
+    """
+
+    def __init__(self, max_depth: int = 8, min_samples_leaf: int = 2) -> None:
+        if max_depth < 0:
+            raise ValueError("max_depth must be non-negative")
+        if min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be at least 1")
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self._root: Optional[_Node] = None
+        self._n_features = 0
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "DecisionTreeRegressor":
+        """Grow the tree on the training data."""
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        y = np.asarray(y, dtype=float).ravel()
+        if x.shape[0] != y.shape[0]:
+            raise ValueError("x and y row counts differ")
+        if x.shape[0] == 0:
+            raise ValueError("empty training set")
+        self._n_features = x.shape[1]
+        self._root = self._grow(x, y, depth=0)
+        return self
+
+    def _grow(self, x: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        node = _Node(value=float(y.mean()))
+        if depth >= self.max_depth or len(y) < 2 * self.min_samples_leaf:
+            return node
+        if np.allclose(y, y[0]):
+            return node
+        feature, threshold = self._best_split(x, y)
+        if feature is None:
+            return node
+        mask = x[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._grow(x[mask], y[mask], depth + 1)
+        node.right = self._grow(x[~mask], y[~mask], depth + 1)
+        return node
+
+    def _best_split(self, x: np.ndarray, y: np.ndarray):
+        """Exhaustive variance-reduction split search."""
+        n = len(y)
+        best_score = np.inf
+        best = (None, 0.0)
+        for feature in range(x.shape[1]):
+            order = np.argsort(x[:, feature], kind="stable")
+            xs = x[order, feature]
+            ys = y[order]
+            # Prefix sums give left/right SSE in O(n) per feature:
+            # SSE = sum(y^2) - (sum(y))^2 / n.
+            csum = np.cumsum(ys)
+            csum2 = np.cumsum(ys * ys)
+            total = csum[-1]
+            total2 = csum2[-1]
+            for i in range(self.min_samples_leaf - 1,
+                           n - self.min_samples_leaf):
+                if xs[i] == xs[i + 1]:
+                    continue  # cannot split between equal values
+                n_left = i + 1
+                n_right = n - n_left
+                sse_left = csum2[i] - csum[i] ** 2 / n_left
+                sse_right = (total2 - csum2[i]) - (total - csum[i]) ** 2 / n_right
+                score = sse_left + sse_right
+                if score < best_score:
+                    best_score = score
+                    best = (feature, float((xs[i] + xs[i + 1]) / 2.0))
+        return best
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predict targets for a query matrix, shape ``(n,)``."""
+        if self._root is None:
+            raise RuntimeError("predict() called before fit()")
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        if x.shape[1] != self._n_features:
+            raise ValueError(
+                f"expected {self._n_features} features, got {x.shape[1]}"
+            )
+        out = np.empty(x.shape[0])
+        for i, row in enumerate(x):
+            node = self._root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.value
+        return out
+
+    @property
+    def depth(self) -> int:
+        """Actual depth of the grown tree (0 = root only)."""
+        def walk(node: Optional[_Node]) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        if self._root is None:
+            return 0
+        return walk(self._root)
+
+    @property
+    def leaf_count(self) -> int:
+        """Number of leaves."""
+        def walk(node: Optional[_Node]) -> int:
+            if node is None:
+                return 0
+            if node.is_leaf:
+                return 1
+            return walk(node.left) + walk(node.right)
+
+        return walk(self._root)
+
+
+class RandomForestRegressor:
+    """Bagged trees with per-tree bootstrap resamples."""
+
+    def __init__(
+        self,
+        n_trees: int = 20,
+        max_depth: int = 8,
+        min_samples_leaf: int = 2,
+        seed: int = 0,
+    ) -> None:
+        if n_trees <= 0:
+            raise ValueError("n_trees must be positive")
+        self.n_trees = n_trees
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.seed = seed
+        self.trees: List[DecisionTreeRegressor] = []
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "RandomForestRegressor":
+        """Fit every tree on its own bootstrap resample."""
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        y = np.asarray(y, dtype=float).ravel()
+        if x.shape[0] == 0:
+            raise ValueError("empty training set")
+        self.trees = []
+        n = x.shape[0]
+        for i in range(self.n_trees):
+            rng = np.random.default_rng(self.seed + i)
+            idx = rng.integers(0, n, size=n)
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+            )
+            tree.fit(x[idx], y[idx])
+            self.trees.append(tree)
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Mean of tree predictions."""
+        if not self.trees:
+            raise RuntimeError("predict() called before fit()")
+        return np.mean([tree.predict(x) for tree in self.trees], axis=0)

@@ -1,0 +1,178 @@
+"""Cache configuration descriptions and the paper's design space (Table 1).
+
+A :class:`CacheConfig` fully describes one L1 configuration: total size,
+associativity and line size.  The paper's design space subsets the total
+size per core (Core 1 = 2 KB, Core 2 = 4 KB, Cores 3/4 = 8 KB) and allows
+associativity and line size to be tuned at run time on every core.
+
+Table 1 of the paper enumerates 18 configurations::
+
+    2KB_1W_{16,32,64}B
+    4KB_{1,2}W_{16,32,64}B
+    8KB_{1,2,4}W_{16,32,64}B
+
+Note that the associativity range grows with the size: a 2 KB cache is
+direct-mapped only, a 4 KB cache supports 1- and 2-way, and an 8 KB cache
+supports 1-, 2- and 4-way.  This keeps the number of sets at least
+``2 KB / 64 B / 4 = 8`` everywhere and matches the paper's count of 18
+configurations ("a minimum of three configurations and a maximum of nine
+configurations, out of 18").
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+__all__ = [
+    "CacheConfig",
+    "BASE_CONFIG",
+    "CACHE_SIZES_KB",
+    "LINE_SIZES_B",
+    "associativities_for_size",
+    "design_space",
+    "configs_for_size",
+    "DESIGN_SPACE",
+]
+
+#: Cache sizes available across the heterogeneous system, in kilobytes.
+CACHE_SIZES_KB: Tuple[int, ...] = (2, 4, 8)
+
+#: Line sizes tunable on every core, in bytes.
+LINE_SIZES_B: Tuple[int, ...] = (16, 32, 64)
+
+_CONFIG_NAME_RE = re.compile(r"^(\d+)KB_(\d+)W_(\d+)B$")
+
+
+def associativities_for_size(size_kb: int) -> Tuple[int, ...]:
+    """Return the tunable associativities for a given cache size.
+
+    Follows Table 1 of the paper: 2 KB caches are direct-mapped, 4 KB
+    caches support up to 2 ways and 8 KB caches up to 4 ways.
+
+    >>> associativities_for_size(8)
+    (1, 2, 4)
+    """
+    if size_kb == 2:
+        return (1,)
+    if size_kb == 4:
+        return (1, 2)
+    if size_kb == 8:
+        return (1, 2, 4)
+    raise ValueError(f"size_kb must be one of {CACHE_SIZES_KB}, got {size_kb}")
+
+
+@dataclass(frozen=True, order=True)
+class CacheConfig:
+    """One point in the cache configuration design space.
+
+    Attributes
+    ----------
+    size_kb:
+        Total cache capacity in kilobytes.
+    assoc:
+        Associativity in number of ways (1 = direct mapped).
+    line_b:
+        Line (block) size in bytes.
+    """
+
+    size_kb: int
+    assoc: int
+    line_b: int
+
+    def __post_init__(self) -> None:
+        if self.size_kb <= 0:
+            raise ValueError(f"size_kb must be positive, got {self.size_kb}")
+        if self.assoc <= 0:
+            raise ValueError(f"assoc must be positive, got {self.assoc}")
+        if self.line_b <= 0:
+            raise ValueError(f"line_b must be positive, got {self.line_b}")
+        if self.line_b & (self.line_b - 1):
+            raise ValueError(f"line_b must be a power of two, got {self.line_b}")
+        if self.size_bytes % (self.assoc * self.line_b):
+            raise ValueError(
+                f"{self.size_kb}KB cache cannot be organised as "
+                f"{self.assoc}-way with {self.line_b}B lines"
+            )
+
+    @property
+    def size_bytes(self) -> int:
+        """Total capacity in bytes."""
+        return self.size_kb * 1024
+
+    @property
+    def num_lines(self) -> int:
+        """Total number of cache lines."""
+        return self.size_bytes // self.line_b
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets (lines divided by ways)."""
+        return self.num_lines // self.assoc
+
+    @property
+    def name(self) -> str:
+        """Canonical name in the paper's ``<size>KB_<ways>W_<line>B`` form."""
+        return f"{self.size_kb}KB_{self.assoc}W_{self.line_b}B"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+    @classmethod
+    def from_name(cls, name: str) -> "CacheConfig":
+        """Parse a canonical ``8KB_4W_64B``-style name.
+
+        >>> CacheConfig.from_name("8KB_4W_64B")
+        CacheConfig(size_kb=8, assoc=4, line_b=64)
+        """
+        match = _CONFIG_NAME_RE.match(name)
+        if match is None:
+            raise ValueError(f"not a valid cache configuration name: {name!r}")
+        size_kb, assoc, line_b = (int(g) for g in match.groups())
+        return cls(size_kb=size_kb, assoc=assoc, line_b=line_b)
+
+    def in_design_space(self) -> bool:
+        """Whether this configuration is one of the paper's 18 (Table 1)."""
+        return (
+            self.size_kb in CACHE_SIZES_KB
+            and self.line_b in LINE_SIZES_B
+            and self.assoc in associativities_for_size(self.size_kb)
+        )
+
+
+#: The base configuration used for profiling on Core 4 (Section III).
+BASE_CONFIG = CacheConfig(size_kb=8, assoc=4, line_b=64)
+
+
+def design_space(
+    sizes_kb: Sequence[int] = CACHE_SIZES_KB,
+    line_sizes_b: Sequence[int] = LINE_SIZES_B,
+) -> Iterator[CacheConfig]:
+    """Yield the full configuration design space (Table 1), smallest first.
+
+    Ordered by (size, associativity, line size) ascending, the order the
+    tuning heuristic prefers ("explored from the smallest to the largest
+    value to minimise cache flushing").
+    """
+    for size_kb in sorted(sizes_kb):
+        for assoc in associativities_for_size(size_kb):
+            for line_b in sorted(line_sizes_b):
+                yield CacheConfig(size_kb=size_kb, assoc=assoc, line_b=line_b)
+
+
+def configs_for_size(size_kb: int) -> List[CacheConfig]:
+    """All configurations a core with the given fixed cache size offers.
+
+    Associativity and line size are the per-core tunable parameters; the
+    size is fixed per core (Section III).
+    """
+    return [
+        CacheConfig(size_kb=size_kb, assoc=assoc, line_b=line_b)
+        for assoc in associativities_for_size(size_kb)
+        for line_b in LINE_SIZES_B
+    ]
+
+
+#: The complete 18-configuration design space of Table 1, as a tuple.
+DESIGN_SPACE: Tuple[CacheConfig, ...] = tuple(design_space())

@@ -1,0 +1,235 @@
+"""Replacement policies for set-associative caches.
+
+Each policy manages victim selection *within one set*.  The cache model
+instantiates one policy object per set so policies may keep per-set state
+(LRU ordering, FIFO insertion order, PLRU tree bits).
+
+All policies implement the small :class:`ReplacementPolicy` interface:
+
+``touch(way)``
+    called on every hit (and after a fill) with the way that was accessed,
+``victim(occupied)``
+    called on a miss in a full set; returns the way index to evict,
+``reset()``
+    called when the set is flushed.
+
+Policies are deterministic given their construction arguments; the random
+policy takes an explicit seed.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Callable, Dict, Sequence
+
+__all__ = [
+    "ReplacementPolicy",
+    "LRUPolicy",
+    "FIFOPolicy",
+    "RandomPolicy",
+    "PLRUPolicy",
+    "make_policy",
+    "POLICY_NAMES",
+]
+
+
+class ReplacementPolicy(ABC):
+    """Victim selection strategy for one cache set."""
+
+    def __init__(self, num_ways: int) -> None:
+        if num_ways <= 0:
+            raise ValueError(f"num_ways must be positive, got {num_ways}")
+        self.num_ways = num_ways
+
+    @abstractmethod
+    def touch(self, way: int) -> None:
+        """Notify the policy that ``way`` was accessed (hit or fill)."""
+
+    @abstractmethod
+    def victim(self, occupied: Sequence[int]) -> int:
+        """Return the way to evict from a full set.
+
+        ``occupied`` lists all way indices currently holding valid lines;
+        for a full set this is ``range(num_ways)``.
+        """
+
+    @abstractmethod
+    def reset(self) -> None:
+        """Forget all history (set flushed)."""
+
+    def _check_way(self, way: int) -> None:
+        if not 0 <= way < self.num_ways:
+            raise ValueError(f"way {way} out of range [0, {self.num_ways})")
+
+
+class LRUPolicy(ReplacementPolicy):
+    """True least-recently-used replacement.
+
+    Maintains a recency list; the victim is the least recently touched
+    occupied way.  This is the default policy — embedded L1 caches of the
+    sizes in the paper's design space (1-4 ways) commonly implement true
+    LRU.
+    """
+
+    def __init__(self, num_ways: int) -> None:
+        super().__init__(num_ways)
+        # Most-recent last.  Ways not in the list were never touched and
+        # are treated as older than everything in the list.
+        self._order: list = []
+
+    def touch(self, way: int) -> None:
+        self._check_way(way)
+        if way in self._order:
+            self._order.remove(way)
+        self._order.append(way)
+
+    def victim(self, occupied: Sequence[int]) -> int:
+        occupied_set = set(occupied)
+        # Oldest touched way that is occupied; untouched occupied ways
+        # (possible after a reset) are the oldest of all.
+        for way in occupied:
+            if way not in self._order:
+                return way
+        for way in self._order:
+            if way in occupied_set:
+                return way
+        raise ValueError("victim() called with no occupied ways")
+
+    def reset(self) -> None:
+        self._order.clear()
+
+
+class FIFOPolicy(ReplacementPolicy):
+    """First-in first-out replacement: evict the oldest *filled* line."""
+
+    def __init__(self, num_ways: int) -> None:
+        super().__init__(num_ways)
+        self._queue: list = []
+
+    def touch(self, way: int) -> None:
+        self._check_way(way)
+        # FIFO only tracks insertion order: a hit does not reorder, but a
+        # fill of a way not currently queued appends it.
+        if way not in self._queue:
+            self._queue.append(way)
+
+    def victim(self, occupied: Sequence[int]) -> int:
+        occupied_set = set(occupied)
+        for way in occupied:
+            if way not in self._queue:
+                return way
+        for way in self._queue:
+            if way in occupied_set:
+                self._queue.remove(way)
+                return way
+        raise ValueError("victim() called with no occupied ways")
+
+    def reset(self) -> None:
+        self._queue.clear()
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Uniform random replacement with an explicit seed for determinism."""
+
+    def __init__(self, num_ways: int, seed: int = 0) -> None:
+        super().__init__(num_ways)
+        self._rng = random.Random(seed)
+        self._seed = seed
+
+    def touch(self, way: int) -> None:
+        self._check_way(way)
+
+    def victim(self, occupied: Sequence[int]) -> int:
+        if not occupied:
+            raise ValueError("victim() called with no occupied ways")
+        return self._rng.choice(list(occupied))
+
+    def reset(self) -> None:
+        self._rng = random.Random(self._seed)
+
+
+class PLRUPolicy(ReplacementPolicy):
+    """Tree-based pseudo-LRU for power-of-two associativities.
+
+    Uses the classic binary-tree bit encoding: each internal node bit
+    points *away* from the most recently used half.  For 1- and 2-way sets
+    this degenerates to true LRU; for 4-way it is the standard
+    hardware-friendly approximation.
+    """
+
+    def __init__(self, num_ways: int) -> None:
+        super().__init__(num_ways)
+        if num_ways & (num_ways - 1):
+            raise ValueError(f"PLRU requires power-of-two ways, got {num_ways}")
+        self._bits: Dict[int, int] = {}  # node index -> bit
+
+    def touch(self, way: int) -> None:
+        self._check_way(way)
+        node = 1
+        span = self.num_ways
+        offset = 0
+        while span > 1:
+            half = span // 2
+            goes_right = way >= offset + half
+            # Point the bit away from the touched half.
+            self._bits[node] = 0 if goes_right else 1
+            node = node * 2 + (1 if goes_right else 0)
+            if goes_right:
+                offset += half
+            span = half
+
+    def victim(self, occupied: Sequence[int]) -> int:
+        occupied_set = set(occupied)
+        if not occupied_set:
+            raise ValueError("victim() called with no occupied ways")
+        # Prefer an unoccupied way only if the set is not full (the cache
+        # model normally handles that case itself).
+        if len(occupied_set) < self.num_ways:
+            for way in range(self.num_ways):
+                if way not in occupied_set:
+                    return way
+        node = 1
+        span = self.num_ways
+        offset = 0
+        while span > 1:
+            half = span // 2
+            bit = self._bits.get(node, 0)
+            if bit:  # points right
+                node = node * 2 + 1
+                offset += half
+            else:
+                node = node * 2
+            span = half
+        return offset
+
+    def reset(self) -> None:
+        self._bits.clear()
+
+
+_FACTORIES: Dict[str, Callable[..., ReplacementPolicy]] = {
+    "lru": LRUPolicy,
+    "fifo": FIFOPolicy,
+    "random": RandomPolicy,
+    "plru": PLRUPolicy,
+}
+
+#: Names accepted by :func:`make_policy`.
+POLICY_NAMES = tuple(sorted(_FACTORIES))
+
+
+def make_policy(name: str, num_ways: int, seed: int = 0) -> ReplacementPolicy:
+    """Construct a replacement policy by name.
+
+    ``seed`` is only used by the random policy; it is accepted (and
+    ignored) for the others so callers can pass it unconditionally.
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown replacement policy {name!r}; choose from {POLICY_NAMES}"
+        ) from None
+    if name == "random":
+        return factory(num_ways, seed=seed)
+    return factory(num_ways)

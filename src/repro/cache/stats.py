@@ -1,0 +1,103 @@
+"""Cache access statistics.
+
+:class:`CacheStats` is the mutable counter block every cache model updates
+and the immutable summary downstream consumers (energy model,
+characterisation store, ANN features) read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CacheStats"]
+
+
+@dataclass
+class CacheStats:
+    """Counters for one cache over one workload execution.
+
+    All counts are event counts, not rates; derived rates are exposed as
+    properties so they always stay consistent with the raw counters.
+    """
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    read_accesses: int = 0
+    write_accesses: int = 0
+    read_misses: int = 0
+    write_misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+    fills: int = 0
+    #: Number of lines invalidated by flushes (reconfiguration).
+    flushed_lines: int = 0
+    #: Compulsory (cold) misses: first-ever reference to a line address.
+    compulsory_misses: int = 0
+
+    def record_hit(self, *, is_write: bool) -> None:
+        """Record one hit."""
+        self.accesses += 1
+        self.hits += 1
+        if is_write:
+            self.write_accesses += 1
+        else:
+            self.read_accesses += 1
+
+    def record_miss(self, *, is_write: bool, compulsory: bool = False) -> None:
+        """Record one miss (the subsequent fill is counted separately)."""
+        self.accesses += 1
+        self.misses += 1
+        if is_write:
+            self.write_accesses += 1
+            self.write_misses += 1
+        else:
+            self.read_accesses += 1
+            self.read_misses += 1
+        if compulsory:
+            self.compulsory_misses += 1
+
+    @property
+    def miss_rate(self) -> float:
+        """Misses per access; 0.0 when there were no accesses."""
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits per access; 0.0 when there were no accesses."""
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        """Return a new :class:`CacheStats` with both counter sets summed."""
+        merged = CacheStats()
+        for name in vars(self):
+            setattr(merged, name, getattr(self, name) + getattr(other, name))
+        return merged
+
+    def copy(self) -> "CacheStats":
+        """Return an independent copy of the counters."""
+        fresh = CacheStats()
+        for name in vars(self):
+            setattr(fresh, name, getattr(self, name))
+        return fresh
+
+    def validate(self) -> None:
+        """Raise :class:`ValueError` if the counters are inconsistent."""
+        if self.hits + self.misses != self.accesses:
+            raise ValueError(
+                f"hits ({self.hits}) + misses ({self.misses}) != "
+                f"accesses ({self.accesses})"
+            )
+        if self.read_accesses + self.write_accesses != self.accesses:
+            raise ValueError("read + write accesses do not sum to accesses")
+        if self.read_misses + self.write_misses != self.misses:
+            raise ValueError("read + write misses do not sum to misses")
+        if self.compulsory_misses > self.misses:
+            raise ValueError("compulsory misses exceed total misses")
+        for name, value in vars(self).items():
+            if value < 0:
+                raise ValueError(f"negative counter {name}={value}")

@@ -1,0 +1,115 @@
+"""Cache tuner hardware model.
+
+Each core in the paper's architecture (its Figure 1) contains a *cache
+tuner*: a small hardware block that changes the L1's associativity and
+line size between application executions.  Reconfiguration is not free —
+the cache must be flushed (dirty lines written back, all lines refetched
+on demand afterwards) and the tuner itself consumes energy and cycles.
+
+The tuner model here charges a fixed per-line flush cost plus a constant
+control overhead, which is the granularity the paper's energy accounting
+needs ("explored from the smallest to the largest value to minimise cache
+flushing").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .config import CacheConfig
+
+__all__ = ["TunerCostModel", "ReconfigurationCost", "CacheTuner"]
+
+
+@dataclass(frozen=True)
+class ReconfigurationCost:
+    """Cycles and energy charged for one reconfiguration."""
+
+    cycles: int
+    energy_nj: float
+
+    ZERO: "ReconfigurationCost" = None  # filled in after class creation
+
+
+ReconfigurationCost.ZERO = ReconfigurationCost(cycles=0, energy_nj=0.0)
+
+
+@dataclass(frozen=True)
+class TunerCostModel:
+    """Cost parameters for the tuner.
+
+    Attributes
+    ----------
+    flush_cycles_per_line:
+        Cycles to invalidate (and potentially write back) one line.
+    control_cycles:
+        Fixed cycles for the tuner state machine per reconfiguration.
+    flush_energy_per_line_nj:
+        Energy per flushed line in nanojoules.
+    control_energy_nj:
+        Fixed tuner energy per reconfiguration in nanojoules.
+    """
+
+    flush_cycles_per_line: int = 1
+    control_cycles: int = 100
+    flush_energy_per_line_nj: float = 0.02
+    control_energy_nj: float = 5.0
+
+    def cost(self, old: CacheConfig, new: CacheConfig) -> ReconfigurationCost:
+        """Cost of switching ``old`` → ``new``.
+
+        A no-op reconfiguration is free.  Otherwise every line of the old
+        configuration is flushed.
+        """
+        if old == new:
+            return ReconfigurationCost.ZERO
+        lines = old.num_lines
+        return ReconfigurationCost(
+            cycles=self.control_cycles + self.flush_cycles_per_line * lines,
+            energy_nj=self.control_energy_nj
+            + self.flush_energy_per_line_nj * lines,
+        )
+
+
+class CacheTuner:
+    """Tracks a core's current L1 configuration and reconfiguration costs.
+
+    The size is fixed per core (Section III); only associativity and line
+    size may change.
+    """
+
+    def __init__(
+        self,
+        initial: CacheConfig,
+        cost_model: TunerCostModel = TunerCostModel(),
+    ) -> None:
+        self._current = initial
+        self._size_kb = initial.size_kb
+        self._cost_model = cost_model
+        self.reconfigurations = 0
+        self.total_cycles = 0
+        self.total_energy_nj = 0.0
+
+    @property
+    def current(self) -> CacheConfig:
+        """The currently installed configuration."""
+        return self._current
+
+    def reconfigure(self, new: CacheConfig) -> ReconfigurationCost:
+        """Switch to ``new``; returns the cost charged.
+
+        Raises :class:`ValueError` if ``new`` changes the cache size,
+        which is not tunable at run time.
+        """
+        if new.size_kb != self._size_kb:
+            raise ValueError(
+                f"cache size is fixed per core: cannot switch "
+                f"{self._current.name} -> {new.name}"
+            )
+        cost = self._cost_model.cost(self._current, new)
+        if cost.cycles or cost.energy_nj:
+            self.reconfigurations += 1
+            self.total_cycles += cost.cycles
+            self.total_energy_nj += cost.energy_nj
+        self._current = new
+        return cost

@@ -1,0 +1,29 @@
+"""Characterisation substrate: per-(benchmark, configuration) cache and
+energy measurements (the SimpleScalar role), a persistent store, and the
+ANN dataset builder.
+"""
+
+from .dataset import Dataset, DatasetSplit, build_dataset, expand_suite
+from .explorer import (
+    BenchmarkCharacterization,
+    ConfigResult,
+    characterize_benchmark,
+    characterize_suite,
+)
+from .store import CharacterizationStore
+from .sweep import SweepPoint, sweep_instructions, sweep_working_set
+
+__all__ = [
+    "BenchmarkCharacterization",
+    "CharacterizationStore",
+    "SweepPoint",
+    "ConfigResult",
+    "Dataset",
+    "DatasetSplit",
+    "build_dataset",
+    "characterize_benchmark",
+    "characterize_suite",
+    "expand_suite",
+    "sweep_instructions",
+    "sweep_working_set",
+]

@@ -1,0 +1,159 @@
+"""Persistent characterisation store.
+
+Characterising a large suite (especially the ANN dataset's benchmark
+variants) is the expensive part of the reproduction, so the results can
+be saved to and loaded from JSON.  The store is the single source the
+scheduler simulation and the ANN dataset builder read from.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Union
+
+from repro.cache.config import CacheConfig
+from repro.cache.stats import CacheStats
+from repro.energy.model import EnergyBreakdown, ExecutionEstimate
+from repro.workloads.counters import HardwareCounters
+
+from .explorer import BenchmarkCharacterization, ConfigResult
+
+__all__ = ["CharacterizationStore"]
+
+
+def _stats_to_dict(stats: CacheStats) -> dict:
+    return dict(vars(stats))
+
+
+def _stats_from_dict(data: Mapping) -> CacheStats:
+    return CacheStats(**data)
+
+
+def _estimate_to_dict(estimate: ExecutionEstimate) -> dict:
+    return {
+        "config": estimate.config.name,
+        "instructions": estimate.instructions,
+        "total_cycles": estimate.total_cycles,
+        "miss_cycles": estimate.miss_cycles,
+        "static_nj": estimate.energy.static_nj,
+        "dynamic_nj": estimate.energy.dynamic_nj,
+    }
+
+
+def _estimate_from_dict(data: Mapping) -> ExecutionEstimate:
+    return ExecutionEstimate(
+        config=CacheConfig.from_name(data["config"]),
+        instructions=data["instructions"],
+        total_cycles=data["total_cycles"],
+        miss_cycles=data["miss_cycles"],
+        energy=EnergyBreakdown(
+            static_nj=data["static_nj"], dynamic_nj=data["dynamic_nj"]
+        ),
+    )
+
+
+class CharacterizationStore:
+    """Mapping of benchmark name → :class:`BenchmarkCharacterization`."""
+
+    def __init__(
+        self,
+        characterizations: Optional[
+            Mapping[str, BenchmarkCharacterization]
+        ] = None,
+    ) -> None:
+        self._data: Dict[str, BenchmarkCharacterization] = dict(
+            characterizations or {}
+        )
+
+    # -- mapping interface ------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __iter__(self):
+        return iter(self._data)
+
+    def names(self) -> Sequence[str]:
+        """All benchmark names in insertion order."""
+        return list(self._data)
+
+    def add(self, characterization: BenchmarkCharacterization) -> None:
+        """Insert one characterisation (replacing any previous one)."""
+        self._data[characterization.benchmark] = characterization
+
+    def get(self, name: str) -> BenchmarkCharacterization:
+        """Characterisation for one benchmark."""
+        try:
+            return self._data[name]
+        except KeyError:
+            raise KeyError(f"benchmark {name!r} not in store") from None
+
+    # -- convenience lookups used by the scheduler -------------------------
+
+    def estimate(self, name: str, config: CacheConfig) -> ExecutionEstimate:
+        """Cycles/energy of ``name`` under ``config``."""
+        return self.get(name).result(config).estimate
+
+    def best_config(self, name: str) -> CacheConfig:
+        """True lowest-energy configuration of a benchmark."""
+        return self.get(name).best_config()
+
+    def best_size_kb(self, name: str) -> int:
+        """Cache size of the benchmark's true best configuration."""
+        return self.get(name).best_size_kb()
+
+    def counters(self, name: str) -> HardwareCounters:
+        """Base-configuration profiling counters of a benchmark."""
+        return self.get(name).counters
+
+    # -- persistence -------------------------------------------------------
+
+    def to_json(self, path: Union[str, Path]) -> None:
+        """Serialise the whole store to a JSON file."""
+        blob = {}
+        for name, char in self._data.items():
+            blob[name] = {
+                "counters": asdict(char.counters),
+                "results": {
+                    config.name: {
+                        "stats": _stats_to_dict(result.stats),
+                        "estimate": _estimate_to_dict(result.estimate),
+                    }
+                    for config, result in char.results.items()
+                },
+            }
+        Path(path).write_text(json.dumps(blob))
+
+    @classmethod
+    def from_json(cls, path: Union[str, Path]) -> "CharacterizationStore":
+        """Load a store previously saved with :meth:`to_json`."""
+        blob = json.loads(Path(path).read_text())
+        store = cls()
+        for name, entry in blob.items():
+            results = {}
+            for config_name, payload in entry["results"].items():
+                config = CacheConfig.from_name(config_name)
+                results[config] = ConfigResult(
+                    config=config,
+                    stats=_stats_from_dict(payload["stats"]),
+                    estimate=_estimate_from_dict(payload["estimate"]),
+                )
+            store.add(
+                BenchmarkCharacterization(
+                    benchmark=name,
+                    counters=HardwareCounters(**entry["counters"]),
+                    results=results,
+                )
+            )
+        return store
+
+    def subset(self, names: Iterable[str]) -> "CharacterizationStore":
+        """A new store restricted to the given benchmark names."""
+        return CharacterizationStore(
+            {name: self.get(name) for name in names}
+        )

@@ -1,0 +1,285 @@
+"""Command-line interface.
+
+``python -m repro <command>`` drives the reproduction without writing
+any code:
+
+* ``compare`` — the four-system evaluation (Figures 6 and 7), with
+  optional CSV/JSON export;
+* ``characterize`` — the per-benchmark design-space table (Table 1);
+* ``train`` — train and evaluate the bagged-ANN predictor;
+* ``suite`` — list the synthetic EEMBC-analogue benchmarks;
+* ``locality`` — miss-ratio curve / working set / reuse distances;
+* ``reproduce`` — regenerate the full evaluation into ``results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import (
+    format_table,
+    render_figure6,
+    render_figure7,
+    render_result_summary,
+)
+from repro.analysis.export import results_to_csv, results_to_json
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Dynamic Scheduling on Heterogeneous "
+            "Multicores' (DATE 2019)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compare = sub.add_parser(
+        "compare", help="run the four-system comparison (Figures 6 & 7)"
+    )
+    compare.add_argument("--jobs", type=int, default=1000,
+                         help="number of arrivals (paper: 5000)")
+    compare.add_argument("--seed", type=int, default=1)
+    compare.add_argument("--interarrival", type=int, default=56_000,
+                         help="mean inter-arrival gap in cycles")
+    compare.add_argument("--predictor", choices=("ann", "oracle"),
+                         default="ann")
+    compare.add_argument("--discipline", choices=("fifo", "priority", "edf"),
+                         default="fifo")
+    compare.add_argument("--csv", metavar="PATH",
+                         help="write per-system summary CSV")
+    compare.add_argument("--json", metavar="PATH",
+                         help="write full results JSON")
+    compare.add_argument("--summaries", action="store_true",
+                         help="print per-system summaries too")
+
+    characterize = sub.add_parser(
+        "characterize", help="design-space table for one benchmark"
+    )
+    characterize.add_argument("benchmark", help="benchmark name")
+
+    train = sub.add_parser(
+        "train", help="train and evaluate the bagged-ANN predictor"
+    )
+    train.add_argument("--variants", type=int, default=12,
+                       help="jittered variants per benchmark family")
+    train.add_argument("--members", type=int, default=10,
+                       help="bagging ensemble size (paper: 30)")
+    train.add_argument("--epochs", type=int, default=200)
+    train.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("suite", help="list the synthetic benchmark suite")
+
+    locality = sub.add_parser(
+        "locality", help="locality analysis for one benchmark"
+    )
+    locality.add_argument("benchmark", help="benchmark name")
+    locality.add_argument("--line", type=int, default=32,
+                          help="line size in bytes for the analysis")
+    locality.add_argument("--window", type=int, default=2000,
+                          help="working-set window in accesses")
+
+    reproduce = sub.add_parser(
+        "reproduce",
+        help="regenerate the full evaluation into a results directory",
+    )
+    reproduce.add_argument("--out", default="results",
+                           help="output directory (default: results)")
+    reproduce.add_argument("--jobs", type=int, default=5000)
+    reproduce.add_argument("--seed", type=int, default=1)
+    return parser
+
+
+def _cmd_compare(args) -> int:
+    from repro.core.simulation import SchedulerSimulation
+    from repro.core.policies import POLICY_NAMES, make_policy
+    from repro.core.system import base_system, paper_system
+    from repro.experiment import default_predictor, default_store
+    from repro.workloads import eembc_suite, uniform_arrivals
+
+    store = default_store()
+    predictor = default_predictor(
+        store, kind=args.predictor, seed=args.seed
+    )
+    arrivals = uniform_arrivals(
+        eembc_suite(), count=args.jobs, seed=args.seed,
+        mean_interarrival_cycles=args.interarrival,
+    )
+    results = {}
+    for name in POLICY_NAMES:
+        policy = make_policy(name)
+        system = base_system() if name == "base" else paper_system()
+        sim = SchedulerSimulation(
+            system, policy, store,
+            predictor=predictor if policy.uses_predictor else None,
+            discipline=args.discipline,
+        )
+        results[name] = sim.run(arrivals)
+
+    print(render_figure6(results))
+    print()
+    print(render_figure7(results))
+    if args.summaries:
+        for result in results.values():
+            print()
+            print(render_result_summary(result))
+    if args.csv:
+        results_to_csv(results, args.csv)
+        print(f"\nwrote summary CSV to {args.csv}")
+    if args.json:
+        results_to_json(results, args.json)
+        print(f"wrote results JSON to {args.json}")
+    return 0
+
+
+def _cmd_characterize(args) -> int:
+    from repro.characterization import characterize_benchmark
+    from repro.workloads import eembc_benchmark
+
+    try:
+        spec = eembc_benchmark(args.benchmark)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    char = characterize_benchmark(spec)
+    best = char.best_config()
+    print(f"{spec.name}: {spec.description}")
+    rows = []
+    for config in char.configs():
+        result = char.result(config)
+        rows.append((
+            config.name + (" *" if config == best else ""),
+            f"{result.stats.miss_rate * 100:.2f}%",
+            result.total_cycles,
+            f"{result.total_energy_nj / 1e3:.1f}",
+        ))
+    print(format_table(
+        ("config (* = best)", "miss rate", "cycles", "total uJ"), rows
+    ))
+    return 0
+
+
+def _cmd_train(args) -> int:
+    import numpy as np
+
+    from repro.ann.metrics import class_accuracy
+    from repro.ann.training import TrainingConfig
+    from repro.core.predictor import AnnPredictor
+    from repro.experiment import default_dataset
+    from repro.workloads import eembc_suite
+
+    dataset, store = default_dataset(args.variants, seed=args.seed)
+    split = dataset.split(seed=args.seed, by_family=False)
+    predictor = AnnPredictor(n_members=args.members, seed=args.seed)
+    predictor.fit(
+        split.train, val_dataset=split.val,
+        config=TrainingConfig(epochs=args.epochs, seed=args.seed),
+    )
+    test_pred = predictor.predict_sizes_kb(split.test.features)
+    accuracy = class_accuracy(test_pred, split.test.labels_kb)
+    degradations = []
+    for spec in eembc_suite():
+        char = store.get(spec.name)
+        predicted = predictor.predict_size_kb(spec.name, char.counters)
+        degradations.append(
+            char.energy_degradation(char.best_config_for_size(predicted))
+        )
+    print(f"dataset: {len(dataset)} samples "
+          f"({args.variants} variants/family)")
+    print(f"test accuracy: {accuracy:.3f}")
+    print(f"mean energy degradation: {np.mean(degradations) * 100:.2f}% "
+          f"(paper: < 2%)")
+    return 0
+
+
+def _cmd_locality(args) -> int:
+    from repro.cache import CACHE_SIZES_KB
+    from repro.workloads import (
+        eembc_benchmark,
+        miss_ratio_curve,
+        reuse_distance_histogram,
+        working_set_curve,
+    )
+
+    try:
+        spec = eembc_benchmark(args.benchmark)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    trace = spec.generate_trace(seed=0)
+    curve = miss_ratio_curve(trace.addresses, line_b=args.line)
+    ws = working_set_curve(trace.addresses, window=args.window,
+                           line_b=args.line)
+    histogram = reuse_distance_histogram(trace.addresses, line_b=args.line)
+    total = sum(histogram.values())
+
+    print(f"{spec.name}: {len(trace)} references, "
+          f"{trace.unique_lines_64b} distinct 64B lines")
+    rows = []
+    for size_kb in CACHE_SIZES_KB:
+        capacity = size_kb * 1024 // args.line
+        captured = sum(
+            count for distance, count in histogram.items()
+            if 0 <= distance < capacity
+        )
+        rows.append((
+            f"{size_kb} KB",
+            f"{curve[size_kb] * 100:.2f}%",
+            f"{captured / total * 100:.1f}%",
+        ))
+    print(format_table(
+        ("cache size", "measured miss ratio",
+         "reuse mass within capacity"),
+        rows,
+    ))
+    peak = max(d for _, d in ws)
+    print(f"peak working set: ~{peak * args.line / 1024:.1f} KB "
+          f"per {args.window}-access window")
+    return 0
+
+
+def _cmd_reproduce(args) -> int:
+    from repro.reporting import write_report
+
+    write_report(args.out, n_jobs=args.jobs, seed=args.seed)
+    return 0
+
+
+def _cmd_suite(args) -> int:
+    from repro.workloads import eembc_suite
+
+    rows = [
+        (spec.name, spec.instructions,
+         f"~{spec.trace_mix.footprint_bytes // 1024} KB", spec.description)
+        for spec in eembc_suite()
+    ]
+    print(format_table(
+        ("benchmark", "instructions", "footprint", "models"), rows
+    ))
+    return 0
+
+
+_COMMANDS = {
+    "compare": _cmd_compare,
+    "characterize": _cmd_characterize,
+    "train": _cmd_train,
+    "suite": _cmd_suite,
+    "locality": _cmd_locality,
+    "reproduce": _cmd_reproduce,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

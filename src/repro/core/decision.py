@@ -1,0 +1,95 @@
+"""The energy-advantageous scheduling decision (paper §IV.E).
+
+When an application *B*'s best core *C1* is busy and an idle non-best
+core *C2* exists whose best configuration for *B* is known, the scheduler
+compares two futures:
+
+* **stall** — *B* waits for *C1*: the system pays the remainder of the
+  occupant's execution on *C1* (common to both futures), the idle energy
+  *C2* leaks over that wait, and then *B*'s energy on *C1*;
+* **run on C2** — *B* executes immediately in *C2*'s best-known
+  configuration.
+
+The paper's inequality (with the common occupant term appearing on both
+sides) reduces to::
+
+    stall advantageous  ⇔  E_B(C1) + IdleEnergy_C2(wait) ≤ E_B(C2)
+
+The wait is the occupant's remaining cycles; the paper estimates the
+occupant's remaining energy as remaining cycles × average energy per
+cycle — exposed here as :func:`remaining_energy_nj` because the full
+(uncancelled) comparison is also reported for analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.profiling import ExecutionRecord
+
+__all__ = ["StallDecision", "remaining_energy_nj", "evaluate_stall_decision"]
+
+
+def remaining_energy_nj(record: ExecutionRecord, remaining_cycles: int) -> float:
+    """Occupant's remaining-energy estimate (§IV.E).
+
+    "The remaining energy consumption can be estimated by multiplying
+    this remaining number of cycles by the average energy consumption
+    per cycle."
+    """
+    if remaining_cycles < 0:
+        raise ValueError("remaining_cycles must be non-negative")
+    return record.energy_per_cycle_nj * remaining_cycles
+
+
+@dataclass(frozen=True)
+class StallDecision:
+    """Outcome of one energy-advantageous evaluation."""
+
+    #: True → stall for the best core; False → run on the non-best core.
+    stall: bool
+    stall_energy_nj: float
+    run_energy_nj: float
+
+    @property
+    def margin_nj(self) -> float:
+        """run − stall; positive when stalling saves energy."""
+        return self.run_energy_nj - self.stall_energy_nj
+
+
+def evaluate_stall_decision(
+    *,
+    best_core_energy_nj: float,
+    non_best_energy_nj: float,
+    wait_cycles: int,
+    idle_power_non_best_nj_per_cycle: float,
+) -> StallDecision:
+    """Apply the (reduced) §IV.E inequality.
+
+    Parameters
+    ----------
+    best_core_energy_nj:
+        E of *B* executing its best-known configuration on the best core.
+    non_best_energy_nj:
+        E of *B* executing its best-known configuration on the idle
+        non-best core.
+    wait_cycles:
+        Remaining cycles of the best core's current occupant.
+    idle_power_non_best_nj_per_cycle:
+        Static (idle) energy per cycle of the non-best core.
+
+    Ties favour stalling: equal energy with strictly better placement
+    keeps the best core's configuration advantage for future arrivals.
+    """
+    if wait_cycles < 0:
+        raise ValueError("wait_cycles must be non-negative")
+    if idle_power_non_best_nj_per_cycle < 0:
+        raise ValueError("idle power must be non-negative")
+    stall_energy = (
+        best_core_energy_nj + wait_cycles * idle_power_non_best_nj_per_cycle
+    )
+    return StallDecision(
+        stall=stall_energy <= non_best_energy_nj,
+        stall_energy_nj=stall_energy,
+        run_energy_nj=non_best_energy_nj,
+    )

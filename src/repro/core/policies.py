@@ -1,0 +1,248 @@
+"""The four evaluated scheduling systems (paper §V).
+
+* :class:`BasePolicy` — the *base system*: every core runs the fixed
+  base configuration; no profiling, no ANN, no tuning; jobs go to any
+  idle core FIFO.
+* :class:`OptimalPolicy` — the *optimal system*: heterogeneous cores,
+  profiling, **no** ANN; each benchmark is physically executed in every
+  configuration (exhaustive design-space exploration spread across its
+  executions); never stalls — the best core is used when idle, otherwise
+  any idle core with that core's best-known configuration.
+* :class:`EnergyCentricPolicy` — the *energy-centric system*: profiling
+  + ANN prediction; jobs are scheduled **only** to the predicted best
+  core and always stall when it is busy, even with other cores idle.
+* :class:`ProposedPolicy` — the paper's system: profiling + ANN + the
+  tuning heuristic + the §IV.E energy-advantageous stall-vs-non-best
+  decision.
+
+Each policy sees the simulation through a narrow read interface (the
+``sim`` argument of :meth:`SchedulingPolicy.choose`) and returns an
+:class:`~repro.core.scheduler.Assignment` or ``None`` to leave the job
+in the ready queue.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Optional, Tuple
+
+from repro.cache.config import CacheConfig
+from repro.core.decision import evaluate_stall_decision
+from repro.core.scheduler import Assignment, CoreState, Job
+
+__all__ = [
+    "SchedulingPolicy",
+    "BasePolicy",
+    "OptimalPolicy",
+    "EnergyCentricPolicy",
+    "ProposedPolicy",
+    "POLICY_NAMES",
+    "make_policy",
+]
+
+
+class SchedulingPolicy(ABC):
+    """Dispatch rule for one of the evaluated systems."""
+
+    #: Display name (matches the paper's system names).
+    name: str = "policy"
+    #: Whether unprofiled jobs must first run on a profiling core.
+    requires_profiling: bool = False
+    #: Whether the ANN predictor is consulted after profiling.
+    uses_predictor: bool = False
+
+    @abstractmethod
+    def choose(self, job: Job, sim) -> Optional[Assignment]:
+        """Pick a core+configuration for ``job``, or ``None`` to wait.
+
+        ``sim`` is the running simulation
+        (:class:`repro.core.simulation.SchedulerSimulation`); policies
+        only read from it.
+        """
+
+    # -- shared helpers ------------------------------------------------------
+
+    @staticmethod
+    def _idle_cores(sim) -> List[CoreState]:
+        return [c for c in sim.cores if c.is_idle(sim.now)]
+
+
+class BasePolicy(SchedulingPolicy):
+    """Homogeneous fixed-configuration baseline (no specialisation)."""
+
+    name = "base"
+    requires_profiling = False
+    uses_predictor = False
+
+    def choose(self, job: Job, sim) -> Optional[Assignment]:
+        for core in self._idle_cores(sim):
+            return Assignment(core_index=core.index, config=core.current_config)
+        return None
+
+
+class OptimalPolicy(SchedulingPolicy):
+    """Exhaustive-exploration system; never stalls.
+
+    Every execution of a not-yet-fully-explored benchmark physically
+    runs one unexplored configuration of the scheduled core (smallest
+    first), so the benchmark's true best configuration eventually becomes
+    known on every core.  Once everything is explored the benchmark runs
+    its best configuration on its best core when idle, and the scheduled
+    core's best configuration otherwise.
+    """
+
+    name = "optimal"
+    requires_profiling = True
+    uses_predictor = False
+
+    def choose(self, job: Job, sim) -> Optional[Assignment]:
+        idle = self._idle_cores(sim)
+        if not idle:
+            return None
+        profile = sim.table.profile(job.benchmark)
+
+        # Prefer finishing exploration: any idle core with unexplored
+        # configurations runs the next one.
+        for core in idle:
+            unexplored = [
+                c for c in core.spec.configs if c not in profile.executions
+            ]
+            if unexplored:
+                return Assignment(
+                    core_index=core.index,
+                    config=min(unexplored),
+                    tuning=True,
+                )
+
+        # The idle cores are fully explored: run the best core's best
+        # configuration if it is among them, else the best idle option.
+        def best_energy(core: CoreState) -> Tuple[float, int]:
+            config = profile.best_known_config(core.size_kb)
+            return (profile.executions[config].total_energy_nj, core.index)
+
+        core = min(idle, key=best_energy)
+        return Assignment(
+            core_index=core.index,
+            config=profile.best_known_config(core.size_kb),
+        )
+
+
+class EnergyCentricPolicy(SchedulingPolicy):
+    """ANN-guided system that always stalls for the predicted best core."""
+
+    name = "energy_centric"
+    requires_profiling = True
+    uses_predictor = True
+
+    def choose(self, job: Job, sim) -> Optional[Assignment]:
+        size_kb = sim.predicted_size_kb(job)
+        for core in self._idle_cores(sim):
+            if core.size_kb != size_kb:
+                continue
+            return Assignment(
+                core_index=core.index,
+                config=sim.tuning_config(job, core),
+                tuning=not sim.heuristic.session(job.benchmark, core.size_kb).done,
+            )
+        return None
+
+
+class ProposedPolicy(SchedulingPolicy):
+    """The paper's scheduler (its Figure 2 flow)."""
+
+    name = "proposed"
+    requires_profiling = True
+    uses_predictor = True
+
+    def choose(self, job: Job, sim) -> Optional[Assignment]:
+        size_kb = sim.predicted_size_kb(job)
+
+        # Best core idle → schedule there (tuning if still exploring).
+        for core in self._idle_cores(sim):
+            if core.size_kb == size_kb:
+                return Assignment(
+                    core_index=core.index,
+                    config=sim.tuning_config(job, core),
+                    tuning=not sim.heuristic.session(
+                        job.benchmark, core.size_kb
+                    ).done,
+                )
+
+        idle = [c for c in self._idle_cores(sim) if c.size_kb != size_kb]
+        if not idle:
+            return None
+
+        # Unknown best configuration on some idle core → not enough
+        # information for the energy comparison; explore there ("the
+        # application is scheduled to an arbitrary idle core").
+        for core in idle:
+            session = sim.heuristic.session(job.benchmark, core.size_kb)
+            if not session.done:
+                return Assignment(
+                    core_index=core.index,
+                    config=session.next_config(),
+                    tuning=True,
+                )
+
+        # All idle cores tuned.  The comparison also needs the best
+        # core's energy; without it the job stalls conservatively.
+        best_session = sim.heuristic.session(job.benchmark, size_kb)
+        if not best_session.done:
+            sim.count_stall_decision()
+            return None
+        best_record = sim.table.execution(
+            job.benchmark, best_session.best_config
+        )
+
+        def run_energy(core: CoreState) -> Tuple[float, int]:
+            config = sim.heuristic.session(
+                job.benchmark, core.size_kb
+            ).best_config
+            return (
+                sim.table.execution(job.benchmark, config).total_energy_nj,
+                core.index,
+            )
+
+        candidate = min(idle, key=run_energy)
+        candidate_config = sim.heuristic.session(
+            job.benchmark, candidate.size_kb
+        ).best_config
+        wait_cycles = min(
+            core.remaining_cycles(sim.now)
+            for core in sim.cores
+            if core.size_kb == size_kb
+        )
+        decision = evaluate_stall_decision(
+            best_core_energy_nj=best_record.total_energy_nj,
+            non_best_energy_nj=sim.table.execution(
+                job.benchmark, candidate_config
+            ).total_energy_nj,
+            wait_cycles=wait_cycles,
+            idle_power_non_best_nj_per_cycle=sim.idle_power_nj_per_cycle(
+                candidate
+            ),
+        )
+        if decision.stall:
+            sim.count_stall_decision()
+            return None
+        sim.count_non_best_decision()
+        return Assignment(core_index=candidate.index, config=candidate_config)
+
+
+_POLICIES = {
+    cls.name: cls
+    for cls in (BasePolicy, OptimalPolicy, EnergyCentricPolicy, ProposedPolicy)
+}
+
+#: Names accepted by :func:`make_policy`.
+POLICY_NAMES = tuple(_POLICIES)
+
+
+def make_policy(name: str) -> SchedulingPolicy:
+    """Construct one of the four evaluated policies by name."""
+    try:
+        return _POLICIES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {name!r}; choose from {POLICY_NAMES}"
+        ) from None

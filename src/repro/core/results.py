@@ -1,0 +1,209 @@
+"""Simulation result containers and derived metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+__all__ = ["JobRecord", "BenchmarkStats", "SimulationResult"]
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """Lifecycle of one job through the scheduler."""
+
+    job_id: int
+    benchmark: str
+    arrival_cycle: int
+    start_cycle: int
+    completion_cycle: int
+    core_index: int
+    config_name: str
+    #: Whether this execution was the job's profiling run.
+    profiled: bool
+    #: Whether this execution was a tuning-heuristic exploration step.
+    tuning: bool
+    energy_nj: float
+    #: Static priority (0 in the paper's plain-FIFO evaluation).
+    priority: int = 0
+    #: Absolute completion deadline, if the job carried one.
+    deadline_cycle: Optional[int] = None
+    #: Times the job was preempted before completing.
+    preemptions: int = 0
+
+    def __post_init__(self) -> None:
+        if not (
+            self.arrival_cycle <= self.start_cycle <= self.completion_cycle
+        ):
+            raise ValueError(
+                "job cycles must satisfy arrival <= start <= completion"
+            )
+
+    @property
+    def met_deadline(self) -> Optional[bool]:
+        """Whether the deadline was met; None when the job had none."""
+        if self.deadline_cycle is None:
+            return None
+        return self.completion_cycle <= self.deadline_cycle
+
+    @property
+    def waiting_cycles(self) -> int:
+        """Cycles spent in the ready queue."""
+        return self.start_cycle - self.arrival_cycle
+
+    @property
+    def service_cycles(self) -> int:
+        """Cycles spent executing (including any reconfiguration)."""
+        return self.completion_cycle - self.start_cycle
+
+    @property
+    def turnaround_cycles(self) -> int:
+        """Arrival-to-completion latency."""
+        return self.completion_cycle - self.arrival_cycle
+
+
+@dataclass(frozen=True)
+class BenchmarkStats:
+    """Aggregated per-benchmark outcome of one run."""
+
+    benchmark: str
+    jobs: int
+    mean_energy_nj: float
+    mean_waiting_cycles: float
+    mean_turnaround_cycles: float
+    cores_used: tuple
+    configs_used: tuple
+    deadline_misses: int
+    preemptions: int
+
+
+@dataclass
+class SimulationResult:
+    """Aggregate outcome of one scheduler simulation run."""
+
+    policy: str
+    jobs_completed: int
+    makespan_cycles: int
+    #: Static energy of idle cores (the paper's "idle energy").
+    idle_energy_nj: float
+    #: Dynamic cache/memory energy of all executions, plus
+    #: reconfiguration and profiling overheads.
+    dynamic_energy_nj: float
+    #: Static energy of cores while executing.
+    busy_static_energy_nj: float
+    reconfig_energy_nj: float
+    profiling_overhead_nj: float
+    #: Cycles spent reconfiguring caches.
+    reconfig_cycles: int
+    #: Number of stall decisions taken (proposed policy).
+    stall_decisions: int
+    #: Number of run-on-non-best decisions taken (proposed policy).
+    non_best_decisions: int
+    #: Executions that were tuning-heuristic exploration steps.
+    tuning_executions: int
+    #: Executions that were profiling runs.
+    profiling_executions: int
+    #: Preemptions performed (0 under non-preemptive scheduling).
+    preemption_count: int = 0
+    #: Per-core busy cycles (index → cycles occupied by executions).
+    core_busy_cycles: Dict[int, int] = field(default_factory=dict)
+    #: Per-benchmark count of configurations explored (tuning efficiency).
+    exploration_counts: Dict[str, int] = field(default_factory=dict)
+    #: Predicted best size per benchmark (empty for non-ANN policies).
+    predictions_kb: Dict[str, int] = field(default_factory=dict)
+    #: Per-job records, completion order.
+    jobs: list = field(default_factory=list)
+
+    @property
+    def total_energy_nj(self) -> float:
+        """System energy: idle + busy static + dynamic (incl. overheads)."""
+        return (
+            self.idle_energy_nj
+            + self.busy_static_energy_nj
+            + self.dynamic_energy_nj
+        )
+
+    @property
+    def mean_waiting_cycles(self) -> float:
+        """Mean ready-queue waiting time across jobs."""
+        if not self.jobs:
+            return 0.0
+        return sum(j.waiting_cycles for j in self.jobs) / len(self.jobs)
+
+    @property
+    def mean_turnaround_cycles(self) -> float:
+        """Mean arrival-to-completion latency across jobs."""
+        if not self.jobs:
+            return 0.0
+        return sum(j.turnaround_cycles for j in self.jobs) / len(self.jobs)
+
+    @property
+    def deadline_jobs(self) -> int:
+        """Number of completed jobs that carried a deadline."""
+        return sum(1 for j in self.jobs if j.deadline_cycle is not None)
+
+    @property
+    def deadline_misses(self) -> int:
+        """Deadline-carrying jobs that completed after their deadline."""
+        return sum(1 for j in self.jobs if j.met_deadline is False)
+
+    @property
+    def deadline_miss_rate(self) -> float:
+        """Misses per deadline-carrying job; 0.0 when none had one."""
+        if self.deadline_jobs == 0:
+            return 0.0
+        return self.deadline_misses / self.deadline_jobs
+
+    @property
+    def core_utilizations(self) -> Dict[int, float]:
+        """Per-core busy fraction of the makespan (empty if unrecorded)."""
+        if self.makespan_cycles == 0:
+            return {core: 0.0 for core in self.core_busy_cycles}
+        return {
+            core: busy / self.makespan_cycles
+            for core, busy in self.core_busy_cycles.items()
+        }
+
+    def per_benchmark_stats(self) -> Dict[str, BenchmarkStats]:
+        """Aggregate the per-job records by benchmark.
+
+        The structured counterpart of
+        :func:`repro.analysis.render_benchmark_breakdown` for
+        programmatic use.
+        """
+        grouped: Dict[str, list] = {}
+        for record in self.jobs:
+            grouped.setdefault(record.benchmark, []).append(record)
+        stats: Dict[str, BenchmarkStats] = {}
+        for benchmark, records in grouped.items():
+            n = len(records)
+            stats[benchmark] = BenchmarkStats(
+                benchmark=benchmark,
+                jobs=n,
+                mean_energy_nj=sum(r.energy_nj for r in records) / n,
+                mean_waiting_cycles=sum(r.waiting_cycles for r in records) / n,
+                mean_turnaround_cycles=(
+                    sum(r.turnaround_cycles for r in records) / n
+                ),
+                cores_used=tuple(sorted({r.core_index for r in records})),
+                configs_used=tuple(sorted({r.config_name for r in records})),
+                deadline_misses=sum(
+                    1 for r in records if r.met_deadline is False
+                ),
+                preemptions=sum(r.preemptions for r in records),
+            )
+        return stats
+
+    def normalized_to(self, baseline: "SimulationResult") -> Dict[str, float]:
+        """Energy/performance ratios against another run (paper Figs 6/7)."""
+        def ratio(mine: float, theirs: float) -> float:
+            return mine / theirs if theirs else float("nan")
+
+        return {
+            "idle_energy": ratio(self.idle_energy_nj, baseline.idle_energy_nj),
+            "dynamic_energy": ratio(
+                self.dynamic_energy_nj, baseline.dynamic_energy_nj
+            ),
+            "total_energy": ratio(self.total_energy_nj, baseline.total_energy_nj),
+            "cycles": ratio(self.makespan_cycles, baseline.makespan_cycles),
+        }

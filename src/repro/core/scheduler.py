@@ -1,0 +1,181 @@
+"""Scheduler runtime types shared by the policies and the simulation.
+
+* :class:`Job` — one arrived benchmark instance.
+* :class:`CoreState` — a core's run-time state (tuner, occupancy,
+  accounting).
+* :class:`Assignment` — a policy's dispatch decision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cache.config import CacheConfig
+from repro.cache.tuner import CacheTuner, TunerCostModel
+from repro.core.system import CoreSpec
+
+__all__ = ["Job", "CoreState", "Assignment"]
+
+
+@dataclass
+class Job:
+    """One benchmark instance travelling through the system.
+
+    ``priority`` and ``deadline_cycle`` support the paper's future-work
+    extension ("considering systems with preemption, priority, and
+    deadlines"); with the defaults the job behaves exactly as in the
+    paper's FIFO evaluation.
+    """
+
+    job_id: int
+    benchmark: str
+    arrival_cycle: int
+    #: Static priority; larger is more urgent (0 = the paper's default).
+    priority: int = 0
+    #: Absolute completion deadline in cycles, if any.
+    deadline_cycle: Optional[int] = None
+    start_cycle: Optional[int] = None
+    completion_cycle: Optional[int] = None
+    #: Fraction of the execution still to run (1.0 = not yet started;
+    #: decreases when the job is preempted mid-execution).
+    remaining_fraction: float = 1.0
+    #: How many times this job has been preempted.
+    preemptions: int = 0
+
+    def __post_init__(self) -> None:
+        if self.job_id < 0:
+            raise ValueError("job_id must be non-negative")
+        if self.arrival_cycle < 0:
+            raise ValueError("arrival_cycle must be non-negative")
+        if (
+            self.deadline_cycle is not None
+            and self.deadline_cycle < self.arrival_cycle
+        ):
+            raise ValueError("deadline cannot precede the arrival")
+
+    @property
+    def started(self) -> bool:
+        """Whether the job has been dispatched to a core."""
+        return self.start_cycle is not None
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """A policy's decision: run a job on a core in a configuration.
+
+    Attributes
+    ----------
+    core_index:
+        Target core.
+    config:
+        L1 configuration to execute with (the tuner installs it first if
+        it differs from the core's current configuration).
+    profiling:
+        True when this execution is the job's profiling run.
+    tuning:
+        True when this execution is a tuning-heuristic exploration step.
+    """
+
+    core_index: int
+    config: CacheConfig
+    profiling: bool = False
+    tuning: bool = False
+
+
+class CoreState:
+    """Run-time state of one core inside the simulation."""
+
+    def __init__(
+        self,
+        spec: CoreSpec,
+        tuner_costs: TunerCostModel = TunerCostModel(),
+    ) -> None:
+        self.spec = spec
+        self.tuner = CacheTuner(spec.reset_config, tuner_costs)
+        self.current_job: Optional[Job] = None
+        self.busy_until = 0
+        self.busy_cycles = 0
+        self.executions = 0
+        #: Start time of the in-flight execution (for preemption).
+        self.run_started_at = 0
+        #: Increments on every begin/preempt; completion events carry the
+        #: epoch they were scheduled under so stale ones are ignored.
+        self.epoch = 0
+
+    @property
+    def index(self) -> int:
+        """Core index (zero-based)."""
+        return self.spec.index
+
+    @property
+    def size_kb(self) -> int:
+        """Fixed cache size of the core."""
+        return self.spec.cache_size_kb
+
+    @property
+    def current_config(self) -> CacheConfig:
+        """Currently installed L1 configuration."""
+        return self.tuner.current
+
+    def is_idle(self, now: int) -> bool:
+        """Whether the core can accept a job at time ``now``."""
+        return self.current_job is None
+
+    def begin(self, job: Job, now: int, service_cycles: int) -> None:
+        """Occupy the core with a job for ``service_cycles``."""
+        if self.current_job is not None:
+            raise RuntimeError(
+                f"{self.spec.name} is busy with job {self.current_job.job_id}"
+            )
+        if service_cycles <= 0:
+            raise ValueError("service_cycles must be positive")
+        self.current_job = job
+        self.run_started_at = now
+        self.busy_until = now + service_cycles
+        self.busy_cycles += service_cycles
+        self.executions += 1
+        self.epoch += 1
+
+    def finish(self, now: int) -> Job:
+        """Release the core; returns the job that just completed."""
+        if self.current_job is None:
+            raise RuntimeError(f"{self.spec.name} has no job to finish")
+        if now != self.busy_until:
+            raise RuntimeError(
+                f"{self.spec.name} finishing at {now}, expected {self.busy_until}"
+            )
+        job = self.current_job
+        self.current_job = None
+        return job
+
+    def remaining_cycles(self, now: int) -> int:
+        """Cycles until the current occupant completes (0 when idle)."""
+        if self.current_job is None:
+            return 0
+        return max(0, self.busy_until - now)
+
+    def preempt(self, now: int) -> tuple:
+        """Halt the in-flight execution; returns ``(job, fraction_run)``.
+
+        ``fraction_run`` is the share of the *scheduled service* that
+        actually executed before the preemption.  Unused busy cycles are
+        refunded from the accounting and the epoch advances so the
+        core's pending completion event becomes stale.
+        """
+        if self.current_job is None:
+            raise RuntimeError(f"{self.spec.name} has no job to preempt")
+        if now >= self.busy_until:
+            raise RuntimeError(
+                f"{self.spec.name} occupant already finished at "
+                f"{self.busy_until}; cannot preempt at {now}"
+            )
+        service = self.busy_until - self.run_started_at
+        executed = now - self.run_started_at
+        fraction_run = executed / service if service else 0.0
+        self.busy_cycles -= self.busy_until - now
+        job = self.current_job
+        self.current_job = None
+        self.busy_until = now
+        self.epoch += 1
+        return job, fraction_run

@@ -1,0 +1,581 @@
+"""End-to-end scheduler simulation (the paper's MATLAB evaluation role).
+
+Drives one of the four policies over an arrival stream on a
+:class:`~repro.core.system.SystemConfig`, with every physical execution's
+cycles and energy drawn from the characterisation store.  The scheduler
+is invoked "each time a benchmark arrived or when a core became idle"
+(paper §V) — exactly the two event kinds of the engine.
+
+Energy accounting
+-----------------
+* **dynamic** — Figure 4's E(dynamic) of every execution, plus tuner
+  reconfiguration energy and profiling counter overhead;
+* **busy static** — Figure 4's E(sta) of every execution;
+* **idle** — per-core static leakage over all cycles the core spent
+  unoccupied, up to the makespan.
+
+Total system energy = idle + busy static + dynamic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.cache.config import BASE_CONFIG
+from repro.cache.tuner import TunerCostModel
+from repro.characterization.store import CharacterizationStore
+from repro.core.policies import SchedulingPolicy
+from repro.core.predictor import BestCorePredictor
+from repro.core.profiling import ProfilingTable
+from repro.core.results import JobRecord, SimulationResult
+from repro.core.scheduler import Assignment, CoreState, Job
+from repro.core.system import SystemConfig
+from repro.core.tuning import TuningHeuristic
+from repro.energy.tables import EnergyTable
+from repro.sim.engine import EventEngine
+from repro.sim.events import Event, EventKind
+from repro.sim.queueing import ReadyQueue
+from repro.workloads.arrivals import JobArrival
+
+__all__ = ["SchedulerSimulation"]
+
+
+class _PendingExecution:
+    """What a core is currently running (for completion handling)."""
+
+    __slots__ = (
+        "job",
+        "assignment",
+        "estimate",
+        "fraction_at_start",
+        "dynamic_charged_nj",
+        "static_charged_nj",
+        "overhead_charged_nj",
+    )
+
+    def __init__(
+        self,
+        job,
+        assignment,
+        estimate,
+        fraction_at_start=1.0,
+        dynamic_charged_nj=0.0,
+        static_charged_nj=0.0,
+        overhead_charged_nj=0.0,
+    ) -> None:
+        self.job = job
+        self.assignment = assignment
+        self.estimate = estimate
+        self.fraction_at_start = fraction_at_start
+        self.dynamic_charged_nj = dynamic_charged_nj
+        self.static_charged_nj = static_charged_nj
+        self.overhead_charged_nj = overhead_charged_nj
+
+
+class SchedulerSimulation:
+    """One simulation run of one policy on one system.
+
+    Parameters
+    ----------
+    system:
+        Machine description (the paper's quad-core, or any other).
+    policy:
+        Scheduling policy (one of the four evaluated systems).
+    store:
+        Characterisation of every benchmark that can arrive, on every
+        configuration any core offers (this is "physical execution"
+        ground truth).
+    predictor:
+        Best-core predictor; required when the policy uses one.
+    energy_table:
+        Per-configuration energy constants (defaults to a fresh table
+        sharing the store's energy model assumptions).
+    tuner_costs:
+        Reconfiguration cost model.
+    profiling_overhead_fraction:
+        Extra cycles/energy charged on a profiling run for reading and
+        storing the hardware counters.
+    discipline:
+        Ready-queue service order: ``fifo`` (the paper), ``priority``
+        (static priority, FIFO within a level) or ``edf`` (earliest
+        deadline first; deadline-free jobs go last).  The latter two
+        implement the paper's priority/deadline future work (§VIII).
+    preemptive:
+        With the ``priority``/``edf`` disciplines, allow a waiting job
+        to preempt a strictly less urgent running job (naive preemption:
+        the victim loses its cache state, its partial execution's energy
+        is charged pro-rata, and it re-enters the ready queue with its
+        remaining work).  Profiling runs are never preempted.  This is
+        the paper's "systems with preemption" future work.
+    preemption_quantum_cycles:
+        Minimum execution window around a preemption: a running job is
+        only eligible as a victim once it has executed this many cycles
+        *and* still has at least this many cycles left.  This models OS
+        scheduling granularity and prevents preemption storms from
+        fragmenting executions into one-cycle slivers.
+    preload_profiles:
+        §IV.B: "This profiling could be eliminated if the applications
+        were known a priori with profiling-based statistics recorded at
+        design time and this profiling information can be pre-loaded."
+        When true, every benchmark in the store arrives pre-profiled:
+        counters and the predictor's best-core prediction are installed
+        in the profiling table, and the tuning heuristic is run to
+        completion against design-time measurements, so no run-time
+        profiling or tuning executions happen.
+    """
+
+    #: Queue disciplines supported by the dispatcher.
+    DISCIPLINES = ("fifo", "priority", "edf")
+
+    def __init__(
+        self,
+        system: SystemConfig,
+        policy: SchedulingPolicy,
+        store: CharacterizationStore,
+        *,
+        predictor: Optional[BestCorePredictor] = None,
+        energy_table: Optional[EnergyTable] = None,
+        tuner_costs: TunerCostModel = TunerCostModel(),
+        profiling_overhead_fraction: float = 0.003,
+        discipline: str = "fifo",
+        preemptive: bool = False,
+        preemption_quantum_cycles: int = 10_000,
+        preload_profiles: bool = False,
+    ) -> None:
+        if policy.uses_predictor and predictor is None:
+            raise ValueError(
+                f"policy {policy.name!r} needs a predictor"
+            )
+        if profiling_overhead_fraction < 0:
+            raise ValueError("profiling_overhead_fraction must be >= 0")
+        if discipline not in self.DISCIPLINES:
+            raise ValueError(
+                f"unknown discipline {discipline!r}; "
+                f"choose from {self.DISCIPLINES}"
+            )
+        if preemptive and discipline == "fifo":
+            raise ValueError(
+                "preemption needs an urgency order; use the 'priority' "
+                "or 'edf' discipline"
+            )
+        if preemption_quantum_cycles < 0:
+            raise ValueError("preemption_quantum_cycles must be >= 0")
+        self.discipline = discipline
+        self.preemptive = preemptive
+        self.preemption_quantum_cycles = preemption_quantum_cycles
+        self._preempted_at: Dict[int, set] = {}
+        self._preemption_count = 0
+        self.system = system
+        self.policy = policy
+        self.store = store
+        self.predictor = predictor
+        self.energy_table = (
+            energy_table if energy_table is not None else EnergyTable()
+        )
+        self.profiling_overhead_fraction = profiling_overhead_fraction
+
+        self.engine = EventEngine()
+        self.queue: ReadyQueue[Job] = ReadyQueue()
+        self.cores: List[CoreState] = [
+            CoreState(spec, tuner_costs) for spec in system.cores
+        ]
+        self.table = ProfilingTable()
+        self.heuristic = TuningHeuristic()
+
+        self._pending: Dict[int, _PendingExecution] = {}
+        self._records: List[JobRecord] = []
+        self._dynamic_nj = 0.0
+        self._busy_static_nj = 0.0
+        self._reconfig_nj = 0.0
+        self._reconfig_cycles = 0
+        self._profiling_overhead_nj = 0.0
+        self._stall_decisions = 0
+        self._non_best_decisions = 0
+        self._tuning_executions = 0
+        self._profiling_executions = 0
+
+        if preload_profiles:
+            self._preload_profiles()
+
+    def _preload_profiles(self) -> None:
+        """Install design-time profiling/tuning knowledge (§IV.B)."""
+        for benchmark in self.store.names():
+            counters = self.store.counters(benchmark)
+            self.table.record_profiling(benchmark, counters)
+            if self.policy.uses_predictor:
+                size = self.predictor.predict_size_kb(benchmark, counters)
+                self.table.record_prediction(benchmark, size)
+                # Design-time tuning: run the heuristic against offline
+                # measurements for every core size the system offers.
+                for size_kb in self.system.cache_sizes_kb:
+                    session = self.heuristic.session(benchmark, size_kb)
+                    while not session.done:
+                        config = session.next_config()
+                        estimate = self.store.estimate(benchmark, config)
+                        self.table.record_execution(
+                            benchmark,
+                            config,
+                            estimate.total_energy_nj,
+                            estimate.total_cycles,
+                        )
+                        session.record(config, estimate.total_energy_nj)
+                    self.table.mark_tuned(benchmark, size_kb)
+
+    # -- read interface used by policies ------------------------------------
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in cycles."""
+        return self.engine.now
+
+    def predicted_size_kb(self, job: Job) -> int:
+        """The job's predicted best cache size, mapped onto this system."""
+        raw = self.table.predicted_size_kb(job.benchmark)
+        if raw is None:
+            raise RuntimeError(
+                f"{job.benchmark} has no prediction; profiling must precede "
+                "prediction-based scheduling"
+            )
+        return self.system.nearest_size_kb(raw)
+
+    def tuning_config(self, job: Job, core: CoreState):
+        """Configuration to run on ``core``: tuned best, or next trial."""
+        session = self.heuristic.session(job.benchmark, core.size_kb)
+        if session.done:
+            return session.best_config
+        return session.next_config()
+
+    def idle_power_nj_per_cycle(self, core: CoreState) -> float:
+        """Static leakage per cycle of a core (cache-size dependent)."""
+        return self.energy_table.get(core.current_config).static_per_cycle_nj
+
+    def count_stall_decision(self) -> None:
+        """Policy hook: an explicit stall decision was taken."""
+        self._stall_decisions += 1
+
+    def count_non_best_decision(self) -> None:
+        """Policy hook: an explicit run-on-non-best decision was taken."""
+        self._non_best_decisions += 1
+
+    # -- main loop -----------------------------------------------------------
+
+    def run(self, arrivals: Sequence[JobArrival]) -> SimulationResult:
+        """Simulate the full arrival stream to completion."""
+        if not arrivals:
+            raise ValueError("need at least one arrival")
+        for arrival in arrivals:
+            if arrival.benchmark not in self.store:
+                raise KeyError(
+                    f"benchmark {arrival.benchmark!r} missing from the "
+                    "characterisation store"
+                )
+            job = Job(
+                job_id=arrival.job_id,
+                benchmark=arrival.benchmark,
+                arrival_cycle=arrival.arrival_cycle,
+                priority=arrival.priority,
+                deadline_cycle=arrival.deadline_cycle,
+            )
+            self.engine.schedule_at(
+                arrival.arrival_cycle, EventKind.ARRIVAL, payload=job
+            )
+        self.engine.run(self._handle)
+        if self.queue:
+            raise RuntimeError(
+                f"simulation drained with {len(self.queue)} jobs still queued"
+            )
+        return self._result()
+
+    def _handle(self, event: Event) -> None:
+        if event.kind is EventKind.ARRIVAL:
+            self.queue.push(event.payload)
+        elif event.kind is EventKind.COMPLETION:
+            self._complete(event.payload)
+        else:  # pragma: no cover - no generic events are scheduled
+            raise ValueError(f"unexpected event kind {event.kind}")
+        self._dispatch()
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _queue_view(self):
+        """Queued jobs in the discipline's service order."""
+        jobs = list(self.queue)
+        if self.discipline == "priority":
+            # Stable sort: FIFO among equal priorities.
+            return sorted(jobs, key=lambda j: -j.priority)
+        if self.discipline == "edf":
+            infinity = float("inf")
+            return sorted(
+                jobs,
+                key=lambda j: (
+                    infinity if j.deadline_cycle is None else j.deadline_cycle
+                ),
+            )
+        return jobs
+
+    def _dispatch(self) -> None:
+        """Assign queued jobs until no further assignment is possible."""
+        while True:
+            assigned = False
+            if any(core.is_idle(self.now) for core in self.cores):
+                for job in self._queue_view():
+                    assignment = self._choose(job)
+                    if assignment is None:
+                        continue
+                    self.queue.remove(job)
+                    self._start(job, assignment)
+                    assigned = True
+                    break  # core states changed; rescan the queue
+            if assigned:
+                continue
+            if self.preemptive and self._try_preempt():
+                continue
+            return
+
+    # -- preemption ----------------------------------------------------------
+
+    def _urgency(self, job: Job) -> float:
+        """Larger is more urgent, per the active discipline."""
+        if self.discipline == "priority":
+            return float(job.priority)
+        # edf: earlier deadline = more urgent; deadline-free = least.
+        if job.deadline_cycle is None:
+            return float("-inf")
+        return -float(job.deadline_cycle)
+
+    def _try_preempt(self) -> bool:
+        """Preempt one strictly-less-urgent running job, if any.
+
+        A victim is preempted at most once per timestamp (bounds churn
+        when the policy then declines the freed core); profiling runs
+        are never preempted.
+        """
+        already = self._preempted_at.setdefault(self.now, set())
+        quantum = self.preemption_quantum_cycles
+        running = [
+            core for core in self.cores
+            if core.current_job is not None
+            and core.current_job.job_id not in already
+            and not self._pending[core.index].assignment.profiling
+            and core.busy_until > self.now
+            and self.now - core.run_started_at >= quantum
+            and core.busy_until - self.now >= quantum
+        ]
+        if not running:
+            return False
+        for job in self._queue_view():
+            victim_core = min(
+                running, key=lambda c: self._urgency(c.current_job)
+            )
+            if self._urgency(job) <= self._urgency(victim_core.current_job):
+                continue
+            self._preempt_core(victim_core)
+            return True
+        return False
+
+    def _preempt_core(self, core: CoreState) -> None:
+        """Halt a core's execution; requeue the victim's remaining work."""
+        pending = self._pending.pop(core.index)
+        victim, fraction_run = core.preempt(self.now)
+        self._preempted_at[self.now].add(victim.job_id)
+        self._preemption_count += 1
+        # Refund the unexecuted share of the charges made at start.
+        refund = 1.0 - fraction_run
+        self._dynamic_nj -= pending.dynamic_charged_nj * refund
+        self._busy_static_nj -= pending.static_charged_nj * refund
+        self._profiling_overhead_nj -= pending.overhead_charged_nj * refund
+        victim.remaining_fraction = (
+            pending.fraction_at_start * (1.0 - fraction_run)
+        )
+        victim.preemptions += 1
+        self.queue.push(victim)
+
+    def _choose(self, job: Job) -> Optional[Assignment]:
+        if self.policy.requires_profiling and not self.table.has_profile(
+            job.benchmark
+        ):
+            # Unprofiled job: it must first execute on a profiling core
+            # in the base configuration (primary first, §III).
+            for spec in self.system.profiling_cores:
+                core = self.cores[spec.index]
+                if core.is_idle(self.now) and spec.supports(BASE_CONFIG):
+                    return Assignment(
+                        core_index=spec.index,
+                        config=BASE_CONFIG,
+                        profiling=True,
+                    )
+            return None
+        return self.policy.choose(job, self)
+
+    def _start(self, job: Job, assignment: Assignment) -> None:
+        core = self.cores[assignment.core_index]
+        if not core.spec.supports(assignment.config):
+            raise ValueError(
+                f"{core.spec.name} cannot install {assignment.config.name}"
+            )
+        cost = core.tuner.reconfigure(assignment.config)
+        self._reconfig_nj += cost.energy_nj
+        self._reconfig_cycles += cost.cycles
+
+        estimate = self.store.estimate(job.benchmark, assignment.config)
+        # A preempted job resumes with only its remaining work; cycles
+        # and energy are charged pro-rata (the lost cache state is
+        # approximated by the cold-cache characterisation itself).
+        fraction = job.remaining_fraction
+        if not 0.0 < fraction <= 1.0:
+            raise RuntimeError(
+                f"job {job.job_id} has invalid remaining fraction {fraction}"
+            )
+        overhead_cycles = 0
+        overhead_nj = 0.0
+        if assignment.profiling:
+            overhead_cycles = int(
+                round(estimate.total_cycles * self.profiling_overhead_fraction)
+            )
+            overhead_nj = (
+                estimate.total_energy_nj * self.profiling_overhead_fraction
+            )
+            self._profiling_overhead_nj += overhead_nj
+            self._profiling_executions += 1
+        if assignment.tuning and fraction == 1.0:
+            self._tuning_executions += 1
+
+        dynamic_charge = estimate.energy.dynamic_nj * fraction
+        static_charge = estimate.energy.static_nj * fraction
+        self._dynamic_nj += dynamic_charge
+        self._busy_static_nj += static_charge
+
+        work_cycles = max(1, int(round(estimate.total_cycles * fraction)))
+        service = work_cycles + cost.cycles + overhead_cycles
+        if job.start_cycle is None:
+            job.start_cycle = self.now
+        core.begin(job, self.now, service)
+        self._pending[core.index] = _PendingExecution(
+            job,
+            assignment,
+            estimate,
+            fraction_at_start=fraction,
+            dynamic_charged_nj=dynamic_charge,
+            static_charged_nj=static_charge,
+            overhead_charged_nj=overhead_nj,
+        )
+        self.engine.schedule_at(
+            self.now + service,
+            EventKind.COMPLETION,
+            payload=(core.index, core.epoch),
+        )
+
+    # -- completion ----------------------------------------------------------
+
+    def _complete(self, payload) -> None:
+        core_index, epoch = payload
+        core = self.cores[core_index]
+        if epoch != core.epoch:
+            # Stale completion: the execution it announced was preempted.
+            return
+        pending = self._pending.pop(core_index)
+        job = core.finish(self.now)
+        if job is not pending.job:  # pragma: no cover - internal invariant
+            raise RuntimeError("completion does not match pending execution")
+        job.completion_cycle = self.now
+        job.remaining_fraction = 0.0
+
+        assignment = pending.assignment
+        estimate = pending.estimate
+        benchmark = job.benchmark
+
+        # Knowledge updates only for complete, uninterrupted executions —
+        # a resumed partial run is not a valid measurement of the
+        # configuration.
+        full_run = pending.fraction_at_start == 1.0
+        if full_run:
+            # The execution's measured energy/cycles enter the profiling
+            # table (the paper's "performance and energy consumption of
+            # any core configurations that have been explored").
+            self.table.record_execution(
+                benchmark,
+                assignment.config,
+                estimate.total_energy_nj,
+                estimate.total_cycles,
+            )
+
+        if assignment.profiling:
+            self.table.record_profiling(
+                benchmark, self.store.counters(benchmark)
+            )
+            if self.policy.uses_predictor:
+                size = self.predictor.predict_size_kb(
+                    benchmark, self.store.counters(benchmark)
+                )
+                self.table.record_prediction(benchmark, size)
+
+        if full_run and assignment.tuning and self.policy.uses_predictor:
+            session = self.heuristic.session(
+                benchmark, assignment.config.size_kb
+            )
+            if not session.done and session.next_config() == assignment.config:
+                session.record(assignment.config, estimate.total_energy_nj)
+                if session.done:
+                    self.table.mark_tuned(benchmark, assignment.config.size_kb)
+
+        self._records.append(
+            JobRecord(
+                job_id=job.job_id,
+                benchmark=benchmark,
+                arrival_cycle=job.arrival_cycle,
+                start_cycle=job.start_cycle,
+                completion_cycle=job.completion_cycle,
+                core_index=core_index,
+                config_name=assignment.config.name,
+                profiled=assignment.profiling,
+                tuning=assignment.tuning,
+                energy_nj=estimate.total_energy_nj,
+                priority=job.priority,
+                deadline_cycle=job.deadline_cycle,
+                preemptions=job.preemptions,
+            )
+        )
+
+    # -- result assembly ------------------------------------------------------
+
+    def _result(self) -> SimulationResult:
+        makespan = max((r.completion_cycle for r in self._records), default=0)
+        idle_nj = 0.0
+        for core in self.cores:
+            idle_cycles = makespan - core.busy_cycles
+            if idle_cycles < 0:  # pragma: no cover - internal invariant
+                raise RuntimeError(
+                    f"{core.spec.name} busy beyond the makespan"
+                )
+            idle_nj += idle_cycles * self.idle_power_nj_per_cycle(core)
+        predictions = {
+            name: self.table.predicted_size_kb(name)
+            for name in self.table.benchmarks()
+            if self.table.predicted_size_kb(name) is not None
+        }
+        return SimulationResult(
+            policy=self.policy.name,
+            jobs_completed=len(self._records),
+            makespan_cycles=makespan,
+            idle_energy_nj=idle_nj,
+            dynamic_energy_nj=(
+                self._dynamic_nj
+                + self._reconfig_nj
+                + self._profiling_overhead_nj
+            ),
+            busy_static_energy_nj=self._busy_static_nj,
+            reconfig_energy_nj=self._reconfig_nj,
+            profiling_overhead_nj=self._profiling_overhead_nj,
+            reconfig_cycles=self._reconfig_cycles,
+            stall_decisions=self._stall_decisions,
+            non_best_decisions=self._non_best_decisions,
+            tuning_executions=self._tuning_executions,
+            profiling_executions=self._profiling_executions,
+            preemption_count=self._preemption_count,
+            core_busy_cycles={
+                core.index: core.busy_cycles for core in self.cores
+            },
+            exploration_counts=dict(self.table.exploration_counts()),
+            predictions_kb=predictions,
+            jobs=list(self._records),
+        )

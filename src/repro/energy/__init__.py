@@ -1,0 +1,20 @@
+"""Energy substrate: CACTI-style cache energies, off-chip memory model
+and the paper's Figure 4 energy equations.
+"""
+
+from .cacti import CactiModel, CactiParameters, EnergyComponents
+from .memory import MemoryModel
+from .model import EnergyBreakdown, EnergyModel, ExecutionEstimate
+from .tables import ConfigEnergyConstants, EnergyTable
+
+__all__ = [
+    "CactiModel",
+    "CactiParameters",
+    "ConfigEnergyConstants",
+    "EnergyBreakdown",
+    "EnergyComponents",
+    "EnergyModel",
+    "EnergyTable",
+    "ExecutionEstimate",
+    "MemoryModel",
+]

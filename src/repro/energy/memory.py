@@ -1,0 +1,68 @@
+"""Off-chip memory energy and timing model.
+
+The paper estimated off-chip access energy "using a standard low-power
+Samsung memory" and assumed a main-memory fetch takes forty times longer
+than an L1 cache fetch, with memory bandwidth equal to 50 % of the miss
+penalty.  No datasheet is available offline, so this module provides a
+parameterised low-power SDRAM model with defaults of the right magnitude
+for such parts (tens of nanojoules per random access): an activation cost
+per access plus a per-byte burst transfer cost.
+
+The timing side reproduces the paper's assumptions verbatim:
+
+* ``miss_latency_cycles`` = 40 (40 × a one-cycle L1 fetch),
+* transferring each 16-byte chunk of the line costs
+  ``bandwidth_cycles_per_chunk`` = 20 cycles (50 % of the miss penalty),
+
+so a miss on a 64 B line stalls the CPU for ``40 + 4·20 = 120`` cycles,
+matching Figure 4's *Miss Cycles* equation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MemoryModel"]
+
+#: Bytes per bandwidth "chunk" in the paper's miss-cycles equation.
+CHUNK_BYTES = 16
+
+
+@dataclass(frozen=True)
+class MemoryModel:
+    """Low-power SDRAM energy/timing parameters.
+
+    Attributes
+    ----------
+    activate_energy_nj:
+        Energy of the row activation + column access for one request.
+    transfer_energy_nj_per_byte:
+        Burst transfer energy per byte moved on the bus.
+    miss_latency_cycles:
+        CPU cycles before the first chunk arrives (40 × L1 fetch).
+    bandwidth_cycles_per_chunk:
+        CPU cycles to transfer each 16-byte chunk (50 % of miss penalty).
+    """
+
+    activate_energy_nj: float = 6.0
+    transfer_energy_nj_per_byte: float = 0.125
+    miss_latency_cycles: int = 40
+    bandwidth_cycles_per_chunk: int = 20
+
+    def access_energy_nj(self, line_bytes: int) -> float:
+        """Energy of one off-chip access fetching ``line_bytes`` bytes."""
+        if line_bytes <= 0:
+            raise ValueError(f"line_bytes must be positive, got {line_bytes}")
+        return self.activate_energy_nj + self.transfer_energy_nj_per_byte * line_bytes
+
+    def miss_stall_cycles(self, line_bytes: int) -> int:
+        """CPU stall cycles for one miss fetching a ``line_bytes`` line.
+
+        Implements the per-miss form of Figure 4's equation::
+
+            miss_latency + (linesize / 16) * memory_bandwidth
+        """
+        if line_bytes <= 0:
+            raise ValueError(f"line_bytes must be positive, got {line_bytes}")
+        chunks = (line_bytes + CHUNK_BYTES - 1) // CHUNK_BYTES
+        return self.miss_latency_cycles + chunks * self.bandwidth_cycles_per_chunk

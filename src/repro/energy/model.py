@@ -1,0 +1,223 @@
+"""The paper's energy model (its Figure 4), implemented verbatim.
+
+::
+
+    E(total)   = E(sta) + E(dynamic)
+    E(dynamic) = cache_hits * E(hit) + cache_misses * E(miss)
+    E(miss)    = E(off-chip access) + miss_cycles_per_miss * E(CPU stall)
+                 + E(cache fill)
+    miss cycles = misses * miss_latency
+                  + misses * (linesize / 16) * memory_bandwidth
+    E(sta)     = total_cycles * E(static per cycle)
+    E(static per cycle) = E(per Kbyte) * cache_size_KB
+    E(per Kbyte) = E(dyn of base cache) * 10% / base_cache_size_KB
+
+The per-access energies E(hit), E(cache fill) come from the CACTI-style
+model (:mod:`repro.energy.cacti`); E(off-chip access) and the miss timing
+come from the memory model (:mod:`repro.energy.memory`).  The static
+energy follows the paper's 10 %-of-base-dynamic rule, scaled linearly
+with the cache size — so a 2 KB core leaks a quarter of an 8 KB core.
+
+Total cycles are ``instructions × CPI_base + total miss stall cycles``:
+the workload model folds hit latency into the base CPI and every miss
+stalls the (in-order, embedded) CPU for the full miss penalty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.config import BASE_CONFIG, CacheConfig
+from repro.cache.stats import CacheStats
+
+from .cacti import CactiModel
+from .memory import MemoryModel
+
+__all__ = ["EnergyModel", "EnergyBreakdown", "ExecutionEstimate"]
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy of one execution split the way the paper reports it (nJ)."""
+
+    static_nj: float
+    dynamic_nj: float
+
+    @property
+    def total_nj(self) -> float:
+        """E(total) = E(sta) + E(dynamic)."""
+        return self.static_nj + self.dynamic_nj
+
+
+@dataclass(frozen=True)
+class ExecutionEstimate:
+    """Cycles and energy of one complete application execution."""
+
+    config: CacheConfig
+    instructions: int
+    total_cycles: int
+    miss_cycles: int
+    energy: EnergyBreakdown
+
+    @property
+    def total_energy_nj(self) -> float:
+        """Convenience accessor for the total energy."""
+        return self.energy.total_nj
+
+    @property
+    def energy_per_cycle_nj(self) -> float:
+        """Average energy per cycle, used by the remaining-energy estimate
+        of the energy-advantageous decision (Section IV.E)."""
+        if self.total_cycles == 0:
+            return 0.0
+        return self.energy.total_nj / self.total_cycles
+
+
+class EnergyModel:
+    """Figure 4's equations over the CACTI and memory substrates.
+
+    Parameters
+    ----------
+    cacti:
+        Per-access cache energy model.
+    memory:
+        Off-chip energy/timing model.
+    base_config:
+        The base cache configuration anchoring the static-energy rule
+        (the paper's 8KB_4W_64B).
+    cpu_stall_energy_nj:
+        E(CPU stall) per stall cycle.
+    static_fraction:
+        The "10 %" in E(per Kbyte); exposed for ablation.
+    cpi_base:
+        Cycles per instruction of the core with a perfect cache.
+    include_writeback_energy:
+        Figure 4 models write-through caches (no writeback term).  When
+        true, E(dynamic) additionally charges one off-chip line write
+        per writeback — the refinement needed for write-back
+        characterisations (an extension beyond the paper).
+    """
+
+    def __init__(
+        self,
+        cacti: CactiModel = None,
+        memory: MemoryModel = None,
+        *,
+        base_config: CacheConfig = BASE_CONFIG,
+        cpu_stall_energy_nj: float = 0.05,
+        static_fraction: float = 0.10,
+        cpi_base: float = 1.0,
+        include_writeback_energy: bool = False,
+    ) -> None:
+        self.cacti = cacti if cacti is not None else CactiModel()
+        self.memory = memory if memory is not None else MemoryModel()
+        self.base_config = base_config
+        self.cpu_stall_energy_nj = cpu_stall_energy_nj
+        self.static_fraction = static_fraction
+        self.cpi_base = cpi_base
+        self.include_writeback_energy = include_writeback_energy
+        if cpu_stall_energy_nj < 0:
+            raise ValueError("cpu_stall_energy_nj must be non-negative")
+        if not 0 <= static_fraction <= 1:
+            raise ValueError("static_fraction must be within [0, 1]")
+        if cpi_base <= 0:
+            raise ValueError("cpi_base must be positive")
+
+    # -- Figure 4, bottom-up -------------------------------------------------
+
+    def energy_per_kbyte_nj(self) -> float:
+        """E(per Kbyte) = E(dyn of base cache) * 10% / base size in KB."""
+        base_dynamic = self.cacti.access_energy_nj(self.base_config)
+        return base_dynamic * self.static_fraction / self.base_config.size_kb
+
+    def static_per_cycle_nj(self, config: CacheConfig) -> float:
+        """E(static per cycle) = E(per Kbyte) * cache size in KB."""
+        return self.energy_per_kbyte_nj() * config.size_kb
+
+    def miss_stall_cycles_per_miss(self, config: CacheConfig) -> int:
+        """Stall cycles charged per miss (latency + line transfer)."""
+        return self.memory.miss_stall_cycles(config.line_b)
+
+    def miss_cycles(self, config: CacheConfig, misses: int) -> int:
+        """Figure 4's *Miss Cycles* for a whole execution."""
+        if misses < 0:
+            raise ValueError(f"misses must be non-negative, got {misses}")
+        return misses * self.miss_stall_cycles_per_miss(config)
+
+    def miss_energy_nj(self, config: CacheConfig) -> float:
+        """E(miss): off-chip access + stall energy + line fill."""
+        stall_cycles = self.miss_stall_cycles_per_miss(config)
+        return (
+            self.memory.access_energy_nj(config.line_b)
+            + stall_cycles * self.cpu_stall_energy_nj
+            + self.cacti.fill_energy_nj(config)
+        )
+
+    def hit_energy_nj(self, config: CacheConfig) -> float:
+        """E(hit): one read access of the data+tag arrays."""
+        return self.cacti.access_energy_nj(config)
+
+    def writeback_energy_nj(self, config: CacheConfig) -> float:
+        """Energy of writing one dirty line back off-chip."""
+        return self.memory.access_energy_nj(config.line_b)
+
+    def dynamic_energy_nj(self, config: CacheConfig, stats: CacheStats) -> float:
+        """E(dynamic) = hits * E(hit) + misses * E(miss) [+ writebacks]."""
+        energy = stats.hits * self.hit_energy_nj(config) + stats.misses * (
+            self.miss_energy_nj(config)
+        )
+        if self.include_writeback_energy:
+            energy += stats.writebacks * self.writeback_energy_nj(config)
+        return energy
+
+    def total_cycles(
+        self, config: CacheConfig, instructions: int, misses: int
+    ) -> int:
+        """Execution cycles: base CPI work plus all miss stalls."""
+        if instructions < 0:
+            raise ValueError("instructions must be non-negative")
+        return int(round(instructions * self.cpi_base)) + self.miss_cycles(
+            config, misses
+        )
+
+    def static_energy_nj(self, config: CacheConfig, total_cycles: int) -> float:
+        """E(sta) = total cycles * E(static per cycle)."""
+        if total_cycles < 0:
+            raise ValueError("total_cycles must be non-negative")
+        return total_cycles * self.static_per_cycle_nj(config)
+
+    # -- top-level API --------------------------------------------------------
+
+    def estimate(
+        self,
+        config: CacheConfig,
+        instructions: int,
+        stats: CacheStats,
+    ) -> ExecutionEstimate:
+        """Full Figure 4 evaluation for one execution.
+
+        ``stats`` must be the cache statistics of the application running
+        under ``config`` (from the cache simulator).
+        """
+        miss_cycles = self.miss_cycles(config, stats.misses)
+        total_cycles = self.total_cycles(config, instructions, stats.misses)
+        dynamic = self.dynamic_energy_nj(config, stats)
+        static = self.static_energy_nj(config, total_cycles)
+        return ExecutionEstimate(
+            config=config,
+            instructions=instructions,
+            total_cycles=total_cycles,
+            miss_cycles=miss_cycles,
+            energy=EnergyBreakdown(static_nj=static, dynamic_nj=dynamic),
+        )
+
+    def idle_energy_nj(self, config: CacheConfig, cycles: int) -> float:
+        """Idle energy of a core over ``cycles``: its cache's leakage.
+
+        The paper's Idle Energy term for a core is the static energy the
+        core expends while not executing; with the Figure 4 model that is
+        the per-cycle static energy of the core's cache.
+        """
+        if cycles < 0:
+            raise ValueError(f"cycles must be non-negative, got {cycles}")
+        return cycles * self.static_per_cycle_nj(config)

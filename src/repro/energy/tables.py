@@ -1,0 +1,84 @@
+"""Precomputed per-configuration energy constants.
+
+The scheduler simulation evaluates millions of energy expressions (every
+scheduling decision consults the profiling table and the
+energy-advantageous equation), so the per-configuration constants of the
+energy model — E(hit), E(miss), static energy per cycle, stall cycles per
+miss — are precomputed once into an :class:`EnergyTable`.
+
+The table is purely derived state: every value equals what the
+:class:`~repro.energy.model.EnergyModel` would compute on demand (tested
+property).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping
+
+from repro.cache.config import DESIGN_SPACE, CacheConfig
+
+from .model import EnergyModel
+
+__all__ = ["ConfigEnergyConstants", "EnergyTable"]
+
+
+@dataclass(frozen=True)
+class ConfigEnergyConstants:
+    """All per-configuration constants of Figure 4 (energies in nJ)."""
+
+    config: CacheConfig
+    hit_energy_nj: float
+    miss_energy_nj: float
+    fill_energy_nj: float
+    static_per_cycle_nj: float
+    miss_stall_cycles: int
+
+    def dynamic_energy_nj(self, hits: int, misses: int) -> float:
+        """E(dynamic) for the given hit/miss counts."""
+        if hits < 0 or misses < 0:
+            raise ValueError("hits and misses must be non-negative")
+        return hits * self.hit_energy_nj + misses * self.miss_energy_nj
+
+
+class EnergyTable:
+    """Per-configuration constants for a whole design space."""
+
+    def __init__(
+        self,
+        model: EnergyModel = None,
+        configs: Iterable[CacheConfig] = DESIGN_SPACE,
+    ) -> None:
+        self.model = model if model is not None else EnergyModel()
+        self._table: Dict[CacheConfig, ConfigEnergyConstants] = {}
+        for config in configs:
+            self._table[config] = self._compute(config)
+
+    def _compute(self, config: CacheConfig) -> ConfigEnergyConstants:
+        model = self.model
+        return ConfigEnergyConstants(
+            config=config,
+            hit_energy_nj=model.hit_energy_nj(config),
+            miss_energy_nj=model.miss_energy_nj(config),
+            fill_energy_nj=model.cacti.fill_energy_nj(config),
+            static_per_cycle_nj=model.static_per_cycle_nj(config),
+            miss_stall_cycles=model.miss_stall_cycles_per_miss(config),
+        )
+
+    def __contains__(self, config: CacheConfig) -> bool:
+        return config in self._table
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def get(self, config: CacheConfig) -> ConfigEnergyConstants:
+        """Constants for ``config``, computing and caching on first use."""
+        constants = self._table.get(config)
+        if constants is None:
+            constants = self._compute(config)
+            self._table[config] = constants
+        return constants
+
+    def as_mapping(self) -> Mapping[CacheConfig, ConfigEnergyConstants]:
+        """Read-only view of the precomputed table."""
+        return dict(self._table)

@@ -1,0 +1,9 @@
+"""Discrete-event simulation substrate: events, a deterministic event
+engine and the FIFO ready queue.
+"""
+
+from .engine import EventEngine
+from .events import Event, EventKind
+from .queueing import ReadyQueue
+
+__all__ = ["Event", "EventEngine", "EventKind", "ReadyQueue"]

@@ -1,0 +1,105 @@
+"""Deterministic discrete-event engine.
+
+A thin priority-queue loop: events are popped in ``(time, kind,
+insertion order)`` order and dispatched to a handler.  Time never moves
+backwards; scheduling an event in the past raises.  The engine is
+deliberately free of any scheduler policy — the core package builds the
+paper's systems on top of it.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Tuple
+
+from .events import Event, EventKind
+
+__all__ = ["EventEngine"]
+
+
+class EventEngine:
+    """Priority-queue event loop with deterministic tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[tuple, Event]] = []
+        self._sequence = 0
+        self._now = 0
+        self._processed = 0
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in cycles."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of events not yet dispatched."""
+        return len(self._heap)
+
+    @property
+    def processed(self) -> int:
+        """Number of events dispatched so far."""
+        return self._processed
+
+    def schedule(self, event: Event) -> None:
+        """Enqueue an event; its time must not precede the current time."""
+        if event.time < self._now:
+            raise ValueError(
+                f"cannot schedule event at {event.time} before now={self._now}"
+            )
+        heapq.heappush(self._heap, (event.sort_key(self._sequence), event))
+        self._sequence += 1
+
+    def schedule_at(
+        self, time: int, kind: EventKind, payload=None
+    ) -> Event:
+        """Convenience constructor + :meth:`schedule`; returns the event."""
+        event = Event(time=time, kind=kind, payload=payload)
+        self.schedule(event)
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the next event, advancing the clock."""
+        if not self._heap:
+            return None
+        _, event = heapq.heappop(self._heap)
+        self._now = event.time
+        self._processed += 1
+        return event
+
+    def peek_time(self) -> Optional[int]:
+        """Timestamp of the next event, or ``None`` when idle."""
+        if not self._heap:
+            return None
+        return self._heap[0][1].time
+
+    def run(
+        self,
+        handler: Callable[[Event], None],
+        *,
+        until: Optional[int] = None,
+        max_events: Optional[int] = None,
+    ) -> int:
+        """Dispatch events until the queue drains (or a bound is hit).
+
+        Parameters
+        ----------
+        handler:
+            Called with each event; may schedule further events.
+        until:
+            Stop once the next event's time would exceed this.
+        max_events:
+            Safety bound on dispatched events.
+
+        Returns the number of events dispatched by this call.
+        """
+        dispatched = 0
+        while self._heap:
+            if until is not None and self._heap[0][1].time > until:
+                break
+            if max_events is not None and dispatched >= max_events:
+                break
+            event = self.pop()
+            handler(event)
+            dispatched += 1
+        return dispatched

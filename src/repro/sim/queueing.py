@@ -1,0 +1,76 @@
+"""Ready queue.
+
+The paper processes arrivals "on a FIFO basis"; stalled jobs are
+"enqueued back into the ready queue".  :class:`ReadyQueue` implements
+that discipline with one refinement the paper implies: a job re-enqueued
+because it chose to stall keeps its original arrival order (it returns to
+the *front* among re-enqueued jobs), so a stalling job is reconsidered
+before strictly younger arrivals.
+
+Waiting-time accounting is built in because idle/stall energy attribution
+needs it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Generic, Iterator, List, Optional, TypeVar
+
+__all__ = ["ReadyQueue"]
+
+T = TypeVar("T")
+
+
+class ReadyQueue(Generic[T]):
+    """FIFO queue with stall re-enqueue and occupancy statistics."""
+
+    def __init__(self) -> None:
+        self._queue: Deque[T] = deque()
+        self.enqueued_total = 0
+        self.requeued_total = 0
+        self.max_length = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __bool__(self) -> bool:
+        return bool(self._queue)
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._queue)
+
+    def push(self, item: T) -> None:
+        """Enqueue a newly arrived job at the back."""
+        self._queue.append(item)
+        self.enqueued_total += 1
+        self.max_length = max(self.max_length, len(self._queue))
+
+    def push_front(self, item: T) -> None:
+        """Re-enqueue a stalled job at the front (keeps its seniority)."""
+        self._queue.appendleft(item)
+        self.requeued_total += 1
+        self.max_length = max(self.max_length, len(self._queue))
+
+    def pop(self) -> T:
+        """Dequeue the oldest job."""
+        if not self._queue:
+            raise IndexError("pop from an empty ready queue")
+        return self._queue.popleft()
+
+    def peek(self) -> Optional[T]:
+        """The oldest job without removing it, or ``None`` if empty."""
+        return self._queue[0] if self._queue else None
+
+    def remove(self, item: T) -> bool:
+        """Remove a specific job; returns whether it was present."""
+        try:
+            self._queue.remove(item)
+            return True
+        except ValueError:
+            return False
+
+    def drain(self) -> List[T]:
+        """Remove and return everything, oldest first."""
+        items = list(self._queue)
+        self._queue.clear()
+        return items

@@ -1,0 +1,61 @@
+"""Workload substrate: synthetic EEMBC-analogue benchmarks, trace
+generation, hardware counters and arrival streams.
+"""
+
+from .arrivals import JobArrival, poisson_arrivals, uniform_arrivals, with_qos
+from .benchmark import BenchmarkSpec, InstructionMix, Trace
+from .counters import (
+    ALL_COUNTER_NAMES,
+    ANN_SELECTED_FEATURES,
+    HardwareCounters,
+    collect_counters,
+)
+from .eembc import EEMBC_DOMAINS, EEMBC_NAMES, eembc_benchmark, eembc_suite
+from .locality import (
+    miss_ratio_curve,
+    reuse_distance_histogram,
+    working_set_curve,
+)
+from .tracegen import (
+    HotspotAccess,
+    PhasedTraceMix,
+    LoopedArray,
+    PointerChase,
+    RandomAccess,
+    SequentialStream,
+    StridedAccess,
+    TraceComponent,
+    TraceMix,
+    interleave_chunks,
+)
+
+__all__ = [
+    "ALL_COUNTER_NAMES",
+    "ANN_SELECTED_FEATURES",
+    "BenchmarkSpec",
+    "EEMBC_DOMAINS",
+    "EEMBC_NAMES",
+    "HardwareCounters",
+    "HotspotAccess",
+    "InstructionMix",
+    "JobArrival",
+    "LoopedArray",
+    "PhasedTraceMix",
+    "PointerChase",
+    "RandomAccess",
+    "SequentialStream",
+    "StridedAccess",
+    "Trace",
+    "TraceComponent",
+    "TraceMix",
+    "collect_counters",
+    "eembc_benchmark",
+    "eembc_suite",
+    "interleave_chunks",
+    "miss_ratio_curve",
+    "poisson_arrivals",
+    "reuse_distance_histogram",
+    "uniform_arrivals",
+    "with_qos",
+    "working_set_curve",
+]

@@ -1,0 +1,169 @@
+"""Arrival-stream generation for the scheduler simulation.
+
+The paper "created 5000 uniform distribution arrival times of these
+benchmarks to ensure that the system executed long enough to depict
+stable results"; benchmarks are enqueued on arrival and processed FIFO.
+
+:func:`uniform_arrivals` reproduces that setup: job arrival times drawn
+uniformly over a horizon, each job an independently drawn benchmark from
+the suite.  A Poisson process generator is provided for the arrival-rate
+ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from .benchmark import BenchmarkSpec
+
+__all__ = ["JobArrival", "uniform_arrivals", "poisson_arrivals", "with_qos"]
+
+
+@dataclass(frozen=True)
+class JobArrival:
+    """One job: which benchmark arrives, and when (in cycles).
+
+    ``priority`` and ``deadline_cycle`` feed the priority/deadline
+    scheduling extension (paper future work); the defaults reproduce the
+    paper's plain FIFO workload.
+    """
+
+    job_id: int
+    benchmark: str
+    arrival_cycle: int
+    priority: int = 0
+    deadline_cycle: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.job_id < 0:
+            raise ValueError("job_id must be non-negative")
+        if self.arrival_cycle < 0:
+            raise ValueError("arrival_cycle must be non-negative")
+        if (
+            self.deadline_cycle is not None
+            and self.deadline_cycle < self.arrival_cycle
+        ):
+            raise ValueError("deadline cannot precede the arrival")
+
+
+def _draw_benchmarks(
+    specs: Sequence[BenchmarkSpec], count: int, rng: np.random.Generator
+) -> List[str]:
+    if not specs:
+        raise ValueError("need at least one benchmark spec")
+    indices = rng.integers(0, len(specs), size=count)
+    return [specs[i].name for i in indices]
+
+
+def uniform_arrivals(
+    specs: Sequence[BenchmarkSpec],
+    count: int = 5000,
+    horizon_cycles: int = None,
+    seed: int = 0,
+    mean_interarrival_cycles: int = 56_000,
+) -> List[JobArrival]:
+    """Uniformly distributed arrival times over a horizon (paper §V).
+
+    Parameters
+    ----------
+    specs:
+        Benchmark suite to draw jobs from (uniformly).
+    count:
+        Number of arrivals (the paper used 5000).
+    horizon_cycles:
+        Arrival window; defaults to ``count * mean_interarrival_cycles``.
+    seed:
+        RNG seed.
+    mean_interarrival_cycles:
+        Used only to size the default horizon; tuning it controls
+        contention (smaller → more simultaneous jobs → busier best cores).
+    """
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    if horizon_cycles is None:
+        horizon_cycles = count * mean_interarrival_cycles
+    if horizon_cycles <= 0:
+        raise ValueError("horizon_cycles must be positive")
+    rng = np.random.default_rng(seed)
+    times = np.sort(rng.integers(0, horizon_cycles, size=count))
+    names = _draw_benchmarks(specs, count, rng)
+    return [
+        JobArrival(job_id=i, benchmark=name, arrival_cycle=int(t))
+        for i, (name, t) in enumerate(zip(names, times))
+    ]
+
+
+def poisson_arrivals(
+    specs: Sequence[BenchmarkSpec],
+    count: int = 5000,
+    mean_interarrival_cycles: float = 60_000.0,
+    seed: int = 0,
+) -> List[JobArrival]:
+    """Poisson arrival process (exponential inter-arrival times).
+
+    Used by the arrival-rate ablation; the paper itself used uniform
+    arrival times.
+    """
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    if mean_interarrival_cycles <= 0:
+        raise ValueError("mean_interarrival_cycles must be positive")
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(mean_interarrival_cycles, size=count)
+    times = np.cumsum(gaps).astype(np.int64)
+    names = _draw_benchmarks(specs, count, rng)
+    return [
+        JobArrival(job_id=i, benchmark=name, arrival_cycle=int(t))
+        for i, (name, t) in enumerate(zip(names, times))
+    ]
+
+
+def with_qos(
+    arrivals: Sequence[JobArrival],
+    *,
+    service_estimate: Callable[[str], int],
+    priority_levels: int = 3,
+    deadline_slack: float = 3.0,
+    deadline_fraction: float = 1.0,
+    seed: int = 0,
+) -> List[JobArrival]:
+    """Annotate an arrival stream with priorities and deadlines.
+
+    Supports the paper's future-work extension ("systems with
+    preemption, priority, and deadlines"):
+
+    * each job draws a uniform priority in ``[0, priority_levels)``;
+    * a ``deadline_fraction`` share of jobs receive a completion
+      deadline of ``arrival + deadline_slack × service_estimate``,
+      where ``service_estimate(benchmark)`` supplies a nominal
+      execution time (typically the base-configuration cycles from the
+      characterisation store).
+    """
+    if priority_levels <= 0:
+        raise ValueError("priority_levels must be positive")
+    if deadline_slack <= 0:
+        raise ValueError("deadline_slack must be positive")
+    if not 0.0 <= deadline_fraction <= 1.0:
+        raise ValueError("deadline_fraction must be within [0, 1]")
+    rng = np.random.default_rng(seed)
+    annotated: List[JobArrival] = []
+    for arrival in arrivals:
+        priority = int(rng.integers(0, priority_levels))
+        deadline: Optional[int] = None
+        if rng.random() < deadline_fraction:
+            nominal = int(service_estimate(arrival.benchmark))
+            if nominal <= 0:
+                raise ValueError(
+                    f"service estimate must be positive for "
+                    f"{arrival.benchmark!r}"
+                )
+            deadline = arrival.arrival_cycle + int(
+                round(deadline_slack * nominal)
+            )
+        annotated.append(
+            replace(arrival, priority=priority, deadline_cycle=deadline)
+        )
+    return annotated

@@ -1,0 +1,117 @@
+"""Trace locality analysis.
+
+Tools for understanding *why* a benchmark prefers a cache size — the
+classical locality instruments behind the paper's premise that
+applications differ in their best configuration:
+
+* :func:`reuse_distance_histogram` — LRU stack distances over line
+  addresses: the mass below a cache's line capacity predicts its hit
+  rate under full associativity.
+* :func:`working_set_curve` — distinct lines touched per time window
+  (Denning's working set), the quantity the benchmark designs in
+  :mod:`repro.workloads.eembc` control.
+* :func:`miss_ratio_curve` — measured miss ratio per cache size via the
+  cache simulator, the curve whose knee locates the best size.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cache.cache import simulate_trace
+from repro.cache.config import CACHE_SIZES_KB, CacheConfig
+
+__all__ = [
+    "reuse_distance_histogram",
+    "working_set_curve",
+    "miss_ratio_curve",
+]
+
+
+def _line_addresses(addresses: Sequence[int], line_b: int) -> List[int]:
+    if line_b <= 0 or line_b & (line_b - 1):
+        raise ValueError(f"line_b must be a positive power of two: {line_b}")
+    if isinstance(addresses, np.ndarray):
+        return (addresses.astype(np.int64) // line_b).tolist()
+    return [int(a) // line_b for a in addresses]
+
+
+def reuse_distance_histogram(
+    addresses: Sequence[int],
+    line_b: int = 32,
+) -> Dict[int, int]:
+    """LRU stack-distance histogram over line addresses.
+
+    Returns ``{distance: count}`` where distance is the number of
+    *distinct* lines touched since the previous access to the same line
+    (0 = immediate re-reference); cold first touches appear under the
+    key ``-1``.  A fully-associative LRU cache of capacity C lines hits
+    exactly the accesses with distance < C.
+    """
+    lines = _line_addresses(addresses, line_b)
+    stack: List[int] = []  # MRU first
+    histogram: Dict[int, int] = {}
+    for line in lines:
+        try:
+            depth = stack.index(line)
+        except ValueError:
+            histogram[-1] = histogram.get(-1, 0) + 1
+            stack.insert(0, line)
+            continue
+        histogram[depth] = histogram.get(depth, 0) + 1
+        del stack[depth]
+        stack.insert(0, line)
+    return histogram
+
+
+def working_set_curve(
+    addresses: Sequence[int],
+    window: int = 1000,
+    line_b: int = 32,
+    stride: Optional[int] = None,
+) -> List[Tuple[int, int]]:
+    """Distinct lines per window of accesses (Denning working set).
+
+    Returns ``[(window_start_index, distinct_lines), ...]`` sampled
+    every ``stride`` accesses (defaults to the window size, i.e.
+    non-overlapping windows).
+    """
+    if window <= 0:
+        raise ValueError(f"window must be positive, got {window}")
+    lines = _line_addresses(addresses, line_b)
+    step = stride if stride is not None else window
+    if step <= 0:
+        raise ValueError(f"stride must be positive, got {step}")
+    curve: List[Tuple[int, int]] = []
+    for start in range(0, max(1, len(lines) - window + 1), step):
+        chunk = lines[start : start + window]
+        if not chunk:
+            break
+        curve.append((start, len(set(chunk))))
+    return curve
+
+
+def miss_ratio_curve(
+    addresses: Sequence[int],
+    sizes_kb: Sequence[int] = CACHE_SIZES_KB,
+    *,
+    assoc: int = 1,
+    line_b: int = 32,
+) -> Dict[int, float]:
+    """Measured miss ratio per cache size (the curve's knee locates the
+    benchmark's natural capacity).
+
+    Sizes must be organisable with the given associativity and line
+    size; the simulation uses LRU write-allocate caches like the
+    characterisation fast path.
+    """
+    if not sizes_kb:
+        raise ValueError("need at least one cache size")
+    curve: Dict[int, float] = {}
+    for size_kb in sizes_kb:
+        config = CacheConfig(size_kb=size_kb, assoc=assoc, line_b=line_b)
+        stats = simulate_trace(addresses, config)
+        curve[size_kb] = stats.miss_rate
+    return curve

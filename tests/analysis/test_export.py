@@ -1,0 +1,92 @@
+"""Tests for CSV/JSON result export."""
+
+import csv
+import json
+
+import pytest
+
+from repro.analysis.export import (
+    JOB_FIELDS,
+    SUMMARY_FIELDS,
+    jobs_to_csv,
+    result_summary_dict,
+    results_to_csv,
+    results_to_json,
+)
+from repro.core.results import JobRecord, SimulationResult
+
+
+def make_result(policy="proposed"):
+    jobs = [
+        JobRecord(
+            job_id=0, benchmark="a2time", arrival_cycle=0, start_cycle=10,
+            completion_cycle=110, core_index=1, config_name="2KB_1W_16B",
+            profiled=True, tuning=False, energy_nj=42.5, priority=1,
+            deadline_cycle=500,
+        ),
+        JobRecord(
+            job_id=1, benchmark="matrix", arrival_cycle=5, start_cycle=20,
+            completion_cycle=220, core_index=3, config_name="8KB_4W_64B",
+            profiled=False, tuning=True, energy_nj=99.0,
+        ),
+    ]
+    return SimulationResult(
+        policy=policy, jobs_completed=2, makespan_cycles=220,
+        idle_energy_nj=10.0, dynamic_energy_nj=100.0,
+        busy_static_energy_nj=30.0, reconfig_energy_nj=1.0,
+        profiling_overhead_nj=0.1, reconfig_cycles=5, stall_decisions=1,
+        non_best_decisions=2, tuning_executions=1, profiling_executions=1,
+        exploration_counts={"a2time": 3}, predictions_kb={"a2time": 2},
+        jobs=jobs,
+    )
+
+
+class TestSummaryDict:
+    def test_all_fields_present(self):
+        summary = result_summary_dict(make_result())
+        assert set(summary) == set(SUMMARY_FIELDS)
+        assert summary["policy"] == "proposed"
+        assert summary["total_energy_nj"] == pytest.approx(140.0)
+        assert summary["deadline_misses"] == 0
+
+
+class TestJson:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "results.json"
+        results_to_json({"proposed": make_result()}, path)
+        blob = json.loads(path.read_text())
+        assert blob["proposed"]["jobs_completed"] == 2
+        assert blob["proposed"]["exploration_counts"] == {"a2time": 3}
+        assert "jobs" not in blob["proposed"]
+
+    def test_include_jobs(self, tmp_path):
+        path = tmp_path / "results.json"
+        results_to_json({"proposed": make_result()}, path, include_jobs=True)
+        blob = json.loads(path.read_text())
+        jobs = blob["proposed"]["jobs"]
+        assert len(jobs) == 2
+        assert jobs[0]["benchmark"] == "a2time"
+        assert jobs[0]["deadline_cycle"] == 500
+        assert jobs[1]["deadline_cycle"] is None
+
+
+class TestCsv:
+    def test_jobs_csv(self, tmp_path):
+        path = tmp_path / "jobs.csv"
+        jobs_to_csv(make_result(), path)
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == list(JOB_FIELDS)
+        assert len(rows) == 3
+        assert rows[1][1] == "a2time"
+
+    def test_summary_csv(self, tmp_path):
+        path = tmp_path / "summary.csv"
+        results_to_csv(
+            {"base": make_result("base"), "proposed": make_result()}, path
+        )
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == list(SUMMARY_FIELDS)
+        assert len(rows) == 3
+        assert {rows[1][0], rows[2][0]} == {"base", "proposed"}

@@ -1,0 +1,61 @@
+"""Tests for result normalisation."""
+
+import pytest
+
+from repro.analysis.normalize import METRICS, normalize_results, percent_change
+from repro.core.results import SimulationResult
+
+
+def make_result(policy, idle, dynamic, static, makespan):
+    return SimulationResult(
+        policy=policy, jobs_completed=1, makespan_cycles=makespan,
+        idle_energy_nj=idle, dynamic_energy_nj=dynamic,
+        busy_static_energy_nj=static, reconfig_energy_nj=0.0,
+        profiling_overhead_nj=0.0, reconfig_cycles=0, stall_decisions=0,
+        non_best_decisions=0, tuning_executions=0, profiling_executions=0,
+    )
+
+
+class TestNormalize:
+    def test_baseline_is_unity(self):
+        results = {
+            "base": make_result("base", 100, 200, 0, 1000),
+            "proposed": make_result("proposed", 50, 100, 0, 900),
+        }
+        normalized = normalize_results(results, "base")
+        for metric in METRICS:
+            assert normalized["base"][metric] == pytest.approx(1.0)
+
+    def test_ratios(self):
+        results = {
+            "base": make_result("base", 100, 200, 100, 1000),
+            "proposed": make_result("proposed", 50, 100, 50, 800),
+        }
+        normalized = normalize_results(results, "base")
+        assert normalized["proposed"]["idle_energy"] == pytest.approx(0.5)
+        assert normalized["proposed"]["total_energy"] == pytest.approx(0.5)
+        assert normalized["proposed"]["cycles"] == pytest.approx(0.8)
+
+    def test_missing_baseline_rejected(self):
+        with pytest.raises(KeyError):
+            normalize_results(
+                {"a": make_result("a", 1, 1, 1, 1)}, baseline="base"
+            )
+
+    def test_order_preserved(self):
+        results = {
+            "optimal": make_result("optimal", 1, 1, 1, 1),
+            "base": make_result("base", 1, 1, 1, 1),
+        }
+        assert list(normalize_results(results, "base")) == ["optimal", "base"]
+
+
+class TestPercentChange:
+    def test_reduction(self):
+        assert percent_change(0.72) == pytest.approx(-28.0)
+
+    def test_increase(self):
+        assert percent_change(1.02) == pytest.approx(2.0)
+
+    def test_unity(self):
+        assert percent_change(1.0) == 0.0

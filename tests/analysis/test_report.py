@@ -1,0 +1,124 @@
+"""Tests for the text reporting helpers."""
+
+import pytest
+
+from repro.analysis.report import (
+    format_table,
+    render_figure6,
+    render_figure7,
+    render_result_summary,
+)
+from repro.core.results import SimulationResult
+
+
+def make_result(policy, idle=100.0, dynamic=200.0, static=50.0, makespan=1000):
+    return SimulationResult(
+        policy=policy, jobs_completed=10, makespan_cycles=makespan,
+        idle_energy_nj=idle, dynamic_energy_nj=dynamic,
+        busy_static_energy_nj=static, reconfig_energy_nj=1.0,
+        profiling_overhead_nj=0.5, reconfig_cycles=10, stall_decisions=2,
+        non_best_decisions=3, tuning_executions=4, profiling_executions=5,
+    )
+
+
+ALL = {
+    "base": make_result("base"),
+    "optimal": make_result("optimal", idle=90, dynamic=150, makespan=1100),
+    "energy_centric": make_result("energy_centric", idle=110, dynamic=90),
+    "proposed": make_result("proposed", idle=70, dynamic=95, makespan=900),
+}
+
+
+class TestFormatTable:
+    def test_aligned_columns(self):
+        text = format_table(("name", "value"), [("a", 1.5), ("bb", 2.25)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert "1.500" in lines[2]
+
+    def test_empty_rows(self):
+        text = format_table(("a", "b"), [])
+        assert len(text.splitlines()) == 2
+
+    def test_custom_float_format(self):
+        text = format_table(("x",), [(0.123456,)], float_format="{:.1f}")
+        assert "0.1" in text
+
+
+class TestFigureRendering:
+    def test_figure6_mentions_all_systems(self):
+        text = render_figure6(ALL)
+        for name in ALL:
+            assert name in text
+        assert "baseline = base" in text
+
+    def test_figure7_normalised_to_optimal(self):
+        text = render_figure7(ALL)
+        assert "baseline = optimal" in text
+        assert "cycles" in text
+
+    def test_figure6_requires_base(self):
+        partial = {k: v for k, v in ALL.items() if k != "base"}
+        with pytest.raises(KeyError):
+            render_figure6(partial)
+
+    def test_summary_contains_key_metrics(self):
+        text = render_result_summary(ALL["proposed"])
+        assert "proposed" in text
+        assert "makespan" in text
+        assert "stall decisions" in text
+
+
+class TestBenchmarkBreakdown:
+    def test_groups_by_benchmark(self):
+        from repro.analysis.report import render_benchmark_breakdown
+        from repro.core.results import JobRecord
+
+        result = make_result("proposed")
+        result.jobs.extend([
+            JobRecord(job_id=0, benchmark="a2time", arrival_cycle=0,
+                      start_cycle=0, completion_cycle=10, core_index=0,
+                      config_name="2KB_1W_16B", profiled=False, tuning=False,
+                      energy_nj=100.0),
+            JobRecord(job_id=1, benchmark="a2time", arrival_cycle=0,
+                      start_cycle=5, completion_cycle=20, core_index=1,
+                      config_name="4KB_1W_16B", profiled=False, tuning=True,
+                      energy_nj=200.0),
+            JobRecord(job_id=2, benchmark="matrix", arrival_cycle=0,
+                      start_cycle=0, completion_cycle=30, core_index=3,
+                      config_name="8KB_1W_64B", profiled=True, tuning=False,
+                      energy_nj=300.0),
+        ])
+        text = render_benchmark_breakdown(result)
+        assert "a2time" in text
+        assert "matrix" in text
+        assert "2 configs" in text       # a2time used two configurations
+        assert "8KB_1W_64B" in text      # matrix used exactly one
+        assert "1,2" in text             # a2time's cores (1-based)
+
+    def test_empty_result(self):
+        from repro.analysis.report import render_benchmark_breakdown
+
+        text = render_benchmark_breakdown(make_result("base"))
+        assert "per-benchmark breakdown" in text
+
+
+class TestEnergyDecomposition:
+    def test_covers_design_space(self):
+        from repro.analysis.report import render_energy_decomposition
+
+        text = render_energy_decomposition()
+        assert "2KB_1W_16B" in text
+        assert "8KB_4W_64B" in text
+        assert "bitline" in text
+
+    def test_totals_match_model(self):
+        from repro.analysis.report import render_energy_decomposition
+        from repro.cache.config import CacheConfig
+        from repro.energy.cacti import CactiModel
+
+        config = CacheConfig(4, 2, 32)
+        text = render_energy_decomposition([config])
+        total = CactiModel().access_energy_nj(config)
+        assert f"{total:.3f}" in text

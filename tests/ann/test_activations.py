@@ -1,0 +1,96 @@
+"""Tests for activation functions, including numerical gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.ann.activations import (
+    ACTIVATION_NAMES,
+    Identity,
+    LeakyReLU,
+    ReLU,
+    Sigmoid,
+    Tanh,
+    make_activation,
+)
+
+ALL = [Identity(), Tanh(), Sigmoid(), ReLU(), LeakyReLU()]
+
+
+def numerical_grad(fn, x, eps=1e-6):
+    grad = np.zeros_like(x)
+    flat = x.ravel()
+    out = grad.ravel()
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        up = fn(x).sum()
+        flat[i] = orig - eps
+        down = fn(x).sum()
+        flat[i] = orig
+        out[i] = (up - down) / (2 * eps)
+    return grad
+
+
+class TestValues:
+    def test_identity(self):
+        x = np.array([-2.0, 0.0, 3.0])
+        assert (Identity().forward(x) == x).all()
+
+    def test_tanh_range(self):
+        y = Tanh().forward(np.linspace(-5, 5, 50))
+        assert (np.abs(y) < 1).all()
+
+    def test_sigmoid_range_and_midpoint(self):
+        sigmoid = Sigmoid()
+        y = sigmoid.forward(np.linspace(-30, 30, 100))
+        assert ((y > 0) & (y < 1)).all()
+        assert sigmoid.forward(np.array([0.0]))[0] == pytest.approx(0.5)
+
+    def test_sigmoid_numerically_stable(self):
+        y = Sigmoid().forward(np.array([-1000.0, 1000.0]))
+        assert y[0] == pytest.approx(0.0)
+        assert y[1] == pytest.approx(1.0)
+
+    def test_relu(self):
+        y = ReLU().forward(np.array([-1.0, 0.0, 2.0]))
+        assert y.tolist() == [0.0, 0.0, 2.0]
+
+    def test_leaky_relu(self):
+        y = LeakyReLU(slope=0.1).forward(np.array([-10.0, 5.0]))
+        assert y.tolist() == [-1.0, 5.0]
+
+    def test_leaky_relu_validates_slope(self):
+        with pytest.raises(ValueError):
+            LeakyReLU(slope=-0.5)
+
+
+class TestGradients:
+    @pytest.mark.parametrize("act", ALL, ids=lambda a: a.name)
+    def test_matches_numerical_gradient(self, act):
+        rng = np.random.default_rng(0)
+        # Avoid the ReLU kink at exactly zero.
+        x = rng.normal(size=(4, 5)) + 0.01
+        analytic = act.backward(x, np.ones_like(x))
+        numeric = numerical_grad(act.forward, x.copy())
+        assert np.allclose(analytic, numeric, atol=1e-4)
+
+    def test_backward_scales_with_upstream(self):
+        act = Tanh()
+        x = np.array([[0.5]])
+        g1 = act.backward(x, np.array([[1.0]]))
+        g2 = act.backward(x, np.array([[2.0]]))
+        assert g2 == pytest.approx(2 * g1)
+
+
+class TestRegistry:
+    def test_all_names(self):
+        assert set(ACTIVATION_NAMES) == {
+            "identity", "leaky_relu", "relu", "sigmoid", "tanh"
+        }
+
+    def test_make_by_name(self):
+        assert isinstance(make_activation("tanh"), Tanh)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_activation("swish")

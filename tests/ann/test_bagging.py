@@ -1,0 +1,105 @@
+"""Tests for the bagged ensemble (paper §IV.D)."""
+
+import numpy as np
+import pytest
+
+from repro.ann.bagging import PAPER_ENSEMBLE_SIZE, BaggedRegressor
+from repro.ann.training import TrainingConfig
+
+
+def make_data(n=80, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 3))
+    y = x @ np.array([[0.5], [-0.3], [0.2]]) + 0.05 * rng.normal(size=(n, 1))
+    return x, y
+
+
+FAST = TrainingConfig(epochs=40, seed=0)
+
+
+class TestConstruction:
+    def test_paper_ensemble_size(self):
+        assert PAPER_ENSEMBLE_SIZE == 30
+
+    def test_member_count(self):
+        bag = BaggedRegressor(in_features=3, n_members=5)
+        assert len(bag.members) == 5
+
+    def test_members_independently_initialised(self):
+        bag = BaggedRegressor(in_features=3, n_members=3, seed=0)
+        w0 = bag.members[0].layers[0].weights
+        w1 = bag.members[1].layers[0].weights
+        assert not np.allclose(w0, w1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BaggedRegressor(in_features=0)
+        with pytest.raises(ValueError):
+            BaggedRegressor(in_features=3, n_members=0)
+
+
+class TestFitPredict:
+    def test_predict_before_fit_rejected(self):
+        bag = BaggedRegressor(in_features=3, n_members=2)
+        with pytest.raises(RuntimeError):
+            bag.predict(np.zeros((1, 3)))
+        with pytest.raises(RuntimeError):
+            bag.member_predictions(np.zeros((1, 3)))
+
+    def test_fit_learns_linear_target(self):
+        x, y = make_data()
+        bag = BaggedRegressor(in_features=3, n_members=4, hidden=(8,), seed=0)
+        bag.fit(x, y, config=TrainingConfig(epochs=150, seed=0))
+        pred = bag.predict(x)
+        assert np.mean((pred - y.ravel()) ** 2) < 0.05
+
+    def test_prediction_is_member_mean(self):
+        x, y = make_data()
+        bag = BaggedRegressor(in_features=3, n_members=3, hidden=(4,), seed=1)
+        bag.fit(x, y, config=FAST)
+        members = bag.member_predictions(x[:5])
+        assert members.shape == (3, 5)
+        assert np.allclose(bag.predict(x[:5]), members.mean(axis=0))
+
+    def test_prediction_std_nonnegative(self):
+        x, y = make_data()
+        bag = BaggedRegressor(in_features=3, n_members=3, hidden=(4,), seed=1)
+        bag.fit(x, y, config=FAST)
+        std = bag.prediction_std(x[:7])
+        assert std.shape == (7,)
+        assert (std >= 0).all()
+
+    def test_deterministic_for_seed(self):
+        x, y = make_data()
+        a = BaggedRegressor(in_features=3, n_members=3, hidden=(4,), seed=2)
+        b = BaggedRegressor(in_features=3, n_members=3, hidden=(4,), seed=2)
+        a.fit(x, y, config=FAST)
+        b.fit(x, y, config=FAST)
+        assert np.allclose(a.predict(x), b.predict(x))
+
+    def test_histories_per_member(self):
+        x, y = make_data()
+        bag = BaggedRegressor(in_features=3, n_members=4, hidden=(4,), seed=0)
+        histories = bag.fit(x, y, config=FAST)
+        assert len(histories) == 4
+
+    def test_one_dim_targets_accepted(self):
+        x, y = make_data()
+        bag = BaggedRegressor(in_features=3, n_members=2, hidden=(4,), seed=0)
+        bag.fit(x, y.ravel(), config=FAST)
+        assert bag.predict(x).shape == (len(x),)
+
+    def test_empty_training_set_rejected(self):
+        bag = BaggedRegressor(in_features=3, n_members=2)
+        with pytest.raises(ValueError):
+            bag.fit(np.zeros((0, 3)), np.zeros((0, 1)))
+
+    def test_bagging_reduces_variance(self):
+        """The ensemble mean varies less across resamples than members."""
+        x, y = make_data()
+        bag = BaggedRegressor(in_features=3, n_members=8, hidden=(6,), seed=0)
+        bag.fit(x, y, config=TrainingConfig(epochs=60, seed=0))
+        members = bag.member_predictions(x)
+        member_mse = np.mean((members - y.ravel()) ** 2, axis=1)
+        ensemble_mse = np.mean((bag.predict(x) - y.ravel()) ** 2)
+        assert ensemble_mse <= member_mse.mean()

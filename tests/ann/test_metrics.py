@@ -1,0 +1,74 @@
+"""Tests for predictor evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.ann.metrics import (
+    class_accuracy,
+    confusion_counts,
+    mae,
+    mse,
+    r2_score,
+)
+
+
+class TestRegressionMetrics:
+    def test_mse(self):
+        assert mse([1.0, 2.0], [0.0, 0.0]) == pytest.approx(2.5)
+
+    def test_mae(self):
+        assert mae([1.0, -3.0], [0.0, 0.0]) == pytest.approx(2.0)
+
+    def test_perfect_r2(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, y) == pytest.approx(1.0)
+
+    def test_mean_predictor_r2_zero(self):
+        target = np.array([1.0, 2.0, 3.0])
+        pred = np.full(3, target.mean())
+        assert r2_score(pred, target) == pytest.approx(0.0)
+
+    def test_constant_target_conventions(self):
+        target = np.ones(3)
+        assert r2_score(np.ones(3), target) == 1.0
+        assert r2_score(np.zeros(3), target) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mse([1.0], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mae([], [])
+
+
+class TestClassificationMetrics:
+    def test_accuracy(self):
+        pred = np.array([2, 4, 8, 8])
+        target = np.array([2, 4, 4, 8])
+        assert class_accuracy(pred, target) == pytest.approx(0.75)
+
+    def test_confusion(self):
+        pred = np.array([2, 4, 8, 8, 2])
+        target = np.array([2, 4, 4, 8, 4])
+        counts = confusion_counts(pred, target, classes=[2, 4, 8])
+        assert counts[0, 0] == 1  # true 2 -> pred 2
+        assert counts[1, 1] == 1  # true 4 -> pred 4
+        assert counts[1, 2] == 1  # true 4 -> pred 8
+        assert counts[1, 0] == 1  # true 4 -> pred 2
+        assert counts[2, 2] == 1  # true 8 -> pred 8
+        assert counts.sum() == 5
+
+    def test_confusion_rejects_unknown_values(self):
+        with pytest.raises(ValueError):
+            confusion_counts(np.array([3]), np.array([2]), classes=[2, 4])
+
+    def test_confusion_diagonal_matches_accuracy(self):
+        rng = np.random.default_rng(0)
+        classes = [2.0, 4.0, 8.0]
+        target = rng.choice(classes, size=100)
+        pred = rng.choice(classes, size=100)
+        counts = confusion_counts(pred, target, classes)
+        assert counts.trace() / 100 == pytest.approx(
+            class_accuracy(pred, target)
+        )

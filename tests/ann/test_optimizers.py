@@ -1,0 +1,119 @@
+"""Tests for SGD and Adam optimisers."""
+
+import numpy as np
+import pytest
+
+from repro.ann.layers import Dense
+from repro.ann.losses import MSELoss
+from repro.ann.network import MLP
+from repro.ann.optimizers import (
+    OPTIMIZER_NAMES,
+    Adam,
+    SGD,
+    make_optimizer,
+)
+
+
+def quadratic_layer():
+    """A 1->1 linear layer; training it on y = 3x is a quadratic bowl."""
+    layer = Dense(1, 1, rng=np.random.default_rng(0))
+    return layer
+
+
+def train_steps(opt, steps=200):
+    layer = quadratic_layer()
+    net = [layer]
+    x = np.linspace(-1, 1, 16)[:, None]
+    y = 3.0 * x
+    loss = MSELoss()
+    for _ in range(steps):
+        pred = layer.forward(x)
+        layer.zero_grad()
+        layer.backward(loss.gradient(pred, y))
+        opt.step(net)
+    return layer
+
+
+class TestSGD:
+    def test_plain_sgd_step_math(self):
+        layer = quadratic_layer()
+        layer.weights[:] = 0.0
+        layer.grad_weights[:] = 2.0
+        layer.grad_bias[:] = 1.0
+        SGD(learning_rate=0.1, momentum=0.0).step([layer])
+        assert layer.weights[0, 0] == pytest.approx(-0.2)
+        assert layer.bias[0] == pytest.approx(-0.1)
+
+    def test_momentum_accumulates(self):
+        layer = quadratic_layer()
+        layer.weights[:] = 0.0
+        opt = SGD(learning_rate=0.1, momentum=0.5)
+        layer.grad_weights[:] = 1.0
+        layer.grad_bias[:] = 0.0
+        opt.step([layer])
+        first = layer.weights[0, 0]
+        layer.grad_weights[:] = 1.0
+        opt.step([layer])
+        second_step = layer.weights[0, 0] - first
+        # v2 = 0.5*(-0.1) - 0.1 = -0.15
+        assert second_step == pytest.approx(-0.15)
+
+    def test_converges_on_quadratic(self):
+        layer = train_steps(SGD(learning_rate=0.05, momentum=0.9))
+        assert layer.weights[0, 0] == pytest.approx(3.0, abs=1e-2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SGD(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            SGD(momentum=1.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        layer = train_steps(Adam(learning_rate=0.05), steps=400)
+        assert layer.weights[0, 0] == pytest.approx(3.0, abs=1e-2)
+
+    def test_first_step_magnitude_is_lr(self):
+        # With bias correction, Adam's first update has magnitude ~lr.
+        layer = quadratic_layer()
+        layer.weights[:] = 0.0
+        layer.grad_weights[:] = 7.0
+        layer.grad_bias[:] = 0.0
+        Adam(learning_rate=0.01).step([layer])
+        assert abs(layer.weights[0, 0]) == pytest.approx(0.01, rel=1e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Adam(beta1=1.0)
+        with pytest.raises(ValueError):
+            Adam(beta2=-0.1)
+        with pytest.raises(ValueError):
+            Adam(eps=0.0)
+
+    def test_trains_full_mlp(self):
+        net = MLP(2, (8,), 1, seed=0)
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(64, 2))
+        y = (x[:, :1] + 2 * x[:, 1:]) * 0.5
+        loss = MSELoss()
+        opt = Adam(learning_rate=0.01)
+        first = loss.value(net.forward(x), y)
+        for _ in range(300):
+            net.train_batch(x, y, loss)
+            opt.step(net.layers)
+        final = loss.value(net.forward(x), y)
+        assert final < first / 10
+
+
+class TestFactory:
+    def test_names(self):
+        assert set(OPTIMIZER_NAMES) == {"adam", "sgd"}
+
+    def test_make(self):
+        assert isinstance(make_optimizer("sgd"), SGD)
+        assert isinstance(make_optimizer("adam", learning_rate=0.5), Adam)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_optimizer("rmsprop")

@@ -1,0 +1,99 @@
+"""Tests for feature preprocessing."""
+
+import numpy as np
+import pytest
+
+from repro.ann.preprocessing import StandardScaler, log_transform, snap_to_classes
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_std(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(loc=5.0, scale=3.0, size=(200, 4))
+        z = StandardScaler().fit_transform(x)
+        assert np.allclose(z.mean(axis=0), 0.0, atol=1e-10)
+        assert np.allclose(z.std(axis=0), 1.0, atol=1e-10)
+
+    def test_constant_column_guard(self):
+        x = np.ones((10, 2))
+        x[:, 1] = np.arange(10)
+        z = StandardScaler().fit_transform(x)
+        assert np.allclose(z[:, 0], 0.0)
+        assert np.isfinite(z).all()
+
+    def test_transform_uses_training_stats(self):
+        scaler = StandardScaler()
+        scaler.fit(np.array([[0.0], [2.0]]))
+        z = scaler.transform(np.array([[4.0]]))
+        assert z[0, 0] == pytest.approx(3.0)  # (4-1)/1
+
+    def test_inverse_round_trip(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(50, 3)) * 7 + 2
+        scaler = StandardScaler()
+        z = scaler.fit_transform(x)
+        assert np.allclose(scaler.inverse_transform(z), x)
+
+    def test_use_before_fit_rejected(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.zeros((1, 2)))
+        with pytest.raises(RuntimeError):
+            StandardScaler().inverse_transform(np.zeros((1, 2)))
+
+    def test_width_mismatch_rejected(self):
+        scaler = StandardScaler().fit(np.zeros((3, 2)))
+        with pytest.raises(ValueError):
+            scaler.transform(np.zeros((3, 5)))
+
+    def test_empty_fit_rejected(self):
+        with pytest.raises(ValueError):
+            StandardScaler().fit(np.zeros((0, 2)))
+
+
+class TestLogTransform:
+    def test_values(self):
+        x = np.array([0.0, np.e - 1])
+        assert np.allclose(log_transform(x), [0.0, 1.0])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            log_transform(np.array([-1.0]))
+
+    def test_compresses_scale(self):
+        x = np.array([1.0, 1e6])
+        z = log_transform(x)
+        assert z[1] / z[0] < x[1] / x[0]
+
+
+class TestSnapToClasses:
+    def test_snaps_to_nearest(self):
+        classes = [1.0, 2.0, 3.0]
+        values = np.array([0.2, 1.4, 1.6, 2.9, 7.0])
+        snapped = snap_to_classes(values, classes)
+        assert snapped.tolist() == [1.0, 1.0, 2.0, 3.0, 3.0]
+
+    def test_ties_resolve_to_smaller(self):
+        snapped = snap_to_classes(np.array([1.5]), [1.0, 2.0])
+        assert snapped[0] == 1.0
+
+    def test_idempotent(self):
+        classes = [2.0, 4.0, 8.0]
+        values = np.array([2.7, 5.1, 8.0])
+        once = snap_to_classes(values, classes)
+        twice = snap_to_classes(once, classes)
+        assert (once == twice).all()
+
+    def test_log2_cache_sizes(self):
+        # The predictor snaps log2 sizes: {1, 2, 3} for {2, 4, 8} KB.
+        log_sizes = np.log2(np.array([2.0, 4.0, 8.0]))
+        pred = np.array([1.1, 2.4, 2.6, 3.9])
+        snapped = snap_to_classes(pred, log_sizes)
+        assert (2.0 ** snapped).tolist() == [2.0, 4.0, 8.0, 8.0]
+
+    def test_unsorted_classes_accepted(self):
+        snapped = snap_to_classes(np.array([5.0]), [8.0, 2.0, 4.0])
+        assert snapped[0] == 4.0
+
+    def test_empty_classes_rejected(self):
+        with pytest.raises(ValueError):
+            snap_to_classes(np.array([1.0]), [])

@@ -1,0 +1,140 @@
+"""Tests for the cache configuration design space (paper Table 1)."""
+
+import pytest
+
+from repro.cache.config import (
+    BASE_CONFIG,
+    CACHE_SIZES_KB,
+    DESIGN_SPACE,
+    LINE_SIZES_B,
+    CacheConfig,
+    associativities_for_size,
+    configs_for_size,
+    design_space,
+)
+
+
+class TestCacheConfig:
+    def test_basic_properties(self):
+        config = CacheConfig(size_kb=8, assoc=4, line_b=64)
+        assert config.size_bytes == 8192
+        assert config.num_lines == 128
+        assert config.num_sets == 32
+
+    def test_direct_mapped_sets_equal_lines(self):
+        config = CacheConfig(size_kb=2, assoc=1, line_b=16)
+        assert config.num_sets == config.num_lines == 128
+
+    def test_name_round_trip(self):
+        for config in DESIGN_SPACE:
+            assert CacheConfig.from_name(config.name) == config
+
+    def test_name_format(self):
+        assert CacheConfig(size_kb=4, assoc=2, line_b=32).name == "4KB_2W_32B"
+
+    def test_str_is_name(self):
+        config = CacheConfig(size_kb=2, assoc=1, line_b=16)
+        assert str(config) == config.name
+
+    @pytest.mark.parametrize(
+        "bad", ["", "8KB", "8KB_4W", "8K_4W_64B", "8KB_4W_64", "foo_bar_baz"]
+    )
+    def test_from_name_rejects_garbage(self, bad):
+        with pytest.raises(ValueError):
+            CacheConfig.from_name(bad)
+
+    def test_rejects_non_positive_size(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_kb=0, assoc=1, line_b=16)
+
+    def test_rejects_non_positive_assoc(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_kb=2, assoc=0, line_b=16)
+
+    def test_rejects_non_power_of_two_line(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_kb=2, assoc=1, line_b=24)
+
+    def test_rejects_geometry_that_does_not_divide(self):
+        # 1 KB cache with 64 ways of 64B lines needs 4 KB.
+        with pytest.raises(ValueError):
+            CacheConfig(size_kb=1, assoc=64, line_b=64)
+
+    def test_ordering_is_total(self):
+        ordered = sorted(DESIGN_SPACE)
+        assert ordered[0] == CacheConfig(size_kb=2, assoc=1, line_b=16)
+        assert ordered[-1] == CacheConfig(size_kb=8, assoc=4, line_b=64)
+
+    def test_equality_and_hash(self):
+        a = CacheConfig(size_kb=4, assoc=2, line_b=32)
+        b = CacheConfig(size_kb=4, assoc=2, line_b=32)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a in {b}
+
+
+class TestDesignSpace:
+    def test_eighteen_configurations(self):
+        assert len(DESIGN_SPACE) == 18
+
+    def test_table1_exact_contents(self):
+        expected = {
+            "2KB_1W_16B", "2KB_1W_32B", "2KB_1W_64B",
+            "4KB_1W_16B", "4KB_1W_32B", "4KB_1W_64B",
+            "4KB_2W_16B", "4KB_2W_32B", "4KB_2W_64B",
+            "8KB_1W_16B", "8KB_1W_32B", "8KB_1W_64B",
+            "8KB_2W_16B", "8KB_2W_32B", "8KB_2W_64B",
+            "8KB_4W_16B", "8KB_4W_32B", "8KB_4W_64B",
+        }
+        assert {c.name for c in DESIGN_SPACE} == expected
+
+    def test_no_duplicates(self):
+        assert len(set(DESIGN_SPACE)) == len(DESIGN_SPACE)
+
+    def test_all_in_design_space(self):
+        for config in DESIGN_SPACE:
+            assert config.in_design_space()
+
+    def test_outside_design_space(self):
+        assert not CacheConfig(size_kb=16, assoc=1, line_b=16).in_design_space()
+        assert not CacheConfig(size_kb=2, assoc=2, line_b=16).in_design_space()
+        assert not CacheConfig(size_kb=8, assoc=4, line_b=128).in_design_space()
+
+    def test_generator_matches_tuple(self):
+        assert tuple(design_space()) == DESIGN_SPACE
+
+    def test_ordered_smallest_first(self):
+        sizes = [c.size_kb for c in DESIGN_SPACE]
+        assert sizes == sorted(sizes)
+
+    def test_base_config_is_largest(self):
+        assert BASE_CONFIG.name == "8KB_4W_64B"
+        assert BASE_CONFIG in DESIGN_SPACE
+
+
+class TestAssociativities:
+    def test_per_size_ranges(self):
+        assert associativities_for_size(2) == (1,)
+        assert associativities_for_size(4) == (1, 2)
+        assert associativities_for_size(8) == (1, 2, 4)
+
+    def test_unknown_size_rejected(self):
+        with pytest.raises(ValueError):
+            associativities_for_size(16)
+
+    def test_configs_for_size_counts(self):
+        assert len(configs_for_size(2)) == 3
+        assert len(configs_for_size(4)) == 6
+        assert len(configs_for_size(8)) == 9
+
+    def test_configs_for_size_fixed_size(self):
+        for size in CACHE_SIZES_KB:
+            for config in configs_for_size(size):
+                assert config.size_kb == size
+                assert config.line_b in LINE_SIZES_B
+
+    def test_union_of_subsets_is_design_space(self):
+        union = set()
+        for size in CACHE_SIZES_KB:
+            union.update(configs_for_size(size))
+        assert union == set(DESIGN_SPACE)

@@ -1,0 +1,177 @@
+"""Tests for replacement policies."""
+
+import pytest
+
+from repro.cache.replacement import (
+    FIFOPolicy,
+    LRUPolicy,
+    PLRUPolicy,
+    POLICY_NAMES,
+    RandomPolicy,
+    make_policy,
+)
+
+
+class TestLRU:
+    def test_victim_is_least_recent(self):
+        policy = LRUPolicy(4)
+        for way in (0, 1, 2, 3):
+            policy.touch(way)
+        assert policy.victim([0, 1, 2, 3]) == 0
+
+    def test_touch_reorders(self):
+        policy = LRUPolicy(4)
+        for way in (0, 1, 2, 3):
+            policy.touch(way)
+        policy.touch(0)
+        assert policy.victim([0, 1, 2, 3]) == 1
+
+    def test_untouched_occupied_way_preferred(self):
+        policy = LRUPolicy(2)
+        policy.touch(1)
+        assert policy.victim([0, 1]) == 0
+
+    def test_reset_clears_history(self):
+        policy = LRUPolicy(2)
+        policy.touch(1)
+        policy.touch(0)
+        policy.reset()
+        # After a reset both occupied ways are untouched; the first listed
+        # occupied way is evicted.
+        assert policy.victim([0, 1]) == 0
+
+    def test_victim_requires_occupied(self):
+        with pytest.raises(ValueError):
+            LRUPolicy(2).victim([])
+
+    def test_touch_validates_way(self):
+        with pytest.raises(ValueError):
+            LRUPolicy(2).touch(2)
+        with pytest.raises(ValueError):
+            LRUPolicy(2).touch(-1)
+
+    def test_single_way(self):
+        policy = LRUPolicy(1)
+        policy.touch(0)
+        assert policy.victim([0]) == 0
+
+
+class TestFIFO:
+    def test_victim_is_first_inserted(self):
+        policy = FIFOPolicy(3)
+        for way in (2, 0, 1):
+            policy.touch(way)
+        assert policy.victim([0, 1, 2]) == 2
+
+    def test_hit_does_not_reorder(self):
+        policy = FIFOPolicy(2)
+        policy.touch(0)
+        policy.touch(1)
+        policy.touch(0)  # hit on way 0 does not move it
+        assert policy.victim([0, 1]) == 0
+
+    def test_victim_removed_from_queue(self):
+        policy = FIFOPolicy(2)
+        policy.touch(0)
+        policy.touch(1)
+        assert policy.victim([0, 1]) == 0
+        policy.touch(0)  # refill
+        assert policy.victim([0, 1]) == 1
+
+    def test_reset(self):
+        policy = FIFOPolicy(2)
+        policy.touch(1)
+        policy.reset()
+        assert policy.victim([0, 1]) == 0
+
+    def test_victim_requires_occupied(self):
+        with pytest.raises(ValueError):
+            FIFOPolicy(2).victim([])
+
+
+class TestRandom:
+    def test_deterministic_for_seed(self):
+        a = RandomPolicy(4, seed=7)
+        b = RandomPolicy(4, seed=7)
+        seq_a = [a.victim([0, 1, 2, 3]) for _ in range(20)]
+        seq_b = [b.victim([0, 1, 2, 3]) for _ in range(20)]
+        assert seq_a == seq_b
+
+    def test_different_seeds_differ(self):
+        a = RandomPolicy(4, seed=1)
+        b = RandomPolicy(4, seed=2)
+        seq_a = [a.victim([0, 1, 2, 3]) for _ in range(50)]
+        seq_b = [b.victim([0, 1, 2, 3]) for _ in range(50)]
+        assert seq_a != seq_b
+
+    def test_victims_are_occupied(self):
+        policy = RandomPolicy(4, seed=3)
+        for _ in range(50):
+            assert policy.victim([1, 3]) in (1, 3)
+
+    def test_reset_restarts_stream(self):
+        policy = RandomPolicy(4, seed=9)
+        first = [policy.victim([0, 1, 2, 3]) for _ in range(10)]
+        policy.reset()
+        second = [policy.victim([0, 1, 2, 3]) for _ in range(10)]
+        assert first == second
+
+    def test_victim_requires_occupied(self):
+        with pytest.raises(ValueError):
+            RandomPolicy(2).victim([])
+
+
+class TestPLRU:
+    def test_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            PLRUPolicy(3)
+
+    def test_two_way_behaves_like_lru(self):
+        policy = PLRUPolicy(2)
+        policy.touch(0)
+        policy.touch(1)
+        assert policy.victim([0, 1]) == 0
+        policy.touch(0)
+        assert policy.victim([0, 1]) == 1
+
+    def test_four_way_points_away_from_recent(self):
+        policy = PLRUPolicy(4)
+        for way in (0, 1, 2, 3):
+            policy.touch(way)
+        victim = policy.victim([0, 1, 2, 3])
+        assert victim != 3  # most recently used never evicted
+
+    def test_prefers_unoccupied_way(self):
+        policy = PLRUPolicy(4)
+        policy.touch(0)
+        assert policy.victim([0]) in (1, 2, 3)
+
+    def test_reset(self):
+        policy = PLRUPolicy(4)
+        for way in (0, 1, 2, 3):
+            policy.touch(way)
+        policy.reset()
+        assert policy.victim([0, 1, 2, 3]) == 0
+
+
+class TestFactory:
+    def test_all_names_constructible(self):
+        for name in POLICY_NAMES:
+            policy = make_policy(name, 4)
+            assert policy.num_ways == 4
+
+    def test_names_complete(self):
+        assert set(POLICY_NAMES) == {"fifo", "lru", "plru", "random"}
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_policy("mru", 4)
+
+    def test_seed_reaches_random(self):
+        a = make_policy("random", 4, seed=5)
+        b = make_policy("random", 4, seed=5)
+        assert [a.victim([0, 1])] * 5 == [b.victim([0, 1])] * 5
+
+    def test_non_positive_ways_rejected(self):
+        with pytest.raises(ValueError):
+            LRUPolicy(0)

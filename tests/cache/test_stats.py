@@ -1,0 +1,105 @@
+"""Tests for cache statistics counters."""
+
+import pytest
+
+from repro.cache.stats import CacheStats
+
+
+class TestRecording:
+    def test_record_hit(self):
+        stats = CacheStats()
+        stats.record_hit(is_write=False)
+        stats.record_hit(is_write=True)
+        assert stats.accesses == 2
+        assert stats.hits == 2
+        assert stats.read_accesses == 1
+        assert stats.write_accesses == 1
+        stats.validate()
+
+    def test_record_miss(self):
+        stats = CacheStats()
+        stats.record_miss(is_write=False, compulsory=True)
+        stats.record_miss(is_write=True)
+        assert stats.misses == 2
+        assert stats.read_misses == 1
+        assert stats.write_misses == 1
+        assert stats.compulsory_misses == 1
+        stats.validate()
+
+    def test_rates(self):
+        stats = CacheStats()
+        stats.record_hit(is_write=False)
+        stats.record_miss(is_write=False)
+        assert stats.miss_rate == pytest.approx(0.5)
+        assert stats.hit_rate == pytest.approx(0.5)
+
+    def test_rates_empty(self):
+        stats = CacheStats()
+        assert stats.miss_rate == 0.0
+        assert stats.hit_rate == 0.0
+
+
+class TestMergeAndCopy:
+    def test_merge_sums_all_fields(self):
+        a = CacheStats()
+        a.record_hit(is_write=False)
+        b = CacheStats()
+        b.record_miss(is_write=True, compulsory=True)
+        merged = a.merge(b)
+        assert merged.accesses == 2
+        assert merged.hits == 1
+        assert merged.misses == 1
+        assert merged.compulsory_misses == 1
+        merged.validate()
+
+    def test_merge_leaves_inputs_unchanged(self):
+        a = CacheStats()
+        a.record_hit(is_write=False)
+        b = CacheStats()
+        a.merge(b)
+        assert a.accesses == 1
+        assert b.accesses == 0
+
+    def test_copy_is_independent(self):
+        a = CacheStats()
+        a.record_hit(is_write=False)
+        c = a.copy()
+        c.record_miss(is_write=False)
+        assert a.misses == 0
+        assert c.misses == 1
+
+
+class TestValidation:
+    def test_inconsistent_hit_miss_sum(self):
+        stats = CacheStats(accesses=3, hits=1, misses=1)
+        with pytest.raises(ValueError):
+            stats.validate()
+
+    def test_inconsistent_read_write_split(self):
+        stats = CacheStats(accesses=2, hits=2, read_accesses=1)
+        with pytest.raises(ValueError):
+            stats.validate()
+
+    def test_inconsistent_miss_split(self):
+        stats = CacheStats(
+            accesses=2, misses=2, read_accesses=1, write_accesses=1,
+            read_misses=0, write_misses=1,
+        )
+        with pytest.raises(ValueError):
+            stats.validate()
+
+    def test_compulsory_bounded_by_misses(self):
+        stats = CacheStats(
+            accesses=1, misses=1, read_accesses=1, read_misses=1,
+            compulsory_misses=2,
+        )
+        with pytest.raises(ValueError):
+            stats.validate()
+
+    def test_negative_counter(self):
+        stats = CacheStats(evictions=-1)
+        with pytest.raises(ValueError):
+            stats.validate()
+
+    def test_fresh_stats_valid(self):
+        CacheStats().validate()

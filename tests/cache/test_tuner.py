@@ -1,0 +1,78 @@
+"""Tests for the cache tuner / reconfiguration model."""
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.cache.tuner import CacheTuner, ReconfigurationCost, TunerCostModel
+
+A = CacheConfig(size_kb=8, assoc=1, line_b=16)
+B = CacheConfig(size_kb=8, assoc=4, line_b=64)
+OTHER_SIZE = CacheConfig(size_kb=4, assoc=1, line_b=16)
+
+
+class TestCostModel:
+    def test_noop_is_free(self):
+        model = TunerCostModel()
+        assert model.cost(A, A) == ReconfigurationCost.ZERO
+
+    def test_cost_scales_with_old_lines(self):
+        model = TunerCostModel(flush_cycles_per_line=2, control_cycles=10)
+        cost = model.cost(A, B)
+        assert cost.cycles == 10 + 2 * A.num_lines
+
+    def test_energy_components(self):
+        model = TunerCostModel(
+            flush_energy_per_line_nj=0.5, control_energy_nj=3.0
+        )
+        cost = model.cost(A, B)
+        assert cost.energy_nj == pytest.approx(3.0 + 0.5 * A.num_lines)
+
+    def test_zero_constant(self):
+        assert ReconfigurationCost.ZERO.cycles == 0
+        assert ReconfigurationCost.ZERO.energy_nj == 0.0
+
+
+class TestCacheTuner:
+    def test_initial_config(self):
+        tuner = CacheTuner(A)
+        assert tuner.current == A
+        assert tuner.reconfigurations == 0
+
+    def test_reconfigure_updates_current(self):
+        tuner = CacheTuner(A)
+        cost = tuner.reconfigure(B)
+        assert tuner.current == B
+        assert cost.cycles > 0
+        assert tuner.reconfigurations == 1
+
+    def test_noop_not_counted(self):
+        tuner = CacheTuner(A)
+        cost = tuner.reconfigure(A)
+        assert cost == ReconfigurationCost.ZERO
+        assert tuner.reconfigurations == 0
+        assert tuner.total_cycles == 0
+
+    def test_size_change_rejected(self):
+        tuner = CacheTuner(A)
+        with pytest.raises(ValueError):
+            tuner.reconfigure(OTHER_SIZE)
+        assert tuner.current == A
+
+    def test_accumulates_totals(self):
+        tuner = CacheTuner(A)
+        c1 = tuner.reconfigure(B)
+        c2 = tuner.reconfigure(A)
+        assert tuner.total_cycles == c1.cycles + c2.cycles
+        assert tuner.total_energy_nj == pytest.approx(
+            c1.energy_nj + c2.energy_nj
+        )
+        assert tuner.reconfigurations == 2
+
+    def test_cost_depends_on_old_config(self):
+        # Flushing a 64B-line cache flushes fewer (larger) lines.
+        model = TunerCostModel(control_cycles=0, flush_cycles_per_line=1)
+        from_small_lines = CacheTuner(A, model).reconfigure(B)
+        from_large_lines = CacheTuner(B, model).reconfigure(A)
+        assert from_small_lines.cycles == A.num_lines
+        assert from_large_lines.cycles == B.num_lines
+        assert from_small_lines.cycles > from_large_lines.cycles

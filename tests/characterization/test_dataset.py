@@ -1,0 +1,147 @@
+"""Tests for the ANN dataset builder."""
+
+import numpy as np
+import pytest
+
+from repro.cache.config import configs_for_size
+from repro.characterization.dataset import (
+    Dataset,
+    build_dataset,
+    expand_suite,
+)
+from repro.characterization.store import CharacterizationStore
+from repro.workloads.counters import ANN_SELECTED_FEATURES
+from repro.workloads.eembc import eembc_suite
+
+SMALL_CONFIGS = configs_for_size(2) + configs_for_size(4) + configs_for_size(8)
+
+
+@pytest.fixture(scope="module")
+def built():
+    # Four families, three variants each over the full design space.
+    return build_dataset(
+        eembc_suite()[:4], variants_per_family=3, configs=SMALL_CONFIGS, seed=0
+    )
+
+
+class TestExpandSuite:
+    def test_counts(self):
+        expanded = expand_suite(eembc_suite()[:2], variants_per_family=4)
+        assert len(expanded) == 8
+
+    def test_variant_zero_is_original(self):
+        expanded = expand_suite(eembc_suite()[:1], variants_per_family=3)
+        assert expanded[0] is eembc_suite()[0]
+        assert expanded[1].name == "a2time.v1"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expand_suite(eembc_suite()[:1], variants_per_family=0)
+
+
+class TestBuildDataset:
+    def test_shapes(self, built):
+        dataset, store = built
+        assert len(dataset) == 12
+        assert dataset.features.shape == (12, len(ANN_SELECTED_FEATURES))
+        assert len(store) == 12
+
+    def test_labels_are_legal_sizes(self, built):
+        dataset, _ = built
+        assert set(np.unique(dataset.labels_kb)) <= {2.0, 4.0, 8.0}
+
+    def test_labels_match_store(self, built):
+        dataset, store = built
+        for name, label in zip(dataset.names, dataset.labels_kb):
+            assert store.best_size_kb(name) == label
+
+    def test_families_recorded(self, built):
+        dataset, _ = built
+        assert set(dataset.families) == {s.name for s in eembc_suite()[:4]}
+
+    def test_store_reuse_skips_recharacterisation(self, built):
+        _, store = built
+        before = len(store)
+        dataset2, store2 = build_dataset(
+            eembc_suite()[:4],
+            variants_per_family=3,
+            configs=SMALL_CONFIGS,
+            seed=0,
+            store=store,
+        )
+        assert store2 is store
+        assert len(store) == before
+        assert len(dataset2) == 12
+
+    def test_features_match_counters(self, built):
+        dataset, store = built
+        for i, name in enumerate(dataset.names):
+            expected = store.counters(name).as_vector(ANN_SELECTED_FEATURES)
+            assert np.allclose(dataset.features[i], expected)
+
+
+class TestSplit:
+    def test_family_aware_no_leakage(self, built):
+        dataset, _ = built
+        split = dataset.split(train=0.5, val=0.25, seed=0, by_family=True)
+        train_fams = set(split.train.families)
+        val_fams = set(split.val.families)
+        test_fams = set(split.test.families)
+        assert not (train_fams & val_fams)
+        assert not (train_fams & test_fams)
+        assert not (val_fams & test_fams)
+
+    def test_partition_complete(self, built):
+        dataset, _ = built
+        split = dataset.split(seed=1)
+        total = len(split.train) + len(split.val) + len(split.test)
+        assert total == len(dataset)
+
+    def test_random_split_fractions(self, built):
+        dataset, _ = built
+        split = dataset.split(train=0.5, val=0.25, seed=0, by_family=False)
+        assert len(split.train) == 6
+        assert len(split.val) == 3
+        assert len(split.test) == 3
+
+    def test_split_deterministic(self, built):
+        dataset, _ = built
+        a = dataset.split(seed=3, by_family=False)
+        b = dataset.split(seed=3, by_family=False)
+        assert a.train.names == b.train.names
+
+    def test_invalid_fractions(self, built):
+        dataset, _ = built
+        with pytest.raises(ValueError):
+            dataset.split(train=0.9, val=0.2)
+        with pytest.raises(ValueError):
+            dataset.split(train=0.0)
+
+
+class TestDatasetContainer:
+    def test_take(self, built):
+        dataset, _ = built
+        sub = dataset.take([0, 2])
+        assert len(sub) == 2
+        assert sub.names == (dataset.names[0], dataset.names[2])
+        assert np.allclose(sub.features[1], dataset.features[2])
+
+    def test_inconsistent_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            Dataset(
+                features=np.zeros((3, 2)),
+                labels_kb=np.zeros(2),
+                names=("a", "b", "c"),
+                families=("a", "b", "c"),
+                feature_names=("f1", "f2"),
+            )
+
+    def test_feature_name_width_checked(self):
+        with pytest.raises(ValueError):
+            Dataset(
+                features=np.zeros((2, 2)),
+                labels_kb=np.zeros(2),
+                names=("a", "b"),
+                families=("a", "b"),
+                feature_names=("f1",),
+            )

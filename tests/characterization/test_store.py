@@ -1,0 +1,79 @@
+"""Tests for the characterisation store and its persistence."""
+
+import pytest
+
+from repro.cache.config import BASE_CONFIG, configs_for_size
+from repro.characterization.explorer import characterize_suite
+from repro.characterization.store import CharacterizationStore
+from repro.workloads.eembc import eembc_suite
+
+
+@pytest.fixture(scope="module")
+def store():
+    # Small but real: three benchmarks over the 2KB and 4KB subspaces.
+    configs = configs_for_size(2) + configs_for_size(4) + configs_for_size(8)
+    return CharacterizationStore(
+        characterize_suite(eembc_suite()[:3], configs=configs)
+    )
+
+
+class TestMappingInterface:
+    def test_contains_and_len(self, store):
+        assert len(store) == 3
+        assert "a2time" in store
+        assert "matrix" not in store
+
+    def test_names_order(self, store):
+        assert store.names() == ["a2time", "aifftr", "aifirf"]
+
+    def test_get_unknown_rejected(self, store):
+        with pytest.raises(KeyError):
+            store.get("nonexistent")
+
+    def test_lookups(self, store):
+        estimate = store.estimate("a2time", BASE_CONFIG)
+        assert estimate.total_cycles > 0
+        assert store.best_config("a2time").size_kb == store.best_size_kb("a2time")
+        assert store.counters("a2time").instructions > 0
+
+    def test_subset(self, store):
+        sub = store.subset(["a2time"])
+        assert len(sub) == 1
+        with pytest.raises(KeyError):
+            store.subset(["missing"])
+
+
+class TestPersistence:
+    def test_json_round_trip(self, store, tmp_path):
+        path = tmp_path / "store.json"
+        store.to_json(path)
+        loaded = CharacterizationStore.from_json(path)
+        assert set(loaded.names()) == set(store.names())
+        for name in store.names():
+            original = store.get(name)
+            restored = loaded.get(name)
+            assert set(restored.results) == set(original.results)
+            for config in original.results:
+                a = original.result(config)
+                b = restored.result(config)
+                assert a.stats.hits == b.stats.hits
+                assert a.stats.misses == b.stats.misses
+                assert a.estimate.total_cycles == b.estimate.total_cycles
+                assert a.estimate.total_energy_nj == pytest.approx(
+                    b.estimate.total_energy_nj
+                )
+            assert restored.counters == original.counters
+
+    def test_round_trip_preserves_best_config(self, store, tmp_path):
+        path = tmp_path / "store.json"
+        store.to_json(path)
+        loaded = CharacterizationStore.from_json(path)
+        for name in store.names():
+            assert loaded.best_config(name) == store.best_config(name)
+
+    def test_add_replaces(self, store):
+        fresh = CharacterizationStore()
+        char = store.get("a2time")
+        fresh.add(char)
+        fresh.add(char)
+        assert len(fresh) == 1

@@ -1,0 +1,110 @@
+"""Tests for the energy-advantageous decision (paper §IV.E)."""
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.core.decision import (
+    evaluate_stall_decision,
+    remaining_energy_nj,
+)
+from repro.core.profiling import ExecutionRecord
+
+
+class TestRemainingEnergy:
+    def test_average_energy_per_cycle(self):
+        record = ExecutionRecord(
+            CacheConfig(2, 1, 16), total_energy_nj=1000.0, total_cycles=100
+        )
+        assert remaining_energy_nj(record, 40) == pytest.approx(400.0)
+
+    def test_zero_remaining(self):
+        record = ExecutionRecord(
+            CacheConfig(2, 1, 16), total_energy_nj=1000.0, total_cycles=100
+        )
+        assert remaining_energy_nj(record, 0) == 0.0
+
+    def test_negative_rejected(self):
+        record = ExecutionRecord(
+            CacheConfig(2, 1, 16), total_energy_nj=1000.0, total_cycles=100
+        )
+        with pytest.raises(ValueError):
+            remaining_energy_nj(record, -1)
+
+
+class TestStallDecision:
+    def test_short_wait_favours_stalling(self):
+        decision = evaluate_stall_decision(
+            best_core_energy_nj=100.0,
+            non_best_energy_nj=150.0,
+            wait_cycles=10,
+            idle_power_non_best_nj_per_cycle=0.1,
+        )
+        assert decision.stall
+        assert decision.stall_energy_nj == pytest.approx(101.0)
+        assert decision.run_energy_nj == 150.0
+        assert decision.margin_nj == pytest.approx(49.0)
+
+    def test_long_wait_favours_non_best_core(self):
+        decision = evaluate_stall_decision(
+            best_core_energy_nj=100.0,
+            non_best_energy_nj=150.0,
+            wait_cycles=1000,
+            idle_power_non_best_nj_per_cycle=0.1,
+        )
+        assert not decision.stall
+        assert decision.margin_nj == pytest.approx(-50.0)
+
+    def test_crossover_point(self):
+        # Stall energy equals run energy exactly at wait = delta / power.
+        delta = 50.0
+        power = 0.1
+        crossover = int(delta / power)
+        at = evaluate_stall_decision(
+            best_core_energy_nj=100.0,
+            non_best_energy_nj=150.0,
+            wait_cycles=crossover,
+            idle_power_non_best_nj_per_cycle=power,
+        )
+        beyond = evaluate_stall_decision(
+            best_core_energy_nj=100.0,
+            non_best_energy_nj=150.0,
+            wait_cycles=crossover + 1,
+            idle_power_non_best_nj_per_cycle=power,
+        )
+        assert at.stall  # ties favour stalling
+        assert not beyond.stall
+
+    def test_zero_wait_always_stalls(self):
+        # With the best core about to free, the best configuration wins.
+        decision = evaluate_stall_decision(
+            best_core_energy_nj=100.0,
+            non_best_energy_nj=100.1,
+            wait_cycles=0,
+            idle_power_non_best_nj_per_cycle=1.0,
+        )
+        assert decision.stall
+
+    def test_equal_energies_with_wait_runs_non_best(self):
+        decision = evaluate_stall_decision(
+            best_core_energy_nj=100.0,
+            non_best_energy_nj=100.0,
+            wait_cycles=5,
+            idle_power_non_best_nj_per_cycle=1.0,
+        )
+        assert not decision.stall
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            evaluate_stall_decision(
+                best_core_energy_nj=1.0,
+                non_best_energy_nj=1.0,
+                wait_cycles=-1,
+                idle_power_non_best_nj_per_cycle=0.1,
+            )
+        with pytest.raises(ValueError):
+            evaluate_stall_decision(
+                best_core_energy_nj=1.0,
+                non_best_energy_nj=1.0,
+                wait_cycles=1,
+                idle_power_non_best_nj_per_cycle=-0.1,
+            )

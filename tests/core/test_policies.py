@@ -1,0 +1,151 @@
+"""Behavioural tests for the four scheduling policies.
+
+Policies are exercised through small real simulations (the ``sim``
+argument they receive is the live simulation object), probing the
+specific branch behaviour of each policy's dispatch rule.
+"""
+
+import pytest
+
+from repro.cache.config import BASE_CONFIG
+from repro.core.policies import (
+    POLICY_NAMES,
+    BasePolicy,
+    EnergyCentricPolicy,
+    OptimalPolicy,
+    ProposedPolicy,
+    make_policy,
+)
+from repro.workloads.arrivals import JobArrival
+
+from .conftest import SUITE_NAMES, arrivals_for, make_simulation
+
+
+class TestFactory:
+    def test_names(self):
+        assert POLICY_NAMES == ("base", "optimal", "energy_centric", "proposed")
+
+    def test_make(self):
+        assert isinstance(make_policy("base"), BasePolicy)
+        assert isinstance(make_policy("optimal"), OptimalPolicy)
+        assert isinstance(make_policy("energy_centric"), EnergyCentricPolicy)
+        assert isinstance(make_policy("proposed"), ProposedPolicy)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_policy("random")
+
+    def test_flags(self):
+        assert not BasePolicy.requires_profiling
+        assert OptimalPolicy.requires_profiling
+        assert not OptimalPolicy.uses_predictor
+        assert EnergyCentricPolicy.uses_predictor
+        assert ProposedPolicy.uses_predictor
+
+
+class TestBasePolicy:
+    def test_first_idle_core_taken(self, small_store, oracle, energy_table):
+        sim = make_simulation("base", small_store, oracle, energy_table)
+        result = sim.run(arrivals_for(["puwmod", "puwmod"], gap=0))
+        cores = sorted(r.core_index for r in result.jobs)
+        assert cores == [0, 1]
+
+    def test_waits_when_all_busy(self, small_store, oracle, energy_table):
+        sim = make_simulation("base", small_store, oracle, energy_table)
+        # Five simultaneous arrivals on four cores: one must wait.
+        result = sim.run(arrivals_for(["puwmod"] * 5, gap=0))
+        waits = [r.waiting_cycles for r in result.jobs]
+        assert sorted(waits)[-1] > 0
+        assert sorted(waits)[:4] == [0, 0, 0, 0]
+
+
+class TestEnergyCentricPolicy:
+    def test_stalls_with_idle_non_best_cores(self, small_store, oracle,
+                                             energy_table):
+        # Two 2KB-best jobs: second must wait for Core 1 even though
+        # cores 2-4 are idle.
+        sim = make_simulation("energy_centric", small_store, oracle,
+                              energy_table)
+        # Pre-profile via an earlier pair of arrivals, spaced out.
+        names = ["puwmod", "puwmod", "puwmod", "puwmod"]
+        arrivals = [
+            JobArrival(job_id=0, benchmark="puwmod", arrival_cycle=0),
+            JobArrival(job_id=1, benchmark="puwmod", arrival_cycle=3_000_000),
+            JobArrival(job_id=2, benchmark="puwmod", arrival_cycle=6_000_000),
+            JobArrival(job_id=3, benchmark="puwmod", arrival_cycle=6_000_001),
+        ]
+        result = sim.run(arrivals)
+        later = [r for r in result.jobs if r.job_id >= 2]
+        assert all(r.core_index == 0 for r in later)
+        by_id = {r.job_id: r for r in result.jobs}
+        assert by_id[3].start_cycle >= by_id[2].completion_cycle
+
+
+class TestOptimalPolicy:
+    def test_never_stalls_with_idle_cores(self, small_store, oracle,
+                                          energy_table):
+        sim = make_simulation("optimal", small_store, oracle, energy_table)
+        # After profiling, simultaneous arrivals spread over idle cores.
+        arrivals = (
+            arrivals_for(SUITE_NAMES, gap=3_000_000)
+            + [
+                JobArrival(job_id=10 + i, benchmark="puwmod",
+                           arrival_cycle=20_000_000 + i)
+                for i in range(4)
+            ]
+        )
+        result = sim.run(arrivals)
+        burst = [r for r in result.jobs if r.job_id >= 10]
+        assert {r.core_index for r in burst} == {0, 1, 2, 3}
+
+    def test_exploration_configs_increase(self, small_store, oracle,
+                                          energy_table):
+        sim = make_simulation("optimal", small_store, oracle, energy_table)
+        result = sim.run(arrivals_for(["idctrn"] * 6, gap=3_000_000))
+        explored = [r.config_name for r in result.jobs]
+        # Every execution tries a new configuration (profiling included).
+        assert len(set(explored)) == len(explored)
+
+
+class TestProposedPolicy:
+    def test_prefers_best_core_when_idle(self, small_store, oracle,
+                                         energy_table):
+        sim = make_simulation("proposed", small_store, oracle, energy_table)
+        result = sim.run(arrivals_for(["puwmod"] * 4, gap=3_000_000))
+        # After profiling, puwmod (2KB-best) lands on Core 1 (index 0).
+        later = [r for r in result.jobs if not r.profiled]
+        assert all(r.core_index == 0 for r in later)
+
+    def test_explores_unknown_non_best_cores_when_best_busy(
+        self, small_store, oracle, energy_table
+    ):
+        sim = make_simulation("proposed", small_store, oracle, energy_table)
+        # Burst of same-benchmark jobs: best core busy, others unknown ->
+        # tuning executions on non-best cores.
+        arrivals = arrivals_for(["puwmod"], gap=0) + [
+            JobArrival(job_id=1 + i, benchmark="puwmod",
+                       arrival_cycle=3_000_000 + i)
+            for i in range(4)
+        ]
+        result = sim.run(arrivals)
+        burst = [r for r in result.jobs if r.job_id >= 1]
+        cores = {r.core_index for r in burst}
+        assert len(cores) > 1  # spilled beyond the single best core
+
+    def test_stall_vs_non_best_counted(self, small_store, oracle,
+                                       energy_table):
+        sim = make_simulation("proposed", small_store, oracle, energy_table)
+        arrivals = [
+            JobArrival(job_id=i, benchmark="puwmod",
+                       arrival_cycle=(i // 2) * 40_000)
+            for i in range(30)
+        ]
+        result = sim.run(arrivals)
+        assert result.stall_decisions + result.non_best_decisions > 0
+
+    def test_profiled_jobs_complete_without_prediction_error(
+        self, small_store, oracle, energy_table
+    ):
+        sim = make_simulation("proposed", small_store, oracle, energy_table)
+        result = sim.run(arrivals_for(SUITE_NAMES * 2, gap=100_000))
+        assert result.jobs_completed == 8

@@ -1,0 +1,132 @@
+"""Tests for the best-core predictors."""
+
+import numpy as np
+import pytest
+
+from repro.ann.training import TrainingConfig
+from repro.cache.config import configs_for_size
+from repro.characterization.dataset import Dataset, build_dataset
+from repro.characterization.explorer import characterize_suite
+from repro.characterization.store import CharacterizationStore
+from repro.core.predictor import AnnPredictor, FixedPredictor, OraclePredictor
+from repro.workloads.counters import ANN_SELECTED_FEATURES
+from repro.workloads.eembc import eembc_suite
+
+ALL_CONFIGS = configs_for_size(2) + configs_for_size(4) + configs_for_size(8)
+
+
+@pytest.fixture(scope="module")
+def store():
+    return CharacterizationStore(
+        characterize_suite(eembc_suite()[:4], configs=ALL_CONFIGS)
+    )
+
+
+class TestOraclePredictor:
+    def test_returns_true_best(self, store):
+        oracle = OraclePredictor(store)
+        for name in store.names():
+            assert oracle.predict_size_kb(name, store.counters(name)) == (
+                store.best_size_kb(name)
+            )
+
+    def test_unknown_benchmark_raises(self, store):
+        with pytest.raises(KeyError):
+            OraclePredictor(store).predict_size_kb("unknown", None)
+
+
+class TestFixedPredictor:
+    def test_constant(self):
+        predictor = FixedPredictor(4)
+        assert predictor.predict_size_kb("anything", None) == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FixedPredictor(0)
+
+
+def synthetic_dataset(n=120, seed=0):
+    """A dataset whose label is a simple function of the features."""
+    rng = np.random.default_rng(seed)
+    features = rng.uniform(1e3, 1e6, size=(n, len(ANN_SELECTED_FEATURES)))
+    # Label derives from the cycles/instructions ratio: an easy pattern.
+    ratio = features[:, 1] / features[:, 0]
+    tertiles = np.quantile(ratio, [1 / 3, 2 / 3])
+    labels = np.where(
+        ratio < tertiles[0], 2.0, np.where(ratio < tertiles[1], 4.0, 8.0)
+    )
+    return Dataset(
+        features=features,
+        labels_kb=labels,
+        names=tuple(f"s{i}" for i in range(n)),
+        families=tuple(f"f{i % 10}" for i in range(n)),
+        feature_names=ANN_SELECTED_FEATURES,
+    )
+
+
+class TestAnnPredictor:
+    def test_fit_predict_on_learnable_pattern(self):
+        dataset = synthetic_dataset()
+        split = dataset.split(seed=0, by_family=False)
+        predictor = AnnPredictor(n_members=5, seed=0)
+        predictor.fit(
+            split.train, val_dataset=split.val,
+            config=TrainingConfig(epochs=150, seed=0),
+        )
+        pred = predictor.predict_sizes_kb(split.train.features)
+        accuracy = (pred == split.train.labels_kb).mean()
+        assert accuracy > 0.8
+
+    def test_predictions_are_legal_sizes(self):
+        dataset = synthetic_dataset(n=60)
+        predictor = AnnPredictor(n_members=2, seed=0)
+        predictor.fit(dataset, config=TrainingConfig(epochs=20, seed=0))
+        pred = predictor.predict_sizes_kb(dataset.features)
+        assert set(np.unique(pred)) <= {2, 4, 8}
+
+    def test_predict_before_fit_rejected(self):
+        predictor = AnnPredictor(n_members=2)
+        with pytest.raises(RuntimeError):
+            predictor.predict_sizes_kb(np.zeros((1, 7)))
+
+    def test_feature_names_must_match(self):
+        dataset = synthetic_dataset(n=30)
+        predictor = AnnPredictor(feature_names=("instructions",), n_members=1)
+        with pytest.raises(ValueError):
+            predictor.fit(dataset)
+
+    def test_counter_interface(self, store):
+        dataset, _ = build_dataset(
+            eembc_suite()[:4], variants_per_family=3,
+            configs=ALL_CONFIGS, seed=0, store=store,
+        )
+        predictor = AnnPredictor(n_members=2, seed=0)
+        predictor.fit(dataset, config=TrainingConfig(epochs=30, seed=0))
+        size = predictor.predict_size_kb(
+            "a2time", store.counters("a2time")
+        )
+        assert size in (2, 4, 8)
+
+    def test_deterministic(self):
+        dataset = synthetic_dataset(n=60)
+        a = AnnPredictor(n_members=3, seed=1)
+        b = AnnPredictor(n_members=3, seed=1)
+        config = TrainingConfig(epochs=30, seed=1)
+        a.fit(dataset, config=config)
+        b.fit(dataset, config=config)
+        assert (
+            a.predict_sizes_kb(dataset.features)
+            == b.predict_sizes_kb(dataset.features)
+        ).all()
+
+    def test_log_features_toggle(self):
+        dataset = synthetic_dataset(n=60)
+        predictor = AnnPredictor(n_members=1, seed=0, log_features=False)
+        predictor.fit(dataset, config=TrainingConfig(epochs=10, seed=0))
+        assert predictor.predict_sizes_kb(dataset.features).shape == (60,)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AnnPredictor(feature_names=())
+        with pytest.raises(ValueError):
+            AnnPredictor(sizes_kb=())

@@ -1,0 +1,180 @@
+"""Tests for preemptive scheduling (paper future work §VIII)."""
+
+import pytest
+
+from repro.cache.config import BASE_CONFIG
+from repro.core.scheduler import CoreState, Job
+from repro.core.system import CoreSpec
+from repro.workloads.arrivals import JobArrival
+
+from .conftest import SUITE_NAMES, arrivals_for, make_simulation
+
+
+def blockers_plus_urgent(urgent_priority=9, urgent_arrival=10_000):
+    """Four long jobs at t=0 on all cores, one urgent job later."""
+    arrivals = [
+        JobArrival(job_id=i, benchmark="pntrch", arrival_cycle=0)
+        for i in range(4)
+    ]
+    arrivals.append(
+        JobArrival(job_id=4, benchmark="puwmod",
+                   arrival_cycle=urgent_arrival, priority=urgent_priority)
+    )
+    return arrivals
+
+
+class TestCorePreempt:
+    def make_busy_core(self):
+        core = CoreState(CoreSpec(index=0, cache_size_kb=8))
+        job = Job(job_id=0, benchmark="b", arrival_cycle=0)
+        core.begin(job, now=0, service_cycles=100)
+        return core, job
+
+    def test_preempt_returns_fraction(self):
+        core, job = self.make_busy_core()
+        victim, fraction = core.preempt(now=25)
+        assert victim is job
+        assert fraction == pytest.approx(0.25)
+        assert core.is_idle(25)
+
+    def test_preempt_refunds_busy_cycles(self):
+        core, _ = self.make_busy_core()
+        core.preempt(now=40)
+        assert core.busy_cycles == 40
+
+    def test_preempt_advances_epoch(self):
+        core, _ = self.make_busy_core()
+        epoch = core.epoch
+        core.preempt(now=10)
+        assert core.epoch == epoch + 1
+
+    def test_preempt_idle_rejected(self):
+        core = CoreState(CoreSpec(index=0, cache_size_kb=8))
+        with pytest.raises(RuntimeError):
+            core.preempt(now=0)
+
+    def test_preempt_after_finish_time_rejected(self):
+        core, _ = self.make_busy_core()
+        with pytest.raises(RuntimeError):
+            core.preempt(now=100)
+
+
+class TestPreemptiveSimulation:
+    def test_requires_urgency_discipline(self, small_store, oracle,
+                                         energy_table):
+        with pytest.raises(ValueError):
+            make_simulation("base", small_store, oracle, energy_table,
+                            discipline="fifo", preemptive=True)
+
+    def test_urgent_job_starts_immediately(self, small_store, oracle,
+                                           energy_table):
+        sim = make_simulation("base", small_store, oracle, energy_table,
+                              discipline="priority", preemptive=True)
+        result = sim.run(blockers_plus_urgent())
+        by_id = {r.job_id: r for r in result.jobs}
+        assert by_id[4].start_cycle == 10_000
+        assert result.preemption_count == 1
+
+    def test_without_preemption_urgent_job_waits(self, small_store, oracle,
+                                                 energy_table):
+        sim = make_simulation("base", small_store, oracle, energy_table,
+                              discipline="priority", preemptive=False)
+        result = sim.run(blockers_plus_urgent())
+        by_id = {r.job_id: r for r in result.jobs}
+        assert by_id[4].start_cycle > 10_000
+        assert result.preemption_count == 0
+
+    def test_victim_completes_with_remaining_work(self, small_store, oracle,
+                                                  energy_table):
+        sim = make_simulation("base", small_store, oracle, energy_table,
+                              discipline="priority", preemptive=True)
+        result = sim.run(blockers_plus_urgent())
+        assert result.jobs_completed == 5
+        victim = next(r for r in result.jobs if r.preemptions == 1)
+        unpreempted = next(
+            r for r in result.jobs
+            if r.preemptions == 0 and r.benchmark == "pntrch"
+        )
+        # The victim's total span exceeds an uninterrupted run's span.
+        assert (
+            victim.completion_cycle - victim.start_cycle
+            > unpreempted.completion_cycle - unpreempted.start_cycle
+        )
+
+    def test_equal_priority_never_preempts(self, small_store, oracle,
+                                           energy_table):
+        arrivals = blockers_plus_urgent(urgent_priority=0)
+        sim = make_simulation("base", small_store, oracle, energy_table,
+                              discipline="priority", preemptive=True)
+        result = sim.run(arrivals)
+        assert result.preemption_count == 0
+
+    def test_profiling_runs_never_preempted(self, small_store, oracle,
+                                            energy_table):
+        # Proposed policy: first executions are profiling runs on cores
+        # 3/4; an urgent arrival must not preempt them.
+        arrivals = [
+            JobArrival(job_id=0, benchmark="pntrch", arrival_cycle=0),
+            JobArrival(job_id=1, benchmark="idctrn", arrival_cycle=0),
+            JobArrival(job_id=2, benchmark="puwmod", arrival_cycle=1000,
+                       priority=9),
+        ]
+        sim = make_simulation("proposed", small_store, oracle, energy_table,
+                              discipline="priority", preemptive=True)
+        result = sim.run(arrivals)
+        profiled = [r for r in result.jobs if r.profiled]
+        assert all(r.preemptions == 0 for r in profiled)
+
+    def test_energy_refund_is_consistent(self, small_store, oracle,
+                                         energy_table):
+        """Preempted work is charged pro-rata: the preemptive run's total
+        energy stays close to the non-preemptive one (same executions,
+        one split in two)."""
+        arrivals = blockers_plus_urgent()
+        preemptive = make_simulation(
+            "base", small_store, oracle, energy_table,
+            discipline="priority", preemptive=True,
+        ).run(arrivals)
+        plain = make_simulation(
+            "base", small_store, oracle, energy_table,
+            discipline="priority", preemptive=False,
+        ).run(arrivals)
+        ratio = preemptive.total_energy_nj / plain.total_energy_nj
+        assert 0.9 < ratio < 1.1
+
+    def test_edf_preemption(self, small_store, oracle, energy_table):
+        arrivals = [
+            JobArrival(job_id=i, benchmark="pntrch", arrival_cycle=0)
+            for i in range(4)
+        ] + [
+            JobArrival(job_id=4, benchmark="puwmod", arrival_cycle=12_000,
+                       deadline_cycle=80_000),
+        ]
+        sim = make_simulation("base", small_store, oracle, energy_table,
+                              discipline="edf", preemptive=True)
+        result = sim.run(arrivals)
+        by_id = {r.job_id: r for r in result.jobs}
+        assert by_id[4].start_cycle == 12_000
+        assert by_id[4].met_deadline is True
+
+    def test_heavy_qos_run_completes(self, small_store, oracle,
+                                     energy_table):
+        from repro.workloads.arrivals import with_qos
+
+        arrivals = with_qos(
+            arrivals_for(SUITE_NAMES * 10, gap=40_000),
+            service_estimate=lambda name: small_store.estimate(
+                name, BASE_CONFIG
+            ).total_cycles,
+            priority_levels=4,
+            seed=1,
+        )
+        sim = make_simulation("proposed", small_store, oracle, energy_table,
+                              discipline="priority", preemptive=True)
+        result = sim.run(arrivals)
+        assert result.jobs_completed == len(arrivals)
+        # The run is internally consistent even with preemptions.
+        assert result.total_energy_nj > 0
+        for record in result.jobs:
+            assert record.arrival_cycle <= record.start_cycle
+            assert record.start_cycle < record.completion_cycle

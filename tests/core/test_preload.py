@@ -1,0 +1,64 @@
+"""Tests for pre-loaded profiling information (paper §IV.B)."""
+
+import pytest
+
+from .conftest import SUITE_NAMES, arrivals_for, make_simulation
+
+
+class TestPreloadProfiles:
+    def test_no_runtime_profiling(self, small_store, oracle, energy_table):
+        sim = make_simulation("proposed", small_store, oracle, energy_table,
+                              preload_profiles=True)
+        result = sim.run(arrivals_for(SUITE_NAMES * 5))
+        assert result.profiling_executions == 0
+        assert all(not r.profiled for r in result.jobs)
+
+    def test_no_runtime_tuning(self, small_store, oracle, energy_table):
+        sim = make_simulation("proposed", small_store, oracle, energy_table,
+                              preload_profiles=True)
+        result = sim.run(arrivals_for(SUITE_NAMES * 5))
+        assert result.tuning_executions == 0
+        assert all(not r.tuning for r in result.jobs)
+
+    def test_predictions_installed_upfront(self, small_store, oracle,
+                                           energy_table):
+        sim = make_simulation("proposed", small_store, oracle, energy_table,
+                              preload_profiles=True)
+        for name in SUITE_NAMES:
+            assert sim.table.predicted_size_kb(name) is not None
+            for size in (2, 4, 8):
+                assert sim.table.is_best_config_known(name, size)
+
+    def test_first_job_runs_best_config_immediately(self, small_store,
+                                                    oracle, energy_table):
+        sim = make_simulation("proposed", small_store, oracle, energy_table,
+                              preload_profiles=True)
+        result = sim.run(arrivals_for(["puwmod"]))
+        record = result.jobs[0]
+        best = small_store.get("puwmod").best_config()
+        assert record.config_name == best.name
+
+    def test_preloaded_beats_cold_start_energy(self, small_store, oracle,
+                                               energy_table):
+        arrivals = arrivals_for(SUITE_NAMES * 6, gap=150_000)
+        cold = make_simulation(
+            "proposed", small_store, oracle, energy_table
+        ).run(arrivals)
+        warm = make_simulation(
+            "proposed", small_store, oracle, energy_table,
+            preload_profiles=True,
+        ).run(arrivals)
+        # No profiling runs at the pessimistic base configuration and no
+        # tuning exploration: the warm start spends less energy.
+        assert warm.total_energy_nj < cold.total_energy_nj
+        assert warm.jobs_completed == cold.jobs_completed
+
+    def test_preload_without_predictor_only_profiles(self, small_store,
+                                                     oracle, energy_table):
+        # The optimal policy has no predictor: preloading installs
+        # counters only, leaving its exhaustive exploration untouched.
+        sim = make_simulation("optimal", small_store, oracle, energy_table,
+                              preload_profiles=True)
+        result = sim.run(arrivals_for(SUITE_NAMES * 2, gap=2_000_000))
+        assert result.profiling_executions == 0
+        assert result.tuning_executions > 0  # still explores

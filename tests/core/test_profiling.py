@@ -1,0 +1,116 @@
+"""Tests for the profiling table."""
+
+import pytest
+
+from repro.cache.config import BASE_CONFIG, CacheConfig
+from repro.core.profiling import ExecutionRecord, ProfilingTable
+
+CFG_2K = CacheConfig(2, 1, 16)
+CFG_2K_B = CacheConfig(2, 1, 32)
+CFG_8K = CacheConfig(8, 1, 16)
+
+
+def make_counters():
+    from repro.workloads.counters import HardwareCounters
+
+    return HardwareCounters(
+        instructions=1000, cycles=1200, ipc=1000 / 1200, loads=200,
+        stores=100, branches=100, taken_branches=60, int_ops=500,
+        fp_ops=100, mem_accesses=300, cache_hits=290, cache_misses=10,
+        miss_rate=10 / 300, stall_cycles=200, compulsory_misses=5,
+        unique_lines=20, compute_intensity=2.0, memory_intensity=0.3,
+    )
+
+
+class TestExecutionRecord:
+    def test_energy_per_cycle(self):
+        record = ExecutionRecord(CFG_2K, total_energy_nj=500.0, total_cycles=100)
+        assert record.energy_per_cycle_nj == pytest.approx(5.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExecutionRecord(CFG_2K, total_energy_nj=-1.0, total_cycles=10)
+        with pytest.raises(ValueError):
+            ExecutionRecord(CFG_2K, total_energy_nj=1.0, total_cycles=0)
+
+
+class TestProfilingLifecycle:
+    def test_unknown_benchmark_empty(self):
+        table = ProfilingTable()
+        assert not table.has_profile("x")
+        assert table.predicted_size_kb("x") is None
+        assert table.execution("x", CFG_2K) is None
+        assert table.best_known_config("x", 2) is None
+        assert not table.is_best_config_known("x", 2)
+
+    def test_record_profiling(self):
+        table = ProfilingTable()
+        table.record_profiling("bench", make_counters())
+        assert table.has_profile("bench")
+        assert table.profile("bench").counters.instructions == 1000
+
+    def test_record_prediction(self):
+        table = ProfilingTable()
+        table.record_prediction("bench", 4)
+        assert table.predicted_size_kb("bench") == 4
+        with pytest.raises(ValueError):
+            table.record_prediction("bench", 0)
+
+    def test_touching_creates_profile(self):
+        table = ProfilingTable()
+        table.profile("a")
+        assert "a" in table
+        assert len(table) == 1
+        assert table.benchmarks() == ("a",)
+
+
+class TestExecutions:
+    def test_record_and_lookup(self):
+        table = ProfilingTable()
+        table.record_execution("b", CFG_2K, 100.0, 50)
+        record = table.execution("b", CFG_2K)
+        assert record.total_energy_nj == 100.0
+        assert record.total_cycles == 50
+
+    def test_re_execution_overwrites(self):
+        table = ProfilingTable()
+        table.record_execution("b", CFG_2K, 100.0, 50)
+        table.record_execution("b", CFG_2K, 90.0, 45)
+        assert table.execution("b", CFG_2K).total_energy_nj == 90.0
+
+    def test_best_known_config_per_size(self):
+        table = ProfilingTable()
+        table.record_execution("b", CFG_2K, 100.0, 50)
+        table.record_execution("b", CFG_2K_B, 80.0, 40)
+        table.record_execution("b", CFG_8K, 10.0, 10)
+        assert table.best_known_config("b", 2) == CFG_2K_B
+        assert table.best_known_config("b", 8) == CFG_8K
+        assert table.best_known_config("b", 4) is None
+
+    def test_best_known_tie_resolves_canonically(self):
+        table = ProfilingTable()
+        table.record_execution("b", CFG_2K_B, 100.0, 50)
+        table.record_execution("b", CFG_2K, 100.0, 50)
+        assert table.best_known_config("b", 2) == CFG_2K  # smaller first
+
+    def test_explored_configs_sorted(self):
+        table = ProfilingTable()
+        table.record_execution("b", CFG_2K_B, 1.0, 1)
+        table.record_execution("b", CFG_2K, 1.0, 1)
+        profile = table.profile("b")
+        assert profile.explored_configs_for_size(2) == (CFG_2K, CFG_2K_B)
+
+
+class TestTunedState:
+    def test_mark_tuned(self):
+        table = ProfilingTable()
+        table.mark_tuned("b", 2)
+        assert table.is_best_config_known("b", 2)
+        assert not table.is_best_config_known("b", 4)
+
+    def test_exploration_counts(self):
+        table = ProfilingTable()
+        table.record_execution("a", CFG_2K, 1.0, 1)
+        table.record_execution("a", CFG_8K, 1.0, 1)
+        table.record_execution("b", BASE_CONFIG, 1.0, 1)
+        assert table.exploration_counts() == {"a": 2, "b": 1}

@@ -1,0 +1,179 @@
+"""Tests for the priority/deadline scheduling extension (paper §VIII)."""
+
+import pytest
+
+from repro.cache.config import BASE_CONFIG
+from repro.core.scheduler import Job
+from repro.workloads.arrivals import JobArrival, with_qos
+
+from .conftest import SUITE_NAMES, arrivals_for, make_simulation
+
+
+class TestJobQoSFields:
+    def test_defaults_are_paper_behaviour(self):
+        job = Job(job_id=0, benchmark="b", arrival_cycle=0)
+        assert job.priority == 0
+        assert job.deadline_cycle is None
+
+    def test_deadline_before_arrival_rejected(self):
+        with pytest.raises(ValueError):
+            Job(job_id=0, benchmark="b", arrival_cycle=100, deadline_cycle=50)
+        with pytest.raises(ValueError):
+            JobArrival(job_id=0, benchmark="b", arrival_cycle=100,
+                       deadline_cycle=50)
+
+
+class TestWithQos:
+    def make(self, **kwargs):
+        arrivals = [
+            JobArrival(job_id=i, benchmark="puwmod", arrival_cycle=i * 1000)
+            for i in range(50)
+        ]
+        return with_qos(
+            arrivals, service_estimate=lambda name: 40_000, **kwargs
+        )
+
+    def test_priorities_in_range(self):
+        annotated = self.make(priority_levels=3, seed=0)
+        assert {a.priority for a in annotated} == {0, 1, 2}
+
+    def test_deadline_formula(self):
+        annotated = self.make(deadline_slack=2.5, deadline_fraction=1.0, seed=0)
+        for arrival in annotated:
+            assert arrival.deadline_cycle == arrival.arrival_cycle + 100_000
+
+    def test_deadline_fraction(self):
+        annotated = self.make(deadline_fraction=0.0, seed=0)
+        assert all(a.deadline_cycle is None for a in annotated)
+
+    def test_deterministic(self):
+        assert self.make(seed=3) == self.make(seed=3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self.make(priority_levels=0)
+        with pytest.raises(ValueError):
+            self.make(deadline_slack=0)
+        with pytest.raises(ValueError):
+            self.make(deadline_fraction=1.5)
+        with pytest.raises(ValueError):
+            with_qos(
+                [JobArrival(job_id=0, benchmark="x", arrival_cycle=0)],
+                service_estimate=lambda name: 0,
+            )
+
+
+class TestDisciplines:
+    def test_unknown_discipline_rejected(self, small_store, oracle,
+                                         energy_table):
+        with pytest.raises(ValueError):
+            make_simulation(
+                "base", small_store, oracle, energy_table, discipline="lifo"
+            )
+
+    def test_priority_jumps_queue(self, small_store, oracle, energy_table):
+        # Four simultaneous arrivals occupy all cores; two more arrive:
+        # under priority discipline the high-priority one starts first
+        # even though it arrived with a later id.
+        # Blockers with distinct service times so cores free one at a
+        # time (same-benchmark blockers would all complete at once).
+        arrivals = [
+            JobArrival(job_id=i, benchmark=name, arrival_cycle=0)
+            for i, name in enumerate(SUITE_NAMES)
+        ] + [
+            JobArrival(job_id=4, benchmark="puwmod", arrival_cycle=1,
+                       priority=0),
+            JobArrival(job_id=5, benchmark="puwmod", arrival_cycle=1,
+                       priority=5),
+        ]
+        sim = make_simulation("base", small_store, oracle, energy_table,
+                              discipline="priority")
+        result = sim.run(arrivals)
+        by_id = {r.job_id: r for r in result.jobs}
+        assert by_id[5].start_cycle < by_id[4].start_cycle
+
+    def test_fifo_keeps_arrival_order(self, small_store, oracle,
+                                      energy_table):
+        arrivals = [
+            JobArrival(job_id=i, benchmark=name, arrival_cycle=0)
+            for i, name in enumerate(SUITE_NAMES)
+        ] + [
+            JobArrival(job_id=4, benchmark="puwmod", arrival_cycle=1,
+                       priority=0),
+            JobArrival(job_id=5, benchmark="puwmod", arrival_cycle=1,
+                       priority=5),
+        ]
+        sim = make_simulation("base", small_store, oracle, energy_table)
+        result = sim.run(arrivals)
+        by_id = {r.job_id: r for r in result.jobs}
+        assert by_id[4].start_cycle <= by_id[5].start_cycle
+
+    def test_edf_serves_tightest_deadline_first(self, small_store, oracle,
+                                                energy_table):
+        arrivals = [
+            JobArrival(job_id=i, benchmark=name, arrival_cycle=0)
+            for i, name in enumerate(SUITE_NAMES)
+        ] + [
+            JobArrival(job_id=4, benchmark="puwmod", arrival_cycle=1,
+                       deadline_cycle=100_000_000),
+            JobArrival(job_id=5, benchmark="puwmod", arrival_cycle=1,
+                       deadline_cycle=200_000),
+            JobArrival(job_id=6, benchmark="puwmod", arrival_cycle=1),
+        ]
+        sim = make_simulation("base", small_store, oracle, energy_table,
+                              discipline="edf")
+        result = sim.run(arrivals)
+        by_id = {r.job_id: r for r in result.jobs}
+        assert by_id[5].start_cycle < by_id[4].start_cycle
+        # Deadline-free jobs go last.
+        assert by_id[6].start_cycle >= by_id[4].start_cycle
+
+    def test_deadline_metrics(self, small_store, oracle, energy_table):
+        base_cycles = small_store.estimate("puwmod", BASE_CONFIG).total_cycles
+        arrivals = [
+            # Generous deadline: met.
+            JobArrival(job_id=0, benchmark="puwmod", arrival_cycle=0,
+                       deadline_cycle=base_cycles * 10),
+            # Impossible deadline: missed.
+            JobArrival(job_id=1, benchmark="puwmod", arrival_cycle=0,
+                       deadline_cycle=base_cycles // 2),
+            # No deadline.
+            JobArrival(job_id=2, benchmark="puwmod", arrival_cycle=0),
+        ]
+        sim = make_simulation("base", small_store, oracle, energy_table)
+        result = sim.run(arrivals)
+        assert result.deadline_jobs == 2
+        assert result.deadline_misses == 1
+        assert result.deadline_miss_rate == pytest.approx(0.5)
+        by_id = {r.job_id: r for r in result.jobs}
+        assert by_id[0].met_deadline is True
+        assert by_id[1].met_deadline is False
+        assert by_id[2].met_deadline is None
+
+    def test_disciplines_do_not_change_energy_model(self, small_store,
+                                                    oracle, energy_table):
+        """Same jobs, different order: per-job energies are identical."""
+        arrivals = arrivals_for(SUITE_NAMES * 4, gap=50_000)
+        fifo = make_simulation("base", small_store, oracle, energy_table)
+        edf = make_simulation("base", small_store, oracle, energy_table,
+                              discipline="edf")
+        result_fifo = fifo.run(arrivals)
+        result_edf = edf.run(arrivals)
+        energy_fifo = {r.job_id: r.energy_nj for r in result_fifo.jobs}
+        energy_edf = {r.job_id: r.energy_nj for r in result_edf.jobs}
+        assert energy_fifo == energy_edf
+
+    def test_priority_discipline_with_proposed_policy(self, small_store,
+                                                      oracle, energy_table):
+        arrivals = with_qos(
+            arrivals_for(SUITE_NAMES * 6, gap=50_000),
+            service_estimate=lambda name: small_store.estimate(
+                name, BASE_CONFIG
+            ).total_cycles,
+            seed=0,
+        )
+        sim = make_simulation("proposed", small_store, oracle, energy_table,
+                              discipline="priority")
+        result = sim.run(arrivals)
+        assert result.jobs_completed == len(arrivals)
+        assert result.deadline_jobs > 0

@@ -1,0 +1,133 @@
+"""Tests for result containers and normalisation."""
+
+import pytest
+
+from repro.core.results import JobRecord, SimulationResult
+
+
+def make_record(arrival=0, start=10, completion=110, **kwargs):
+    defaults = dict(
+        job_id=0, benchmark="b", arrival_cycle=arrival, start_cycle=start,
+        completion_cycle=completion, core_index=1, config_name="2KB_1W_16B",
+        profiled=False, tuning=False, energy_nj=5.0,
+    )
+    defaults.update(kwargs)
+    return JobRecord(**defaults)
+
+
+def make_result(policy="base", idle=100.0, dynamic=200.0, static=50.0,
+                makespan=1000, jobs=None):
+    return SimulationResult(
+        policy=policy,
+        jobs_completed=len(jobs or []),
+        makespan_cycles=makespan,
+        idle_energy_nj=idle,
+        dynamic_energy_nj=dynamic,
+        busy_static_energy_nj=static,
+        reconfig_energy_nj=1.0,
+        profiling_overhead_nj=0.5,
+        reconfig_cycles=10,
+        stall_decisions=0,
+        non_best_decisions=0,
+        tuning_executions=0,
+        profiling_executions=0,
+        jobs=jobs or [],
+    )
+
+
+class TestJobRecord:
+    def test_derived_metrics(self):
+        record = make_record(arrival=5, start=20, completion=120)
+        assert record.waiting_cycles == 15
+        assert record.service_cycles == 100
+        assert record.turnaround_cycles == 115
+
+    def test_ordering_validated(self):
+        with pytest.raises(ValueError):
+            make_record(arrival=10, start=5)
+        with pytest.raises(ValueError):
+            make_record(start=10, completion=5)
+
+
+class TestSimulationResult:
+    def test_total_energy(self):
+        result = make_result(idle=10.0, dynamic=20.0, static=5.0)
+        assert result.total_energy_nj == pytest.approx(35.0)
+
+    def test_mean_metrics(self):
+        jobs = [
+            make_record(arrival=0, start=10, completion=20),
+            make_record(arrival=0, start=30, completion=40),
+        ]
+        result = make_result(jobs=jobs)
+        assert result.mean_waiting_cycles == pytest.approx(20.0)
+        assert result.mean_turnaround_cycles == pytest.approx(30.0)
+
+    def test_mean_metrics_empty(self):
+        result = make_result()
+        assert result.mean_waiting_cycles == 0.0
+        assert result.mean_turnaround_cycles == 0.0
+
+    def test_normalized_to(self):
+        base = make_result(idle=100.0, dynamic=200.0, static=0.0, makespan=1000)
+        mine = make_result(idle=50.0, dynamic=100.0, static=0.0, makespan=800)
+        ratios = mine.normalized_to(base)
+        assert ratios["idle_energy"] == pytest.approx(0.5)
+        assert ratios["dynamic_energy"] == pytest.approx(0.5)
+        assert ratios["total_energy"] == pytest.approx(0.5)
+        assert ratios["cycles"] == pytest.approx(0.8)
+
+    def test_normalized_to_self_is_unity(self):
+        result = make_result()
+        for value in result.normalized_to(result).values():
+            assert value == pytest.approx(1.0)
+
+
+class TestPerBenchmarkStats:
+    def test_aggregation(self):
+        jobs = [
+            make_record(arrival=0, start=0, completion=100,
+                        benchmark="a2time", core_index=0, energy_nj=10.0),
+            make_record(arrival=0, start=50, completion=250,
+                        benchmark="a2time", core_index=1, energy_nj=30.0,
+                        config_name="4KB_1W_16B"),
+            make_record(arrival=10, start=10, completion=60,
+                        benchmark="matrix", core_index=3, energy_nj=5.0),
+        ]
+        result = make_result(jobs=jobs)
+        stats = result.per_benchmark_stats()
+        assert set(stats) == {"a2time", "matrix"}
+        a2 = stats["a2time"]
+        assert a2.jobs == 2
+        assert a2.mean_energy_nj == 20.0
+        assert a2.mean_waiting_cycles == 25.0
+        assert a2.cores_used == (0, 1)
+        assert len(a2.configs_used) == 2
+        assert stats["matrix"].cores_used == (3,)
+
+    def test_deadline_misses_counted(self):
+        jobs = [
+            make_record(arrival=0, start=0, completion=100,
+                        deadline_cycle=50),
+            make_record(arrival=0, start=0, completion=100,
+                        deadline_cycle=200),
+        ]
+        result = make_result(jobs=jobs)
+        stats = result.per_benchmark_stats()["b"]
+        assert stats.deadline_misses == 1
+
+    def test_empty(self):
+        assert make_result().per_benchmark_stats() == {}
+
+
+class TestCoreUtilizations:
+    def test_fractions(self):
+        result = make_result(makespan=1000)
+        result.core_busy_cycles.update({0: 500, 1: 1000, 2: 0})
+        util = result.core_utilizations
+        assert util == {0: 0.5, 1: 1.0, 2: 0.0}
+
+    def test_zero_makespan(self):
+        result = make_result(makespan=0)
+        result.core_busy_cycles.update({0: 0})
+        assert result.core_utilizations == {0: 0.0}

@@ -1,0 +1,94 @@
+"""Tests for scaled-up/down systems (paper §III)."""
+
+import pytest
+
+from repro.cache.config import BASE_CONFIG
+from repro.core.system import scaled_system
+from repro.workloads.arrivals import JobArrival
+
+from .conftest import SUITE_NAMES, arrivals_for, make_simulation
+
+
+class TestScaledSystemConstruction:
+    def test_dual_core(self):
+        system = scaled_system((4, 8))
+        assert len(system) == 2
+        assert system.cache_sizes_kb == (4, 8)
+        assert system.primary_profiling_core.index == 1
+
+    def test_eight_core(self):
+        system = scaled_system((2, 2, 4, 4, 8, 8, 8, 8))
+        assert len(system) == 8
+        assert system.primary_profiling_core.index == 7
+        # Two profiling cores, like the paper's Cores 3 and 4.
+        assert len(system.profiling_cores) == 2
+        assert system.profiling_cores[0].primary_profiling
+
+    def test_primary_starts_in_base_config(self):
+        system = scaled_system((2, 8))
+        assert system.primary_profiling_core.reset_config == BASE_CONFIG
+
+    def test_needs_base_size_core(self):
+        with pytest.raises(ValueError):
+            scaled_system((2, 4))
+
+    def test_needs_cores(self):
+        with pytest.raises(ValueError):
+            scaled_system(())
+
+    def test_paper_shape(self):
+        system = scaled_system((2, 4, 8, 8))
+        assert [c.cache_size_kb for c in system.cores] == [2, 4, 8, 8]
+        assert system.primary_profiling_core.index == 3
+
+
+class TestScaledSimulation:
+    @pytest.mark.parametrize(
+        "sizes", [(4, 8), (2, 8, 8), (2, 2, 4, 4, 8, 8, 8, 8)]
+    )
+    def test_proposed_policy_runs_on_any_scale(self, sizes, small_store,
+                                               oracle, energy_table):
+        system = scaled_system(sizes)
+        sim = make_simulation(
+            "proposed", small_store, oracle, energy_table, system=system
+        )
+        result = sim.run(arrivals_for(SUITE_NAMES * 6, gap=100_000))
+        assert result.jobs_completed == 24
+        assert {r.core_index for r in result.jobs} <= set(range(len(sizes)))
+
+    def test_missing_size_maps_to_nearest(self, small_store, oracle,
+                                          energy_table):
+        # A (4, 8) system has no 2KB core; 2KB-best jobs (puwmod) must
+        # map to the 4KB core.
+        system = scaled_system((4, 8))
+        sim = make_simulation(
+            "energy_centric", small_store, oracle, energy_table,
+            system=system,
+        )
+        result = sim.run(arrivals_for(["puwmod"] * 4, gap=3_000_000))
+        placements = {r.core_index for r in result.jobs if not r.profiled}
+        assert placements == {0}
+
+    def test_more_cores_shorter_makespan_under_load(self, small_store,
+                                                    oracle, energy_table):
+        arrivals = arrivals_for(SUITE_NAMES * 10, gap=30_000)
+        small = make_simulation(
+            "proposed", small_store, oracle, energy_table,
+            system=scaled_system((4, 8)),
+        ).run(arrivals)
+        large = make_simulation(
+            "proposed", small_store, oracle, energy_table,
+            system=scaled_system((2, 2, 4, 4, 8, 8, 8, 8)),
+        ).run(arrivals)
+        assert large.makespan_cycles < small.makespan_cycles
+
+    def test_profiling_lands_on_profiling_cores(self, small_store, oracle,
+                                                energy_table):
+        system = scaled_system((2, 2, 4, 4, 8, 8, 8, 8))
+        sim = make_simulation(
+            "proposed", small_store, oracle, energy_table, system=system
+        )
+        result = sim.run(arrivals_for(SUITE_NAMES, gap=3_000_000))
+        for record in result.jobs:
+            if record.profiled:
+                assert record.core_index in (6, 7)

@@ -1,0 +1,97 @@
+"""Tests for scheduler runtime types (Job, CoreState, Assignment)."""
+
+import pytest
+
+from repro.cache.config import BASE_CONFIG, CacheConfig
+from repro.core.scheduler import Assignment, CoreState, Job
+from repro.core.system import CoreSpec
+
+
+def make_core(size_kb=8):
+    return CoreState(CoreSpec(index=0, cache_size_kb=size_kb))
+
+
+class TestJob:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Job(job_id=-1, benchmark="x", arrival_cycle=0)
+        with pytest.raises(ValueError):
+            Job(job_id=0, benchmark="x", arrival_cycle=-1)
+
+    def test_started(self):
+        job = Job(job_id=0, benchmark="x", arrival_cycle=0)
+        assert not job.started
+        job.start_cycle = 5
+        assert job.started
+
+
+class TestCoreState:
+    def test_initial_state(self):
+        core = make_core()
+        assert core.is_idle(0)
+        assert core.current_config == CacheConfig(8, 4, 64)
+        assert core.remaining_cycles(0) == 0
+        assert core.size_kb == 8
+
+    def test_begin_occupies(self):
+        core = make_core()
+        job = Job(job_id=1, benchmark="b", arrival_cycle=0)
+        core.begin(job, now=10, service_cycles=100)
+        assert not core.is_idle(10)
+        assert core.busy_until == 110
+        assert core.remaining_cycles(50) == 60
+        assert core.busy_cycles == 100
+        assert core.executions == 1
+
+    def test_begin_while_busy_rejected(self):
+        core = make_core()
+        job = Job(job_id=1, benchmark="b", arrival_cycle=0)
+        core.begin(job, now=0, service_cycles=10)
+        with pytest.raises(RuntimeError):
+            core.begin(Job(job_id=2, benchmark="c", arrival_cycle=0), 5, 10)
+
+    def test_non_positive_service_rejected(self):
+        core = make_core()
+        job = Job(job_id=1, benchmark="b", arrival_cycle=0)
+        with pytest.raises(ValueError):
+            core.begin(job, now=0, service_cycles=0)
+
+    def test_finish_returns_job(self):
+        core = make_core()
+        job = Job(job_id=1, benchmark="b", arrival_cycle=0)
+        core.begin(job, now=0, service_cycles=10)
+        finished = core.finish(now=10)
+        assert finished is job
+        assert core.is_idle(10)
+
+    def test_finish_wrong_time_rejected(self):
+        core = make_core()
+        core.begin(Job(job_id=1, benchmark="b", arrival_cycle=0), 0, 10)
+        with pytest.raises(RuntimeError):
+            core.finish(now=9)
+
+    def test_finish_idle_rejected(self):
+        with pytest.raises(RuntimeError):
+            make_core().finish(now=0)
+
+    def test_busy_cycles_accumulate(self):
+        core = make_core()
+        core.begin(Job(job_id=1, benchmark="b", arrival_cycle=0), 0, 10)
+        core.finish(10)
+        core.begin(Job(job_id=2, benchmark="b", arrival_cycle=0), 20, 30)
+        core.finish(50)
+        assert core.busy_cycles == 40
+        assert core.executions == 2
+
+    def test_tuner_attached(self):
+        core = make_core()
+        cost = core.tuner.reconfigure(CacheConfig(8, 1, 16))
+        assert cost.cycles > 0
+        assert core.current_config == CacheConfig(8, 1, 16)
+
+
+class TestAssignment:
+    def test_defaults(self):
+        assignment = Assignment(core_index=2, config=BASE_CONFIG)
+        assert not assignment.profiling
+        assert not assignment.tuning

@@ -1,0 +1,219 @@
+"""End-to-end tests of the scheduler simulation for every policy."""
+
+import pytest
+
+from repro.cache.config import BASE_CONFIG
+from repro.core.policies import POLICY_NAMES
+from repro.workloads.arrivals import JobArrival
+
+from .conftest import SUITE_NAMES, arrivals_for, make_simulation
+
+
+class TestAllPoliciesComplete:
+    @pytest.mark.parametrize("policy", POLICY_NAMES)
+    def test_all_jobs_complete(self, policy, small_store, oracle, energy_table):
+        sim = make_simulation(policy, small_store, oracle, energy_table)
+        arrivals = arrivals_for(SUITE_NAMES * 10, gap=60_000)
+        result = sim.run(arrivals)
+        assert result.jobs_completed == 40
+        assert result.policy == policy
+        assert result.makespan_cycles > 0
+
+    @pytest.mark.parametrize("policy", POLICY_NAMES)
+    def test_job_records_consistent(self, policy, small_store, oracle,
+                                    energy_table):
+        sim = make_simulation(policy, small_store, oracle, energy_table)
+        result = sim.run(arrivals_for(SUITE_NAMES * 5, gap=100_000))
+        for record in result.jobs:
+            assert record.arrival_cycle <= record.start_cycle
+            assert record.start_cycle < record.completion_cycle
+            assert record.energy_nj > 0
+            assert 0 <= record.core_index < 4
+
+    @pytest.mark.parametrize("policy", POLICY_NAMES)
+    def test_cores_never_overlap(self, policy, small_store, oracle,
+                                 energy_table):
+        sim = make_simulation(policy, small_store, oracle, energy_table)
+        result = sim.run(arrivals_for(SUITE_NAMES * 8, gap=40_000))
+        by_core = {}
+        for record in result.jobs:
+            by_core.setdefault(record.core_index, []).append(record)
+        for records in by_core.values():
+            records.sort(key=lambda r: r.start_cycle)
+            for prev, cur in zip(records, records[1:]):
+                assert prev.completion_cycle <= cur.start_cycle
+
+    @pytest.mark.parametrize("policy", POLICY_NAMES)
+    def test_deterministic(self, policy, small_store, oracle, energy_table):
+        arrivals = arrivals_for(SUITE_NAMES * 4, gap=70_000)
+        a = make_simulation(policy, small_store, oracle, energy_table).run(arrivals)
+        b = make_simulation(policy, small_store, oracle, energy_table).run(arrivals)
+        assert a.total_energy_nj == pytest.approx(b.total_energy_nj)
+        assert a.makespan_cycles == b.makespan_cycles
+        assert [r.core_index for r in a.jobs] == [r.core_index for r in b.jobs]
+
+
+class TestEnergyAccounting:
+    @pytest.mark.parametrize("policy", POLICY_NAMES)
+    def test_total_is_sum_of_buckets(self, policy, small_store, oracle,
+                                     energy_table):
+        sim = make_simulation(policy, small_store, oracle, energy_table)
+        result = sim.run(arrivals_for(SUITE_NAMES * 3))
+        assert result.total_energy_nj == pytest.approx(
+            result.idle_energy_nj
+            + result.busy_static_energy_nj
+            + result.dynamic_energy_nj
+        )
+        assert result.idle_energy_nj >= 0
+        assert result.dynamic_energy_nj > 0
+
+    def test_overheads_inside_dynamic(self, small_store, oracle, energy_table):
+        sim = make_simulation("proposed", small_store, oracle, energy_table)
+        result = sim.run(arrivals_for(SUITE_NAMES * 3))
+        assert result.reconfig_energy_nj > 0
+        assert result.profiling_overhead_nj > 0
+        assert result.dynamic_energy_nj > (
+            result.reconfig_energy_nj + result.profiling_overhead_nj
+        )
+
+    def test_job_energy_matches_store(self, small_store, oracle, energy_table):
+        sim = make_simulation("base", small_store, oracle, energy_table)
+        result = sim.run(arrivals_for(["puwmod"]))
+        record = result.jobs[0]
+        expected = small_store.estimate("puwmod", BASE_CONFIG).total_energy_nj
+        assert record.energy_nj == pytest.approx(expected)
+
+
+class TestProfilingBehaviour:
+    def test_profiling_once_per_benchmark(self, small_store, oracle,
+                                          energy_table):
+        sim = make_simulation("proposed", small_store, oracle, energy_table)
+        result = sim.run(arrivals_for(SUITE_NAMES * 5))
+        assert result.profiling_executions == len(SUITE_NAMES)
+        profiled = [r for r in result.jobs if r.profiled]
+        assert {r.benchmark for r in profiled} == set(SUITE_NAMES)
+
+    def test_profiling_on_profiling_core_in_base_config(
+        self, small_store, oracle, energy_table
+    ):
+        sim = make_simulation("proposed", small_store, oracle, energy_table)
+        result = sim.run(arrivals_for(SUITE_NAMES))
+        for record in result.jobs:
+            if record.profiled:
+                assert record.core_index in (2, 3)
+                assert record.config_name == "8KB_4W_64B"
+
+    def test_base_policy_never_profiles(self, small_store, oracle,
+                                        energy_table):
+        sim = make_simulation("base", small_store, oracle, energy_table)
+        result = sim.run(arrivals_for(SUITE_NAMES * 2))
+        assert result.profiling_executions == 0
+        assert all(not r.profiled for r in result.jobs)
+
+    def test_predictions_recorded(self, small_store, oracle, energy_table):
+        sim = make_simulation("proposed", small_store, oracle, energy_table)
+        result = sim.run(arrivals_for(SUITE_NAMES * 2))
+        assert set(result.predictions_kb) == set(SUITE_NAMES)
+        for name, size in result.predictions_kb.items():
+            assert size == small_store.best_size_kb(name)
+
+
+class TestPolicyBehaviour:
+    def test_base_runs_everything_in_base_config(self, small_store, oracle,
+                                                 energy_table):
+        sim = make_simulation("base", small_store, oracle, energy_table)
+        result = sim.run(arrivals_for(SUITE_NAMES * 3))
+        assert {r.config_name for r in result.jobs} == {"8KB_4W_64B"}
+
+    def test_energy_centric_only_best_size_cores(self, small_store, oracle,
+                                                 energy_table):
+        sim = make_simulation("energy_centric", small_store, oracle, energy_table)
+        result = sim.run(arrivals_for(SUITE_NAMES * 6, gap=50_000))
+        core_sizes = {0: 2, 1: 4, 2: 8, 3: 8}
+        for record in result.jobs:
+            if record.profiled:
+                continue
+            best = small_store.best_size_kb(record.benchmark)
+            assert core_sizes[record.core_index] == best
+
+    def test_optimal_explores_whole_design_space(self, small_store, oracle,
+                                                 energy_table):
+        sim = make_simulation("optimal", small_store, oracle, energy_table)
+        # Exploration is opportunistic (only on the core the job lands
+        # on); with sparse arrivals every dispatch sees an idle machine,
+        # so 20 executions cover all 18 configurations deterministically.
+        result = sim.run(arrivals_for(SUITE_NAMES * 20, gap=2_000_000))
+        assert all(
+            count == 18 for count in result.exploration_counts.values()
+        )
+
+    def test_proposed_explores_far_less_than_optimal(self, small_store,
+                                                     oracle, energy_table):
+        sim = make_simulation("proposed", small_store, oracle, energy_table)
+        result = sim.run(arrivals_for(SUITE_NAMES * 25, gap=30_000))
+        # Tuning heuristic: at most 2+4+5 per size, plus the base-config
+        # profiling record.
+        assert all(
+            count <= 12 for count in result.exploration_counts.values()
+        )
+
+    def test_proposed_decisions_counted(self, small_store, oracle,
+                                        energy_table):
+        # Force contention: all four benchmarks arrive nearly together,
+        # repeatedly.
+        arrivals = [
+            JobArrival(job_id=i, benchmark=SUITE_NAMES[i % 4],
+                       arrival_cycle=(i // 4) * 50_000)
+            for i in range(40)
+        ]
+        sim = make_simulation("proposed", small_store, oracle, energy_table)
+        result = sim.run(arrivals)
+        assert result.stall_decisions + result.non_best_decisions > 0
+
+
+class TestValidation:
+    def test_unknown_benchmark_rejected(self, small_store, oracle,
+                                        energy_table):
+        sim = make_simulation("base", small_store, oracle, energy_table)
+        with pytest.raises(KeyError):
+            sim.run([JobArrival(job_id=0, benchmark="ghost", arrival_cycle=0)])
+
+    def test_empty_arrivals_rejected(self, small_store, oracle, energy_table):
+        sim = make_simulation("base", small_store, oracle, energy_table)
+        with pytest.raises(ValueError):
+            sim.run([])
+
+    def test_predictor_required_for_ann_policies(self, small_store,
+                                                 energy_table):
+        from repro.core.policies import make_policy
+        from repro.core.simulation import SchedulerSimulation
+        from repro.core.system import paper_system
+
+        with pytest.raises(ValueError):
+            SchedulerSimulation(
+                paper_system(), make_policy("proposed"), small_store,
+                predictor=None, energy_table=energy_table,
+            )
+
+    def test_negative_profiling_overhead_rejected(self, small_store, oracle,
+                                                  energy_table):
+        with pytest.raises(ValueError):
+            make_simulation(
+                "proposed", small_store, oracle, energy_table,
+                profiling_overhead_fraction=-0.1,
+            )
+
+
+class TestCoreUtilizationRecording:
+    def test_busy_cycles_recorded_per_core(self, small_store, oracle,
+                                           energy_table):
+        sim = make_simulation("base", small_store, oracle, energy_table)
+        result = sim.run(arrivals_for(SUITE_NAMES * 4, gap=50_000))
+        assert set(result.core_busy_cycles) == {0, 1, 2, 3}
+        for core, busy in result.core_busy_cycles.items():
+            assert 0 <= busy <= result.makespan_cycles
+        for fraction in result.core_utilizations.values():
+            assert 0.0 <= fraction <= 1.0
+        # The sum of per-core busy time equals the total service time.
+        total_service = sum(r.service_cycles for r in result.jobs)
+        assert sum(result.core_busy_cycles.values()) == total_service

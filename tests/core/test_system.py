@@ -1,0 +1,123 @@
+"""Tests for the heterogeneous system description."""
+
+import pytest
+
+from repro.cache.config import BASE_CONFIG, CacheConfig
+from repro.core.system import CoreSpec, SystemConfig, base_system, paper_system
+
+
+class TestPaperSystem:
+    def test_quad_core_layout(self):
+        system = paper_system()
+        assert len(system) == 4
+        assert [c.cache_size_kb for c in system.cores] == [2, 4, 8, 8]
+
+    def test_profiling_roles(self):
+        system = paper_system()
+        assert system.primary_profiling_core.index == 3
+        profiling = system.profiling_cores
+        assert [c.index for c in profiling] == [3, 2]  # primary first
+
+    def test_core4_starts_in_base_config(self):
+        system = paper_system()
+        assert system.cores[3].reset_config == BASE_CONFIG
+
+    def test_cache_sizes(self):
+        assert paper_system().cache_sizes_kb == (2, 4, 8)
+
+    def test_cores_with_size(self):
+        system = paper_system()
+        assert len(system.cores_with_size(8)) == 2
+        assert len(system.cores_with_size(2)) == 1
+        assert system.cores_with_size(16) == ()
+
+    def test_core_names(self):
+        assert paper_system().cores[0].name == "Core 1"
+        assert paper_system().cores[3].name == "Core 4"
+
+
+class TestBaseSystem:
+    def test_all_cores_base_config(self):
+        system = base_system()
+        for core in system.cores:
+            assert core.reset_config == BASE_CONFIG
+            assert core.cache_size_kb == 8
+
+    def test_custom_core_count(self):
+        assert len(base_system(2)) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            base_system(0)
+
+
+class TestCoreSpec:
+    def test_configs_follow_size(self):
+        core = CoreSpec(index=0, cache_size_kb=4)
+        assert len(core.configs) == 6
+        assert all(c.size_kb == 4 for c in core.configs)
+
+    def test_default_reset_config_is_largest(self):
+        core = CoreSpec(index=0, cache_size_kb=8)
+        assert core.reset_config == CacheConfig(8, 4, 64)
+
+    def test_supports(self):
+        core = CoreSpec(index=0, cache_size_kb=2)
+        assert core.supports(CacheConfig(2, 1, 32))
+        assert not core.supports(CacheConfig(4, 1, 32))
+
+    def test_initial_config_size_checked(self):
+        with pytest.raises(ValueError):
+            CoreSpec(index=0, cache_size_kb=2, initial_config=BASE_CONFIG)
+
+    def test_primary_implies_profiling(self):
+        with pytest.raises(ValueError):
+            CoreSpec(index=0, cache_size_kb=8, primary_profiling=True)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            CoreSpec(index=-1, cache_size_kb=8)
+
+
+class TestSystemValidation:
+    def make_core(self, index, primary=False):
+        return CoreSpec(
+            index=index, cache_size_kb=8,
+            profiling=primary, primary_profiling=primary,
+        )
+
+    def test_needs_cores(self):
+        with pytest.raises(ValueError):
+            SystemConfig(cores=())
+
+    def test_indices_must_be_sequential(self):
+        with pytest.raises(ValueError):
+            SystemConfig(cores=(self.make_core(1, primary=True),))
+
+    def test_needs_profiling_core(self):
+        with pytest.raises(ValueError):
+            SystemConfig(cores=(CoreSpec(index=0, cache_size_kb=8),))
+
+    def test_exactly_one_primary(self):
+        with pytest.raises(ValueError):
+            SystemConfig(
+                cores=(self.make_core(0, primary=True),
+                       self.make_core(1, primary=True))
+            )
+
+
+class TestNearestSize:
+    def test_exact_match(self):
+        assert paper_system().nearest_size_kb(4) == 4
+
+    def test_maps_to_closest(self):
+        system = SystemConfig(
+            cores=(
+                CoreSpec(index=0, cache_size_kb=2),
+                CoreSpec(index=1, cache_size_kb=8, profiling=True,
+                         primary_profiling=True),
+            )
+        )
+        assert system.nearest_size_kb(4) == 2  # tie resolves smaller
+        assert system.nearest_size_kb(8) == 8
+        assert system.nearest_size_kb(6) == 8

@@ -1,0 +1,218 @@
+"""Tests for the cache tuning heuristic (paper Figure 5)."""
+
+import pytest
+
+from repro.cache.config import CacheConfig, configs_for_size
+from repro.core.tuning import TuningHeuristic, TuningSession
+
+
+def run_session(size_kb, energy_fn):
+    """Drive a session to completion with a config -> energy function."""
+    session = TuningSession(size_kb=size_kb)
+    steps = []
+    while not session.done:
+        config = session.next_config()
+        steps.append(config)
+        session.record(config, energy_fn(config))
+    return session, steps
+
+
+class TestExplorationOrder:
+    def test_starts_smallest_both_parameters(self):
+        session = TuningSession(size_kb=8)
+        assert session.next_config() == CacheConfig(8, 1, 16)
+
+    def test_assoc_swept_before_line(self):
+        # Monotonically improving energy: full sweep of both parameters.
+        session, steps = run_session(8, lambda c: 1000.0 - (c.assoc * 10 + c.line_b))
+        names = [c.name for c in steps]
+        assert names == [
+            "8KB_1W_16B", "8KB_2W_16B", "8KB_4W_16B",
+            "8KB_4W_32B", "8KB_4W_64B",
+        ]
+
+    def test_stops_assoc_on_energy_increase(self):
+        # 2-way worse than 1-way: associativity fixed at 1.
+        energies = {1: 100.0, 2: 150.0, 4: 50.0}
+        session, steps = run_session(
+            8, lambda c: energies[c.assoc] + c.line_b * 0.01
+        )
+        assert all(c.assoc in (1, 2) for c in steps)
+        assert session.best_config.assoc == 1
+
+    def test_stops_line_on_energy_increase(self):
+        def energy(c):
+            line_cost = {16: 100.0, 32: 90.0, 64: 95.0}
+            return line_cost[c.line_b] + c.assoc
+        session, steps = run_session(8, energy)
+        assert session.best_config.line_b == 32
+        assert session.done
+
+    def test_line_sweep_skips_remeasured_smallest(self):
+        _, steps = run_session(8, lambda c: 100.0 + c.assoc + c.line_b * 0.001)
+        # Assoc sweep: 1W (best), 2W worse -> line phase starts at 32B.
+        line_phase = [c for c in steps if c.assoc == 1 and c.line_b > 16]
+        assert line_phase[0].line_b == 32
+
+
+class TestExplorationBounds:
+    def test_minimum_three_on_8kb(self):
+        # Worst case for improvement: everything after the first is worse.
+        session, steps = run_session(
+            8, lambda c: 1.0 + c.assoc + c.line_b * 0.01
+        )
+        assert len(steps) == 3
+
+    def test_maximum_five_on_8kb(self):
+        session, steps = run_session(8, lambda c: 1000.0 - (c.assoc * 100 + c.line_b))
+        assert len(steps) == 5
+
+    def test_2kb_range(self):
+        # Direct-mapped only: 2 (line worse) to 3 (line keeps improving).
+        _, worst = run_session(2, lambda c: c.line_b)
+        assert len(worst) == 2
+        _, best = run_session(2, lambda c: 1000.0 - c.line_b)
+        assert len(best) == 3
+
+    def test_4kb_range(self):
+        _, worst = run_session(4, lambda c: c.assoc + c.line_b * 0.01)
+        assert len(worst) == 3
+        _, best = run_session(4, lambda c: 1000.0 - (c.assoc * 100 + c.line_b))
+        assert len(best) == 4
+
+    def test_always_fewer_than_exhaustive(self):
+        import itertools
+
+        # Across many random energy landscapes the heuristic never
+        # exceeds the per-size exhaustive count.
+        import random
+
+        rng = random.Random(0)
+        for size in (2, 4, 8):
+            exhaustive = len(configs_for_size(size))
+            for _ in range(20):
+                costs = {c: rng.random() for c in configs_for_size(size)}
+                session, steps = run_session(size, lambda c: costs[c])
+                assert len(steps) <= min(5, exhaustive)
+
+
+class TestQuality:
+    def test_best_config_is_best_explored(self):
+        import random
+
+        rng = random.Random(1)
+        for _ in range(30):
+            costs = {c: rng.random() for c in configs_for_size(8)}
+            session, steps = run_session(8, lambda c: costs[c])
+            assert session.best_config in steps
+            assert session.best_energy_nj == min(costs[c] for c in steps)
+
+    def test_finds_global_best_on_separable_landscape(self):
+        # When the two parameters contribute independently and
+        # monotonically, greedy coordinate descent is optimal.
+        def energy(c):
+            return {1: 30, 2: 20, 4: 10}[c.assoc] + {16: 3, 32: 2, 64: 1}[c.line_b]
+
+        session, _ = run_session(8, energy)
+        exhaustive_best = min(configs_for_size(8), key=energy)
+        assert session.best_config == exhaustive_best
+
+
+class TestSessionProtocol:
+    def test_record_wrong_config_rejected(self):
+        session = TuningSession(size_kb=8)
+        with pytest.raises(ValueError):
+            session.record(CacheConfig(8, 4, 64), 1.0)
+
+    def test_record_after_done_rejected(self):
+        session, _ = run_session(2, lambda c: c.line_b)
+        with pytest.raises(RuntimeError):
+            session.record(CacheConfig(2, 1, 16), 1.0)
+
+    def test_negative_energy_rejected(self):
+        session = TuningSession(size_kb=2)
+        with pytest.raises(ValueError):
+            session.record(session.next_config(), -1.0)
+
+    def test_next_config_none_when_done(self):
+        session, _ = run_session(2, lambda c: c.line_b)
+        assert session.next_config() is None
+
+    def test_exploration_count(self):
+        session, steps = run_session(4, lambda c: c.assoc)
+        assert session.exploration_count == len(steps)
+
+    def test_explored_are_unique(self):
+        session, steps = run_session(8, lambda c: 1000.0 - (c.assoc + c.line_b))
+        assert len(set(steps)) == len(steps)
+
+
+class TestLineFirstOrder:
+    def test_line_swept_before_assoc(self):
+        session = TuningSession(size_kb=8, line_first=True)
+        steps = []
+        while not session.done:
+            config = session.next_config()
+            steps.append(config)
+            session.record(config, 1000.0 - config.line_b - config.assoc * 0.01)
+        names = [c.name for c in steps]
+        assert names == [
+            "8KB_1W_16B", "8KB_1W_32B", "8KB_1W_64B",
+            "8KB_2W_64B", "8KB_4W_64B",
+        ]
+
+    def test_line_first_same_bounds(self):
+        import random
+
+        rng = random.Random(5)
+        for _ in range(20):
+            costs = {c: rng.random() for c in configs_for_size(8)}
+            session = TuningSession(size_kb=8, line_first=True)
+            steps = []
+            while not session.done:
+                config = session.next_config()
+                steps.append(config)
+                session.record(config, costs[config])
+            assert 3 <= len(steps) <= 5
+            assert session.best_config in steps
+
+    def test_orders_can_disagree(self):
+        # A landscape where the greedy orders find different optima.
+        def energy(c):
+            table = {
+                (1, 16): 50, (1, 32): 60, (1, 64): 70,
+                (2, 16): 45, (2, 32): 20, (2, 64): 65,
+                (4, 16): 55, (4, 32): 60, (4, 64): 75,
+            }
+            return float(table[(c.assoc, c.line_b)])
+
+        assoc_first = TuningSession(size_kb=8)
+        while not assoc_first.done:
+            config = assoc_first.next_config()
+            assoc_first.record(config, energy(config))
+        line_first = TuningSession(size_kb=8, line_first=True)
+        while not line_first.done:
+            config = line_first.next_config()
+            line_first.record(config, energy(config))
+        # Assoc-first reaches the global best (20 at 2W/32B); line-first
+        # stops at 16B (32B is worse at 1W) and misses it.
+        assert assoc_first.best_energy_nj == 20.0
+        assert line_first.best_energy_nj > 20.0
+
+
+class TestHeuristicRegistry:
+    def test_sessions_keyed_by_benchmark_and_size(self):
+        heuristic = TuningHeuristic()
+        a = heuristic.session("x", 2)
+        b = heuristic.session("x", 4)
+        c = heuristic.session("y", 2)
+        assert a is heuristic.session("x", 2)
+        assert a is not b and a is not c
+        assert len(heuristic.sessions()) == 3
+
+    def test_max_exploration_count(self):
+        heuristic = TuningHeuristic()
+        assert heuristic.max_exploration_count() == 0
+        session = heuristic.session("x", 2)
+        session.record(session.next_config(), 1.0)
+        assert heuristic.max_exploration_count() == 1

@@ -1,0 +1,111 @@
+"""Tests for the CACTI-style analytical energy model."""
+
+import pytest
+
+from repro.cache.config import BASE_CONFIG, DESIGN_SPACE, CacheConfig
+from repro.energy.cacti import CactiModel, CactiParameters
+
+
+@pytest.fixture(scope="module")
+def model():
+    return CactiModel()
+
+
+class TestMonotoneTrends:
+    def test_size_increases_access_energy(self, model):
+        for assoc, line in ((1, 16), (1, 32), (1, 64)):
+            energies = [
+                model.access_energy_nj(CacheConfig(s, assoc, line))
+                for s in (2, 4, 8)
+            ]
+            assert energies == sorted(energies)
+            assert energies[0] < energies[-1]
+
+    def test_assoc_increases_access_energy(self, model):
+        for line in (16, 32, 64):
+            energies = [
+                model.access_energy_nj(CacheConfig(8, a, line))
+                for a in (1, 2, 4)
+            ]
+            assert energies == sorted(energies)
+            assert energies[0] < energies[-1]
+
+    def test_line_increases_fill_energy(self, model):
+        for size, assoc in ((2, 1), (8, 4)):
+            fills = [
+                model.fill_energy_nj(CacheConfig(size, assoc, line))
+                for line in (16, 32, 64)
+            ]
+            assert fills == sorted(fills)
+            assert fills[0] < fills[-1]
+
+    def test_all_energies_positive(self, model):
+        for config in DESIGN_SPACE:
+            assert model.access_energy_nj(config) > 0
+            assert model.fill_energy_nj(config) > 0
+
+    def test_base_config_magnitude(self, model):
+        # Calibrated to single-digit nanojoules at 0.18um (see the module
+        # docstring: absolute values anchor the static-energy rule, the
+        # reproduction depends on the monotone trends).
+        energy = model.access_energy_nj(BASE_CONFIG)
+        assert 1.0 < energy < 20.0
+
+
+class TestComponents:
+    def test_components_sum_to_total(self, model):
+        for config in DESIGN_SPACE:
+            c = model.components(config)
+            assert c.total_nj == pytest.approx(
+                c.decode_nj + c.wordline_nj + c.bitline_nj
+                + c.senseamp_nj + c.tag_nj + c.output_nj
+            )
+
+    def test_components_cached(self, model):
+        a = model.components(BASE_CONFIG)
+        b = model.components(BASE_CONFIG)
+        assert a is b
+
+    def test_fill_cheaper_than_assoc_scaled_access(self, model):
+        # A fill writes one way; a 4-way access reads four ways of data.
+        config = CacheConfig(8, 4, 64)
+        assert model.fill_energy_nj(config) < model.access_energy_nj(config)
+
+
+class TestTagBits:
+    def test_tag_bits_formula(self, model):
+        config = CacheConfig(8, 4, 64)  # 32 sets (5 bits), 64B offset (6)
+        assert model.tag_bits(config) == 32 - 5 - 6
+
+    def test_tag_bits_shrink_with_sets(self, model):
+        direct = CacheConfig(8, 1, 16)  # 512 sets
+        assoc = CacheConfig(8, 4, 16)  # 128 sets
+        assert model.tag_bits(direct) < model.tag_bits(assoc)
+
+
+class TestTechnologyScaling:
+    def test_smaller_node_cheaper(self):
+        base = CactiParameters()
+        scaled = base.scaled(0.09)
+        assert scaled.decode_nj_per_bit < base.decode_nj_per_bit
+        assert scaled.tech_um == 0.09
+
+    def test_identity_scaling(self):
+        base = CactiParameters()
+        same = base.scaled(0.18)
+        assert same.bitline_nj_per_column == pytest.approx(
+            base.bitline_nj_per_column
+        )
+
+    def test_scaling_is_cubic(self):
+        base = CactiParameters()
+        half = base.scaled(0.09)
+        assert half.senseamp_nj_per_bit == pytest.approx(
+            base.senseamp_nj_per_bit / 8
+        )
+
+    def test_scaled_model_preserves_trends(self):
+        model = CactiModel(CactiParameters().scaled(0.13))
+        small = model.access_energy_nj(CacheConfig(2, 1, 16))
+        large = model.access_energy_nj(CacheConfig(8, 4, 64))
+        assert small < large

@@ -1,0 +1,57 @@
+"""Tests for the off-chip memory model and the paper's timing constants."""
+
+import pytest
+
+from repro.energy.memory import CHUNK_BYTES, MemoryModel
+
+
+class TestPaperTimingAssumptions:
+    def test_miss_latency_is_forty_l1_fetches(self):
+        assert MemoryModel().miss_latency_cycles == 40
+
+    def test_bandwidth_is_half_the_miss_penalty(self):
+        model = MemoryModel()
+        assert model.bandwidth_cycles_per_chunk == model.miss_latency_cycles // 2
+
+    def test_chunk_is_sixteen_bytes(self):
+        assert CHUNK_BYTES == 16
+
+    @pytest.mark.parametrize(
+        "line,expected",
+        [(16, 40 + 20), (32, 40 + 40), (64, 40 + 80)],
+    )
+    def test_miss_stall_cycles_figure4(self, line, expected):
+        # miss_latency + (linesize/16) * memory_bandwidth
+        assert MemoryModel().miss_stall_cycles(line) == expected
+
+    def test_partial_chunk_rounds_up(self):
+        assert MemoryModel().miss_stall_cycles(8) == 40 + 20
+
+
+class TestEnergy:
+    def test_energy_grows_with_line(self):
+        model = MemoryModel()
+        energies = [model.access_energy_nj(line) for line in (16, 32, 64)]
+        assert energies == sorted(energies)
+        assert energies[0] < energies[-1]
+
+    def test_energy_components(self):
+        model = MemoryModel(activate_energy_nj=5.0, transfer_energy_nj_per_byte=0.1)
+        assert model.access_energy_nj(32) == pytest.approx(5.0 + 3.2)
+
+    def test_miss_costs_more_than_hit(self):
+        # A full miss (off-chip access + stall + fill) must clearly exceed
+        # a hit for the cache trade-offs to be meaningful.
+        from repro.cache.config import BASE_CONFIG
+        from repro.energy.model import EnergyModel
+
+        model = EnergyModel()
+        assert model.miss_energy_nj(BASE_CONFIG) > 2 * model.hit_energy_nj(
+            BASE_CONFIG
+        )
+
+    def test_rejects_non_positive_line(self):
+        with pytest.raises(ValueError):
+            MemoryModel().access_energy_nj(0)
+        with pytest.raises(ValueError):
+            MemoryModel().miss_stall_cycles(-16)

@@ -1,0 +1,194 @@
+"""Tests for the paper's Figure 4 energy model."""
+
+import pytest
+
+from repro.cache.config import BASE_CONFIG, CacheConfig
+from repro.cache.stats import CacheStats
+from repro.energy.cacti import CactiModel
+from repro.energy.memory import MemoryModel
+from repro.energy.model import EnergyModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return EnergyModel()
+
+
+def make_stats(hits, misses):
+    stats = CacheStats(
+        accesses=hits + misses,
+        hits=hits,
+        misses=misses,
+        read_accesses=hits + misses,
+        read_misses=misses,
+        fills=misses,
+    )
+    stats.validate()
+    return stats
+
+
+class TestFigure4Equations:
+    def test_energy_per_kbyte_rule(self, model):
+        # E(per Kbyte) = E(dyn of base cache) * 10% / base size in KB
+        base_dyn = model.cacti.access_energy_nj(BASE_CONFIG)
+        assert model.energy_per_kbyte_nj() == pytest.approx(
+            base_dyn * 0.10 / 8
+        )
+
+    def test_static_per_cycle_scales_with_size(self, model):
+        per_kb = model.energy_per_kbyte_nj()
+        for size in (2, 4, 8):
+            config = CacheConfig(size, 1, 16)
+            assert model.static_per_cycle_nj(config) == pytest.approx(
+                per_kb * size
+            )
+
+    def test_miss_cycles_equation(self, model):
+        config = CacheConfig(8, 4, 64)
+        # misses * (miss_latency + (line/16) * bandwidth)
+        assert model.miss_cycles(config, 10) == 10 * (40 + 4 * 20)
+
+    def test_miss_energy_components(self, model):
+        config = CacheConfig(4, 2, 32)
+        expected = (
+            model.memory.access_energy_nj(32)
+            + (40 + 2 * 20) * model.cpu_stall_energy_nj
+            + model.cacti.fill_energy_nj(config)
+        )
+        assert model.miss_energy_nj(config) == pytest.approx(expected)
+
+    def test_dynamic_energy_equation(self, model):
+        config = CacheConfig(2, 1, 16)
+        stats = make_stats(hits=100, misses=10)
+        expected = 100 * model.hit_energy_nj(config) + 10 * model.miss_energy_nj(
+            config
+        )
+        assert model.dynamic_energy_nj(config, stats) == pytest.approx(expected)
+
+    def test_total_cycles(self, model):
+        config = CacheConfig(2, 1, 16)
+        cycles = model.total_cycles(config, instructions=1000, misses=5)
+        assert cycles == 1000 + 5 * (40 + 20)
+
+    def test_static_energy(self, model):
+        config = CacheConfig(8, 1, 16)
+        assert model.static_energy_nj(config, 1000) == pytest.approx(
+            1000 * model.static_per_cycle_nj(config)
+        )
+
+    def test_estimate_composition(self, model):
+        config = CacheConfig(4, 1, 64)
+        stats = make_stats(hits=500, misses=50)
+        est = model.estimate(config, instructions=2000, stats=stats)
+        assert est.total_cycles == model.total_cycles(config, 2000, 50)
+        assert est.miss_cycles == model.miss_cycles(config, 50)
+        assert est.energy.dynamic_nj == pytest.approx(
+            model.dynamic_energy_nj(config, stats)
+        )
+        assert est.energy.static_nj == pytest.approx(
+            model.static_energy_nj(config, est.total_cycles)
+        )
+        assert est.total_energy_nj == pytest.approx(
+            est.energy.static_nj + est.energy.dynamic_nj
+        )
+
+    def test_energy_per_cycle(self, model):
+        config = CacheConfig(4, 1, 64)
+        est = model.estimate(config, 1000, make_stats(100, 10))
+        assert est.energy_per_cycle_nj == pytest.approx(
+            est.total_energy_nj / est.total_cycles
+        )
+
+
+class TestIdleEnergy:
+    def test_idle_energy_is_leakage(self, model):
+        config = CacheConfig(8, 4, 64)
+        assert model.idle_energy_nj(config, 100) == pytest.approx(
+            100 * model.static_per_cycle_nj(config)
+        )
+
+    def test_smaller_cache_leaks_less(self, model):
+        small = model.idle_energy_nj(CacheConfig(2, 1, 16), 1000)
+        large = model.idle_energy_nj(CacheConfig(8, 1, 16), 1000)
+        assert small == pytest.approx(large / 4)
+
+    def test_negative_cycles_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.idle_energy_nj(BASE_CONFIG, -1)
+
+
+class TestValidation:
+    def test_rejects_negative_misses(self, model):
+        with pytest.raises(ValueError):
+            model.miss_cycles(BASE_CONFIG, -1)
+
+    def test_rejects_negative_instructions(self, model):
+        with pytest.raises(ValueError):
+            model.total_cycles(BASE_CONFIG, -1, 0)
+
+    def test_rejects_negative_total_cycles(self, model):
+        with pytest.raises(ValueError):
+            model.static_energy_nj(BASE_CONFIG, -5)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            EnergyModel(cpu_stall_energy_nj=-0.1)
+        with pytest.raises(ValueError):
+            EnergyModel(static_fraction=1.5)
+        with pytest.raises(ValueError):
+            EnergyModel(cpi_base=0)
+
+
+class TestParameterisation:
+    def test_custom_static_fraction(self):
+        model = EnergyModel(static_fraction=0.2)
+        assert model.energy_per_kbyte_nj() == pytest.approx(
+            model.cacti.access_energy_nj(BASE_CONFIG) * 0.2 / 8
+        )
+
+    def test_custom_cpi(self):
+        model = EnergyModel(cpi_base=1.5)
+        assert model.total_cycles(CacheConfig(2, 1, 16), 1000, 0) == 1500
+
+    def test_custom_submodels_used(self):
+        memory = MemoryModel(miss_latency_cycles=100, bandwidth_cycles_per_chunk=50)
+        model = EnergyModel(memory=memory)
+        assert model.miss_stall_cycles_per_miss(CacheConfig(2, 1, 16)) == 150
+
+    def test_zero_misses_gives_zero_miss_cycles(self, model):
+        assert model.miss_cycles(BASE_CONFIG, 0) == 0
+
+
+class TestWritebackExtension:
+    def test_disabled_by_default(self):
+        from repro.cache.stats import CacheStats
+
+        model = EnergyModel()
+        stats = CacheStats(
+            accesses=10, hits=9, misses=1, read_accesses=10, read_misses=1,
+            fills=1, writebacks=5,
+        )
+        config = CacheConfig(2, 1, 16)
+        base = 9 * model.hit_energy_nj(config) + model.miss_energy_nj(config)
+        assert model.dynamic_energy_nj(config, stats) == pytest.approx(base)
+
+    def test_writeback_term_added_when_enabled(self):
+        from repro.cache.stats import CacheStats
+
+        model = EnergyModel(include_writeback_energy=True)
+        stats = CacheStats(
+            accesses=10, hits=9, misses=1, read_accesses=10, read_misses=1,
+            fills=1, writebacks=5,
+        )
+        config = CacheConfig(2, 1, 16)
+        without = EnergyModel().dynamic_energy_nj(config, stats)
+        with_wb = model.dynamic_energy_nj(config, stats)
+        assert with_wb == pytest.approx(
+            without + 5 * model.writeback_energy_nj(config)
+        )
+
+    def test_writeback_energy_scales_with_line(self):
+        model = EnergyModel(include_writeback_energy=True)
+        small = model.writeback_energy_nj(CacheConfig(2, 1, 16))
+        large = model.writeback_energy_nj(CacheConfig(2, 1, 64))
+        assert large > small

@@ -1,0 +1,73 @@
+"""Tests for precomputed energy tables."""
+
+import pytest
+
+from repro.cache.config import BASE_CONFIG, DESIGN_SPACE, CacheConfig
+from repro.energy.model import EnergyModel
+from repro.energy.tables import EnergyTable
+
+
+@pytest.fixture(scope="module")
+def table():
+    return EnergyTable()
+
+
+class TestTableConsistency:
+    def test_covers_design_space(self, table):
+        assert len(table) == len(DESIGN_SPACE)
+        for config in DESIGN_SPACE:
+            assert config in table
+
+    def test_matches_model_exactly(self, table):
+        model = table.model
+        for config in DESIGN_SPACE:
+            constants = table.get(config)
+            assert constants.hit_energy_nj == pytest.approx(
+                model.hit_energy_nj(config)
+            )
+            assert constants.miss_energy_nj == pytest.approx(
+                model.miss_energy_nj(config)
+            )
+            assert constants.static_per_cycle_nj == pytest.approx(
+                model.static_per_cycle_nj(config)
+            )
+            assert constants.miss_stall_cycles == (
+                model.miss_stall_cycles_per_miss(config)
+            )
+
+    def test_dynamic_energy_helper(self, table):
+        constants = table.get(BASE_CONFIG)
+        expected = 7 * constants.hit_energy_nj + 3 * constants.miss_energy_nj
+        assert constants.dynamic_energy_nj(7, 3) == pytest.approx(expected)
+
+    def test_dynamic_energy_rejects_negative(self, table):
+        with pytest.raises(ValueError):
+            table.get(BASE_CONFIG).dynamic_energy_nj(-1, 0)
+
+    def test_lazy_computation_of_new_config(self, table):
+        extra = CacheConfig(size_kb=16, assoc=2, line_b=32)
+        assert extra not in table
+        constants = table.get(extra)
+        assert extra in table
+        assert constants.hit_energy_nj == pytest.approx(
+            table.model.hit_energy_nj(extra)
+        )
+
+    def test_as_mapping_snapshot(self, table):
+        mapping = table.as_mapping()
+        assert BASE_CONFIG in mapping
+        assert len(mapping) >= len(DESIGN_SPACE)
+
+    def test_custom_model_respected(self):
+        model = EnergyModel(cpu_stall_energy_nj=0.0)
+        table = EnergyTable(model)
+        constants = table.get(BASE_CONFIG)
+        assert constants.miss_energy_nj == pytest.approx(
+            model.memory.access_energy_nj(64)
+            + model.cacti.fill_energy_nj(BASE_CONFIG)
+        )
+
+    def test_restricted_config_set(self):
+        subset = (BASE_CONFIG,)
+        table = EnergyTable(configs=subset)
+        assert len(table) == 1

@@ -1,0 +1,51 @@
+"""Smoke tests keeping the example scripts runnable.
+
+Only the fast examples run here (the paper-scale ones are covered by
+the benchmark harness and the CLI tests); each must exit cleanly and
+print its expected landmarks.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, *args, timeout=180):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout, check=False,
+    )
+
+
+class TestFastExamples:
+    def test_cache_design_space(self):
+        proc = run_example("cache_design_space.py", "puwmod")
+        assert proc.returncode == 0, proc.stderr
+        assert "tuning heuristic" in proc.stdout
+        assert "2KB_1W_16B" in proc.stdout
+
+    def test_cache_design_space_rejects_unknown(self):
+        proc = run_example("cache_design_space.py", "doom")
+        assert proc.returncode != 0
+
+    def test_custom_benchmark(self):
+        proc = run_example("custom_benchmark.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "jsonparse" in proc.stdout
+        assert "predicted best size" in proc.stdout
+
+    def test_locality_analysis(self):
+        proc = run_example("locality_analysis.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "miss ratio @ 2KB" in proc.stdout
+        assert "pntrch" in proc.stdout
+
+    def test_compare_systems_small(self):
+        proc = run_example("compare_systems.py", "200", "0", timeout=300)
+        assert proc.returncode == 0, proc.stderr
+        assert "Figure 6" in proc.stdout
+        assert "Figure 7" in proc.stdout

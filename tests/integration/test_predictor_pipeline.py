@@ -1,0 +1,67 @@
+"""Integration test of the full ANN pipeline (paper §IV.C/D).
+
+Builds a reduced variant-expanded dataset, trains a small bagged
+ensemble, and asserts the paper's prediction-quality claims at reduced
+scale: high accuracy on represented families and near-zero energy
+degradation on the canonical benchmarks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ann.metrics import class_accuracy
+from repro.ann.training import TrainingConfig
+from repro.characterization.dataset import build_dataset
+from repro.core.predictor import AnnPredictor
+from repro.workloads.eembc import eembc_suite
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    # Same scale as repro.experiment.default_predictor; reuses the
+    # on-disk characterisation cache so repeat test runs are fast.
+    from repro.experiment import default_dataset
+
+    dataset, store = default_dataset(12, seed=0)
+    split = dataset.split(seed=0, by_family=False)
+    predictor = AnnPredictor(n_members=10, seed=0)
+    predictor.fit(
+        split.train,
+        val_dataset=split.val,
+        config=TrainingConfig(epochs=200, seed=0),
+    )
+    return dataset, store, split, predictor
+
+
+class TestPredictionQuality:
+    def test_test_set_accuracy(self, pipeline):
+        _, _, split, predictor = pipeline
+        pred = predictor.predict_sizes_kb(split.test.features)
+        assert class_accuracy(pred, split.test.labels_kb) >= 0.7
+
+    def test_canonical_energy_degradation_below_paper_bound(self, pipeline):
+        """§IV.D: predicted best cache sizes degraded energy by < 2 %."""
+        _, store, _, predictor = pipeline
+        degradations = []
+        for spec in eembc_suite():
+            char = store.get(spec.name)
+            predicted = predictor.predict_size_kb(spec.name, char.counters)
+            best_at_predicted = char.best_config_for_size(predicted)
+            degradations.append(char.energy_degradation(best_at_predicted))
+        assert float(np.mean(degradations)) < 0.02
+
+    def test_predictions_legal(self, pipeline):
+        dataset, _, _, predictor = pipeline
+        pred = predictor.predict_sizes_kb(dataset.features)
+        assert set(np.unique(pred)) <= {2, 4, 8}
+
+    def test_dataset_labels_diverse(self, pipeline):
+        dataset, _, _, _ = pipeline
+        assert len(set(dataset.labels_kb)) == 3
+
+    def test_bagging_members_disagree_somewhere(self, pipeline):
+        """Random init (§IV.D) must give a genuinely diverse ensemble."""
+        dataset, _, _, predictor = pipeline
+        x = predictor.scaler.transform(predictor._pre(dataset.features))
+        members = predictor.ensemble.member_predictions(x)
+        assert members.std(axis=0).max() > 0.0

@@ -1,0 +1,91 @@
+"""Integration tests on the characterised EEMBC-analogue suite.
+
+The heterogeneous system only pays off if the suite is diverse in best
+cache size — these tests pin that property, plus cross-module
+consistency between the store, counters and energy model.
+"""
+
+import pytest
+
+from repro.cache.config import BASE_CONFIG
+from repro.experiment import default_store
+from repro.workloads.eembc import EEMBC_NAMES, eembc_suite
+
+
+@pytest.fixture(scope="module")
+def store():
+    return default_store(cache_path=None)
+
+
+class TestBestSizeDiversity:
+    def test_every_size_is_best_for_someone(self, store):
+        best_sizes = {store.best_size_kb(name) for name in EEMBC_NAMES}
+        assert best_sizes == {2, 4, 8}
+
+    def test_no_size_dominates_completely(self, store):
+        from collections import Counter
+
+        counts = Counter(store.best_size_kb(name) for name in EEMBC_NAMES)
+        assert max(counts.values()) <= 10
+
+    def test_base_config_never_best(self, store):
+        """The paper's premise: the pessimistic base configuration is a
+        safe profiling choice but optimal for nobody."""
+        for name in EEMBC_NAMES:
+            best = store.best_config(name)
+            assert best != BASE_CONFIG
+
+    def test_meaningful_savings_available(self, store):
+        """Specialisation must offer real energy savings per benchmark."""
+        for name in EEMBC_NAMES:
+            char = store.get(name)
+            base = char.result(BASE_CONFIG).total_energy_nj
+            best = char.result(char.best_config()).total_energy_nj
+            assert best < base * 0.95  # at least 5% better than base
+
+
+class TestCrossModuleConsistency:
+    def test_counters_match_base_characterisation(self, store):
+        for name in EEMBC_NAMES:
+            char = store.get(name)
+            base = char.result(BASE_CONFIG)
+            assert char.counters.cache_misses == base.stats.misses
+            assert char.counters.cache_hits == base.stats.hits
+            assert char.counters.cycles == base.total_cycles
+
+    def test_energy_equals_static_plus_dynamic(self, store):
+        for name in EEMBC_NAMES[:5]:
+            char = store.get(name)
+            for config in char.configs():
+                estimate = char.result(config).estimate
+                assert estimate.total_energy_nj == pytest.approx(
+                    estimate.energy.static_nj + estimate.energy.dynamic_nj
+                )
+
+    def test_base_config_has_fewest_misses_vs_smaller_caches(self, store):
+        """§III calls the base configuration a pessimistic, lowest-miss
+        choice.  Strictly, a 4-way cache can miss slightly more than a
+        direct-mapped cache of equal size on cyclic sweeps (LRU set
+        thrashing), so the guarantee we pin is against every *smaller*
+        cache at the same line size."""
+        for name in EEMBC_NAMES:
+            char = store.get(name)
+            base_misses = char.result(BASE_CONFIG).stats.misses
+            for config in char.configs():
+                if (
+                    config.line_b == BASE_CONFIG.line_b
+                    and config.size_kb < BASE_CONFIG.size_kb
+                ):
+                    assert base_misses <= char.result(config).stats.misses
+
+    def test_store_cache_round_trip(self, tmp_path, store):
+        path = tmp_path / "suite.json"
+        store.to_json(path)
+        from repro.characterization.store import CharacterizationStore
+
+        loaded = CharacterizationStore.from_json(path)
+        for name in EEMBC_NAMES:
+            assert loaded.best_config(name) == store.best_config(name)
+            assert loaded.estimate(name, BASE_CONFIG).total_cycles == (
+                store.estimate(name, BASE_CONFIG).total_cycles
+            )

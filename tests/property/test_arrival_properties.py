@@ -1,0 +1,81 @@
+"""Property-based tests for arrival-stream generation."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.arrivals import poisson_arrivals, uniform_arrivals, with_qos
+from repro.workloads.eembc import eembc_suite
+
+
+class TestUniformArrivalProperties:
+    @given(count=st.integers(1, 300), seed=st.integers(0, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_sorted_and_sized(self, count, seed):
+        arrivals = uniform_arrivals(eembc_suite(), count=count, seed=seed)
+        times = [a.arrival_cycle for a in arrivals]
+        assert len(arrivals) == count
+        assert times == sorted(times)
+        assert [a.job_id for a in arrivals] == list(range(count))
+
+    @given(
+        count=st.integers(1, 200),
+        horizon=st.integers(1, 10**8),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_within_horizon(self, count, horizon, seed):
+        arrivals = uniform_arrivals(
+            eembc_suite(), count=count, horizon_cycles=horizon, seed=seed
+        )
+        assert all(0 <= a.arrival_cycle < horizon for a in arrivals)
+
+    @given(count=st.integers(1, 100), seed=st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_poisson_sorted(self, count, seed):
+        arrivals = poisson_arrivals(eembc_suite(), count=count, seed=seed)
+        times = [a.arrival_cycle for a in arrivals]
+        assert times == sorted(times)
+
+
+class TestQosAnnotationProperties:
+    @given(
+        count=st.integers(1, 100),
+        levels=st.integers(1, 8),
+        slack=st.floats(min_value=0.5, max_value=20.0, allow_nan=False),
+        fraction=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_annotation_invariants(self, count, levels, slack, fraction,
+                                   seed):
+        arrivals = uniform_arrivals(eembc_suite(), count=count, seed=seed)
+        annotated = with_qos(
+            arrivals,
+            service_estimate=lambda name: 50_000,
+            priority_levels=levels,
+            deadline_slack=slack,
+            deadline_fraction=fraction,
+            seed=seed,
+        )
+        assert len(annotated) == count
+        for before, after in zip(arrivals, annotated):
+            # Identity fields untouched.
+            assert after.job_id == before.job_id
+            assert after.benchmark == before.benchmark
+            assert after.arrival_cycle == before.arrival_cycle
+            # Annotations within bounds.
+            assert 0 <= after.priority < levels
+            if after.deadline_cycle is not None:
+                assert after.deadline_cycle == before.arrival_cycle + int(
+                    round(slack * 50_000)
+                )
+
+    @given(count=st.integers(1, 60), seed=st.integers(0, 50))
+    @settings(max_examples=30, deadline=None)
+    def test_fraction_extremes(self, count, seed):
+        arrivals = uniform_arrivals(eembc_suite(), count=count, seed=seed)
+        none = with_qos(arrivals, service_estimate=lambda n: 1000,
+                        deadline_fraction=0.0, seed=seed)
+        assert all(a.deadline_cycle is None for a in none)
+        every = with_qos(arrivals, service_estimate=lambda n: 1000,
+                         deadline_fraction=1.0, seed=seed)
+        assert all(a.deadline_cycle is not None for a in every)

@@ -1,0 +1,99 @@
+"""Property-based tests for the cache substrate."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.cache import Cache, simulate_trace
+from repro.cache.config import DESIGN_SPACE, CacheConfig
+
+configs = st.sampled_from(DESIGN_SPACE)
+
+traces = st.lists(
+    st.integers(min_value=0, max_value=64 * 1024 - 1),
+    min_size=1,
+    max_size=400,
+)
+
+
+class TestFastPathEquivalence:
+    @given(trace=traces, config=configs)
+    @settings(max_examples=60, deadline=None)
+    def test_fast_path_matches_reference(self, trace, config):
+        fast = simulate_trace(trace, config)
+        ref = Cache(config, policy="lru").run_trace(trace)
+        assert fast.hits == ref.hits
+        assert fast.misses == ref.misses
+        assert fast.evictions == ref.evictions
+        assert fast.compulsory_misses == ref.compulsory_misses
+
+    @given(trace=traces, config=configs, seed=st.integers(0, 2**16))
+    @settings(max_examples=30, deadline=None)
+    def test_write_breakdown_consistent(self, trace, config, seed):
+        rng = np.random.default_rng(seed)
+        writes = (rng.random(len(trace)) < 0.4).tolist()
+        stats = simulate_trace(trace, config, writes=writes)
+        stats.validate()
+        assert stats.write_accesses == sum(writes)
+
+
+class TestCacheInvariants:
+    @given(trace=traces, config=configs)
+    @settings(max_examples=40, deadline=None)
+    def test_counter_consistency(self, trace, config):
+        stats = simulate_trace(trace, config)
+        stats.validate()
+        assert stats.accesses == len(trace)
+        assert stats.fills == stats.misses  # write-allocate, all reads
+        assert 0.0 <= stats.miss_rate <= 1.0
+
+    @given(trace=traces, config=configs)
+    @settings(max_examples=40, deadline=None)
+    def test_occupancy_bounded(self, trace, config):
+        cache = Cache(config)
+        cache.run_trace(trace)
+        assert cache.resident_lines <= config.num_lines
+        assert cache.resident_lines <= len(set(a // config.line_b for a in trace))
+
+    @given(trace=traces, config=configs)
+    @settings(max_examples=30, deadline=None)
+    def test_determinism(self, trace, config):
+        a = simulate_trace(trace, config)
+        b = simulate_trace(trace, config)
+        assert a.hits == b.hits
+
+    @given(trace=traces)
+    @settings(max_examples=30, deadline=None)
+    def test_lru_inclusion_same_sets_more_ways(self, trace):
+        """LRU inclusion: equal set count, more ways => no more misses."""
+        # 4KB 1-way 32B and 8KB 2-way 32B both have 128 sets.
+        fewer = simulate_trace(trace, CacheConfig(4, 1, 32))
+        more = simulate_trace(trace, CacheConfig(8, 2, 32))
+        assert more.misses <= fewer.misses
+
+    @given(trace=traces)
+    @settings(max_examples=30, deadline=None)
+    def test_repeating_trace_second_pass_hits_in_big_cache(self, trace):
+        """A trace fitting the cache entirely hits on its second pass."""
+        config = CacheConfig(8, 4, 64)
+        per_set = {}
+        for address in trace:
+            line = address // 64
+            per_set.setdefault(line % config.num_sets, set()).add(line)
+        if any(len(lines) > config.assoc for lines in per_set.values()):
+            return  # some set overflows; conflict misses possible
+        double = list(trace) + list(trace)
+        single = simulate_trace(trace, config)
+        both = simulate_trace(double, config)
+        # With every set's working lines fitting its ways, the second
+        # pass cannot miss.
+        assert both.misses == single.misses
+
+    @given(trace=traces, config=configs)
+    @settings(max_examples=30, deadline=None)
+    def test_flush_resets_contents_not_counters(self, trace, config):
+        cache = Cache(config)
+        cache.run_trace(trace)
+        accesses_before = cache.stats.accesses
+        cache.flush()
+        assert cache.resident_lines == 0
+        assert cache.stats.accesses == accesses_before

@@ -1,0 +1,79 @@
+"""Property-based tests for the energy model."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.config import DESIGN_SPACE
+from repro.cache.stats import CacheStats
+from repro.energy.model import EnergyModel
+from repro.energy.tables import EnergyTable
+
+MODEL = EnergyModel()
+TABLE = EnergyTable(MODEL)
+
+configs = st.sampled_from(DESIGN_SPACE)
+counts = st.integers(min_value=0, max_value=10**7)
+
+
+def stats_for(hits, misses):
+    return CacheStats(
+        accesses=hits + misses, hits=hits, misses=misses,
+        read_accesses=hits + misses, read_misses=misses, fills=misses,
+    )
+
+
+class TestEnergyProperties:
+    @given(config=configs, hits=counts, misses=counts)
+    @settings(max_examples=100, deadline=None)
+    def test_dynamic_energy_nonnegative_and_linear(self, config, hits, misses):
+        stats = stats_for(hits, misses)
+        energy = MODEL.dynamic_energy_nj(config, stats)
+        assert energy >= 0
+        doubled = MODEL.dynamic_energy_nj(config, stats_for(2 * hits, 2 * misses))
+        assert abs(doubled - 2 * energy) < 1e-6 * max(1.0, energy)
+
+    @given(config=configs, hits=counts, misses=counts)
+    @settings(max_examples=60, deadline=None)
+    def test_more_misses_cost_more(self, config, hits, misses):
+        base = MODEL.dynamic_energy_nj(config, stats_for(hits, misses))
+        worse = MODEL.dynamic_energy_nj(config, stats_for(hits, misses + 1))
+        assert worse > base
+
+    @given(
+        config=configs,
+        instructions=st.integers(1, 10**7),
+        misses=counts,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_cycles_decompose(self, config, instructions, misses):
+        total = MODEL.total_cycles(config, instructions, misses)
+        assert total == instructions + MODEL.miss_cycles(config, misses)
+
+    @given(config=configs)
+    @settings(max_examples=30, deadline=None)
+    def test_table_matches_model(self, config):
+        constants = TABLE.get(config)
+        assert constants.hit_energy_nj == MODEL.hit_energy_nj(config)
+        assert constants.miss_energy_nj == MODEL.miss_energy_nj(config)
+
+    @given(
+        config=configs,
+        instructions=st.integers(1, 10**6),
+        hits=counts,
+        misses=st.integers(0, 10**5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_estimate_internally_consistent(self, config, instructions,
+                                            hits, misses):
+        estimate = MODEL.estimate(config, instructions, stats_for(hits, misses))
+        assert estimate.total_cycles >= instructions
+        assert estimate.total_energy_nj >= estimate.energy.dynamic_nj
+        assert estimate.miss_cycles == misses * MODEL.miss_stall_cycles_per_miss(
+            config
+        )
+
+    @given(cycles=st.integers(0, 10**9))
+    @settings(max_examples=40, deadline=None)
+    def test_idle_energy_monotone_in_size(self, cycles):
+        small = MODEL.idle_energy_nj(DESIGN_SPACE[0], cycles)  # 2KB
+        large = MODEL.idle_energy_nj(DESIGN_SPACE[-1], cycles)  # 8KB
+        assert small <= large

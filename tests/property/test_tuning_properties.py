@@ -1,0 +1,108 @@
+"""Property-based tests for the tuning heuristic and the decision rule."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.config import CACHE_SIZES_KB, configs_for_size
+from repro.core.decision import evaluate_stall_decision
+from repro.core.tuning import TuningSession
+
+sizes = st.sampled_from(CACHE_SIZES_KB)
+energies = st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
+
+
+def drive(size_kb, cost_of):
+    session = TuningSession(size_kb=size_kb)
+    steps = []
+    while not session.done:
+        config = session.next_config()
+        steps.append(config)
+        session.record(config, cost_of[config])
+    return session, steps
+
+
+@st.composite
+def landscapes(draw):
+    size = draw(sizes)
+    costs = {
+        config: draw(energies) for config in configs_for_size(size)
+    }
+    return size, costs
+
+
+class TestHeuristicProperties:
+    @given(landscape=landscapes())
+    @settings(max_examples=100, deadline=None)
+    def test_terminates_within_bound(self, landscape):
+        size, costs = landscape
+        session, steps = drive(size, costs)
+        assert session.done
+        assert len(steps) <= 5  # paper: far fewer than exhaustive
+
+    @given(landscape=landscapes())
+    @settings(max_examples=100, deadline=None)
+    def test_no_repeated_configs(self, landscape):
+        size, costs = landscape
+        _, steps = drive(size, costs)
+        assert len(set(steps)) == len(steps)
+
+    @given(landscape=landscapes())
+    @settings(max_examples=100, deadline=None)
+    def test_best_is_min_of_explored(self, landscape):
+        size, costs = landscape
+        session, steps = drive(size, costs)
+        assert session.best_config in steps
+        assert session.best_energy_nj == min(costs[c] for c in steps)
+
+    @given(landscape=landscapes())
+    @settings(max_examples=100, deadline=None)
+    def test_all_explored_within_core_subspace(self, landscape):
+        size, costs = landscape
+        _, steps = drive(size, costs)
+        assert all(c.size_kb == size for c in steps)
+
+    @given(landscape=landscapes())
+    @settings(max_examples=100, deadline=None)
+    def test_never_worse_than_first_config(self, landscape):
+        size, costs = landscape
+        session, steps = drive(size, costs)
+        assert session.best_energy_nj <= costs[steps[0]]
+
+
+class TestDecisionProperties:
+    @given(
+        best=st.floats(min_value=0, max_value=1e9, allow_nan=False),
+        non_best=st.floats(min_value=0, max_value=1e9, allow_nan=False),
+        wait=st.integers(min_value=0, max_value=10**9),
+        power=st.floats(min_value=0, max_value=1e3, allow_nan=False),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_decision_matches_inequality(self, best, non_best, wait, power):
+        decision = evaluate_stall_decision(
+            best_core_energy_nj=best,
+            non_best_energy_nj=non_best,
+            wait_cycles=wait,
+            idle_power_non_best_nj_per_cycle=power,
+        )
+        assert decision.stall == (best + wait * power <= non_best)
+        assert decision.margin_nj == (
+            decision.run_energy_nj - decision.stall_energy_nj
+        )
+
+    @given(
+        best=st.floats(min_value=0, max_value=1e6, allow_nan=False),
+        non_best=st.floats(min_value=0, max_value=1e6, allow_nan=False),
+        power=st.floats(min_value=1e-3, max_value=1e3, allow_nan=False),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_in_wait(self, best, non_best, power):
+        """Longer waits can only flip the decision stall -> run."""
+        short = evaluate_stall_decision(
+            best_core_energy_nj=best, non_best_energy_nj=non_best,
+            wait_cycles=10, idle_power_non_best_nj_per_cycle=power,
+        )
+        long = evaluate_stall_decision(
+            best_core_energy_nj=best, non_best_energy_nj=non_best,
+            wait_cycles=10_000_000, idle_power_non_best_nj_per_cycle=power,
+        )
+        if not short.stall:
+            assert not long.stall

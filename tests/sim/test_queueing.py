@@ -1,0 +1,78 @@
+"""Tests for the FIFO ready queue."""
+
+import pytest
+
+from repro.sim.queueing import ReadyQueue
+
+
+class TestFIFO:
+    def test_order(self):
+        queue = ReadyQueue()
+        for item in "abc":
+            queue.push(item)
+        assert [queue.pop() for _ in range(3)] == ["a", "b", "c"]
+
+    def test_len_and_bool(self):
+        queue = ReadyQueue()
+        assert not queue
+        queue.push(1)
+        assert queue
+        assert len(queue) == 1
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            ReadyQueue().pop()
+
+    def test_peek(self):
+        queue = ReadyQueue()
+        assert queue.peek() is None
+        queue.push("x")
+        assert queue.peek() == "x"
+        assert len(queue) == 1  # peek does not remove
+
+    def test_iteration_order(self):
+        queue = ReadyQueue()
+        for i in range(4):
+            queue.push(i)
+        assert list(queue) == [0, 1, 2, 3]
+
+
+class TestRequeue:
+    def test_push_front_preserves_seniority(self):
+        queue = ReadyQueue()
+        queue.push("young")
+        queue.push_front("stalled")
+        assert queue.pop() == "stalled"
+
+    def test_requeue_counted(self):
+        queue = ReadyQueue()
+        queue.push("a")
+        queue.push_front("b")
+        assert queue.enqueued_total == 1
+        assert queue.requeued_total == 1
+
+
+class TestStats:
+    def test_max_length_tracked(self):
+        queue = ReadyQueue()
+        for i in range(5):
+            queue.push(i)
+        for _ in range(3):
+            queue.pop()
+        queue.push(9)
+        assert queue.max_length == 5
+
+    def test_remove(self):
+        queue = ReadyQueue()
+        for i in range(3):
+            queue.push(i)
+        assert queue.remove(1)
+        assert not queue.remove(42)
+        assert list(queue) == [0, 2]
+
+    def test_drain(self):
+        queue = ReadyQueue()
+        for i in range(3):
+            queue.push(i)
+        assert queue.drain() == [0, 1, 2]
+        assert not queue

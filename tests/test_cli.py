@@ -1,0 +1,131 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_compare_defaults(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.jobs == 1000
+        assert args.predictor == "ann"
+        assert args.discipline == "fifo"
+
+    def test_compare_options(self):
+        args = build_parser().parse_args([
+            "compare", "--jobs", "50", "--seed", "7",
+            "--predictor", "oracle", "--discipline", "edf",
+            "--csv", "out.csv", "--json", "out.json", "--summaries",
+        ])
+        assert args.jobs == 50
+        assert args.seed == 7
+        assert args.predictor == "oracle"
+        assert args.discipline == "edf"
+        assert args.csv == "out.csv"
+        assert args.summaries
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_characterize_needs_benchmark(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["characterize"])
+
+
+class TestCommands:
+    def test_suite(self, capsys):
+        assert main(["suite"]) == 0
+        out = capsys.readouterr().out
+        assert "a2time" in out
+        assert "tblook" in out
+
+    def test_characterize(self, capsys):
+        assert main(["characterize", "puwmod"]) == 0
+        out = capsys.readouterr().out
+        assert "2KB_1W_16B" in out
+        assert "*" in out  # best marker
+
+    def test_characterize_unknown(self, capsys):
+        assert main(["characterize", "doom"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_compare_oracle_small(self, capsys, tmp_path):
+        csv_path = tmp_path / "summary.csv"
+        json_path = tmp_path / "results.json"
+        code = main([
+            "compare", "--jobs", "60", "--seed", "0",
+            "--predictor", "oracle",
+            "--csv", str(csv_path), "--json", str(json_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 6" in out
+        assert "Figure 7" in out
+        assert csv_path.exists()
+        assert json_path.exists()
+
+    def test_compare_summaries_flag(self, capsys):
+        code = main([
+            "compare", "--jobs", "40", "--seed", "0",
+            "--predictor", "oracle", "--summaries",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "stall decisions" in out
+
+
+class TestReproduceCommand:
+    def test_parser(self):
+        args = build_parser().parse_args(
+            ["reproduce", "--out", "/tmp/x", "--jobs", "100", "--seed", "2"]
+        )
+        assert args.out == "/tmp/x"
+        assert args.jobs == 100
+
+    def test_reproduce_small(self, tmp_path, capsys):
+        code = main([
+            "reproduce", "--out", str(tmp_path / "r"), "--jobs", "150",
+            "--seed", "0",
+        ])
+        assert code == 0
+        out_dir = tmp_path / "r"
+        for name in ("REPORT.md", "summary.csv", "results.json",
+                     "jobs_proposed.csv"):
+            assert (out_dir / name).exists()
+        report = (out_dir / "REPORT.md").read_text()
+        assert "Figure 6" in report
+        assert "Headline" in report
+
+
+class TestDisciplineOption:
+    def test_compare_with_edf(self, capsys):
+        code = main([
+            "compare", "--jobs", "40", "--seed", "0",
+            "--predictor", "oracle", "--discipline", "edf",
+        ])
+        assert code == 0
+        assert "Figure 6" in capsys.readouterr().out
+
+
+class TestLocalityCommand:
+    def test_locality(self, capsys):
+        code = main(["locality", "idctrn"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "measured miss ratio" in out
+        assert "peak working set" in out
+
+    def test_locality_unknown(self, capsys):
+        assert main(["locality", "doom"]) == 2
+
+    def test_locality_options(self, capsys):
+        code = main(["locality", "puwmod", "--line", "16",
+                     "--window", "500"])
+        assert code == 0
+        assert "500-access window" in capsys.readouterr().out

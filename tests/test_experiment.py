@@ -1,0 +1,111 @@
+"""Tests for the high-level experiment API."""
+
+import pytest
+
+from repro.experiment import (
+    default_dataset,
+    default_predictor,
+    default_store,
+    quick_experiment,
+    run_four_systems,
+)
+from repro.core.predictor import OraclePredictor
+from repro.workloads import eembc_suite, uniform_arrivals
+from repro.workloads.eembc import EEMBC_NAMES
+
+
+class TestDefaultStore:
+    def test_contains_whole_suite(self):
+        store = default_store(cache_path=None)
+        assert set(EEMBC_NAMES) <= set(store.names())
+
+    def test_disk_cache_round_trip(self, tmp_path):
+        path = tmp_path / "store.json"
+        first = default_store(cache_path=path)
+        assert path.exists()
+        second = default_store(cache_path=path)
+        for name in EEMBC_NAMES:
+            assert first.best_config(name) == second.best_config(name)
+
+    def test_stale_cache_rebuilt(self, tmp_path):
+        path = tmp_path / "store.json"
+        # A cache missing suite benchmarks is rebuilt.
+        partial = default_store(cache_path=None).subset(["a2time"])
+        partial.to_json(path)
+        store = default_store(cache_path=path)
+        assert set(EEMBC_NAMES) <= set(store.names())
+
+
+class TestDefaultDataset:
+    def test_variant_expansion(self, tmp_path):
+        path = tmp_path / "dataset.json"
+        dataset, store = default_dataset(
+            2, cache_path=path, seed=0
+        )
+        assert len(dataset) == 2 * len(EEMBC_NAMES)
+        assert path.exists()
+        # Second call reuses the cache.
+        dataset2, _ = default_dataset(2, cache_path=path, seed=0)
+        assert dataset2.names == dataset.names
+
+
+class TestDefaultPredictor:
+    def test_oracle_requires_store(self):
+        with pytest.raises(ValueError):
+            default_predictor(None, kind="oracle")
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            default_predictor(None, kind="svm")
+
+    def test_oracle_returns_oracle(self):
+        store = default_store(cache_path=None)
+        predictor = default_predictor(store, kind="oracle")
+        assert isinstance(predictor, OraclePredictor)
+
+
+class TestRunFourSystems:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        store = default_store(cache_path=None)
+        predictor = OraclePredictor(store)
+        arrivals = uniform_arrivals(eembc_suite(), count=120, seed=0)
+        return store, predictor, arrivals
+
+    def test_all_four_policies(self, setup):
+        store, predictor, arrivals = setup
+        results = run_four_systems(arrivals, store, predictor)
+        assert set(results) == {
+            "base", "optimal", "energy_centric", "proposed"
+        }
+        for result in results.values():
+            assert result.jobs_completed == 120
+
+    def test_policy_subset(self, setup):
+        store, predictor, arrivals = setup
+        results = run_four_systems(
+            arrivals, store, predictor, policies=("base", "proposed")
+        )
+        assert set(results) == {"base", "proposed"}
+
+    def test_same_arrivals_everywhere(self, setup):
+        store, predictor, arrivals = setup
+        results = run_four_systems(
+            arrivals, store, predictor, policies=("base", "proposed")
+        )
+        for result in results.values():
+            ids = sorted(r.job_id for r in result.jobs)
+            assert ids == list(range(120))
+
+
+class TestQuickExperiment:
+    def test_oracle_quick_run(self, tmp_path):
+        results = quick_experiment(
+            n_jobs=80, seed=0, predictor_kind="oracle",
+            cache_path=tmp_path / "store.json",
+        )
+        assert results["proposed"].jobs_completed == 80
+        assert (
+            results["proposed"].total_energy_nj
+            < results["base"].total_energy_nj
+        )

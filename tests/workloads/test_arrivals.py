@@ -1,0 +1,90 @@
+"""Tests for arrival-stream generation."""
+
+import pytest
+
+from repro.workloads.arrivals import JobArrival, poisson_arrivals, uniform_arrivals
+from repro.workloads.eembc import EEMBC_NAMES, eembc_suite
+
+
+class TestUniformArrivals:
+    def test_count(self):
+        arrivals = uniform_arrivals(eembc_suite(), count=100, seed=0)
+        assert len(arrivals) == 100
+
+    def test_paper_default_count(self):
+        arrivals = uniform_arrivals(eembc_suite(), seed=0)
+        assert len(arrivals) == 5000
+
+    def test_times_sorted_and_in_horizon(self):
+        arrivals = uniform_arrivals(
+            eembc_suite(), count=200, horizon_cycles=1_000_000, seed=1
+        )
+        times = [a.arrival_cycle for a in arrivals]
+        assert times == sorted(times)
+        assert all(0 <= t < 1_000_000 for t in times)
+
+    def test_job_ids_sequential(self):
+        arrivals = uniform_arrivals(eembc_suite(), count=50, seed=0)
+        assert [a.job_id for a in arrivals] == list(range(50))
+
+    def test_benchmarks_from_suite(self):
+        arrivals = uniform_arrivals(eembc_suite(), count=300, seed=2)
+        assert {a.benchmark for a in arrivals} <= set(EEMBC_NAMES)
+
+    def test_all_benchmarks_eventually_drawn(self):
+        arrivals = uniform_arrivals(eembc_suite(), count=2000, seed=3)
+        assert {a.benchmark for a in arrivals} == set(EEMBC_NAMES)
+
+    def test_deterministic(self):
+        a = uniform_arrivals(eembc_suite(), count=100, seed=7)
+        b = uniform_arrivals(eembc_suite(), count=100, seed=7)
+        assert a == b
+
+    def test_seed_changes_stream(self):
+        a = uniform_arrivals(eembc_suite(), count=100, seed=1)
+        b = uniform_arrivals(eembc_suite(), count=100, seed=2)
+        assert a != b
+
+    def test_default_horizon_from_interarrival(self):
+        arrivals = uniform_arrivals(
+            eembc_suite(), count=100, seed=0, mean_interarrival_cycles=1000
+        )
+        assert max(a.arrival_cycle for a in arrivals) < 100 * 1000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            uniform_arrivals(eembc_suite(), count=0)
+        with pytest.raises(ValueError):
+            uniform_arrivals(eembc_suite(), count=10, horizon_cycles=0)
+        with pytest.raises(ValueError):
+            uniform_arrivals([], count=10)
+
+
+class TestPoissonArrivals:
+    def test_count_and_order(self):
+        arrivals = poisson_arrivals(eembc_suite(), count=100, seed=0)
+        times = [a.arrival_cycle for a in arrivals]
+        assert len(arrivals) == 100
+        assert times == sorted(times)
+
+    def test_mean_interarrival_close(self):
+        arrivals = poisson_arrivals(
+            eembc_suite(), count=5000, mean_interarrival_cycles=10_000, seed=1
+        )
+        span = arrivals[-1].arrival_cycle - arrivals[0].arrival_cycle
+        mean_gap = span / (len(arrivals) - 1)
+        assert 9_000 < mean_gap < 11_000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            poisson_arrivals(eembc_suite(), count=0)
+        with pytest.raises(ValueError):
+            poisson_arrivals(eembc_suite(), count=5, mean_interarrival_cycles=0)
+
+
+class TestJobArrival:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            JobArrival(job_id=-1, benchmark="x", arrival_cycle=0)
+        with pytest.raises(ValueError):
+            JobArrival(job_id=0, benchmark="x", arrival_cycle=-1)

@@ -1,0 +1,200 @@
+"""Tests for benchmark specifications and trace generation."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.benchmark import BenchmarkSpec, InstructionMix, Trace
+from repro.workloads.tracegen import LoopedArray, SequentialStream, TraceMix
+
+
+def make_spec(instructions=10_000):
+    return BenchmarkSpec(
+        name="toy",
+        family="toy",
+        instructions=instructions,
+        mix=InstructionMix(load=0.25, store=0.10, branch=0.15,
+                           int_op=0.40, fp_op=0.10),
+        trace_mix=TraceMix(
+            components=(
+                (LoopedArray(region_bytes=512, stride=4), 2.0),
+                (SequentialStream(region_bytes=2048, stride=4), 1.0),
+            ),
+        ),
+    )
+
+
+class TestInstructionMix:
+    def test_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            InstructionMix(load=0.5, store=0.5, branch=0.5, int_op=0.0, fp_op=0.0)
+
+    def test_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            InstructionMix(load=-0.1, store=0.4, branch=0.3, int_op=0.3, fp_op=0.1)
+
+    def test_branch_taken_bounds(self):
+        with pytest.raises(ValueError):
+            InstructionMix(load=0.2, store=0.2, branch=0.2, int_op=0.2,
+                           fp_op=0.2, branch_taken_ratio=1.5)
+
+    def test_memory_fraction(self):
+        mix = InstructionMix(load=0.3, store=0.1, branch=0.2, int_op=0.3, fp_op=0.1)
+        assert mix.memory_fraction == pytest.approx(0.4)
+        assert mix.write_fraction == pytest.approx(0.25)
+
+    def test_write_fraction_no_memory(self):
+        mix = InstructionMix(load=0.0, store=0.0, branch=0.3, int_op=0.4, fp_op=0.3)
+        assert mix.write_fraction == 0.0
+
+
+class TestDerivedCounts:
+    def test_counts_follow_mix(self):
+        spec = make_spec(10_000)
+        assert spec.loads == 2500
+        assert spec.stores == 1000
+        assert spec.branches == 1500
+        assert spec.int_ops == 4000
+        assert spec.fp_ops == 1000
+        assert spec.mem_accesses == 3500
+
+    def test_taken_branches(self):
+        spec = make_spec()
+        assert spec.taken_branches == round(spec.branches * 0.6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_spec(instructions=0)
+        with pytest.raises(ValueError):
+            BenchmarkSpec(
+                name="", family="x", instructions=10,
+                mix=make_spec().mix, trace_mix=make_spec().trace_mix,
+            )
+
+
+class TestTraceGeneration:
+    def test_trace_length_is_mem_accesses(self):
+        spec = make_spec()
+        trace = spec.generate_trace(seed=0)
+        assert len(trace) == spec.mem_accesses
+
+    def test_store_count_matches(self):
+        spec = make_spec()
+        trace = spec.generate_trace(seed=0)
+        assert trace.store_count == spec.stores
+        assert trace.load_count == spec.mem_accesses - spec.stores
+
+    def test_writes_spread_through_trace(self):
+        trace = make_spec().generate_trace(seed=0)
+        write_positions = np.flatnonzero(trace.writes)
+        gaps = np.diff(write_positions)
+        assert gaps.max() <= 2 * gaps.min() + 2  # roughly uniform
+
+    def test_deterministic_per_seed(self):
+        spec = make_spec()
+        a = spec.generate_trace(seed=3)
+        b = spec.generate_trace(seed=3)
+        assert (a.addresses == b.addresses).all()
+        assert (a.writes == b.writes).all()
+
+    def test_different_seeds_differ_with_random_component(self):
+        import dataclasses
+
+        from repro.workloads.tracegen import RandomAccess
+
+        spec = dataclasses.replace(
+            make_spec(),
+            trace_mix=TraceMix(components=((RandomAccess(region_bytes=4096), 1.0),)),
+        )
+        a = spec.generate_trace(seed=1)
+        b = spec.generate_trace(seed=2)
+        assert not (a.addresses == b.addresses).all()
+
+    def test_deterministic_components_are_seed_independent(self):
+        # Looped/sequential components model fixed control flow, so the
+        # trace does not depend on the seed — only stochastic components do.
+        spec = make_spec()
+        a = spec.generate_trace(seed=1)
+        b = spec.generate_trace(seed=2)
+        assert (a.addresses == b.addresses).all()
+
+    def test_different_benchmarks_decorrelated(self):
+        import dataclasses
+
+        from repro.workloads.tracegen import RandomAccess
+
+        mix = TraceMix(components=((RandomAccess(region_bytes=4096), 1.0),))
+        a = dataclasses.replace(make_spec(), trace_mix=mix)
+        b = dataclasses.replace(make_spec(), name="other", trace_mix=mix)
+        assert not (
+            a.generate_trace(0).addresses == b.generate_trace(0).addresses
+        ).all()
+
+    def test_unique_lines(self):
+        spec = make_spec()
+        trace = spec.generate_trace(seed=0)
+        expected = len(np.unique(trace.addresses // 64))
+        assert trace.unique_lines_64b == expected
+
+
+class TestTrace:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Trace(addresses=np.zeros(3, dtype=np.int64),
+                  writes=np.zeros(2, dtype=bool))
+
+    def test_empty_trace(self):
+        trace = Trace(addresses=np.zeros(0, dtype=np.int64),
+                      writes=np.zeros(0, dtype=bool))
+        assert trace.unique_lines_64b == 0
+        assert trace.store_count == 0
+
+
+class TestVariants:
+    def test_variant_zero_is_self(self):
+        spec = make_spec()
+        assert spec.variant(0) is spec
+
+    def test_variant_renamed(self):
+        spec = make_spec()
+        v = spec.variant(3)
+        assert v.name == "toy.v3"
+        assert v.family == "toy"
+
+    def test_variant_deterministic(self):
+        spec = make_spec()
+        a = spec.variant(5)
+        b = spec.variant(5)
+        assert a.instructions == b.instructions
+        assert a.trace_mix == b.trace_mix
+        assert a.mix == b.mix
+
+    def test_variants_differ_from_original(self):
+        spec = make_spec()
+        v = spec.variant(1)
+        assert v.instructions != spec.instructions or v.trace_mix != spec.trace_mix
+
+    def test_variant_regions_scale_together(self):
+        spec = make_spec()
+        v = spec.variant(7, jitter=0.5)
+        originals = [c.region_bytes for c, _ in spec.trace_mix.components]
+        scaled = [c.region_bytes for c, _ in v.trace_mix.components]
+        ratios = [s / o for s, o in zip(scaled, originals)]
+        # Same lognormal factor with small per-component wobble.
+        assert max(ratios) / min(ratios) < 1.6
+
+    def test_variant_mix_still_valid(self):
+        spec = make_spec()
+        for i in range(1, 10):
+            v = spec.variant(i)
+            total = (v.mix.load + v.mix.store + v.mix.branch
+                     + v.mix.int_op + v.mix.fp_op)
+            assert total == pytest.approx(1.0)
+
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(ValueError):
+            make_spec().variant(1, jitter=-0.1)
+
+    def test_variant_trace_generates(self):
+        v = make_spec().variant(2)
+        trace = v.generate_trace(seed=0)
+        assert len(trace) == v.mem_accesses

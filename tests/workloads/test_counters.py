@@ -1,0 +1,106 @@
+"""Tests for hardware counter collection."""
+
+import numpy as np
+import pytest
+
+from repro.cache.cache import simulate_trace
+from repro.cache.config import BASE_CONFIG
+from repro.energy.model import EnergyModel
+from repro.workloads.counters import (
+    ALL_COUNTER_NAMES,
+    ANN_SELECTED_FEATURES,
+    HardwareCounters,
+    collect_counters,
+)
+from repro.workloads.eembc import eembc_benchmark
+
+
+@pytest.fixture(scope="module")
+def collected():
+    spec = eembc_benchmark("a2time")
+    trace = spec.generate_trace(seed=0)
+    stats = simulate_trace(trace.addresses, BASE_CONFIG, writes=trace.writes)
+    model = EnergyModel()
+    cycles = model.estimate(BASE_CONFIG, spec.instructions, stats).total_cycles
+    return spec, trace, stats, collect_counters(spec, trace, stats, cycles)
+
+
+class TestCounterBlock:
+    def test_eighteen_counters(self):
+        assert len(ALL_COUNTER_NAMES) == 18
+
+    def test_paper_selected_features(self):
+        # §IV.D: instructions, cycles, loads, stores, branches, int, fp.
+        assert ANN_SELECTED_FEATURES == (
+            "instructions", "cycles", "loads", "stores", "branches",
+            "int_ops", "fp_ops",
+        )
+        assert set(ANN_SELECTED_FEATURES) <= set(ALL_COUNTER_NAMES)
+
+    def test_consistency(self, collected):
+        spec, trace, stats, counters = collected
+        counters.validate()
+        assert counters.instructions == spec.instructions
+        assert counters.mem_accesses == stats.accesses
+        assert counters.cache_hits + counters.cache_misses == counters.mem_accesses
+        assert counters.loads + counters.stores == counters.mem_accesses
+
+    def test_ipc_below_one_with_stalls(self, collected):
+        _, _, _, counters = collected
+        assert 0 < counters.ipc <= 1.0
+        assert counters.cycles >= counters.instructions
+        assert counters.stall_cycles == counters.cycles - counters.instructions
+
+    def test_intensities(self, collected):
+        spec, _, _, counters = collected
+        assert counters.memory_intensity == pytest.approx(
+            counters.mem_accesses / spec.instructions
+        )
+        assert counters.compute_intensity == pytest.approx(
+            (spec.int_ops + spec.fp_ops) / counters.mem_accesses
+        )
+
+
+class TestAsVector:
+    def test_default_order(self, collected):
+        _, _, _, counters = collected
+        vector = counters.as_vector()
+        assert vector.shape == (18,)
+        assert vector[0] == counters.instructions
+
+    def test_selected_features(self, collected):
+        _, _, _, counters = collected
+        vector = counters.as_vector(ANN_SELECTED_FEATURES)
+        assert vector.shape == (7,)
+        assert vector[1] == counters.cycles
+
+    def test_unknown_name_rejected(self, collected):
+        _, _, _, counters = collected
+        with pytest.raises(ValueError):
+            counters.as_vector(["instructions", "nonexistent"])
+
+    def test_vector_is_float(self, collected):
+        _, _, _, counters = collected
+        assert counters.as_vector().dtype == np.float64
+
+
+class TestValidation:
+    def test_bad_hit_miss_sum(self):
+        with pytest.raises(ValueError):
+            HardwareCounters(
+                instructions=10, cycles=10, ipc=1.0, loads=2, stores=0,
+                branches=0, taken_branches=0, int_ops=8, fp_ops=0,
+                mem_accesses=2, cache_hits=1, cache_misses=0, miss_rate=0.0,
+                stall_cycles=0, compulsory_misses=0, unique_lines=1,
+                compute_intensity=4.0, memory_intensity=0.2,
+            ).validate()
+
+    def test_taken_branches_bounded(self):
+        with pytest.raises(ValueError):
+            HardwareCounters(
+                instructions=10, cycles=10, ipc=1.0, loads=1, stores=1,
+                branches=2, taken_branches=3, int_ops=6, fp_ops=0,
+                mem_accesses=2, cache_hits=2, cache_misses=0, miss_rate=0.0,
+                stall_cycles=0, compulsory_misses=0, unique_lines=1,
+                compute_intensity=3.0, memory_intensity=0.2,
+            ).validate()

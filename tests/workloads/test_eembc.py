@@ -1,0 +1,68 @@
+"""Tests for the synthetic EEMBC-analogue suite definitions."""
+
+import pytest
+
+from repro.workloads.eembc import EEMBC_NAMES, eembc_benchmark, eembc_suite
+
+
+class TestSuiteStructure:
+    def test_fifteen_benchmarks(self):
+        assert len(eembc_suite()) == 15
+        assert len(EEMBC_NAMES) == 15
+
+    def test_names_match_order(self):
+        assert tuple(s.name for s in eembc_suite()) == EEMBC_NAMES
+
+    def test_names_unique(self):
+        assert len(set(EEMBC_NAMES)) == 15
+
+    def test_lookup_by_name(self):
+        spec = eembc_benchmark("matrix")
+        assert spec.name == "matrix"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            eembc_benchmark("dhrystone")
+
+    def test_suite_is_cached(self):
+        assert eembc_suite()[0] is eembc_suite()[0]
+
+
+class TestSpecContents:
+    def test_all_have_descriptions(self):
+        for spec in eembc_suite():
+            assert spec.description
+
+    def test_families_match_names(self):
+        for spec in eembc_suite():
+            assert spec.family == spec.name
+
+    def test_instruction_counts_plausible(self):
+        for spec in eembc_suite():
+            assert 10_000 <= spec.instructions <= 500_000
+
+    def test_mixes_sum_to_one(self):
+        for spec in eembc_suite():
+            mix = spec.mix
+            total = mix.load + mix.store + mix.branch + mix.int_op + mix.fp_op
+            assert total == pytest.approx(1.0)
+
+    def test_memory_fractions_plausible(self):
+        for spec in eembc_suite():
+            assert 0.15 <= spec.mix.memory_fraction <= 0.55
+
+    def test_footprints_span_design_space(self):
+        footprints = [s.trace_mix.footprint_bytes for s in eembc_suite()]
+        assert min(footprints) < 16 * 1024
+        assert max(footprints) > 8 * 1024
+
+    def test_fp_heavy_and_int_heavy_present(self):
+        fp = [s for s in eembc_suite() if s.mix.fp_op > 0.25]
+        integer = [s for s in eembc_suite() if s.mix.int_op > 0.4]
+        assert fp and integer
+
+    def test_traces_generate(self):
+        for spec in eembc_suite():
+            trace = spec.generate_trace(seed=0)
+            assert len(trace) == spec.mem_accesses
+            assert trace.addresses.min() >= 0
