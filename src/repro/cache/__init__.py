@@ -3,13 +3,14 @@
 This package provides everything the reproduction needs from a cache
 simulator: the configuration design space of the paper's Table 1
 (:mod:`repro.cache.config`), the per-access reference model and the fast
-trace path (:mod:`repro.cache.cache`), replacement policies
+trace path (:mod:`repro.cache.cache`), the single-pass stack-distance
+characterisation engine (:mod:`repro.cache.stackdist`), replacement policies
 (:mod:`repro.cache.replacement`), a two-level private hierarchy
 (:mod:`repro.cache.hierarchy`) and the reconfiguration tuner model
 (:mod:`repro.cache.tuner`).
 """
 
-from .cache import AccessResult, Cache, simulate_trace
+from .cache import AccessResult, Cache, simulate_trace, simulate_trace_per_config
 from .config import (
     BASE_CONFIG,
     CACHE_SIZES_KB,
@@ -31,6 +32,7 @@ from .replacement import (
     ReplacementPolicy,
     make_policy,
 )
+from .stackdist import StackDistanceProfile, profile_trace, simulate_many
 from .stats import CacheStats
 from .tuner import CacheTuner, ReconfigurationCost, TunerCostModel
 
@@ -56,11 +58,15 @@ __all__ = [
     "ReplacementPolicy",
     "SharedL2Result",
     "SharedL2System",
+    "StackDistanceProfile",
     "TunerCostModel",
     "associativities_for_size",
     "configs_for_size",
     "design_space",
     "interference_penalty",
     "make_policy",
+    "profile_trace",
+    "simulate_many",
     "simulate_trace",
+    "simulate_trace_per_config",
 ]

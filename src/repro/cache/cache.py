@@ -10,12 +10,18 @@ Two complementary implementations are provided:
 
 :func:`simulate_trace`
     A fast path for the common case used by the characterisation explorer:
-    LRU, write-allocate caches driven by a complete address trace.  For
-    the small associativities in the design space (1-4 ways) the per-set
-    MRU list fits in a tiny Python list, which keeps the inner loop fast
-    enough to characterise the full 18-configuration design space for
-    every benchmark on a laptop.  The fast path and the reference model
-    produce identical hit/miss counts (tested property).
+    LRU, write-allocate caches driven by a complete address trace.  It
+    delegates to the stack-distance engine in
+    :mod:`repro.cache.stackdist`, which measures a whole partition of
+    the design space in one pass; :func:`repro.cache.stackdist.simulate_many`
+    is the bulk entry point that characterises many configurations per
+    trace traversal.  The fast path and the reference model produce
+    identical statistics (tested property).
+
+:func:`simulate_trace_per_config`
+    The seed implementation: one per-access Python replay per
+    configuration.  Retained as an independent cross-check and as the
+    baseline the characterisation-speed benchmark measures against.
 
 Addresses are byte addresses; the cache indexes by ``(address // line_b)
 % num_sets`` like real hardware with power-of-two geometry.
@@ -30,9 +36,10 @@ import numpy as np
 
 from .config import CacheConfig
 from .replacement import ReplacementPolicy, make_policy
+from .stackdist import simulate_many
 from .stats import CacheStats
 
-__all__ = ["Cache", "AccessResult", "simulate_trace"]
+__all__ = ["Cache", "AccessResult", "simulate_trace", "simulate_trace_per_config"]
 
 
 @dataclass(frozen=True)
@@ -206,12 +213,28 @@ class Cache:
         addresses: Sequence[int],
         writes: Optional[Sequence[bool]] = None,
     ) -> CacheStats:
-        """Access every address in order; returns the accumulated stats."""
+        """Access every address in order; returns the accumulated stats.
+
+        Accepts numpy arrays directly (traces stay int64 arrays end to
+        end); iteration happens over plain Python scalars internally
+        because that is what the per-access loop is fastest on.
+        """
         if writes is not None and len(writes) != len(addresses):
             raise ValueError("writes mask length must match addresses length")
-        for i, address in enumerate(addresses):
-            is_write = bool(writes[i]) if writes is not None else False
-            self.access(int(address), is_write=is_write)
+        address_list = (
+            addresses.tolist() if isinstance(addresses, np.ndarray)
+            else [int(a) for a in addresses]
+        )
+        if writes is None:
+            for address in address_list:
+                self.access(address, is_write=False)
+        else:
+            write_list = (
+                writes.tolist() if isinstance(writes, np.ndarray)
+                else [bool(w) for w in writes]
+            )
+            for address, is_write in zip(address_list, write_list):
+                self.access(address, is_write=is_write)
         return self.stats
 
 
@@ -222,10 +245,14 @@ def simulate_trace(
 ) -> CacheStats:
     """Fast LRU, write-allocate simulation of a complete trace.
 
-    Produces hit/miss counts identical to
-    ``Cache(config, policy="lru", write_allocate=True)`` but several times
-    faster, which matters because the characterisation explorer runs every
-    benchmark through all 18 configurations.
+    Produces statistics identical to
+    ``Cache(config, policy="lru", write_allocate=True)`` but much
+    faster: the trace is measured by the single-pass stack-distance
+    engine (:mod:`repro.cache.stackdist`), with the address arithmetic
+    vectorised in numpy.  When many configurations are needed for the
+    same trace, call :func:`repro.cache.stackdist.simulate_many`
+    directly — it shares one trace traversal across every configuration
+    of a set partition.
 
     Parameters
     ----------
@@ -236,6 +263,21 @@ def simulate_trace(
     writes:
         Optional boolean mask marking write accesses (for the read/write
         breakdown in the returned stats).
+    """
+    return simulate_many(addresses, (config,), writes=writes)[config]
+
+
+def simulate_trace_per_config(
+    addresses: Sequence[int],
+    config: CacheConfig,
+    writes: Optional[Sequence[bool]] = None,
+) -> CacheStats:
+    """The seed fast path: one per-access Python replay per configuration.
+
+    Superseded by the stack-distance engine (one pass per set partition
+    instead of one per configuration) but kept as an independent
+    implementation for property tests and as the old-engine baseline of
+    ``benchmarks/test_bench_characterization_speed.py``.
     """
     if isinstance(addresses, np.ndarray):
         line_addrs = (addresses.astype(np.int64) // config.line_b).tolist()

@@ -1,0 +1,544 @@
+"""Single-pass stack-distance (reuse-distance) characterisation engine.
+
+The design-space explorer needs LRU hit/miss counts for every
+configuration in Table 1.  Replaying the trace once per configuration
+(the seed approach) repeats almost identical work 18 times: two
+configurations with the same line size and the same number of sets map
+every address to the same set, and for LRU the set content of an A-way
+cache is exactly the top A entries of the set's (unbounded) LRU stack.
+An access therefore hits in an A-way cache iff its *stack distance* —
+the depth of its line in the per-set most-recently-used stack — is less
+than A.
+
+One pass over the trace at a fixed ``(line_b, num_sets)`` partition
+that records the histogram of stack distances (capped at the largest
+associativity of interest) yields the exact hit/miss counts of *every*
+associativity simultaneously.  The remaining counters fall out too:
+
+* fills equal misses (write-allocate);
+* compulsory misses are first-ever references to a line, identical for
+  every associativity of the partition (and every partition of the same
+  line size);
+* evictions are ``misses - final_occupancy`` where the final occupancy
+  of an A-way cache is ``sum over sets of min(distinct_lines(set), A)``
+  — with LRU a set holds ``min(distinct, A)`` lines forever after.
+
+For the Table-1 space this collapses 18 trace replays to, per line
+size, two fully vectorised passes — direct-mapped hits are "the
+previous access to this set touched the same line", and 2-way hits add
+"the line starting the run two runs back in this set", both computable
+from one stable argsort by set index — plus a single Python-level pass
+maintaining the 4-deep truncated stacks of the remaining partition.
+The engine is bit-for-bit equivalent to the reference
+:class:`~repro.cache.cache.Cache` model (property-tested).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import repeat
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .config import CacheConfig
+from .stats import CacheStats
+
+__all__ = [
+    "StackDistanceProfile",
+    "profile_trace",
+    "simulate_many",
+]
+
+#: Sentinel "no line" value; real line addresses are non-negative.
+_EMPTY = -1
+
+
+@dataclass(frozen=True)
+class StackDistanceProfile:
+    """Stack-distance summary of one trace over one set partition.
+
+    A *partition* is a ``(line_b, num_sets)`` pair: every configuration
+    with that line size and set count shares it, whatever its
+    associativity.  The profile holds everything needed to reconstruct
+    exact LRU :class:`CacheStats` for any associativity up to
+    ``max_assoc`` without touching the trace again.
+
+    Attributes
+    ----------
+    line_b:
+        Line size of the partition in bytes.
+    num_sets:
+        Number of sets of the partition.
+    max_assoc:
+        Largest associativity the profile can answer for (the stack
+        truncation depth of the measuring pass).
+    accesses / write_accesses:
+        Trace length and number of write references.
+    depth_hist:
+        ``max_assoc + 1`` counts: accesses at stack distance
+        ``0 .. max_assoc - 1``, with the final bucket counting accesses
+        at distance >= ``max_assoc`` (a miss for every answerable
+        associativity).
+    write_depth_hist:
+        The same histogram restricted to write accesses.
+    compulsory_misses:
+        First-ever references to a line address (cold misses; identical
+        for every associativity).
+    set_distinct:
+        Per set, the number of distinct line addresses that mapped to
+        it (the final length of the unbounded LRU stack).
+    """
+
+    line_b: int
+    num_sets: int
+    max_assoc: int
+    accesses: int
+    write_accesses: int
+    depth_hist: Tuple[int, ...]
+    write_depth_hist: Tuple[int, ...]
+    compulsory_misses: int
+    set_distinct: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.depth_hist) != self.max_assoc + 1:
+            raise ValueError("depth_hist must have max_assoc + 1 buckets")
+        if len(self.write_depth_hist) != self.max_assoc + 1:
+            raise ValueError("write_depth_hist must have max_assoc + 1 buckets")
+        if len(self.set_distinct) != self.num_sets:
+            raise ValueError("set_distinct must have one entry per set")
+
+    def hits_for_assoc(self, assoc: int) -> int:
+        """Hit count of an ``assoc``-way LRU cache on this partition."""
+        self._check_assoc(assoc)
+        return sum(self.depth_hist[:assoc])
+
+    def miss_curve(self) -> Tuple[int, ...]:
+        """Miss counts for associativity 1 .. ``max_assoc`` (non-increasing)."""
+        return tuple(
+            self.accesses - self.hits_for_assoc(a)
+            for a in range(1, self.max_assoc + 1)
+        )
+
+    def stats_for_assoc(self, assoc: int) -> CacheStats:
+        """Exact LRU, write-allocate :class:`CacheStats` for one associativity."""
+        self._check_assoc(assoc)
+        hits = sum(self.depth_hist[:assoc])
+        write_hits = sum(self.write_depth_hist[:assoc])
+        misses = self.accesses - hits
+        write_misses = self.write_accesses - write_hits
+        occupancy = sum(min(d, assoc) for d in self.set_distinct)
+        stats = CacheStats(
+            accesses=self.accesses,
+            hits=hits,
+            misses=misses,
+            read_accesses=self.accesses - self.write_accesses,
+            write_accesses=self.write_accesses,
+            read_misses=misses - write_misses,
+            write_misses=write_misses,
+            evictions=misses - occupancy,
+            writebacks=0,
+            fills=misses,
+            compulsory_misses=self.compulsory_misses,
+        )
+        stats.validate()
+        return stats
+
+    def _check_assoc(self, assoc: int) -> None:
+        if not 1 <= assoc <= self.max_assoc:
+            raise ValueError(
+                f"profile answers associativities 1..{self.max_assoc}, "
+                f"got {assoc}"
+            )
+
+
+def _as_line_addrs(addresses: Sequence[int], line_b: int) -> np.ndarray:
+    """Vectorised byte address -> line address conversion (int64 end-to-end)."""
+    addr = np.asarray(addresses, dtype=np.int64)
+    if addr.ndim != 1:
+        raise ValueError("addresses must be one-dimensional")
+    return addr // line_b
+
+
+def _as_write_mask(
+    writes: Optional[Sequence[bool]], n: int
+) -> Optional[np.ndarray]:
+    if writes is None:
+        return None
+    mask = np.asarray(writes, dtype=bool)
+    if mask.shape != (n,):
+        raise ValueError("writes mask length must match addresses length")
+    return mask
+
+
+def _direct_mapped_profile(
+    la: np.ndarray,
+    write_mask: Optional[np.ndarray],
+    *,
+    line_b: int,
+    num_sets: int,
+) -> StackDistanceProfile:
+    """Fully vectorised profile of a direct-mapped partition.
+
+    A direct-mapped access hits iff the previous access to its set
+    touched the same line.  A stable sort by set index makes "previous
+    access to the same set" adjacent, so the whole partition reduces to
+    one argsort and a shifted comparison; no per-access Python loop.
+    """
+    n = int(la.size)
+    writes_total = int(write_mask.sum()) if write_mask is not None else 0
+    if n == 0:
+        return StackDistanceProfile(
+            line_b=line_b, num_sets=num_sets, max_assoc=1,
+            accesses=0, write_accesses=0,
+            depth_hist=(0, 0), write_depth_hist=(0, 0),
+            compulsory_misses=0, set_distinct=(0,) * num_sets,
+        )
+    order = np.argsort(la % num_sets, kind="stable")
+    sorted_lines = la[order]
+    # Equal consecutive line addresses imply the same set, and distinct
+    # sets cannot share a line address, so no explicit set-boundary
+    # check is needed.
+    same_as_prev = sorted_lines[1:] == sorted_lines[:-1]
+    hits = int(same_as_prev.sum())
+    if write_mask is not None:
+        write_hits = int((same_as_prev & write_mask[order][1:]).sum())
+    else:
+        write_hits = 0
+    unique_lines = np.unique(la)
+    distinct = np.bincount(unique_lines % num_sets, minlength=num_sets)
+    return StackDistanceProfile(
+        line_b=line_b,
+        num_sets=num_sets,
+        max_assoc=1,
+        accesses=n,
+        write_accesses=writes_total,
+        depth_hist=(hits, n - hits),
+        write_depth_hist=(write_hits, writes_total - write_hits),
+        compulsory_misses=int(unique_lines.size),
+        set_distinct=tuple(int(d) for d in distinct),
+    )
+
+
+def _looped_profile(
+    la: np.ndarray,
+    write_mask: Optional[np.ndarray],
+    *,
+    line_b: int,
+    num_sets: int,
+    max_assoc: int,
+) -> StackDistanceProfile:
+    """Generic single-partition pass for any truncation depth.
+
+    Maintains one MRU-first list per set, truncated at ``max_assoc``
+    (the top of the unbounded LRU stack evolves identically), and
+    histograms the depth of every access.
+    """
+    n = int(la.size)
+    writes_total = int(write_mask.sum()) if write_mask is not None else 0
+    la_list = la.tolist()  # iterating a list is much faster than an ndarray
+    set_list = (la % num_sets).tolist()
+    write_iter = write_mask.tolist() if write_mask is not None else repeat(False)
+
+    stacks: List[List[int]] = [[] for _ in range(num_sets)]
+    hist = [0] * (max_assoc + 1)
+    write_hist = [0] * (max_assoc + 1)
+    distinct = [0] * num_sets
+    seen: set = set()
+
+    for line, set_index, is_write in zip(la_list, set_list, write_iter):
+        stack = stacks[set_index]
+        try:
+            depth = stack.index(line)
+        except ValueError:
+            depth = max_assoc
+            if line not in seen:
+                seen.add(line)
+                distinct[set_index] += 1
+            stack.insert(0, line)
+            if len(stack) > max_assoc:
+                stack.pop()
+        else:
+            if depth:
+                del stack[depth]
+                stack.insert(0, line)
+        hist[depth] += 1
+        if is_write:
+            write_hist[depth] += 1
+
+    return StackDistanceProfile(
+        line_b=line_b,
+        num_sets=num_sets,
+        max_assoc=max_assoc,
+        accesses=n,
+        write_accesses=writes_total,
+        depth_hist=tuple(hist),
+        write_depth_hist=tuple(write_hist),
+        compulsory_misses=len(seen),
+        set_distinct=tuple(distinct),
+    )
+
+
+def _two_way_profile(
+    la: np.ndarray,
+    write_mask: Optional[np.ndarray],
+    *,
+    line_b: int,
+    num_sets: int,
+) -> StackDistanceProfile:
+    """Fully vectorised profile of a 2-way partition.
+
+    In the stable sort-by-set view, each set's accesses form *runs* of
+    repeated line addresses.  The 2-deep stack before an access is
+    ``[current run's line, previous run's line]``, so the access hits
+    at depth 0 iff it continues the current run, and a run-starting
+    access hits at depth 1 iff its line equals the run-start line two
+    runs back in the same set (the previous run's line differs from it
+    by construction).  Both conditions are fixed-lag comparisons on the
+    sorted arrays; no per-access Python loop.
+    """
+    n = int(la.size)
+    writes_total = int(write_mask.sum()) if write_mask is not None else 0
+    if n == 0:
+        return StackDistanceProfile(
+            line_b=line_b, num_sets=num_sets, max_assoc=2,
+            accesses=0, write_accesses=0,
+            depth_hist=(0, 0, 0), write_depth_hist=(0, 0, 0),
+            compulsory_misses=0, set_distinct=(0,) * num_sets,
+        )
+    order = np.argsort(la % num_sets, kind="stable")
+    sorted_lines = la[order]
+    # Depth-0 hit: previous same-set access touched the same line (line
+    # equality implies set equality, so no boundary check is needed).
+    depth0 = np.zeros(n, dtype=bool)
+    depth0[1:] = sorted_lines[1:] == sorted_lines[:-1]
+    hits0 = int(depth0.sum())
+    # Depth-1 hit: the access starts a new run and matches the line two
+    # runs back within the same set.
+    run_start_idx = np.flatnonzero(~depth0)
+    run_lines = sorted_lines[run_start_idx]
+    run_sets = (run_lines % num_sets)
+    depth1_at_start = np.zeros(run_start_idx.size, dtype=bool)
+    if run_start_idx.size > 2:
+        # Same set two runs back implies the run between is also in the
+        # same set (runs are sorted by set), so the stack's second entry
+        # is exactly that run's line.
+        depth1_at_start[2:] = (run_lines[2:] == run_lines[:-2]) & (
+            run_sets[2:] == run_sets[:-2]
+        )
+    hits1 = int(depth1_at_start.sum())
+    if write_mask is not None:
+        sorted_writes = write_mask[order]
+        write_hits0 = int((depth0 & sorted_writes).sum())
+        write_hits1 = int((depth1_at_start & sorted_writes[run_start_idx]).sum())
+    else:
+        write_hits0 = write_hits1 = 0
+    unique_lines = np.unique(la)
+    distinct = np.bincount(unique_lines % num_sets, minlength=num_sets)
+    return StackDistanceProfile(
+        line_b=line_b,
+        num_sets=num_sets,
+        max_assoc=2,
+        accesses=n,
+        write_accesses=writes_total,
+        depth_hist=(hits0, hits1, n - hits0 - hits1),
+        write_depth_hist=(
+            write_hits0,
+            write_hits1,
+            writes_total - write_hits0 - write_hits1,
+        ),
+        compulsory_misses=int(unique_lines.size),
+        set_distinct=tuple(int(d) for d in distinct),
+    )
+
+
+def _four_way_profile(
+    la: np.ndarray,
+    write_mask: Optional[np.ndarray],
+    *,
+    line_b: int,
+    num_sets: int,
+) -> StackDistanceProfile:
+    """Single-pass 4-deep stack profile; the engine's only hot Python loop.
+
+    Per line size of the Table-1 space, the direct-mapped and 2-way
+    partitions are handled vectorised, leaving exactly one partition
+    that needs a per-access traversal.  The truncated stacks are kept
+    in four flat parallel lists (one per stack position) so every state
+    transition is a handful of list indexing operations.
+    """
+    n = int(la.size)
+    writes_total = int(write_mask.sum()) if write_mask is not None else 0
+    la_list = la.tolist()
+    set_list = (la % num_sets).tolist()
+    write_iter = write_mask.tolist() if write_mask is not None else repeat(False)
+
+    # Stack positions 0 (MRU) .. 3 (LRU) per set.
+    pos0 = [_EMPTY] * num_sets
+    pos1 = [_EMPTY] * num_sets
+    pos2 = [_EMPTY] * num_sets
+    pos3 = [_EMPTY] * num_sets
+
+    h0 = h1 = h2 = h3 = 0
+    wh0 = wh1 = wh2 = wh3 = 0
+    distinct = [0] * num_sets
+    seen: set = set()
+
+    for line, set_index, is_write in zip(la_list, set_list, write_iter):
+        d0 = pos0[set_index]
+        if d0 == line:
+            h0 += 1
+            if is_write:
+                wh0 += 1
+        else:
+            d1 = pos1[set_index]
+            if d1 == line:
+                h1 += 1
+                if is_write:
+                    wh1 += 1
+                pos1[set_index] = d0
+                pos0[set_index] = line
+            else:
+                d2 = pos2[set_index]
+                if d2 == line:
+                    h2 += 1
+                    if is_write:
+                        wh2 += 1
+                    pos2[set_index] = d1
+                    pos1[set_index] = d0
+                    pos0[set_index] = line
+                else:
+                    if pos3[set_index] == line:
+                        h3 += 1
+                        if is_write:
+                            wh3 += 1
+                    elif line not in seen:
+                        seen.add(line)
+                        distinct[set_index] += 1
+                    pos3[set_index] = d2
+                    pos2[set_index] = d1
+                    pos1[set_index] = d0
+                    pos0[set_index] = line
+
+    hits = h0 + h1 + h2 + h3
+    write_hits = wh0 + wh1 + wh2 + wh3
+    return StackDistanceProfile(
+        line_b=line_b,
+        num_sets=num_sets,
+        max_assoc=4,
+        accesses=n,
+        write_accesses=writes_total,
+        depth_hist=(h0, h1, h2, h3, n - hits),
+        write_depth_hist=(wh0, wh1, wh2, wh3, writes_total - write_hits),
+        compulsory_misses=len(seen),
+        set_distinct=tuple(distinct),
+    )
+
+
+def profile_trace(
+    addresses: Sequence[int],
+    *,
+    line_b: int,
+    num_sets: int,
+    max_assoc: int,
+    writes: Optional[Sequence[bool]] = None,
+) -> StackDistanceProfile:
+    """Measure one partition of a trace in a single pass.
+
+    Returns a :class:`StackDistanceProfile` from which exact LRU
+    statistics for every associativity up to ``max_assoc`` can be read
+    via :meth:`StackDistanceProfile.stats_for_assoc`.
+    """
+    if line_b <= 0 or num_sets <= 0 or max_assoc <= 0:
+        raise ValueError("line_b, num_sets and max_assoc must be positive")
+    la = _as_line_addrs(addresses, line_b)
+    mask = _as_write_mask(writes, int(la.size))
+    return _partition_profile(
+        la, mask, line_b=line_b, num_sets=num_sets, max_assoc=max_assoc
+    )
+
+
+def _partition_profile(
+    la: np.ndarray,
+    mask: Optional[np.ndarray],
+    *,
+    line_b: int,
+    num_sets: int,
+    max_assoc: int,
+) -> StackDistanceProfile:
+    """Pick the fastest measuring pass able to answer ``max_assoc``."""
+    if max_assoc == 1:
+        return _direct_mapped_profile(la, mask, line_b=line_b, num_sets=num_sets)
+    if max_assoc == 2:
+        return _two_way_profile(la, mask, line_b=line_b, num_sets=num_sets)
+    if max_assoc <= 4:
+        # A 4-deep profile answers 3-way queries too.
+        return _four_way_profile(la, mask, line_b=line_b, num_sets=num_sets)
+    return _looped_profile(
+        la, mask, line_b=line_b, num_sets=num_sets, max_assoc=max_assoc
+    )
+
+
+def _profiles_for_line_size(
+    la: np.ndarray,
+    mask: Optional[np.ndarray],
+    line_b: int,
+    partitions: Dict[int, int],
+) -> Dict[int, StackDistanceProfile]:
+    """Profile every ``num_sets -> max_assoc`` partition of one line size."""
+    return {
+        num_sets: _partition_profile(
+            la, mask, line_b=line_b, num_sets=num_sets, max_assoc=max_assoc
+        )
+        for num_sets, max_assoc in partitions.items()
+    }
+
+
+def simulate_many(
+    addresses: Sequence[int],
+    configs: Sequence[CacheConfig],
+    writes: Optional[Sequence[bool]] = None,
+) -> Dict[CacheConfig, CacheStats]:
+    """Exact LRU, write-allocate statistics for many configurations at once.
+
+    Groups ``configs`` by ``(line_b, num_sets)`` partition, measures
+    each partition in a single pass over the trace (fused and
+    vectorised where the partition structure allows), and reads every
+    configuration's :class:`CacheStats` off its partition's stack
+    -distance profile.  Produces results identical to running
+    :func:`repro.cache.cache.simulate_trace` per configuration, which
+    in turn matches the reference :class:`~repro.cache.cache.Cache`.
+
+    The returned mapping preserves the order of first appearance in
+    ``configs``; duplicates collapse onto one entry.
+    """
+    unique_configs: List[CacheConfig] = []
+    for config in configs:
+        if config not in unique_configs:
+            unique_configs.append(config)
+
+    addr = np.asarray(addresses, dtype=np.int64)
+    if addr.ndim != 1:
+        raise ValueError("addresses must be one-dimensional")
+    mask = _as_write_mask(writes, int(addr.size))
+
+    by_line: Dict[int, Dict[int, int]] = {}
+    for config in unique_configs:
+        partitions = by_line.setdefault(config.line_b, {})
+        num_sets = config.num_sets
+        partitions[num_sets] = max(partitions.get(num_sets, 0), config.assoc)
+
+    profiles: Dict[Tuple[int, int], StackDistanceProfile] = {}
+    for line_b, partitions in by_line.items():
+        la = addr // line_b
+        for num_sets, profile in _profiles_for_line_size(
+            la, mask, line_b, partitions
+        ).items():
+            profiles[(line_b, num_sets)] = profile
+
+    return {
+        config: profiles[(config.line_b, config.num_sets)].stats_for_assoc(
+            config.assoc
+        )
+        for config in unique_configs
+    }

@@ -3,13 +3,20 @@
 The paper "used SimpleScalar to record the benchmarks' cache accesses and
 miss rates for every cache configuration" offline, and drove the MATLAB
 scheduler simulation from those numbers.  This module plays the same
-role: each benchmark's trace is run through the cache simulator once per
-configuration, the Figure 4 energy model is evaluated, and everything is
-collected into a :class:`BenchmarkCharacterization`.
+role: each benchmark's trace is measured by the single-pass
+stack-distance engine (:mod:`repro.cache.stackdist`), which yields the
+exact LRU statistics of every design-space configuration from one
+traversal per set partition; the Figure 4 energy model is evaluated,
+and everything is collected into a :class:`BenchmarkCharacterization`.
 
 The scheduler simulation is then a pure table-driven discrete-event
 simulation, exactly like the paper's: physical executions (profiling,
 tuning, normal runs) *charge* the energies and cycles recorded here.
+
+``engine="legacy"`` selects the seed per-configuration replay
+(:func:`repro.cache.cache.simulate_trace_per_config`); it produces
+identical results and exists as the baseline for the
+characterisation-speed benchmark and as a cross-check.
 """
 
 from __future__ import annotations
@@ -17,8 +24,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
 
-from repro.cache.cache import Cache, simulate_trace
+from repro.cache.cache import Cache, simulate_trace, simulate_trace_per_config
 from repro.cache.config import BASE_CONFIG, DESIGN_SPACE, CacheConfig
+from repro.cache.stackdist import simulate_many
 from repro.cache.stats import CacheStats
 from repro.energy.model import EnergyModel, ExecutionEstimate
 from repro.workloads.benchmark import BenchmarkSpec
@@ -27,9 +35,20 @@ from repro.workloads.counters import HardwareCounters, collect_counters
 __all__ = [
     "ConfigResult",
     "BenchmarkCharacterization",
+    "CHARACTERIZATION_ENGINES",
+    "GENERATOR_VERSION",
     "characterize_benchmark",
     "characterize_suite",
 ]
+
+#: Version of the characterisation pipeline (trace generation + cache
+#: measurement semantics).  Bump whenever either changes in a way that
+#: invalidates previously persisted characterisations; on-disk caches
+#: are keyed by it (see :mod:`repro.experiment`).
+GENERATOR_VERSION = "2"
+
+#: Selectable cache-measurement engines.
+CHARACTERIZATION_ENGINES = ("stackdist", "legacy")
 
 
 @dataclass(frozen=True)
@@ -111,12 +130,16 @@ def characterize_benchmark(
     *,
     seed: int = 0,
     write_back: bool = False,
+    engine: str = "stackdist",
 ) -> BenchmarkCharacterization:
     """Run one benchmark through every configuration.
 
     The trace is generated once per benchmark (same dynamic execution on
-    every configuration, as on real hardware) and replayed through a cold
-    cache per configuration.
+    every configuration, as on real hardware) and measured cold per
+    configuration.  With the default ``stackdist`` engine all
+    configurations sharing a set partition are served by one pass over
+    the trace; ``engine="legacy"`` replays the trace once per
+    configuration like the seed implementation (identical results).
 
     ``write_back=True`` characterises write-back caches with the
     reference per-access model (several times slower than the default
@@ -125,19 +148,37 @@ def characterize_benchmark(
     """
     if not configs:
         raise ValueError("need at least one configuration")
+    if engine not in CHARACTERIZATION_ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; choose from {CHARACTERIZATION_ENGINES}"
+        )
     model = energy_model if energy_model is not None else EnergyModel()
     trace = spec.generate_trace(seed=seed)
 
-    def run_config(config: CacheConfig):
-        if write_back:
+    # Traces stay int64 numpy arrays end-to-end; every path below
+    # accepts them directly.
+    if write_back:
+        stats_by_config = {}
+        for config in configs:
             cache = Cache(config, policy="lru", write_back=True)
-            return cache.run_trace(trace.addresses.tolist(),
-                                   trace.writes.tolist())
-        return simulate_trace(trace.addresses, config, writes=trace.writes)
+            stats_by_config[config] = cache.run_trace(
+                trace.addresses, trace.writes
+            )
+    elif engine == "legacy":
+        stats_by_config = {
+            config: simulate_trace_per_config(
+                trace.addresses, config, writes=trace.writes
+            )
+            for config in configs
+        }
+    else:
+        stats_by_config = simulate_many(
+            trace.addresses, configs, writes=trace.writes
+        )
 
     results: Dict[CacheConfig, ConfigResult] = {}
     for config in configs:
-        stats = run_config(config)
+        stats = stats_by_config[config]
         estimate = model.estimate(config, spec.instructions, stats)
         results[config] = ConfigResult(config=config, stats=stats, estimate=estimate)
 
@@ -145,7 +186,13 @@ def characterize_benchmark(
         base_stats = results[BASE_CONFIG].stats
         base_cycles = results[BASE_CONFIG].total_cycles
     else:
-        base_stats = run_config(BASE_CONFIG)
+        if write_back:
+            base_cache = Cache(BASE_CONFIG, policy="lru", write_back=True)
+            base_stats = base_cache.run_trace(trace.addresses, trace.writes)
+        else:
+            base_stats = simulate_trace(
+                trace.addresses, BASE_CONFIG, writes=trace.writes
+            )
         base_cycles = model.estimate(BASE_CONFIG, spec.instructions, base_stats).total_cycles
     counters = collect_counters(spec, trace, base_stats, base_cycles)
 
@@ -160,13 +207,31 @@ def characterize_suite(
     energy_model: Optional[EnergyModel] = None,
     *,
     seed: int = 0,
+    engine: str = "stackdist",
+    workers: Optional[int] = 1,
 ) -> Dict[str, BenchmarkCharacterization]:
-    """Characterise a whole suite; returns name → characterisation."""
+    """Characterise a whole suite; returns name → characterisation.
+
+    ``workers`` fans the per-benchmark characterisations out over a
+    process pool (``None`` = one worker per CPU); results are identical
+    to the serial sweep because every task derives its randomness from
+    the same ``(benchmark name, seed)`` pair.  See
+    :mod:`repro.characterization.parallel` for the sweep machinery and
+    its timing instrumentation.
+    """
+    if workers is None or workers != 1:
+        from .parallel import characterize_suite_parallel
+
+        result = characterize_suite_parallel(
+            specs, configs, energy_model,
+            seed=seed, engine=engine, workers=workers,
+        )
+        return dict(result.characterizations)
     out: Dict[str, BenchmarkCharacterization] = {}
     for spec in specs:
         if spec.name in out:
             raise ValueError(f"duplicate benchmark name: {spec.name}")
         out[spec.name] = characterize_benchmark(
-            spec, configs, energy_model, seed=seed
+            spec, configs, energy_model, seed=seed, engine=engine
         )
     return out

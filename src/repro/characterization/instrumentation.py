@@ -1,0 +1,88 @@
+"""Timing instrumentation for characterisation sweeps.
+
+The characterisation engine is the expensive offline stage of the
+reproduction (the paper's SimpleScalar runs), so the sweep machinery
+records how long each benchmark took and derives the throughput numbers
+the performance documentation and the speed benchmark report:
+*traces per second* (benchmarks characterised / wall time),
+*accesses per second* (trace elements measured / wall time) and
+*replays per second* (benchmark × configuration pairs / wall time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["TaskTiming", "SweepTiming"]
+
+
+@dataclass(frozen=True)
+class TaskTiming:
+    """Wall time of one benchmark's characterisation."""
+
+    #: Benchmark name.
+    name: str
+    #: Wall-clock seconds the characterisation took (in its worker).
+    seconds: float
+    #: Number of trace accesses measured.
+    accesses: int
+    #: Number of configurations characterised.
+    configs: int
+
+
+@dataclass(frozen=True)
+class SweepTiming:
+    """Aggregate timing of a suite sweep."""
+
+    #: Per-benchmark timings, in suite order.
+    tasks: Tuple[TaskTiming, ...]
+    #: Wall-clock seconds of the whole sweep (fan-out + join included).
+    wall_seconds: float
+    #: Number of worker processes used (1 = serial).
+    workers: int
+
+    @property
+    def total_accesses(self) -> int:
+        """Trace accesses measured across the suite."""
+        return sum(t.accesses for t in self.tasks)
+
+    @property
+    def total_task_seconds(self) -> float:
+        """Sum of per-task seconds (CPU-ish time; > wall when parallel)."""
+        return sum(t.seconds for t in self.tasks)
+
+    @property
+    def traces_per_second(self) -> float:
+        """Benchmarks characterised per wall second."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return len(self.tasks) / self.wall_seconds
+
+    @property
+    def accesses_per_second(self) -> float:
+        """Trace accesses measured per wall second."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.total_accesses / self.wall_seconds
+
+    @property
+    def replays_per_second(self) -> float:
+        """(benchmark, configuration) pairs characterised per wall second.
+
+        The natural unit for comparing against the per-configuration
+        replay baseline, which pays one trace traversal per pair.
+        """
+        if self.wall_seconds <= 0:
+            return 0.0
+        return sum(t.configs for t in self.tasks) / self.wall_seconds
+
+    def summary(self) -> str:
+        """One-line human-readable throughput summary."""
+        return (
+            f"{len(self.tasks)} benchmarks in {self.wall_seconds:.3f}s "
+            f"({self.workers} worker{'s' if self.workers != 1 else ''}): "
+            f"{self.traces_per_second:.1f} traces/s, "
+            f"{self.accesses_per_second:,.0f} accesses/s, "
+            f"{self.replays_per_second:.1f} config-replays/s"
+        )

@@ -4,12 +4,23 @@ Characterising a large suite (especially the ANN dataset's benchmark
 variants) is the expensive part of the reproduction, so the results can
 be saved to and loaded from JSON.  The store is the single source the
 scheduler simulation and the ANN dataset builder read from.
+
+On-disk stores are *content-addressed*: a :class:`StoreMeta` records the
+seed, a fingerprint of the characterised design space, the generator
+version and an optional variant tag, and its :meth:`StoreMeta.cache_key`
+is embedded in the cache filename by :mod:`repro.experiment`.  A store
+characterised under one seed can therefore never be served for another,
+and bumping :data:`~repro.characterization.explorer.GENERATOR_VERSION`
+invalidates every stale cache at once.  Stores saved by older versions
+of this module (flat JSON, no metadata) still load, with ``meta`` left
+``None`` so callers treat them as unverifiable.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
-from dataclasses import asdict
+from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Dict, Iterable, Mapping, Optional, Sequence, Union
 
@@ -18,9 +29,55 @@ from repro.cache.stats import CacheStats
 from repro.energy.model import EnergyBreakdown, ExecutionEstimate
 from repro.workloads.counters import HardwareCounters
 
-from .explorer import BenchmarkCharacterization, ConfigResult
+from .explorer import GENERATOR_VERSION, BenchmarkCharacterization, ConfigResult
 
-__all__ = ["CharacterizationStore"]
+__all__ = ["CharacterizationStore", "StoreMeta", "design_space_fingerprint"]
+
+#: Version of the on-disk JSON layout (not of the measurements; that is
+#: :data:`~repro.characterization.explorer.GENERATOR_VERSION`).
+STORE_FORMAT = 2
+
+
+def design_space_fingerprint(configs: Iterable[CacheConfig]) -> str:
+    """Stable short hash of a set of configurations.
+
+    Order-insensitive: the fingerprint identifies *which* configurations
+    a store covers, not the order they were characterised in.
+    """
+    names = ",".join(sorted(config.name for config in configs))
+    return hashlib.blake2s(names.encode("utf-8"), digest_size=8).hexdigest()
+
+
+@dataclass(frozen=True)
+class StoreMeta:
+    """Identity of a characterisation: what produced its numbers.
+
+    Two stores with equal metadata are interchangeable — the
+    characterisation pipeline is deterministic in (seed, design space,
+    generator version, variant).
+    """
+
+    #: Seed the traces were generated from.
+    seed: int
+    #: :func:`design_space_fingerprint` of the characterised configs.
+    configs_fingerprint: str
+    #: Pipeline version the store was produced by.
+    generator_version: str = GENERATOR_VERSION
+    #: Free-form tag distinguishing store flavours sharing a seed and
+    #: design space (e.g. the dataset store's variants-per-family).
+    variant: str = ""
+
+    def cache_key(self) -> str:
+        """Short content hash used in on-disk cache filenames."""
+        blob = "|".join(
+            (
+                str(self.seed),
+                self.configs_fingerprint,
+                self.generator_version,
+                self.variant,
+            )
+        )
+        return hashlib.blake2s(blob.encode("utf-8"), digest_size=8).hexdigest()
 
 
 def _stats_to_dict(stats: CacheStats) -> dict:
@@ -55,17 +112,25 @@ def _estimate_from_dict(data: Mapping) -> ExecutionEstimate:
 
 
 class CharacterizationStore:
-    """Mapping of benchmark name → :class:`BenchmarkCharacterization`."""
+    """Mapping of benchmark name → :class:`BenchmarkCharacterization`.
+
+    ``meta`` identifies what produced the measurements (see
+    :class:`StoreMeta`); it is ``None`` for ad-hoc stores and for stores
+    loaded from legacy JSON files that predate the metadata.
+    """
 
     def __init__(
         self,
         characterizations: Optional[
             Mapping[str, BenchmarkCharacterization]
         ] = None,
+        *,
+        meta: Optional[StoreMeta] = None,
     ) -> None:
         self._data: Dict[str, BenchmarkCharacterization] = dict(
             characterizations or {}
         )
+        self.meta = meta
 
     # -- mapping interface ------------------------------------------------
 
@@ -114,10 +179,10 @@ class CharacterizationStore:
     # -- persistence -------------------------------------------------------
 
     def to_json(self, path: Union[str, Path]) -> None:
-        """Serialise the whole store to a JSON file."""
-        blob = {}
+        """Serialise the whole store (and its metadata) to a JSON file."""
+        benchmarks = {}
         for name, char in self._data.items():
-            blob[name] = {
+            benchmarks[name] = {
                 "counters": asdict(char.counters),
                 "results": {
                     config.name: {
@@ -127,14 +192,29 @@ class CharacterizationStore:
                     for config, result in char.results.items()
                 },
             }
+        blob = {
+            "format": STORE_FORMAT,
+            "meta": asdict(self.meta) if self.meta is not None else None,
+            "benchmarks": benchmarks,
+        }
         Path(path).write_text(json.dumps(blob))
 
     @classmethod
     def from_json(cls, path: Union[str, Path]) -> "CharacterizationStore":
-        """Load a store previously saved with :meth:`to_json`."""
+        """Load a store previously saved with :meth:`to_json`.
+
+        Legacy flat files (pre-metadata) load with ``meta = None``.
+        """
         blob = json.loads(Path(path).read_text())
-        store = cls()
-        for name, entry in blob.items():
+        if isinstance(blob, dict) and blob.get("format") == STORE_FORMAT:
+            meta_blob = blob.get("meta")
+            meta = StoreMeta(**meta_blob) if meta_blob is not None else None
+            benchmarks = blob["benchmarks"]
+        else:  # legacy flat {name: entry} layout
+            meta = None
+            benchmarks = blob
+        store = cls(meta=meta)
+        for name, entry in benchmarks.items():
             results = {}
             for config_name, payload in entry["results"].items():
                 config = CacheConfig.from_name(config_name)
@@ -155,5 +235,5 @@ class CharacterizationStore:
     def subset(self, names: Iterable[str]) -> "CharacterizationStore":
         """A new store restricted to the given benchmark names."""
         return CharacterizationStore(
-            {name: self.get(name) for name in names}
+            {name: self.get(name) for name in names}, meta=self.meta
         )

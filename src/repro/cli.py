@@ -9,6 +9,8 @@ any code:
 * ``train`` — train and evaluate the bagged-ANN predictor;
 * ``suite`` — list the synthetic EEMBC-analogue benchmarks;
 * ``locality`` — miss-ratio curve / working set / reuse distances;
+* ``sweep`` — characterise the whole suite with timing (optionally in
+  parallel, optionally persisting the store);
 * ``reproduce`` — regenerate the full evaluation into ``results/``.
 """
 
@@ -84,6 +86,20 @@ def build_parser() -> argparse.ArgumentParser:
                           help="line size in bytes for the analysis")
     locality.add_argument("--window", type=int, default=2000,
                           help="working-set window in accesses")
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="characterise the whole suite, with throughput instrumentation",
+    )
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument("--workers", type=int, default=None,
+                       help="worker processes (default: one per CPU)")
+    sweep.add_argument("--engine", choices=("stackdist", "legacy"),
+                       default="stackdist",
+                       help="cache-measurement engine (legacy = per-config "
+                            "replay baseline)")
+    sweep.add_argument("--out", metavar="PATH",
+                       help="write the characterisation store JSON here")
 
     reproduce = sub.add_parser(
         "reproduce",
@@ -244,6 +260,49 @@ def _cmd_locality(args) -> int:
     return 0
 
 
+def _cmd_sweep(args) -> int:
+    from repro.cache.config import DESIGN_SPACE
+    from repro.characterization import (
+        CharacterizationStore,
+        StoreMeta,
+        characterize_suite_parallel,
+        design_space_fingerprint,
+    )
+    from repro.workloads import eembc_suite
+
+    result = characterize_suite_parallel(
+        eembc_suite(), seed=args.seed,
+        engine=args.engine, workers=args.workers,
+    )
+    rows = []
+    for task in result.timing.tasks:
+        char = result.characterizations[task.name]
+        best = char.best_config()
+        rows.append((
+            task.name,
+            f"{task.accesses:,}",
+            task.configs,
+            best.name,
+            f"{task.seconds * 1e3:.1f}",
+        ))
+    print(format_table(
+        ("benchmark", "accesses", "configs", "best config", "ms"), rows
+    ))
+    print()
+    print(result.timing.summary())
+    if args.out:
+        store = CharacterizationStore(
+            result.characterizations,
+            meta=StoreMeta(
+                seed=args.seed,
+                configs_fingerprint=design_space_fingerprint(DESIGN_SPACE),
+            ),
+        )
+        store.to_json(args.out)
+        print(f"wrote characterisation store to {args.out}")
+    return 0
+
+
 def _cmd_reproduce(args) -> int:
     from repro.reporting import write_report
 
@@ -271,6 +330,7 @@ _COMMANDS = {
     "train": _cmd_train,
     "suite": _cmd_suite,
     "locality": _cmd_locality,
+    "sweep": _cmd_sweep,
     "reproduce": _cmd_reproduce,
 }
 

@@ -19,9 +19,14 @@ from pathlib import Path
 from typing import Dict, Optional, Sequence, Union
 
 from repro.ann.training import TrainingConfig
+from repro.cache.config import DESIGN_SPACE
 from repro.characterization.dataset import build_dataset
 from repro.characterization.explorer import characterize_suite
-from repro.characterization.store import CharacterizationStore
+from repro.characterization.store import (
+    CharacterizationStore,
+    StoreMeta,
+    design_space_fingerprint,
+)
 from repro.core.policies import POLICY_NAMES, make_policy
 from repro.core.predictor import AnnPredictor, BestCorePredictor, OraclePredictor
 from repro.core.results import SimulationResult
@@ -39,31 +44,68 @@ __all__ = [
     "quick_experiment",
 ]
 
-#: Default on-disk cache location for suite characterisation.
+#: Default on-disk cache location for suite characterisation.  The
+#: actual file carries the :meth:`StoreMeta.cache_key` in its name (see
+#: :func:`_keyed_cache_path`), so caches for different seeds, design
+#: spaces or generator versions never collide.
 DEFAULT_CACHE = Path.home() / ".cache" / "repro" / "eembc_characterization.json"
+
+
+def _keyed_cache_path(path: Union[str, Path], meta: StoreMeta) -> Path:
+    """Content-addressed variant of a cache path: stem.<key>.json."""
+    path = Path(path)
+    return path.with_name(f"{path.stem}.{meta.cache_key()}{path.suffix}")
+
+
+def _load_cached_store(
+    path: Path, meta: StoreMeta, expected_names: set
+) -> Optional[CharacterizationStore]:
+    """Load a cached store iff its metadata matches and it is complete.
+
+    Returns ``None`` (forcing recharacterisation) when the file is
+    missing, predates the metadata format, was produced under different
+    metadata — in particular a different seed — or lacks benchmarks.
+    """
+    if not path.exists():
+        return None
+    store = CharacterizationStore.from_json(path)
+    if store.meta != meta:
+        return None
+    if not expected_names.issubset(set(store.names())):
+        return None
+    return store
 
 
 def default_store(
     cache_path: Optional[Union[str, Path]] = DEFAULT_CACHE,
     *,
     seed: int = 0,
+    workers: Optional[int] = 1,
 ) -> CharacterizationStore:
     """Characterisation of the 15-benchmark suite over all 18 configs.
 
-    Results are cached to ``cache_path`` (pass ``None`` to disable); the
-    characterisation is deterministic for a seed, so the cache is safe to
-    reuse across runs.
+    Results are cached to a content-addressed file derived from
+    ``cache_path`` (pass ``None`` to disable).  The cache key covers the
+    seed, the design-space fingerprint and the generator version, and the
+    stored metadata is validated on load, so a store characterised under
+    one seed is never served for another.  ``workers`` fans the
+    characterisation out over a process pool (``None`` = one per CPU).
     """
+    meta = StoreMeta(
+        seed=seed, configs_fingerprint=design_space_fingerprint(DESIGN_SPACE)
+    )
+    expected = {spec.name for spec in eembc_suite()}
     if cache_path is not None:
-        path = Path(cache_path)
-        if path.exists():
-            store = CharacterizationStore.from_json(path)
-            expected = {spec.name for spec in eembc_suite()}
-            if expected.issubset(set(store.names())):
-                return store
-    store = CharacterizationStore(characterize_suite(eembc_suite(), seed=seed))
+        path = _keyed_cache_path(cache_path, meta)
+        cached = _load_cached_store(path, meta, expected)
+        if cached is not None:
+            return cached
+    store = CharacterizationStore(
+        characterize_suite(eembc_suite(), seed=seed, workers=workers),
+        meta=meta,
+    )
     if cache_path is not None:
-        path = Path(cache_path)
+        path = _keyed_cache_path(cache_path, meta)
         path.parent.mkdir(parents=True, exist_ok=True)
         store.to_json(path)
     return store
@@ -85,19 +127,33 @@ def default_dataset(
 
     Returns ``(dataset, store)`` like
     :func:`repro.characterization.build_dataset`; the expensive variant
-    characterisation is reused from ``cache_path`` when present.
+    characterisation is reused from the content-addressed cache when
+    present.  The cache key includes ``variants_per_family`` besides the
+    seed / design space / generator version, so differently expanded
+    datasets are cached side by side and never cross-served.
     """
+    meta = StoreMeta(
+        seed=seed,
+        configs_fingerprint=design_space_fingerprint(DESIGN_SPACE),
+        variant=f"dataset:variants={variants_per_family}",
+    )
     store = None
-    if cache_path is not None and Path(cache_path).exists():
-        store = CharacterizationStore.from_json(cache_path)
+    if cache_path is not None:
+        path = _keyed_cache_path(cache_path, meta)
+        if path.exists():
+            cached = CharacterizationStore.from_json(path)
+            if cached.meta == meta:
+                # build_dataset characterises whatever is missing.
+                store = cached
     dataset, store = build_dataset(
         eembc_suite(),
         variants_per_family=variants_per_family,
         seed=seed,
         store=store,
     )
+    store.meta = meta
     if cache_path is not None:
-        path = Path(cache_path)
+        path = _keyed_cache_path(cache_path, meta)
         path.parent.mkdir(parents=True, exist_ok=True)
         store.to_json(path)
     return dataset, store
@@ -176,9 +232,10 @@ def quick_experiment(
     mean_interarrival_cycles: int = 56_000,
     predictor_kind: str = "ann",
     cache_path: Optional[Union[str, Path]] = DEFAULT_CACHE,
+    workers: Optional[int] = 1,
 ) -> Dict[str, SimulationResult]:
     """End-to-end four-system comparison with default components."""
-    store = default_store(cache_path, seed=seed)
+    store = default_store(cache_path, seed=seed, workers=workers)
     predictor = default_predictor(store, kind=predictor_kind, seed=seed)
     arrivals = uniform_arrivals(
         eembc_suite(),

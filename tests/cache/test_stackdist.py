@@ -1,0 +1,148 @@
+"""Unit tests for the stack-distance characterisation engine."""
+
+import numpy as np
+import pytest
+
+from repro.cache.cache import Cache
+from repro.cache.config import DESIGN_SPACE, CacheConfig
+from repro.cache.stackdist import (
+    StackDistanceProfile,
+    profile_trace,
+    simulate_many,
+)
+
+
+def _profile(addresses, *, line_b=64, num_sets=4, max_assoc=4, writes=None):
+    return profile_trace(
+        addresses, line_b=line_b, num_sets=num_sets,
+        max_assoc=max_assoc, writes=writes,
+    )
+
+
+class TestProfileTrace:
+    def test_repeated_line_hits_at_depth_zero(self):
+        profile = _profile([0, 0, 0, 0])
+        assert profile.accesses == 4
+        assert profile.depth_hist[0] == 3
+        assert profile.compulsory_misses == 1
+
+    def test_distinct_lines_all_miss(self):
+        # Four lines, same set (num_sets=4, stride 4 lines of 64B).
+        profile = _profile([0, 1024, 2048, 4096])
+        assert profile.hits_for_assoc(4) == 0
+        assert profile.compulsory_misses == 4
+
+    def test_depth_histogram_shape(self):
+        profile = _profile([0, 64, 0], max_assoc=2, num_sets=1)
+        # max_assoc + 1 buckets; the last one is the miss bucket.
+        assert len(profile.depth_hist) == 3
+        assert sum(profile.depth_hist) == profile.accesses
+        # 0 then 64 miss; the second 0 hits at depth 1.
+        assert profile.depth_hist[1] == 1
+        assert profile.depth_hist[2] == 2
+
+    def test_hits_monotone_in_assoc(self):
+        rng = np.random.default_rng(0)
+        addresses = rng.integers(0, 1 << 14, size=500)
+        profile = _profile(addresses, num_sets=8)
+        hits = [profile.hits_for_assoc(a) for a in range(1, 5)]
+        assert hits == sorted(hits)
+
+    def test_miss_curve_decreasing(self):
+        rng = np.random.default_rng(1)
+        addresses = rng.integers(0, 1 << 14, size=500)
+        profile = _profile(addresses, num_sets=8)
+        curve = profile.miss_curve()
+        assert len(curve) == 4
+        assert list(curve) == sorted(curve, reverse=True)
+
+    def test_empty_trace(self):
+        profile = _profile([])
+        assert profile.accesses == 0
+        stats = profile.stats_for_assoc(1)
+        assert stats.accesses == 0
+        assert stats.misses == 0
+
+    def test_numpy_and_list_inputs_agree(self):
+        addresses = [0, 64, 128, 0, 64, 4096]
+        from_list = _profile(addresses)
+        from_array = _profile(np.asarray(addresses, dtype=np.int64))
+        assert from_list == from_array
+
+    def test_write_mask_counted(self):
+        writes = [True, False, True, False]
+        profile = _profile([0, 0, 64, 64], num_sets=1, writes=writes)
+        assert profile.write_accesses == 2
+        assert sum(profile.write_depth_hist) == 2
+
+    def test_mismatched_write_mask_rejected(self):
+        with pytest.raises(ValueError, match="writes mask length"):
+            _profile([0, 64], writes=[True])
+
+    def test_multidimensional_addresses_rejected(self):
+        with pytest.raises(ValueError):
+            _profile(np.zeros((2, 2), dtype=np.int64))
+
+    def test_assoc_out_of_range_rejected(self):
+        profile = _profile([0, 64], max_assoc=2)
+        with pytest.raises(ValueError):
+            profile.stats_for_assoc(0)
+        with pytest.raises(ValueError):
+            profile.stats_for_assoc(3)
+
+
+class TestStatsForAssoc:
+    def test_matches_reference_cache_exactly(self):
+        rng = np.random.default_rng(2)
+        addresses = rng.integers(0, 1 << 15, size=800)
+        writes = rng.random(800) < 0.3
+        for config in (CacheConfig(2, 1, 64), CacheConfig(8, 4, 64)):
+            profile = profile_trace(
+                addresses, line_b=config.line_b,
+                num_sets=config.num_sets, max_assoc=config.assoc,
+                writes=writes,
+            )
+            cache = Cache(config, policy="lru")
+            ref = cache.run_trace(addresses, writes)
+            assert profile.stats_for_assoc(config.assoc) == ref
+
+    def test_one_profile_serves_all_associativities(self):
+        # 8KB_4W, 4KB_2W and 2KB_1W at 64B lines share num_sets=32.
+        rng = np.random.default_rng(3)
+        addresses = rng.integers(0, 1 << 15, size=600)
+        profile = profile_trace(
+            addresses, line_b=64, num_sets=32, max_assoc=4
+        )
+        for size_kb, assoc in ((2, 1), (4, 2), (8, 4)):
+            config = CacheConfig(size_kb, assoc, 64)
+            ref = Cache(config, policy="lru").run_trace(addresses)
+            assert profile.stats_for_assoc(assoc) == ref
+
+
+class TestSimulateMany:
+    def test_covers_requested_configs(self):
+        rng = np.random.default_rng(4)
+        addresses = rng.integers(0, 1 << 14, size=300)
+        many = simulate_many(addresses, DESIGN_SPACE)
+        assert set(many) == set(DESIGN_SPACE)
+
+    def test_duplicate_configs_accepted(self):
+        config = CacheConfig(4, 2, 32)
+        many = simulate_many([0, 32, 64, 0], (config, config))
+        assert set(many) == {config}
+
+    def test_requires_configs(self):
+        many = simulate_many([0, 64], ())
+        assert many == {}
+
+    def test_deep_assoc_uses_generic_path(self):
+        config = CacheConfig(8, 8, 64)
+        rng = np.random.default_rng(5)
+        addresses = rng.integers(0, 1 << 14, size=400)
+        many = simulate_many(addresses, (config,))
+        ref = Cache(config, policy="lru").run_trace(addresses)
+        assert many[config] == ref
+
+    def test_mismatched_writes_rejected(self):
+        with pytest.raises(ValueError, match="writes mask length"):
+            simulate_many([0, 64], (CacheConfig(4, 2, 32),), writes=[True])

@@ -1,10 +1,16 @@
 """Tests for the characterisation store and its persistence."""
 
+import json
+
 import pytest
 
-from repro.cache.config import BASE_CONFIG, configs_for_size
-from repro.characterization.explorer import characterize_suite
-from repro.characterization.store import CharacterizationStore
+from repro.cache.config import BASE_CONFIG, DESIGN_SPACE, configs_for_size
+from repro.characterization.explorer import GENERATOR_VERSION, characterize_suite
+from repro.characterization.store import (
+    CharacterizationStore,
+    StoreMeta,
+    design_space_fingerprint,
+)
 from repro.workloads.eembc import eembc_suite
 
 
@@ -77,3 +83,71 @@ class TestPersistence:
         fresh.add(char)
         fresh.add(char)
         assert len(fresh) == 1
+
+
+def _meta(**overrides):
+    defaults = dict(
+        seed=0,
+        configs_fingerprint=design_space_fingerprint(DESIGN_SPACE),
+    )
+    defaults.update(overrides)
+    return StoreMeta(**defaults)
+
+
+class TestStoreMeta:
+    def test_fingerprint_order_insensitive(self):
+        forward = design_space_fingerprint(DESIGN_SPACE)
+        backward = design_space_fingerprint(tuple(reversed(DESIGN_SPACE)))
+        assert forward == backward
+
+    def test_fingerprint_distinguishes_spaces(self):
+        full = design_space_fingerprint(DESIGN_SPACE)
+        partial = design_space_fingerprint(configs_for_size(2))
+        assert full != partial
+
+    def test_cache_key_varies_with_every_field(self):
+        base = _meta()
+        assert base.generator_version == GENERATOR_VERSION
+        variants = (
+            _meta(seed=1),
+            _meta(configs_fingerprint=design_space_fingerprint(
+                configs_for_size(4)
+            )),
+            _meta(generator_version="0"),
+            _meta(variant="dataset:variants=12"),
+        )
+        keys = {base.cache_key()} | {m.cache_key() for m in variants}
+        assert len(keys) == 5
+
+    def test_cache_key_deterministic(self):
+        assert _meta().cache_key() == _meta().cache_key()
+
+    def test_meta_round_trips_through_json(self, store, tmp_path):
+        meta = _meta(seed=42, variant="unit-test")
+        tagged = CharacterizationStore(
+            {name: store.get(name) for name in store.names()}, meta=meta
+        )
+        path = tmp_path / "tagged.json"
+        tagged.to_json(path)
+        loaded = CharacterizationStore.from_json(path)
+        assert loaded.meta == meta
+        assert loaded.names() == tagged.names()
+
+    def test_subset_preserves_meta(self, store):
+        meta = _meta(seed=5)
+        tagged = CharacterizationStore(
+            {name: store.get(name) for name in store.names()}, meta=meta
+        )
+        assert tagged.subset(["a2time"]).meta == meta
+
+    def test_legacy_flat_json_loads_with_none_meta(self, store, tmp_path):
+        path = tmp_path / "legacy.json"
+        store.to_json(path)
+        # Strip the envelope down to the pre-metadata flat layout.
+        benchmarks = json.loads(path.read_text())["benchmarks"]
+        path.write_text(json.dumps(benchmarks))
+        loaded = CharacterizationStore.from_json(path)
+        assert loaded.meta is None
+        assert set(loaded.names()) == set(store.names())
+        for name in store.names():
+            assert loaded.best_config(name) == store.best_config(name)

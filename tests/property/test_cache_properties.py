@@ -3,8 +3,9 @@
 import numpy as np
 from hypothesis import given, settings, strategies as st
 
-from repro.cache.cache import Cache, simulate_trace
+from repro.cache.cache import Cache, simulate_trace, simulate_trace_per_config
 from repro.cache.config import DESIGN_SPACE, CacheConfig
+from repro.cache.stackdist import simulate_many
 
 configs = st.sampled_from(DESIGN_SPACE)
 
@@ -15,12 +16,17 @@ traces = st.lists(
 )
 
 
+def _reference_stats(trace, config, writes=None):
+    cache = Cache(config, policy="lru")
+    return cache.run_trace(trace, writes)
+
+
 class TestFastPathEquivalence:
     @given(trace=traces, config=configs)
     @settings(max_examples=60, deadline=None)
     def test_fast_path_matches_reference(self, trace, config):
         fast = simulate_trace(trace, config)
-        ref = Cache(config, policy="lru").run_trace(trace)
+        ref = _reference_stats(trace, config)
         assert fast.hits == ref.hits
         assert fast.misses == ref.misses
         assert fast.evictions == ref.evictions
@@ -34,6 +40,48 @@ class TestFastPathEquivalence:
         stats = simulate_trace(trace, config, writes=writes)
         stats.validate()
         assert stats.write_accesses == sum(writes)
+
+
+class TestStackDistanceEngineEquivalence:
+    """The single-pass engine must equal the reference model, exactly.
+
+    CacheStats is a plain dataclass, so ``==`` compares every counter:
+    hits, misses, read/write breakdown, evictions, fills, compulsory
+    misses — across the full 18-configuration design space at once.
+    """
+
+    @given(trace=traces)
+    @settings(max_examples=25, deadline=None)
+    def test_all_configs_match_reference(self, trace):
+        many = simulate_many(trace, DESIGN_SPACE)
+        for config in DESIGN_SPACE:
+            assert many[config] == _reference_stats(trace, config), config.name
+
+    @given(trace=traces, seed=st.integers(0, 2**16))
+    @settings(max_examples=25, deadline=None)
+    def test_all_configs_match_reference_with_writes(self, trace, seed):
+        rng = np.random.default_rng(seed)
+        writes = rng.random(len(trace)) < 0.4
+        many = simulate_many(np.asarray(trace), DESIGN_SPACE, writes=writes)
+        for config in DESIGN_SPACE:
+            ref = _reference_stats(trace, config, writes.tolist())
+            assert many[config] == ref, config.name
+
+    @given(trace=traces, config=configs, seed=st.integers(0, 2**16))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_legacy_per_config_replay(self, trace, config, seed):
+        rng = np.random.default_rng(seed)
+        writes = rng.random(len(trace)) < 0.4
+        legacy = simulate_trace_per_config(trace, config, writes=writes)
+        assert simulate_trace(trace, config, writes=writes) == legacy
+
+    @given(trace=traces)
+    @settings(max_examples=20, deadline=None)
+    def test_generic_deep_assoc_path(self, trace):
+        # max_assoc > 4 exercises the generic stack fallback.
+        config = CacheConfig(8, 8, 64)
+        many = simulate_many(trace, (config,))
+        assert many[config] == _reference_stats(trace, config)
 
 
 class TestCacheInvariants:

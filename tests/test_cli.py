@@ -37,6 +37,17 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["characterize"])
 
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.seed == 0
+        assert args.workers is None
+        assert args.engine == "stackdist"
+        assert args.out is None
+
+    def test_sweep_rejects_unknown_engine(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--engine", "magic"])
+
 
 class TestCommands:
     def test_suite(self, capsys):
@@ -54,6 +65,20 @@ class TestCommands:
     def test_characterize_unknown(self, capsys):
         assert main(["characterize", "doom"]) == 2
         assert "error" in capsys.readouterr().err
+
+    def test_sweep(self, capsys, tmp_path):
+        out_path = tmp_path / "store.json"
+        assert main([
+            "sweep", "--workers", "1", "--out", str(out_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "a2time" in out
+        assert "traces/s" in out
+        from repro.characterization import CharacterizationStore
+
+        store = CharacterizationStore.from_json(out_path)
+        assert len(store) == 15
+        assert store.meta is not None and store.meta.seed == 0
 
     def test_compare_oracle_small(self, capsys, tmp_path):
         csv_path = tmp_path / "summary.csv"

@@ -1,14 +1,19 @@
 """Tests for the high-level experiment API."""
 
+import json
+
 import pytest
 
+import repro.experiment
 from repro.experiment import (
+    _keyed_cache_path,
     default_dataset,
     default_predictor,
     default_store,
     quick_experiment,
     run_four_systems,
 )
+from repro.characterization import CharacterizationStore
 from repro.core.predictor import OraclePredictor
 from repro.workloads import eembc_suite, uniform_arrivals
 from repro.workloads.eembc import EEMBC_NAMES
@@ -22,18 +27,70 @@ class TestDefaultStore:
     def test_disk_cache_round_trip(self, tmp_path):
         path = tmp_path / "store.json"
         first = default_store(cache_path=path)
-        assert path.exists()
+        # The cache is content-addressed: stem.<key>.json next to path.
+        assert list(tmp_path.glob("store.*.json"))
         second = default_store(cache_path=path)
         for name in EEMBC_NAMES:
             assert first.best_config(name) == second.best_config(name)
 
     def test_stale_cache_rebuilt(self, tmp_path):
         path = tmp_path / "store.json"
-        # A cache missing suite benchmarks is rebuilt.
-        partial = default_store(cache_path=None).subset(["a2time"])
-        partial.to_json(path)
+        # A cache missing suite benchmarks is rebuilt, even with
+        # matching metadata at the right keyed path.
+        full = default_store(cache_path=path)
+        keyed = _keyed_cache_path(path, full.meta)
+        full.subset(["a2time"]).to_json(keyed)
         store = default_store(cache_path=path)
         assert set(EEMBC_NAMES) <= set(store.names())
+
+    def test_cache_is_keyed_by_seed(self, tmp_path):
+        path = tmp_path / "store.json"
+        s0 = default_store(cache_path=path, seed=0)
+        s7 = default_store(cache_path=path, seed=7)
+        # Two distinct files; neither run clobbered the other.
+        assert len(list(tmp_path.glob("store.*.json"))) == 2
+        # cacheb's trace is seed-sensitive: the two stores must differ.
+        assert s0.counters("cacheb") != s7.counters("cacheb")
+
+    def test_cached_load_serves_matching_seed_only(
+        self, tmp_path, monkeypatch
+    ):
+        path = tmp_path / "store.json"
+        s0 = default_store(cache_path=path, seed=0)
+        s7 = default_store(cache_path=path, seed=7)
+        # Both seeds are now cached: loading must not recharacterise,
+        # and each seed must get exactly its own numbers back.
+        def boom(*args, **kwargs):
+            raise AssertionError("recharacterised despite a valid cache")
+
+        monkeypatch.setattr(
+            repro.experiment, "characterize_suite", boom
+        )
+        again0 = default_store(cache_path=path, seed=0)
+        again7 = default_store(cache_path=path, seed=7)
+        assert again0.meta.seed == 0
+        assert again7.meta.seed == 7
+        assert again0.counters("cacheb") == s0.counters("cacheb")
+        assert again7.counters("cacheb") == s7.counters("cacheb")
+
+    def test_legacy_flat_cache_is_rebuilt(self, tmp_path):
+        path = tmp_path / "store.json"
+        full = default_store(cache_path=path, seed=0)
+        keyed = _keyed_cache_path(path, full.meta)
+        # Downgrade the file to the pre-metadata flat layout.
+        benchmarks = json.loads(keyed.read_text())["benchmarks"]
+        keyed.write_text(json.dumps(benchmarks))
+        assert CharacterizationStore.from_json(keyed).meta is None
+        store = default_store(cache_path=path, seed=0)
+        assert store.meta == full.meta
+        assert set(EEMBC_NAMES) <= set(store.names())
+
+    def test_parallel_workers_match_serial(self, tmp_path):
+        serial = default_store(cache_path=None, seed=0)
+        parallel = default_store(cache_path=None, seed=0, workers=2)
+        for name in EEMBC_NAMES:
+            assert serial.counters(name) == parallel.counters(name)
+            assert serial.best_config(name) == parallel.best_config(name)
 
 
 class TestDefaultDataset:
@@ -43,10 +100,17 @@ class TestDefaultDataset:
             2, cache_path=path, seed=0
         )
         assert len(dataset) == 2 * len(EEMBC_NAMES)
-        assert path.exists()
+        assert list(tmp_path.glob("dataset.*.json"))
         # Second call reuses the cache.
         dataset2, _ = default_dataset(2, cache_path=path, seed=0)
         assert dataset2.names == dataset.names
+
+    def test_dataset_cache_keyed_by_variants(self, tmp_path):
+        path = tmp_path / "dataset.json"
+        default_dataset(2, cache_path=path, seed=0)
+        default_dataset(3, cache_path=path, seed=0)
+        # Different expansions land in different cache files.
+        assert len(list(tmp_path.glob("dataset.*.json"))) == 2
 
 
 class TestDefaultPredictor:
