@@ -9,52 +9,60 @@ timed kernel is one proposed-system run at the default intensity.
 """
 
 from repro.analysis import format_table, percent_change
-from repro.core import (
-    OraclePredictor,
-    SchedulerSimulation,
-    make_policy,
-    base_system,
-    paper_system,
-)
-from repro.workloads import eembc_suite, uniform_arrivals
+from repro.experiment import run_campaign
 
 GAPS = (200_000, 120_000, 80_000, 56_000)
 N_JOBS = 1500
+SEED = 4
 
 
-def run(store, policy_name, gap, seed=4):
-    arrivals = uniform_arrivals(
-        eembc_suite(), count=N_JOBS, seed=seed, mean_interarrival_cycles=gap
+def sweep(store, workers=1):
+    """The whole grid as one campaign (replication seed = old run seed)."""
+    return run_campaign(
+        store,
+        policies=("base", "proposed", "energy_centric"),
+        seeds=(SEED,),
+        loads=tuple((N_JOBS, gap) for gap in GAPS),
+        workers=workers,
     )
-    policy = make_policy(policy_name)
-    system = base_system() if policy_name == "base" else paper_system()
-    sim = SchedulerSimulation(
-        system, policy, store,
-        predictor=OraclePredictor(store) if policy.uses_predictor else None,
-    )
-    return sim.run(arrivals)
 
 
 def test_bench_ablation_arrival_rate(benchmark, store):
     benchmark.pedantic(
-        lambda: run(store, "proposed", 56_000), rounds=3, iterations=1
+        lambda: run_campaign(
+            store,
+            policies=("proposed",),
+            seeds=(SEED,),
+            loads=((N_JOBS, 56_000),),
+        ),
+        rounds=3,
+        iterations=1,
     )
 
+    campaign = sweep(store)
     rows = []
     ratios = {}
     for gap in GAPS:
-        base = run(store, "base", gap)
-        proposed = run(store, "proposed", gap)
-        energy_centric = run(store, "energy_centric", gap)
-        proposed_ratio = proposed.total_energy_nj / base.total_energy_nj
-        ec_ratio = energy_centric.total_energy_nj / base.total_energy_nj
+        base = campaign.cell("base", mean_interarrival_cycles=gap)
+        proposed = campaign.cell("proposed", mean_interarrival_cycles=gap)
+        energy_centric = campaign.cell(
+            "energy_centric", mean_interarrival_cycles=gap
+        )
+        proposed_ratio = (
+            proposed.metric("total_energy_nj").mean
+            / base.metric("total_energy_nj").mean
+        )
+        ec_ratio = (
+            energy_centric.metric("total_energy_nj").mean
+            / base.metric("total_energy_nj").mean
+        )
         ratios[gap] = (proposed_ratio, ec_ratio)
         rows.append((
             gap,
             f"{percent_change(proposed_ratio):+.1f}%",
             f"{percent_change(ec_ratio):+.1f}%",
-            proposed.non_best_decisions,
-            f"{energy_centric.mean_waiting_cycles / 1e3:.0f}k",
+            int(proposed.metric("non_best_decisions").mean),
+            f"{energy_centric.metric('mean_waiting_cycles').mean / 1e3:.0f}k",
         ))
     print()
     print(format_table(

@@ -16,16 +16,10 @@ characterise+simulate pass.
 
 from repro.analysis import format_table, percent_change
 from repro.characterization import CharacterizationStore, characterize_suite
-from repro.core import (
-    OraclePredictor,
-    SchedulerSimulation,
-    base_system,
-    make_policy,
-    paper_system,
-)
 from repro.energy import EnergyModel, MemoryModel
 from repro.energy.tables import EnergyTable
-from repro.workloads import eembc_suite, uniform_arrivals
+from repro.experiment import run_campaign
+from repro.workloads import eembc_suite
 
 SETTINGS = (
     ("paper defaults", dict()),
@@ -49,19 +43,14 @@ def evaluate(model):
     store = CharacterizationStore(
         characterize_suite(eembc_suite(), energy_model=model)
     )
-    table = EnergyTable(model)
-    arrivals = uniform_arrivals(eembc_suite(), count=N_JOBS, seed=8)
-    results = {}
-    for name in ("base", "proposed"):
-        policy = make_policy(name)
-        system = base_system() if name == "base" else paper_system()
-        sim = SchedulerSimulation(
-            system, policy, store,
-            predictor=OraclePredictor(store) if policy.uses_predictor else None,
-            energy_table=table,
-        )
-        results[name] = sim.run(arrivals)
-    return results
+    campaign = run_campaign(
+        store,
+        policies=("base", "proposed"),
+        seeds=(8,),
+        loads=((N_JOBS, 56_000),),
+        energy_table=EnergyTable(model),
+    )
+    return campaign
 
 
 def test_bench_ablation_sensitivity(benchmark):
@@ -72,15 +61,17 @@ def test_bench_ablation_sensitivity(benchmark):
     rows = []
     savings = {}
     for label, overrides in SETTINGS:
-        results = evaluate(build_model(**overrides))
+        campaign = evaluate(build_model(**overrides))
+        base = campaign.cell("base")
+        proposed = campaign.cell("proposed")
         ratio = (
-            results["proposed"].total_energy_nj
-            / results["base"].total_energy_nj
+            proposed.metric("total_energy_nj").mean
+            / base.metric("total_energy_nj").mean
         )
         savings[label] = -percent_change(ratio)
         idle_share = (
-            results["base"].idle_energy_nj
-            / results["base"].total_energy_nj
+            base.metric("idle_energy_nj").mean
+            / base.metric("total_energy_nj").mean
         )
         rows.append((
             label,

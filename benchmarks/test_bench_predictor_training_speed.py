@@ -1,0 +1,115 @@
+"""P2 — ensemble-training speed: batched stacked pass vs sequential loop.
+
+The headline number of the batched training engine: fitting the paper's
+full 30-member bagged ensemble through :meth:`AnnPredictor.fit` with the
+vectorised stacked-pass trainer against the per-member reference loop.
+Both engines run the identical pipeline (log-compress → standardise →
+bootstrap → MSE/Adam with early stopping), so the ratio is the
+end-to-end speedup a user sees — and the resulting members must be
+*identical*, which is asserted per member below.
+
+Run with ``pytest benchmarks/test_bench_predictor_training_speed.py
+--benchmark-only -s`` to see the timing table.
+"""
+
+import time
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.ann.bagging import PAPER_ENSEMBLE_SIZE
+from repro.ann.training import TrainingConfig
+from repro.core.predictor import AnnPredictor
+from repro.experiment import default_dataset
+
+#: Required end-to-end advantage of the batched engine.
+MIN_SPEEDUP = 3.0
+
+#: Timing repetitions; the minimum is reported (least-noise estimator).
+ROUNDS = 3
+
+#: The paper's training budget for the headline comparison.
+EPOCHS = 200
+
+SEED = 0
+
+
+def _fit(split, engine: str) -> AnnPredictor:
+    predictor = AnnPredictor(n_members=PAPER_ENSEMBLE_SIZE, seed=SEED)
+    predictor.fit(
+        split.train,
+        val_dataset=split.val,
+        config=TrainingConfig(epochs=EPOCHS, seed=SEED),
+        engine=engine,
+    )
+    return predictor
+
+
+def _time_fit(split, engine: str) -> float:
+    best = float("inf")
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        _fit(split, engine)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_bench_predictor_training_speed(benchmark):
+    dataset, _ = default_dataset(variants_per_family=12, seed=SEED)
+    split = dataset.split(seed=SEED, by_family=False)
+
+    # Warm both paths (imports, allocator) before timing anything.
+    warm = AnnPredictor(n_members=2, seed=SEED)
+    warm.fit(split.train, val_dataset=split.val,
+             config=TrainingConfig(epochs=2, seed=SEED),
+             engine="sequential")
+    warm = AnnPredictor(n_members=2, seed=SEED)
+    warm.fit(split.train, val_dataset=split.val,
+             config=TrainingConfig(epochs=2, seed=SEED),
+             engine="batched")
+
+    sequential_seconds = _time_fit(split, "sequential")
+    batched_seconds = _time_fit(split, "batched")
+    speedup = sequential_seconds / batched_seconds
+
+    # pytest-benchmark records the batched engine as the tracked series.
+    benchmark.pedantic(
+        lambda: _fit(split, "batched"), rounds=ROUNDS, iterations=1
+    )
+
+    print()
+    print(
+        f"{PAPER_ENSEMBLE_SIZE}-member ensemble fit "
+        f"({len(split.train)} train samples, {EPOCHS} epochs max)"
+    )
+    print(format_table(
+        ("engine", "wall s", "members/s"),
+        (
+            (
+                "sequential (per-member loop)",
+                f"{sequential_seconds:.3f}",
+                f"{PAPER_ENSEMBLE_SIZE / sequential_seconds:.1f}",
+            ),
+            (
+                "batched (stacked pass)",
+                f"{batched_seconds:.3f}",
+                f"{PAPER_ENSEMBLE_SIZE / batched_seconds:.1f}",
+            ),
+        ),
+    ))
+    print(f"speedup: {speedup:.2f}x (required: >= {MIN_SPEEDUP:.1f}x)")
+
+    # Same members, much faster: every ensemble member's predictions on
+    # the full dataset must match bit for bit.
+    reference = _fit(split, "sequential")
+    fast = _fit(split, "batched")
+    x = fast.scaler.transform(fast._pre(dataset.features))
+    ref_members = reference.ensemble.member_predictions(x)
+    fast_members = fast.ensemble.member_predictions(x)
+    np.testing.assert_array_equal(ref_members, fast_members)
+    assert (
+        fast.predict_sizes_kb(dataset.features)
+        == reference.predict_sizes_kb(dataset.features)
+    ).all()
+
+    assert speedup >= MIN_SPEEDUP

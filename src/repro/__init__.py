@@ -27,20 +27,24 @@ Subpackages
 """
 
 from repro.experiment import (
+    CampaignResult,
     default_dataset,
     default_predictor,
     default_store,
     quick_experiment,
+    run_campaign,
     run_four_systems,
 )
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "CampaignResult",
     "__version__",
     "default_dataset",
     "default_predictor",
     "default_store",
     "quick_experiment",
+    "run_campaign",
     "run_four_systems",
 ]

@@ -13,7 +13,13 @@ from .activations import (
     Tanh,
     make_activation,
 )
-from .bagging import PAPER_ENSEMBLE_SIZE, BaggedRegressor
+from .bagging import (
+    PAPER_ENSEMBLE_SIZE,
+    TRAINING_ENGINES,
+    BaggedRegressor,
+    bootstrap_indices,
+)
+from .batched import train_ensemble_batched
 from .layers import Dense
 from .losses import LOSS_NAMES, HuberLoss, Loss, MAELoss, MSELoss, make_loss
 from .metrics import class_accuracy, confusion_counts, mae, mse, r2_score
@@ -49,9 +55,11 @@ __all__ = [
     "SGD",
     "Sigmoid",
     "StandardScaler",
+    "TRAINING_ENGINES",
     "Tanh",
     "TrainingConfig",
     "TrainingHistory",
+    "bootstrap_indices",
     "class_accuracy",
     "confusion_counts",
     "log_transform",
@@ -63,4 +71,5 @@ __all__ = [
     "r2_score",
     "snap_to_classes",
     "train",
+    "train_ensemble_batched",
 ]

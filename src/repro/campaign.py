@@ -1,0 +1,387 @@
+"""Process-parallel replication campaigns.
+
+The paper's evaluation claims are statements about *distributions* —
+energy and latency of each scheduling policy over many arrival streams —
+so every ablation replays a (policy × seed × load) grid of independent
+simulations.  This module runs that grid as a campaign: each replication
+is one deterministic :class:`~repro.core.simulation.SchedulerSimulation`
+run, the grid fans out over a process pool sharing the read-only
+characterisation store, and the results aggregate to per-cell
+mean / std / 95 % confidence intervals.
+
+Determinism contract: a replication's arrival stream derives only from
+its :class:`ReplicationSpec` (the replication seed feeds
+:func:`~repro.workloads.arrivals.uniform_arrivals` directly), and
+``pool.map`` preserves task order, so campaign results are identical for
+any worker count — including the in-process serial path — and for any
+scheduling of tasks onto workers.  The ``fork`` start method is
+preferred when available (workers inherit the store without pickling);
+the initializer ships the shared state once per worker either way, so
+per-task payloads stay tiny.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.characterization.store import CharacterizationStore
+from repro.core.policies import POLICY_NAMES, make_policy
+from repro.core.predictor import BestCorePredictor, OraclePredictor
+from repro.core.simulation import SchedulerSimulation
+from repro.core.system import base_system, paper_system
+from repro.energy.tables import EnergyTable
+from repro.workloads.arrivals import uniform_arrivals
+from repro.workloads.eembc import eembc_suite
+
+__all__ = [
+    "CampaignCell",
+    "CampaignResult",
+    "MetricAggregate",
+    "ReplicationResult",
+    "ReplicationSpec",
+    "run_campaign",
+]
+
+#: Metrics aggregated per campaign cell, in report order.
+CAMPAIGN_METRICS = (
+    "total_energy_nj",
+    "idle_energy_nj",
+    "dynamic_energy_nj",
+    "makespan_cycles",
+    "mean_waiting_cycles",
+    "jobs_completed",
+    "non_best_decisions",
+)
+
+
+@dataclass(frozen=True)
+class ReplicationSpec:
+    """One point of the campaign grid: policy × seed × load."""
+
+    policy: str
+    seed: int
+    #: Jobs in the arrival stream.
+    count: int
+    #: Mean gap between arrivals (smaller = heavier load).
+    mean_interarrival_cycles: int
+
+
+@dataclass(frozen=True)
+class ReplicationResult:
+    """Metrics of one simulated replication."""
+
+    spec: ReplicationSpec
+    jobs_completed: int
+    makespan_cycles: int
+    total_energy_nj: float
+    idle_energy_nj: float
+    dynamic_energy_nj: float
+    mean_waiting_cycles: float
+    non_best_decisions: int
+    #: Wall time of this replication (instrumentation only; never part
+    #: of the aggregates, so it cannot break worker-count independence).
+    seconds: float
+
+    def metric(self, name: str) -> float:
+        """Metric value by aggregate name."""
+        if name not in CAMPAIGN_METRICS:
+            raise KeyError(f"unknown campaign metric {name!r}")
+        return float(getattr(self, name))
+
+
+@dataclass(frozen=True)
+class MetricAggregate:
+    """Mean / sample std / 95 % CI half-width over a cell's replications."""
+
+    mean: float
+    std: float
+    ci95: float
+    n: int
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """Aggregates of every replication sharing (policy, load)."""
+
+    policy: str
+    count: int
+    mean_interarrival_cycles: int
+    metrics: Dict[str, MetricAggregate]
+    n: int
+
+    def metric(self, name: str) -> MetricAggregate:
+        """Aggregate by metric name."""
+        return self.metrics[name]
+
+
+def _aggregate(values: Sequence[float]) -> MetricAggregate:
+    n = len(values)
+    mean = sum(values) / n
+    if n > 1:
+        var = sum((v - mean) ** 2 for v in values) / (n - 1)
+        std = math.sqrt(var)
+        ci95 = 1.96 * std / math.sqrt(n)
+    else:
+        std = 0.0
+        ci95 = 0.0
+    return MetricAggregate(mean=mean, std=std, ci95=ci95, n=n)
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """Everything a campaign produced.
+
+    ``replications`` are in grid order (policy-major, then load, then
+    seed); ``cells`` aggregate each (policy, load) over its seeds.
+    """
+
+    replications: Tuple[ReplicationResult, ...]
+    cells: Tuple[CampaignCell, ...]
+    wall_seconds: float
+    workers: int
+
+    def cell(
+        self,
+        policy: str,
+        *,
+        count: Optional[int] = None,
+        mean_interarrival_cycles: Optional[int] = None,
+    ) -> CampaignCell:
+        """The unique cell matching the selectors.
+
+        Load selectors may be omitted when the campaign swept only one
+        load; ambiguous or empty selections raise ``KeyError``.
+        """
+        matches = [
+            cell
+            for cell in self.cells
+            if cell.policy == policy
+            and (count is None or cell.count == count)
+            and (
+                mean_interarrival_cycles is None
+                or cell.mean_interarrival_cycles == mean_interarrival_cycles
+            )
+        ]
+        if not matches:
+            raise KeyError(
+                f"no campaign cell matches policy={policy!r}, count={count}, "
+                f"mean_interarrival_cycles={mean_interarrival_cycles}"
+            )
+        if len(matches) > 1:
+            raise KeyError(
+                f"{len(matches)} campaign cells match policy={policy!r}; "
+                "pass count= / mean_interarrival_cycles= to disambiguate"
+            )
+        return matches[0]
+
+    def summary(self) -> str:
+        """Text table of per-cell mean ± CI for the headline metrics."""
+        header = (
+            f"{'policy':<15} {'jobs':>6} {'gap':>8} {'n':>3} "
+            f"{'energy (mJ)':>16} {'makespan (Mcyc)':>18} {'wait (kcyc)':>14}"
+        )
+        lines = [header, "-" * len(header)]
+        for cell in self.cells:
+            energy = cell.metrics["total_energy_nj"]
+            makespan = cell.metrics["makespan_cycles"]
+            wait = cell.metrics["mean_waiting_cycles"]
+            lines.append(
+                f"{cell.policy:<15} {cell.count:>6} "
+                f"{cell.mean_interarrival_cycles:>8} {cell.n:>3} "
+                f"{energy.mean / 1e6:>9.3f} ±{energy.ci95 / 1e6:<5.3f} "
+                f"{makespan.mean / 1e6:>11.2f} ±{makespan.ci95 / 1e6:<5.2f} "
+                f"{wait.mean / 1e3:>8.1f} ±{wait.ci95 / 1e3:<4.1f}"
+            )
+        lines.append(
+            f"replications={len(self.replications)} workers={self.workers} "
+            f"wall={self.wall_seconds:.2f}s"
+        )
+        return "\n".join(lines)
+
+
+# Shared read-only state, installed once per worker by the pool
+# initializer (or once in-process on the serial path).
+_WORKER_STATE: dict = {}
+
+
+def _init_worker(
+    store: CharacterizationStore,
+    predictor: BestCorePredictor,
+    energy_table: EnergyTable,
+    discipline: str,
+) -> None:
+    _WORKER_STATE["store"] = store
+    _WORKER_STATE["predictor"] = predictor
+    _WORKER_STATE["energy_table"] = energy_table
+    _WORKER_STATE["discipline"] = discipline
+
+
+def _run_replication(spec: ReplicationSpec) -> ReplicationResult:
+    """Simulate one grid point (executed inside a worker process)."""
+    start = time.perf_counter()
+    policy = make_policy(spec.policy)
+    system = base_system() if spec.policy == "base" else paper_system()
+    arrivals = uniform_arrivals(
+        eembc_suite(),
+        count=spec.count,
+        seed=spec.seed,
+        mean_interarrival_cycles=spec.mean_interarrival_cycles,
+    )
+    simulation = SchedulerSimulation(
+        system,
+        policy,
+        _WORKER_STATE["store"],
+        predictor=(
+            _WORKER_STATE["predictor"] if policy.uses_predictor else None
+        ),
+        energy_table=_WORKER_STATE["energy_table"],
+        discipline=_WORKER_STATE["discipline"],
+    )
+    result = simulation.run(arrivals)
+    return ReplicationResult(
+        spec=spec,
+        jobs_completed=result.jobs_completed,
+        makespan_cycles=result.makespan_cycles,
+        total_energy_nj=result.total_energy_nj,
+        idle_energy_nj=result.idle_energy_nj,
+        dynamic_energy_nj=result.dynamic_energy_nj,
+        mean_waiting_cycles=result.mean_waiting_cycles,
+        non_best_decisions=result.non_best_decisions,
+        seconds=time.perf_counter() - start,
+    )
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - platform without fork
+        return multiprocessing.get_context()
+
+
+def run_campaign(
+    store: CharacterizationStore,
+    predictor: Optional[BestCorePredictor] = None,
+    *,
+    policies: Sequence[str] = POLICY_NAMES,
+    seeds: Sequence[int] = (0,),
+    loads: Sequence[Tuple[int, int]] = ((1000, 56_000),),
+    discipline: str = "fifo",
+    energy_table: Optional[EnergyTable] = None,
+    workers: Optional[int] = 1,
+) -> CampaignResult:
+    """Run a (policy × load × seed) replication grid, optionally parallel.
+
+    Parameters
+    ----------
+    store:
+        Characterisation of every benchmark that can arrive — shared
+        read-only by all replications.
+    predictor:
+        Best-core predictor for predictor-driven policies; ``None``
+        uses an :class:`~repro.core.predictor.OraclePredictor` over the
+        store.
+    policies:
+        Policy names to sweep (see
+        :data:`~repro.core.policies.POLICY_NAMES`).
+    seeds:
+        Replication seeds; each seed generates an independent arrival
+        stream per load, and cells aggregate over seeds.
+    loads:
+        ``(count, mean_interarrival_cycles)`` pairs — sweep either the
+        stream length or the arrival rate (or both).
+    discipline:
+        Ready-queue service order, forwarded to the simulation.
+    energy_table:
+        Energy constants; defaults to the paper's table.
+    workers:
+        Worker processes; ``None`` means one per CPU.  Clamped to the
+        replication count; ``<= 1`` runs serially in-process.  Results
+        are identical for every worker count.
+    """
+    if not policies:
+        raise ValueError("need at least one policy")
+    for name in policies:
+        if name not in POLICY_NAMES:
+            raise ValueError(
+                f"unknown policy {name!r}; choose from {POLICY_NAMES}"
+            )
+    if not seeds:
+        raise ValueError("need at least one replication seed")
+    if not loads:
+        raise ValueError("need at least one load")
+    for count, gap in loads:
+        if count <= 0:
+            raise ValueError("load count must be positive")
+        if gap <= 0:
+            raise ValueError("mean_interarrival_cycles must be positive")
+
+    if predictor is None:
+        predictor = OraclePredictor(store)
+    if energy_table is None:
+        energy_table = EnergyTable()
+
+    specs = [
+        ReplicationSpec(
+            policy=policy,
+            seed=seed,
+            count=count,
+            mean_interarrival_cycles=gap,
+        )
+        for policy in policies
+        for count, gap in loads
+        for seed in seeds
+    ]
+
+    if workers is None:
+        workers = os.cpu_count() or 1
+    workers = max(1, min(workers, len(specs)))
+
+    start = time.perf_counter()
+    if workers == 1 or len(specs) <= 1:
+        _init_worker(store, predictor, energy_table, discipline)
+        replications = [_run_replication(spec) for spec in specs]
+    else:
+        ctx = _pool_context()
+        with ctx.Pool(
+            processes=workers,
+            initializer=_init_worker,
+            initargs=(store, predictor, energy_table, discipline),
+        ) as pool:
+            replications = pool.map(_run_replication, specs)
+    wall_seconds = time.perf_counter() - start
+
+    cells = []
+    for policy in policies:
+        for count, gap in loads:
+            members = [
+                r
+                for r in replications
+                if r.spec.policy == policy
+                and r.spec.count == count
+                and r.spec.mean_interarrival_cycles == gap
+            ]
+            metrics = {
+                name: _aggregate([m.metric(name) for m in members])
+                for name in CAMPAIGN_METRICS
+            }
+            cells.append(
+                CampaignCell(
+                    policy=policy,
+                    count=count,
+                    mean_interarrival_cycles=gap,
+                    metrics=metrics,
+                    n=len(members),
+                )
+            )
+
+    return CampaignResult(
+        replications=tuple(replications),
+        cells=tuple(cells),
+        wall_seconds=wall_seconds,
+        workers=workers,
+    )

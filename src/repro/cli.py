@@ -11,6 +11,8 @@ any code:
 * ``locality`` — miss-ratio curve / working set / reuse distances;
 * ``sweep`` — characterise the whole suite with timing (optionally in
   parallel, optionally persisting the store);
+* ``campaign`` — replication campaign over a (policy × seed × load)
+  grid, optionally process-parallel, with mean ± 95 % CI aggregates;
 * ``reproduce`` — regenerate the full evaluation into ``results/``.
 """
 
@@ -100,6 +102,32 @@ def build_parser() -> argparse.ArgumentParser:
                             "replay baseline)")
     sweep.add_argument("--out", metavar="PATH",
                        help="write the characterisation store JSON here")
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="replication campaign over a (policy x seed x load) grid",
+    )
+    campaign.add_argument("--policies", nargs="+",
+                          default=["base", "proposed"],
+                          choices=("base", "optimal", "energy_centric",
+                                   "proposed"),
+                          help="policies to sweep")
+    campaign.add_argument("--seeds", nargs="+", type=int, default=[0, 1, 2],
+                          help="replication seeds (one arrival stream each)")
+    campaign.add_argument("--jobs", nargs="+", type=int, default=[1000],
+                          help="arrival-stream lengths to sweep")
+    campaign.add_argument("--interarrival", nargs="+", type=int,
+                          default=[56_000],
+                          help="mean inter-arrival gaps (cycles) to sweep")
+    campaign.add_argument("--predictor", choices=("ann", "oracle"),
+                          default="oracle")
+    campaign.add_argument("--discipline",
+                          choices=("fifo", "priority", "edf"),
+                          default="fifo")
+    campaign.add_argument("--workers", type=int, default=None,
+                          help="worker processes (default: one per CPU)")
+    campaign.add_argument("--json", metavar="PATH",
+                          help="write per-replication results JSON")
 
     reproduce = sub.add_parser(
         "reproduce",
@@ -303,6 +331,44 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_campaign(args) -> int:
+    from repro.experiment import (
+        default_predictor,
+        default_store,
+        run_campaign,
+    )
+
+    store = default_store()
+    predictor = None
+    if args.predictor == "ann":
+        predictor = default_predictor(store, kind="ann")
+    loads = [
+        (count, gap) for count in args.jobs for gap in args.interarrival
+    ]
+    result = run_campaign(
+        store,
+        predictor,
+        policies=tuple(args.policies),
+        seeds=tuple(args.seeds),
+        loads=loads,
+        discipline=args.discipline,
+        workers=args.workers,
+    )
+    print(result.summary())
+    if args.json:
+        import dataclasses
+        import json
+
+        payload = [
+            dataclasses.asdict(replication)
+            for replication in result.replications
+        ]
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"\nwrote replication results JSON to {args.json}")
+    return 0
+
+
 def _cmd_reproduce(args) -> int:
     from repro.reporting import write_report
 
@@ -331,6 +397,7 @@ _COMMANDS = {
     "suite": _cmd_suite,
     "locality": _cmd_locality,
     "sweep": _cmd_sweep,
+    "campaign": _cmd_campaign,
     "reproduce": _cmd_reproduce,
 }
 

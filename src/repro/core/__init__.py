@@ -14,6 +14,13 @@ from .policies import (
     SchedulingPolicy,
     make_policy,
 )
+from .modelstore import (
+    ModelMeta,
+    dataset_fingerprint,
+    load_ann_predictor,
+    save_ann_predictor,
+    training_config_key,
+)
 from .predictor import (
     AnnPredictor,
     BestCorePredictor,
@@ -44,6 +51,7 @@ __all__ = [
     "FixedPredictor",
     "Job",
     "JobRecord",
+    "ModelMeta",
     "OptimalPolicy",
     "OraclePredictor",
     "POLICY_NAMES",
@@ -58,9 +66,13 @@ __all__ = [
     "TuningHeuristic",
     "TuningSession",
     "base_system",
+    "dataset_fingerprint",
     "evaluate_stall_decision",
+    "load_ann_predictor",
     "make_policy",
     "paper_system",
+    "save_ann_predictor",
     "scaled_system",
     "remaining_energy_nj",
+    "training_config_key",
 ]

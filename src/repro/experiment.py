@@ -10,6 +10,8 @@ calls:
   runs);
 * :func:`run_four_systems` — simulate the base / optimal /
   energy-centric / proposed systems on one arrival stream;
+* :func:`run_campaign` — replicate (policy × seed × load) grids over a
+  process pool with mean / CI aggregation (see :mod:`repro.campaign`);
 * :func:`quick_experiment` — all of the above with sensible defaults.
 """
 
@@ -20,12 +22,27 @@ from typing import Dict, Optional, Sequence, Union
 
 from repro.ann.training import TrainingConfig
 from repro.cache.config import DESIGN_SPACE
-from repro.characterization.dataset import build_dataset
+from repro.characterization.dataset import build_dataset, expand_suite
 from repro.characterization.explorer import characterize_suite
 from repro.characterization.store import (
     CharacterizationStore,
     StoreMeta,
     design_space_fingerprint,
+)
+from repro.campaign import (
+    CampaignCell,
+    CampaignResult,
+    MetricAggregate,
+    ReplicationResult,
+    ReplicationSpec,
+    run_campaign,
+)
+from repro.core.modelstore import (
+    ModelMeta,
+    dataset_fingerprint,
+    load_ann_predictor,
+    save_ann_predictor,
+    training_config_key,
 )
 from repro.core.policies import POLICY_NAMES, make_policy
 from repro.core.predictor import AnnPredictor, BestCorePredictor, OraclePredictor
@@ -37,9 +54,15 @@ from repro.workloads.arrivals import JobArrival, uniform_arrivals
 from repro.workloads.eembc import eembc_suite
 
 __all__ = [
+    "CampaignCell",
+    "CampaignResult",
+    "MetricAggregate",
+    "ReplicationResult",
+    "ReplicationSpec",
     "default_dataset",
     "default_store",
     "default_predictor",
+    "run_campaign",
     "run_four_systems",
     "quick_experiment",
 ]
@@ -51,8 +74,13 @@ __all__ = [
 DEFAULT_CACHE = Path.home() / ".cache" / "repro" / "eembc_characterization.json"
 
 
-def _keyed_cache_path(path: Union[str, Path], meta: StoreMeta) -> Path:
-    """Content-addressed variant of a cache path: stem.<key>.json."""
+def _keyed_cache_path(path: Union[str, Path], meta) -> Path:
+    """Content-addressed variant of a cache path: stem.<key>.json.
+
+    ``meta`` is anything with a ``cache_key()`` — a characterisation
+    :class:`StoreMeta` or a trained-model
+    :class:`~repro.core.modelstore.ModelMeta`.
+    """
     path = Path(path)
     return path.with_name(f"{path.stem}.{meta.cache_key()}{path.suffix}")
 
@@ -122,6 +150,7 @@ def default_dataset(
     *,
     cache_path: Optional[Union[str, Path]] = DEFAULT_DATASET_CACHE,
     seed: int = 0,
+    base_store: Optional[CharacterizationStore] = None,
 ):
     """The variant-expanded ANN training dataset (cached on disk).
 
@@ -130,7 +159,16 @@ def default_dataset(
     characterisation is reused from the content-addressed cache when
     present.  The cache key includes ``variants_per_family`` besides the
     seed / design space / generator version, so differently expanded
-    datasets are cached side by side and never cross-served.
+    datasets are cached side by side and never cross-served.  The cache
+    file is rewritten only when something was actually characterised —
+    a pure cache hit performs no disk write.
+
+    ``base_store`` seeds the build with already-characterised benchmarks
+    (typically the suite store from :func:`default_store`): entries whose
+    metadata proves they were produced under the same seed, design space
+    and generator version are reused instead of re-characterised.  Each
+    family's variant 0 *is* the original benchmark, so a suite store
+    saves exactly those characterisations.
     """
     meta = StoreMeta(
         seed=seed,
@@ -138,6 +176,7 @@ def default_dataset(
         variant=f"dataset:variants={variants_per_family}",
     )
     store = None
+    disk_names: Optional[set] = None
     if cache_path is not None:
         path = _keyed_cache_path(cache_path, meta)
         if path.exists():
@@ -145,6 +184,19 @@ def default_dataset(
             if cached.meta == meta:
                 # build_dataset characterises whatever is missing.
                 store = cached
+                disk_names = set(cached.names())
+    if base_store is not None and base_store.meta is not None:
+        base_meta = base_store.meta
+        if (
+            base_meta.seed == meta.seed
+            and base_meta.configs_fingerprint == meta.configs_fingerprint
+            and base_meta.generator_version == meta.generator_version
+        ):
+            if store is None:
+                store = CharacterizationStore(meta=meta)
+            for name in base_store.names():
+                if name not in store:
+                    store.add(base_store.get(name))
     dataset, store = build_dataset(
         eembc_suite(),
         variants_per_family=variants_per_family,
@@ -153,10 +205,22 @@ def default_dataset(
     )
     store.meta = meta
     if cache_path is not None:
-        path = _keyed_cache_path(cache_path, meta)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        store.to_json(path)
+        expected = {
+            spec.name
+            for spec in expand_suite(eembc_suite(), variants_per_family)
+        }
+        if disk_names is None or not expected.issubset(disk_names):
+            path = _keyed_cache_path(cache_path, meta)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            store.to_json(path)
     return dataset, store
+
+
+#: Default on-disk cache for trained ANN predictors.  Like the other
+#: caches the real file carries the :meth:`ModelMeta.cache_key` in its
+#: name, so models trained from different datasets, topologies,
+#: hyperparameters or seeds never collide.
+DEFAULT_MODEL_CACHE = Path.home() / ".cache" / "repro" / "eembc_trained_model.json"
 
 
 def default_predictor(
@@ -167,6 +231,9 @@ def default_predictor(
     n_members: int = 10,
     epochs: int = 200,
     seed: int = 0,
+    engine: str = "batched",
+    model_cache_path: Optional[Union[str, Path]] = DEFAULT_MODEL_CACHE,
+    dataset_cache_path: Optional[Union[str, Path]] = DEFAULT_DATASET_CACHE,
 ) -> BestCorePredictor:
     """Build the best-core predictor.
 
@@ -175,6 +242,16 @@ def default_predictor(
     default experience fast; the ANN-accuracy benchmark uses the full
     ensemble).  ``kind='oracle'`` returns perfect predictions from the
     store and requires one.
+
+    For ``kind='ann'`` a passed ``store`` seeds the dataset build: its
+    matching characterisations (one per family — variant 0 is the
+    original benchmark) are reused instead of re-simulated.  Trained
+    weights are cached content-addressed under ``model_cache_path``
+    (key: dataset fingerprint, topology, training config, seed) — a
+    repeat call with identical inputs loads them and performs zero
+    training epochs.  ``engine`` selects the ensemble-training engine;
+    both engines produce identical weights, so it is not part of the
+    cache key.
     """
     if kind == "oracle":
         if store is None:
@@ -182,17 +259,41 @@ def default_predictor(
         return OraclePredictor(store)
     if kind != "ann":
         raise ValueError(f"unknown predictor kind {kind!r}")
-    dataset, _ = default_dataset(variants_per_family, seed=seed)
+    dataset, _ = default_dataset(
+        variants_per_family,
+        cache_path=dataset_cache_path,
+        seed=seed,
+        base_store=store,
+    )
+    predictor = AnnPredictor(n_members=n_members, seed=seed)
+    config = TrainingConfig(epochs=epochs, seed=seed)
+    meta = ModelMeta(
+        dataset_fingerprint=dataset_fingerprint(dataset),
+        topology=repr(predictor.ensemble.members[0].topology),
+        n_members=n_members,
+        training_key=training_config_key(config),
+        seed=seed,
+    )
+    if model_cache_path is not None:
+        cached = load_ann_predictor(
+            _keyed_cache_path(model_cache_path, meta), expected_meta=meta
+        )
+        if cached is not None:
+            return cached
     # Paper-style split: shuffled 70/15/15 over all inputs (§IV.D), so the
     # deployed benchmarks' families are represented in training.  Pass
     # ``by_family=True`` to Dataset.split for held-out-family evaluation.
     split = dataset.split(seed=seed, by_family=False)
-    predictor = AnnPredictor(n_members=n_members, seed=seed)
     predictor.fit(
         split.train,
         val_dataset=split.val,
-        config=TrainingConfig(epochs=epochs, seed=seed),
+        config=config,
+        engine=engine,
     )
+    if model_cache_path is not None:
+        save_ann_predictor(
+            _keyed_cache_path(model_cache_path, meta), predictor, meta
+        )
     return predictor
 
 

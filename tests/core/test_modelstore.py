@@ -1,0 +1,199 @@
+"""Tests for the content-addressed trained-model store."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.ann.training import TrainingConfig
+from repro.characterization.dataset import Dataset
+from repro.core.modelstore import (
+    MODEL_STORE_FORMAT,
+    ModelMeta,
+    dataset_fingerprint,
+    load_ann_predictor,
+    save_ann_predictor,
+    training_config_key,
+)
+from repro.core.predictor import AnnPredictor
+
+
+def make_dataset(n=40, seed=0, feature_names=("a", "b", "c")):
+    rng = np.random.default_rng(seed)
+    features = np.abs(rng.normal(size=(n, len(feature_names)))) * 100
+    labels = rng.choice([2.0, 4.0, 8.0], size=n)
+    return Dataset(
+        features=features,
+        labels_kb=labels,
+        names=tuple(f"bench{i}" for i in range(n)),
+        families=tuple(f"fam{i % 5}" for i in range(n)),
+        feature_names=tuple(feature_names),
+    )
+
+
+def make_fitted(dataset, n_members=3, seed=0, epochs=8):
+    predictor = AnnPredictor(
+        feature_names=dataset.feature_names,
+        n_members=n_members,
+        hidden=(5,),
+        seed=seed,
+    )
+    predictor.fit(dataset, config=TrainingConfig(epochs=epochs, seed=seed))
+    return predictor
+
+
+def make_meta(dataset, predictor, config=TrainingConfig(epochs=8, seed=0)):
+    return ModelMeta(
+        dataset_fingerprint=dataset_fingerprint(dataset),
+        topology=repr(predictor.ensemble.members[0].topology),
+        n_members=predictor.ensemble.n_members,
+        training_key=training_config_key(config),
+        seed=predictor.ensemble.seed,
+    )
+
+
+class TestFingerprints:
+    def test_dataset_fingerprint_stable(self):
+        assert dataset_fingerprint(make_dataset()) == dataset_fingerprint(
+            make_dataset()
+        )
+
+    def test_dataset_fingerprint_sees_features(self):
+        a = make_dataset(seed=0)
+        b = make_dataset(seed=1)
+        assert dataset_fingerprint(a) != dataset_fingerprint(b)
+
+    def test_dataset_fingerprint_sees_labels(self):
+        a = make_dataset()
+        b = Dataset(
+            features=a.features,
+            labels_kb=np.where(a.labels_kb == 2.0, 4.0, a.labels_kb),
+            names=a.names,
+            families=a.families,
+            feature_names=a.feature_names,
+        )
+        assert dataset_fingerprint(a) != dataset_fingerprint(b)
+
+    def test_dataset_fingerprint_sees_names(self):
+        a = make_dataset()
+        b = Dataset(
+            features=a.features,
+            labels_kb=a.labels_kb,
+            names=tuple(reversed(a.names)),
+            families=a.families,
+            feature_names=a.feature_names,
+        )
+        assert dataset_fingerprint(a) != dataset_fingerprint(b)
+
+    def test_training_config_key_sees_every_field(self):
+        base = TrainingConfig()
+        variants = (
+            TrainingConfig(epochs=base.epochs + 1),
+            TrainingConfig(batch_size=base.batch_size + 1),
+            TrainingConfig(learning_rate=base.learning_rate * 2),
+            TrainingConfig(patience=99),
+            TrainingConfig(shuffle=not base.shuffle),
+            TrainingConfig(seed=base.seed + 1),
+        )
+        keys = {training_config_key(v) for v in variants}
+        assert len(keys) == len(variants)
+        assert training_config_key(base) not in keys
+
+
+class TestModelMeta:
+    def test_cache_key_sensitivity(self):
+        dataset = make_dataset()
+        predictor = make_fitted(dataset)
+        meta = make_meta(dataset, predictor)
+        for changed in (
+            ModelMeta(**{**vars(meta), "dataset_fingerprint": "deadbeef"}),
+            ModelMeta(**{**vars(meta), "topology": "(3, 9, 1)"}),
+            ModelMeta(**{**vars(meta), "n_members": meta.n_members + 1}),
+            ModelMeta(**{**vars(meta), "training_key": "cafebabe"}),
+            ModelMeta(**{**vars(meta), "seed": meta.seed + 1}),
+            ModelMeta(**{**vars(meta), "trainer_version": "other"}),
+        ):
+            assert changed.cache_key() != meta.cache_key()
+
+
+class TestRoundTrip:
+    def test_predictions_identical_after_reload(self, tmp_path):
+        dataset = make_dataset()
+        predictor = make_fitted(dataset)
+        meta = make_meta(dataset, predictor)
+        path = tmp_path / "model.json"
+        save_ann_predictor(path, predictor, meta)
+        loaded = load_ann_predictor(path, expected_meta=meta)
+        assert loaded is not None
+        # Bit-exact: weights, scaler and snapping all round-trip.
+        x = dataset.features
+        assert (
+            loaded.predict_sizes_kb(x) == predictor.predict_sizes_kb(x)
+        ).all()
+        a = predictor.ensemble.member_predictions(
+            predictor.scaler.transform(predictor._pre(x))
+        )
+        b = loaded.ensemble.member_predictions(
+            loaded.scaler.transform(loaded._pre(x))
+        )
+        np.testing.assert_array_equal(a, b)
+
+    def test_loaded_predictor_is_usable_without_fit(self, tmp_path):
+        dataset = make_dataset()
+        predictor = make_fitted(dataset)
+        meta = make_meta(dataset, predictor)
+        path = tmp_path / "model.json"
+        save_ann_predictor(path, predictor, meta)
+        loaded = load_ann_predictor(path)
+        assert loaded.predict_sizes_kb(dataset.features[:3]).shape == (3,)
+
+    def test_unfitted_predictor_rejected(self, tmp_path):
+        dataset = make_dataset()
+        predictor = AnnPredictor(
+            feature_names=dataset.feature_names, n_members=2, hidden=(4,)
+        )
+        meta = make_meta(dataset, predictor)
+        with pytest.raises(ValueError):
+            save_ann_predictor(tmp_path / "model.json", predictor, meta)
+
+
+class TestLoadRejections:
+    def test_missing_file(self, tmp_path):
+        assert load_ann_predictor(tmp_path / "absent.json") is None
+
+    def test_corrupt_json(self, tmp_path):
+        path = tmp_path / "model.json"
+        path.write_text("{not json")
+        assert load_ann_predictor(path) is None
+
+    def test_wrong_format_version(self, tmp_path):
+        dataset = make_dataset()
+        predictor = make_fitted(dataset)
+        meta = make_meta(dataset, predictor)
+        path = tmp_path / "model.json"
+        save_ann_predictor(path, predictor, meta)
+        payload = json.loads(path.read_text())
+        payload["format"] = MODEL_STORE_FORMAT + 1
+        path.write_text(json.dumps(payload))
+        assert load_ann_predictor(path) is None
+
+    def test_meta_mismatch(self, tmp_path):
+        dataset = make_dataset()
+        predictor = make_fitted(dataset)
+        meta = make_meta(dataset, predictor)
+        path = tmp_path / "model.json"
+        save_ann_predictor(path, predictor, meta)
+        other = ModelMeta(**{**vars(meta), "seed": meta.seed + 1})
+        assert load_ann_predictor(path, expected_meta=other) is None
+        assert load_ann_predictor(path, expected_meta=meta) is not None
+
+    def test_truncated_payload(self, tmp_path):
+        dataset = make_dataset()
+        predictor = make_fitted(dataset)
+        meta = make_meta(dataset, predictor)
+        path = tmp_path / "model.json"
+        save_ann_predictor(path, predictor, meta)
+        payload = json.loads(path.read_text())
+        del payload["scaler"]
+        path.write_text(json.dumps(payload))
+        assert load_ann_predictor(path) is None

@@ -5,8 +5,10 @@ from hypothesis import given, settings, strategies as st
 from hypothesis.extra.numpy import arrays
 
 from repro.ann.activations import make_activation, ACTIVATION_NAMES
+from repro.ann.bagging import BaggedRegressor
 from repro.ann.network import MLP
 from repro.ann.preprocessing import StandardScaler, snap_to_classes
+from repro.ann.training import TrainingConfig
 
 finite_floats = st.floats(
     min_value=-1e3, max_value=1e3, allow_nan=False, allow_infinity=False
@@ -134,3 +136,39 @@ class TestNetworkProperties:
         before = net.forward(x)
         net.set_weights(saved)
         assert (net.forward(x) == before).all()
+
+
+class TestTrainingEngineProperties:
+    """The batched engine is the sequential loop, vectorised."""
+
+    @given(
+        seed=st.integers(0, 200),
+        n_members=st.integers(1, 4),
+        hidden=st.integers(2, 8),
+        patience=st.one_of(st.none(), st.integers(2, 10)),
+        batch_size=st.integers(4, 20),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_engines_produce_identical_members(
+        self, seed, n_members, hidden, patience, batch_size
+    ):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(30, 3))
+        y = x @ np.array([[0.4], [-0.2], [0.1]])
+        x_val = rng.normal(size=(8, 3))
+        y_val = x_val @ np.array([[0.4], [-0.2], [0.1]])
+        config = TrainingConfig(
+            epochs=12, batch_size=batch_size, patience=patience, seed=seed
+        )
+        a = BaggedRegressor(
+            in_features=3, n_members=n_members, hidden=(hidden,), seed=seed
+        )
+        b = BaggedRegressor(
+            in_features=3, n_members=n_members, hidden=(hidden,), seed=seed
+        )
+        ha = a.fit(x, y, x_val=x_val, y_val=y_val, config=config,
+                   engine="sequential")
+        hb = b.fit(x, y, x_val=x_val, y_val=y_val, config=config,
+                   engine="batched")
+        assert [h.epochs_run for h in ha] == [h.epochs_run for h in hb]
+        assert (a.member_predictions(x) == b.member_predictions(x)).all()

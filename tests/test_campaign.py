@@ -1,0 +1,211 @@
+"""Tests for the process-parallel replication campaign runner."""
+
+import math
+
+import pytest
+
+from repro.campaign import (
+    CAMPAIGN_METRICS,
+    MetricAggregate,
+    ReplicationSpec,
+    _aggregate,
+    run_campaign,
+)
+from repro.core.predictor import FixedPredictor
+from repro.core.simulation import SchedulerSimulation
+from repro.core.system import base_system
+from repro.core.policies import make_policy
+from repro.experiment import default_store, run_campaign as exported
+from repro.workloads import eembc_suite, uniform_arrivals
+
+
+@pytest.fixture(scope="module")
+def store():
+    return default_store(cache_path=None)
+
+
+def small_campaign(store, workers):
+    # 2 policies x 6 seeds x 2 loads = 24 replications (the acceptance
+    # grid), kept cheap with 40-job streams.
+    return run_campaign(
+        store,
+        policies=("base", "proposed"),
+        seeds=(0, 1, 2, 3, 4, 5),
+        loads=((40, 56_000), (40, 120_000)),
+        workers=workers,
+    )
+
+
+class TestWorkerIndependence:
+    def test_serial_and_parallel_aggregates_identical(self, store):
+        serial = small_campaign(store, workers=1)
+        parallel = small_campaign(store, workers=4)
+        assert len(serial.replications) == 24
+        assert len(parallel.replications) == 24
+        assert [r.spec for r in serial.replications] == [
+            r.spec for r in parallel.replications
+        ]
+        for a, b in zip(serial.cells, parallel.cells):
+            assert (a.policy, a.count, a.mean_interarrival_cycles) == (
+                b.policy, b.count, b.mean_interarrival_cycles
+            )
+            for name in CAMPAIGN_METRICS:
+                assert a.metrics[name] == b.metrics[name], (a.policy, name)
+
+    def test_repeat_run_deterministic(self, store):
+        first = small_campaign(store, workers=1)
+        second = small_campaign(store, workers=1)
+        for a, b in zip(first.cells, second.cells):
+            assert a.metrics == b.metrics
+
+
+class TestReplicationSemantics:
+    def test_replication_matches_direct_simulation(self, store):
+        """A cell with one seed reproduces a hand-rolled run exactly."""
+        campaign = run_campaign(
+            store,
+            policies=("base",),
+            seeds=(3,),
+            loads=((50, 80_000),),
+        )
+        arrivals = uniform_arrivals(
+            eembc_suite(), count=50, seed=3, mean_interarrival_cycles=80_000
+        )
+        sim = SchedulerSimulation(
+            base_system(), make_policy("base"), store
+        )
+        reference = sim.run(arrivals)
+        cell = campaign.cell("base")
+        assert cell.n == 1
+        assert cell.metric("total_energy_nj").mean == (
+            reference.total_energy_nj
+        )
+        assert cell.metric("makespan_cycles").mean == (
+            reference.makespan_cycles
+        )
+        assert cell.metric("jobs_completed").mean == 50
+
+    def test_grid_order_policy_major(self, store):
+        campaign = run_campaign(
+            store,
+            policies=("base", "proposed"),
+            seeds=(0, 1),
+            loads=((30, 56_000),),
+        )
+        specs = [r.spec for r in campaign.replications]
+        assert specs == [
+            ReplicationSpec("base", 0, 30, 56_000),
+            ReplicationSpec("base", 1, 30, 56_000),
+            ReplicationSpec("proposed", 0, 30, 56_000),
+            ReplicationSpec("proposed", 1, 30, 56_000),
+        ]
+
+    def test_custom_predictor_used(self, store):
+        fixed = run_campaign(
+            store,
+            FixedPredictor(8),
+            policies=("proposed",),
+            seeds=(0,),
+            loads=((40, 56_000),),
+        )
+        oracle = run_campaign(
+            store,
+            policies=("proposed",),
+            seeds=(0,),
+            loads=((40, 56_000),),
+        )
+        # A predictor stuck on 8 KB steers jobs differently from the
+        # oracle default — proof the passed predictor is the one used.
+        assert (
+            fixed.cell("proposed").metric("total_energy_nj").mean
+            != oracle.cell("proposed").metric("total_energy_nj").mean
+        )
+
+
+class TestAggregation:
+    def test_aggregate_math(self):
+        agg = _aggregate([1.0, 2.0, 3.0, 4.0])
+        assert agg.mean == 2.5
+        assert agg.n == 4
+        expected_std = math.sqrt(sum((v - 2.5) ** 2 for v in
+                                     (1.0, 2.0, 3.0, 4.0)) / 3)
+        assert agg.std == pytest.approx(expected_std)
+        assert agg.ci95 == pytest.approx(1.96 * expected_std / 2.0)
+
+    def test_single_replication_has_zero_ci(self):
+        assert _aggregate([5.0]) == MetricAggregate(
+            mean=5.0, std=0.0, ci95=0.0, n=1
+        )
+
+    def test_cells_aggregate_over_seeds(self, store):
+        campaign = run_campaign(
+            store,
+            policies=("base",),
+            seeds=(0, 1, 2),
+            loads=((30, 56_000),),
+        )
+        cell = campaign.cell("base")
+        assert cell.n == 3
+        values = [
+            r.total_energy_nj for r in campaign.replications
+        ]
+        assert cell.metric("total_energy_nj").mean == pytest.approx(
+            sum(values) / 3
+        )
+
+
+class TestCellLookup:
+    def test_ambiguous_selector_rejected(self, store):
+        campaign = run_campaign(
+            store,
+            policies=("base",),
+            seeds=(0,),
+            loads=((30, 56_000), (30, 120_000)),
+        )
+        with pytest.raises(KeyError):
+            campaign.cell("base")
+        assert (
+            campaign.cell("base", mean_interarrival_cycles=120_000).n == 1
+        )
+
+    def test_missing_cell_rejected(self, store):
+        campaign = run_campaign(
+            store, policies=("base",), seeds=(0,), loads=((30, 56_000),)
+        )
+        with pytest.raises(KeyError):
+            campaign.cell("proposed")
+
+    def test_summary_renders(self, store):
+        campaign = run_campaign(
+            store, policies=("base",), seeds=(0,), loads=((30, 56_000),)
+        )
+        text = campaign.summary()
+        assert "base" in text
+        assert "replications=1" in text
+
+
+class TestValidation:
+    def test_empty_policies(self, store):
+        with pytest.raises(ValueError):
+            run_campaign(store, policies=())
+
+    def test_unknown_policy(self, store):
+        with pytest.raises(ValueError):
+            run_campaign(store, policies=("turbo",))
+
+    def test_empty_seeds(self, store):
+        with pytest.raises(ValueError):
+            run_campaign(store, seeds=())
+
+    def test_empty_loads(self, store):
+        with pytest.raises(ValueError):
+            run_campaign(store, loads=())
+
+    def test_bad_load(self, store):
+        with pytest.raises(ValueError):
+            run_campaign(store, loads=((0, 56_000),))
+        with pytest.raises(ValueError):
+            run_campaign(store, loads=((10, 0),))
+
+    def test_reexported_from_experiment(self):
+        assert exported is run_campaign

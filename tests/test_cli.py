@@ -48,6 +48,33 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["sweep", "--engine", "magic"])
 
+    def test_campaign_defaults(self):
+        args = build_parser().parse_args(["campaign"])
+        assert args.policies == ["base", "proposed"]
+        assert args.seeds == [0, 1, 2]
+        assert args.jobs == [1000]
+        assert args.interarrival == [56_000]
+        assert args.predictor == "oracle"
+        assert args.workers is None
+
+    def test_campaign_options(self):
+        args = build_parser().parse_args([
+            "campaign", "--policies", "base", "energy_centric",
+            "--seeds", "3", "4", "--jobs", "200", "400",
+            "--interarrival", "56000", "120000",
+            "--workers", "2", "--json", "out.json",
+        ])
+        assert args.policies == ["base", "energy_centric"]
+        assert args.seeds == [3, 4]
+        assert args.jobs == [200, 400]
+        assert args.interarrival == [56_000, 120_000]
+        assert args.workers == 2
+        assert args.json == "out.json"
+
+    def test_campaign_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "--policies", "turbo"])
+
 
 class TestCommands:
     def test_suite(self, capsys):
@@ -94,6 +121,24 @@ class TestCommands:
         assert "Figure 7" in out
         assert csv_path.exists()
         assert json_path.exists()
+
+    def test_campaign_small(self, capsys, tmp_path):
+        json_path = tmp_path / "replications.json"
+        code = main([
+            "campaign", "--policies", "base", "proposed",
+            "--seeds", "0", "1", "--jobs", "40",
+            "--workers", "1", "--json", str(json_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "proposed" in out
+        assert "replications=4" in out
+        import json as json_module
+
+        payload = json_module.loads(json_path.read_text())
+        assert len(payload) == 4
+        assert payload[0]["spec"]["policy"] == "base"
+        assert payload[0]["jobs_completed"] == 40
 
     def test_compare_summaries_flag(self, capsys):
         code = main([

@@ -4,6 +4,7 @@ import json
 
 import pytest
 
+import repro.characterization.dataset
 import repro.experiment
 from repro.experiment import (
     _keyed_cache_path,
@@ -14,7 +15,7 @@ from repro.experiment import (
     run_four_systems,
 )
 from repro.characterization import CharacterizationStore
-from repro.core.predictor import OraclePredictor
+from repro.core.predictor import AnnPredictor, OraclePredictor
 from repro.workloads import eembc_suite, uniform_arrivals
 from repro.workloads.eembc import EEMBC_NAMES
 
@@ -112,6 +113,68 @@ class TestDefaultDataset:
         # Different expansions land in different cache files.
         assert len(list(tmp_path.glob("dataset.*.json"))) == 2
 
+    def test_pure_cache_hit_writes_nothing(self, tmp_path, monkeypatch):
+        path = tmp_path / "dataset.json"
+        default_dataset(2, cache_path=path, seed=0)
+
+        def boom(*args, **kwargs):
+            raise AssertionError("rewrote the cache on a pure hit")
+
+        monkeypatch.setattr(CharacterizationStore, "to_json", boom)
+        dataset, _ = default_dataset(2, cache_path=path, seed=0)
+        assert len(dataset) == 2 * len(EEMBC_NAMES)
+
+    def test_partial_cache_completed_and_written(self, tmp_path):
+        path = tmp_path / "dataset.json"
+        _, store = default_dataset(2, cache_path=path, seed=0)
+        keyed = list(tmp_path.glob("dataset.*.json"))[0]
+        # Truncate the cache to one family's variants; the next call
+        # must re-characterise the rest and rewrite the file.
+        partial = store.subset(["a2time", "a2time.v1"])
+        partial.meta = store.meta
+        partial.to_json(keyed)
+        before = keyed.read_text()
+        dataset, _ = default_dataset(2, cache_path=path, seed=0)
+        assert len(dataset) == 2 * len(EEMBC_NAMES)
+        assert keyed.read_text() != before
+
+    def test_base_store_reused_without_recharacterisation(
+        self, tmp_path, monkeypatch
+    ):
+        # With one variant per family the expanded suite is exactly the
+        # base suite, so a matching suite store covers every sample.
+        base = default_store(cache_path=None, seed=0)
+
+        def boom(*args, **kwargs):
+            raise AssertionError("re-characterised despite a base store")
+
+        monkeypatch.setattr(
+            repro.characterization.dataset, "characterize_benchmark", boom
+        )
+        dataset, _ = default_dataset(
+            1, cache_path=None, seed=0, base_store=base
+        )
+        assert len(dataset) == len(EEMBC_NAMES)
+
+    def test_mismatched_base_store_ignored(self, tmp_path, monkeypatch):
+        base = default_store(cache_path=None, seed=7)
+        calls = []
+        original = repro.characterization.dataset.characterize_benchmark
+
+        def counting(*args, **kwargs):
+            calls.append(1)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(
+            repro.characterization.dataset,
+            "characterize_benchmark",
+            counting,
+        )
+        # A seed-7 store must not be served for a seed-0 dataset: every
+        # benchmark is characterised fresh.
+        default_dataset(1, cache_path=None, seed=0, base_store=base)
+        assert len(calls) == len(EEMBC_NAMES)
+
 
 class TestDefaultPredictor:
     def test_oracle_requires_store(self):
@@ -126,6 +189,87 @@ class TestDefaultPredictor:
         store = default_store(cache_path=None)
         predictor = default_predictor(store, kind="oracle")
         assert isinstance(predictor, OraclePredictor)
+
+    def test_second_call_trains_zero_epochs(self, tmp_path, monkeypatch):
+        """Acceptance: a repeat call is a pure model-store load."""
+        kwargs = dict(
+            variants_per_family=2,
+            n_members=3,
+            epochs=10,
+            seed=0,
+            model_cache_path=tmp_path / "model.json",
+            dataset_cache_path=tmp_path / "dataset.json",
+        )
+        first = default_predictor(None, **kwargs)
+
+        def boom(*args, **kwargs):
+            raise AssertionError("trained despite a cached model")
+
+        monkeypatch.setattr(AnnPredictor, "fit", boom)
+        second = default_predictor(None, **kwargs)
+        dataset, _ = default_dataset(
+            2, cache_path=tmp_path / "dataset.json", seed=0
+        )
+        assert (
+            first.predict_sizes_kb(dataset.features)
+            == second.predict_sizes_kb(dataset.features)
+        ).all()
+
+    def test_model_cache_keyed_by_training_inputs(self, tmp_path):
+        kwargs = dict(
+            variants_per_family=2,
+            n_members=2,
+            epochs=5,
+            model_cache_path=tmp_path / "model.json",
+            dataset_cache_path=tmp_path / "dataset.json",
+        )
+        default_predictor(None, seed=0, **kwargs)
+        default_predictor(None, seed=1, **kwargs)
+        # Distinct seeds → distinct content-addressed model files.
+        assert len(list(tmp_path.glob("model.*.json"))) == 2
+
+    def test_engines_cache_interchangeably(self, tmp_path, monkeypatch):
+        """Both engines produce the same weights, so either may serve
+        the other's cache entry."""
+        kwargs = dict(
+            variants_per_family=2,
+            n_members=2,
+            epochs=5,
+            seed=0,
+            model_cache_path=tmp_path / "model.json",
+            dataset_cache_path=tmp_path / "dataset.json",
+        )
+        default_predictor(None, engine="sequential", **kwargs)
+
+        def boom(*args, **kwargs):
+            raise AssertionError("trained despite a cached model")
+
+        monkeypatch.setattr(AnnPredictor, "fit", boom)
+        default_predictor(None, engine="batched", **kwargs)
+
+    def test_passed_store_seeds_dataset_build(self, monkeypatch, tmp_path):
+        """Satellite fix: kind='ann' no longer ignores its store."""
+        store = default_store(cache_path=None, seed=0)
+
+        def boom(*args, **kwargs):
+            raise AssertionError("re-characterised despite a base store")
+
+        monkeypatch.setattr(
+            repro.characterization.dataset, "characterize_benchmark", boom
+        )
+        predictor = default_predictor(
+            store,
+            variants_per_family=1,
+            n_members=2,
+            epochs=5,
+            seed=0,
+            model_cache_path=tmp_path / "model.json",
+            dataset_cache_path=None,
+        )
+        assert predictor.predict_sizes_kb(
+            default_dataset(1, cache_path=None, seed=0,
+                            base_store=store)[0].features[:2]
+        ).shape == (2,)
 
 
 class TestRunFourSystems:
