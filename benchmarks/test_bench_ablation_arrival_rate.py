@@ -5,7 +5,10 @@ mean inter-arrival gap to show *where the crossover falls*: with little
 contention the energy-centric system's always-stall rule is harmless
 (every best core is usually idle), while under contention the proposed
 system's energy-advantageous decision pulls decisively ahead.  The
-timed kernel is one proposed-system run at the default intensity.
+sweep collects per-replication metric snapshots (``collect_metrics``),
+and the table reads every number from the aggregated ``observed``
+registry scalars rather than the headline result fields.  The timed
+kernel is one proposed-system run at the default intensity.
 """
 
 from repro.analysis import format_table, percent_change
@@ -24,6 +27,7 @@ def sweep(store, workers=1):
         seeds=(SEED,),
         loads=tuple((N_JOBS, gap) for gap in GAPS),
         workers=workers,
+        collect_metrics=True,
     )
 
 
@@ -49,20 +53,21 @@ def test_bench_ablation_arrival_rate(benchmark, store):
             "energy_centric", mean_interarrival_cycles=gap
         )
         proposed_ratio = (
-            proposed.metric("total_energy_nj").mean
-            / base.metric("total_energy_nj").mean
+            proposed.observed["sim.energy.total_nj"].mean
+            / base.observed["sim.energy.total_nj"].mean
         )
         ec_ratio = (
-            energy_centric.metric("total_energy_nj").mean
-            / base.metric("total_energy_nj").mean
+            energy_centric.observed["sim.energy.total_nj"].mean
+            / base.observed["sim.energy.total_nj"].mean
         )
         ratios[gap] = (proposed_ratio, ec_ratio)
+        ec_wait = energy_centric.observed["sim.waiting_cycles.mean"].mean
         rows.append((
             gap,
             f"{percent_change(proposed_ratio):+.1f}%",
             f"{percent_change(ec_ratio):+.1f}%",
-            int(proposed.metric("non_best_decisions").mean),
-            f"{energy_centric.metric('mean_waiting_cycles').mean / 1e3:.0f}k",
+            int(proposed.observed["sim.non_best_decisions"].mean),
+            f"{ec_wait / 1e3:.0f}k",
         ))
     print()
     print(format_table(

@@ -14,15 +14,24 @@ Measured two ways:
   alternative of pre-loaded design-time profiling information (no
   run-time profiling or tuning at all).
 
-The timed kernel is one proposed-system simulation.
+All numbers are read from the run's ``MetricsRegistry`` (the
+``sim.energy.*`` gauges and ``sim.profiling_executions`` counter), not
+from the ``SimulationResult`` — exercising the observability path the
+campaign pipeline uses.  The timed kernel is one proposed-system
+simulation.
 """
 
+import pytest
+
 from repro.core import OraclePredictor, SchedulerSimulation, make_policy, paper_system
+from repro.obs import MetricsRegistry
 from repro.workloads import eembc_suite, uniform_arrivals
 
 
 def run_proposed(store, overhead_fraction, preload=False):
+    """One proposed-system run; returns the metrics-registry scalars."""
     arrivals = uniform_arrivals(eembc_suite(), count=1500, seed=3)
+    registry = MetricsRegistry()
     sim = SchedulerSimulation(
         paper_system(),
         make_policy("proposed"),
@@ -30,8 +39,16 @@ def run_proposed(store, overhead_fraction, preload=False):
         predictor=OraclePredictor(store),
         profiling_overhead_fraction=overhead_fraction,
         preload_profiles=preload,
+        metrics=registry,
     )
-    return sim.run(arrivals)
+    result = sim.run(arrivals)
+    scalars = registry.scalars()
+    # The registry is the simulation's own ledger, to the bit.
+    assert scalars["sim.energy.total_nj"] == pytest.approx(
+        result.total_energy_nj, rel=1e-12
+    )
+    assert scalars["sim.profiling_executions"] == result.profiling_executions
+    return scalars
 
 
 def test_bench_profiling_overhead(benchmark, store):
@@ -40,21 +57,24 @@ def test_bench_profiling_overhead(benchmark, store):
     )
     without_overhead = run_proposed(store, 0.0)
 
-    counter_overhead = with_overhead.profiling_overhead_nj
-    counter_fraction = counter_overhead / with_overhead.total_energy_nj
+    profiling_runs = int(with_overhead["sim.profiling_executions"])
+    counter_overhead = with_overhead["sim.energy.profiling_overhead_nj"]
+    counter_fraction = counter_overhead / with_overhead["sim.energy.total_nj"]
 
     run_delta = (
-        with_overhead.total_energy_nj - without_overhead.total_energy_nj
+        with_overhead["sim.energy.total_nj"]
+        - without_overhead["sim.energy.total_nj"]
     )
-    run_fraction = run_delta / with_overhead.total_energy_nj
+    run_fraction = run_delta / with_overhead["sim.energy.total_nj"]
 
     preloaded = run_proposed(store, 0.003, preload=True)
     preload_delta = (
-        with_overhead.total_energy_nj - preloaded.total_energy_nj
-    ) / with_overhead.total_energy_nj
+        with_overhead["sim.energy.total_nj"]
+        - preloaded["sim.energy.total_nj"]
+    ) / with_overhead["sim.energy.total_nj"]
 
     print()
-    print(f"profiling runs: {with_overhead.profiling_executions} "
+    print(f"profiling runs: {profiling_runs} "
           f"(~one per distinct benchmark; a second job of the same "
           f"benchmark arriving before its first profile completes is "
           f"also profiled)")
@@ -70,7 +90,7 @@ def test_bench_profiling_overhead(benchmark, store):
     # arrivals of a not-yet-profiled benchmark may each profile once.
     assert (
         len(eembc_suite())
-        <= with_overhead.profiling_executions
+        <= profiling_runs
         <= len(eembc_suite()) + 4
     )
     # The paper's claim holds with ample margin.

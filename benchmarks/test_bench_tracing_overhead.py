@@ -1,0 +1,91 @@
+"""O1 — observability overhead: tracing must never perturb or slow.
+
+Two contracts of the `repro.obs` layer (docs/observability.md):
+
+* **non-perturbation** — a fully traced run (JSONL recorder + metrics
+  registry) produces a ``SimulationResult`` bit-identical to an
+  untraced one, and two traced runs serialise to byte-identical JSONL;
+* **near-zero default cost** — with the default ``NullRecorder`` every
+  emission site short-circuits on ``recorder.enabled``, so the fig6
+  kernel's wall time must stay within noise of the pre-observability
+  code path.
+
+The timed kernel is the fig6-style proposed-system run at 1000 jobs
+with the default ``NullRecorder`` — the same kernel as
+test_bench_fig6_energy_vs_base, so its history doubles as the
+regression record for the observability hooks.
+"""
+
+import time
+
+from repro.core import (
+    OraclePredictor,
+    SchedulerSimulation,
+    make_policy,
+    paper_system,
+)
+from repro.obs import ListRecorder, MetricsRegistry, encode_event
+from repro.workloads import eembc_suite, uniform_arrivals
+
+
+def make_run(store, recorder=None, metrics=None):
+    arrivals = uniform_arrivals(eembc_suite(), count=1000, seed=2)
+    sim = SchedulerSimulation(
+        paper_system(),
+        make_policy("proposed"),
+        store,
+        predictor=OraclePredictor(store),
+        recorder=recorder,
+        metrics=metrics,
+    )
+    return sim.run(arrivals)
+
+
+def best_of(fn, rounds=3):
+    """Minimum wall time over a few rounds (robust against GC noise)."""
+    times = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+def test_bench_tracing_overhead(benchmark, store):
+    # Timed kernel: the default (NullRecorder) path.
+    untraced = benchmark.pedantic(
+        lambda: make_run(store), rounds=3, iterations=1
+    )
+    assert untraced.jobs_completed == 1000
+
+    # Non-perturbation: full tracing changes nothing observable.
+    recorder = ListRecorder()
+    registry = MetricsRegistry()
+    traced = make_run(store, recorder=recorder, metrics=registry)
+    assert traced == untraced, "tracing perturbed the simulation"
+    assert registry.scalars()["sim.jobs_completed"] == 1000.0
+
+    # Determinism: a second traced run serialises byte-identically.
+    second = ListRecorder()
+    make_run(store, recorder=second)
+    lines = [encode_event(e) for e in recorder.events]
+    assert lines == [encode_event(e) for e in second.events]
+
+    # Relative cost of full tracing vs the NullRecorder default.
+    null_seconds = best_of(lambda: make_run(store))
+    traced_seconds = best_of(
+        lambda: make_run(store, recorder=ListRecorder(),
+                         metrics=MetricsRegistry())
+    )
+    overhead = traced_seconds / null_seconds - 1.0
+
+    print()
+    print(f"events per run: {len(lines)}")
+    print(f"null-recorder run:  {null_seconds * 1e3:.1f} ms")
+    print(f"fully traced run:   {traced_seconds * 1e3:.1f} ms "
+          f"({overhead * 100:+.1f}%)")
+
+    # Full tracing may cost real time (it materialises ~7 events per
+    # job), but it must stay within the same order of magnitude; the
+    # *default* path's budget is enforced by the fig6 benchmark history.
+    assert overhead < 2.0

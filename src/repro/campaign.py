@@ -22,11 +22,12 @@ per-task payloads stay tiny.
 
 from __future__ import annotations
 
+import logging
 import math
 import multiprocessing
 import os
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence, Tuple
 
 from repro.characterization.store import CharacterizationStore
@@ -35,8 +36,11 @@ from repro.core.predictor import BestCorePredictor, OraclePredictor
 from repro.core.simulation import SchedulerSimulation
 from repro.core.system import base_system, paper_system
 from repro.energy.tables import EnergyTable
+from repro.obs.metrics import MetricsRegistry
 from repro.workloads.arrivals import uniform_arrivals
 from repro.workloads.eembc import eembc_suite
+
+logger = logging.getLogger(__name__)
 
 __all__ = [
     "CampaignCell",
@@ -86,6 +90,10 @@ class ReplicationResult:
     #: Wall time of this replication (instrumentation only; never part
     #: of the aggregates, so it cannot break worker-count independence).
     seconds: float
+    #: Flat per-replication metric snapshot
+    #: (:meth:`~repro.obs.metrics.MetricsRegistry.scalars`); empty unless
+    #: the campaign ran with ``collect_metrics=True``.
+    observed: Dict[str, float] = field(default_factory=dict)
 
     def metric(self, name: str) -> float:
         """Metric value by aggregate name."""
@@ -113,6 +121,11 @@ class CampaignCell:
     mean_interarrival_cycles: int
     metrics: Dict[str, MetricAggregate]
     n: int
+    #: Aggregates of the per-replication registry scalars (empty unless
+    #: the campaign ran with ``collect_metrics=True``).  Keys follow the
+    #: flat ``sim.*`` naming of
+    #: :meth:`~repro.obs.metrics.MetricsRegistry.scalars`.
+    observed: Dict[str, MetricAggregate] = field(default_factory=dict)
 
     def metric(self, name: str) -> MetricAggregate:
         """Aggregate by metric name."""
@@ -214,11 +227,13 @@ def _init_worker(
     predictor: BestCorePredictor,
     energy_table: EnergyTable,
     discipline: str,
+    collect_metrics: bool = False,
 ) -> None:
     _WORKER_STATE["store"] = store
     _WORKER_STATE["predictor"] = predictor
     _WORKER_STATE["energy_table"] = energy_table
     _WORKER_STATE["discipline"] = discipline
+    _WORKER_STATE["collect_metrics"] = collect_metrics
 
 
 def _run_replication(spec: ReplicationSpec) -> ReplicationResult:
@@ -232,6 +247,9 @@ def _run_replication(spec: ReplicationSpec) -> ReplicationResult:
         seed=spec.seed,
         mean_interarrival_cycles=spec.mean_interarrival_cycles,
     )
+    registry = (
+        MetricsRegistry() if _WORKER_STATE.get("collect_metrics") else None
+    )
     simulation = SchedulerSimulation(
         system,
         policy,
@@ -241,6 +259,7 @@ def _run_replication(spec: ReplicationSpec) -> ReplicationResult:
         ),
         energy_table=_WORKER_STATE["energy_table"],
         discipline=_WORKER_STATE["discipline"],
+        metrics=registry,
     )
     result = simulation.run(arrivals)
     return ReplicationResult(
@@ -253,6 +272,7 @@ def _run_replication(spec: ReplicationSpec) -> ReplicationResult:
         mean_waiting_cycles=result.mean_waiting_cycles,
         non_best_decisions=result.non_best_decisions,
         seconds=time.perf_counter() - start,
+        observed=registry.scalars() if registry is not None else {},
     )
 
 
@@ -273,6 +293,7 @@ def run_campaign(
     discipline: str = "fifo",
     energy_table: Optional[EnergyTable] = None,
     workers: Optional[int] = 1,
+    collect_metrics: bool = False,
 ) -> CampaignResult:
     """Run a (policy × load × seed) replication grid, optionally parallel.
 
@@ -302,6 +323,12 @@ def run_campaign(
         Worker processes; ``None`` means one per CPU.  Clamped to the
         replication count; ``<= 1`` runs serially in-process.  Results
         are identical for every worker count.
+    collect_metrics:
+        Attach a fresh :class:`~repro.obs.metrics.MetricsRegistry` to
+        every replication; each worker ships the flat scalar snapshot
+        back with its result, and cells expose per-key aggregates via
+        :attr:`CampaignCell.observed`.  Off by default (small but
+        nonzero simulation overhead).
     """
     if not policies:
         raise ValueError("need at least one policy")
@@ -341,19 +368,28 @@ def run_campaign(
         workers = os.cpu_count() or 1
     workers = max(1, min(workers, len(specs)))
 
+    logger.info(
+        "campaign: %d replications (%d policies x %d loads x %d seeds), "
+        "%d worker(s), metrics %s",
+        len(specs), len(policies), len(loads), len(seeds), workers,
+        "on" if collect_metrics else "off",
+    )
     start = time.perf_counter()
     if workers == 1 or len(specs) <= 1:
-        _init_worker(store, predictor, energy_table, discipline)
+        _init_worker(store, predictor, energy_table, discipline,
+                     collect_metrics)
         replications = [_run_replication(spec) for spec in specs]
     else:
         ctx = _pool_context()
         with ctx.Pool(
             processes=workers,
             initializer=_init_worker,
-            initargs=(store, predictor, energy_table, discipline),
+            initargs=(store, predictor, energy_table, discipline,
+                      collect_metrics),
         ) as pool:
             replications = pool.map(_run_replication, specs)
     wall_seconds = time.perf_counter() - start
+    logger.info("campaign: finished in %.2fs", wall_seconds)
 
     cells = []
     for policy in policies:
@@ -369,6 +405,20 @@ def run_campaign(
                 name: _aggregate([m.metric(name) for m in members])
                 for name in CAMPAIGN_METRICS
             }
+            # Registry scalars aggregate over the union of keys (missing
+            # keys default to 0.0, matching a never-incremented counter),
+            # so cells stay well-formed even across heterogeneous runs.
+            observed: Dict[str, MetricAggregate] = {}
+            if collect_metrics and members:
+                keys = sorted(
+                    {key for m in members for key in m.observed}
+                )
+                observed = {
+                    key: _aggregate(
+                        [m.observed.get(key, 0.0) for m in members]
+                    )
+                    for key in keys
+                }
             cells.append(
                 CampaignCell(
                     policy=policy,
@@ -376,6 +426,7 @@ def run_campaign(
                     mean_interarrival_cycles=gap,
                     metrics=metrics,
                     n=len(members),
+                    observed=observed,
                 )
             )
 

@@ -7,12 +7,19 @@ the performance documentation and the speed benchmark report:
 *traces per second* (benchmarks characterised / wall time),
 *accesses per second* (trace elements measured / wall time) and
 *replays per second* (benchmark × configuration pairs / wall time).
+
+:meth:`SweepTiming.record_into` folds a finished sweep into a
+:class:`~repro.obs.metrics.MetricsRegistry`, so sweep throughput lives
+in the same snapshot as simulation and campaign metrics.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import TYPE_CHECKING, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import for typing only
+    from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["TaskTiming", "SweepTiming"]
 
@@ -85,4 +92,30 @@ class SweepTiming:
             f"{self.traces_per_second:.1f} traces/s, "
             f"{self.accesses_per_second:,.0f} accesses/s, "
             f"{self.replays_per_second:.1f} config-replays/s"
+        )
+
+    def record_into(self, registry: "MetricsRegistry") -> None:
+        """Report this sweep into a metrics registry.
+
+        Counters accumulate across sweeps (``sweep.benchmarks``,
+        ``sweep.accesses``, ``sweep.config_replays``); per-task wall
+        times feed the ``sweep.task_seconds`` histogram; the gauges
+        carry the latest sweep's wall time, worker count and derived
+        throughputs.
+        """
+        registry.counter("sweep.benchmarks").inc(len(self.tasks))
+        registry.counter("sweep.accesses").inc(self.total_accesses)
+        registry.counter("sweep.config_replays").inc(
+            sum(t.configs for t in self.tasks)
+        )
+        for task in self.tasks:
+            registry.histogram("sweep.task_seconds").observe(task.seconds)
+        registry.gauge("sweep.wall_seconds").set(self.wall_seconds)
+        registry.gauge("sweep.workers").set(self.workers)
+        registry.gauge("sweep.traces_per_second").set(self.traces_per_second)
+        registry.gauge("sweep.accesses_per_second").set(
+            self.accesses_per_second
+        )
+        registry.gauge("sweep.replays_per_second").set(
+            self.replays_per_second
         )

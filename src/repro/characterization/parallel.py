@@ -16,6 +16,7 @@ method is used — everything in the payload is picklable either way.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import os
 import time
@@ -28,6 +29,8 @@ from repro.workloads.benchmark import BenchmarkSpec
 
 from .explorer import BenchmarkCharacterization, characterize_benchmark
 from .instrumentation import SweepTiming, TaskTiming
+
+logger = logging.getLogger(__name__)
 
 __all__ = ["SuiteSweepResult", "characterize_suite_parallel"]
 
@@ -107,6 +110,11 @@ def characterize_suite_parallel(
         (spec, tuple(configs), energy_model, seed, engine) for spec in specs
     ]
 
+    logger.info(
+        "sweep: characterising %d benchmarks over %d worker(s) "
+        "(engine=%s, seed=%d)",
+        len(specs), workers, engine, seed,
+    )
     start = time.perf_counter()
     if workers == 1 or len(specs) <= 1:
         outcomes = [_run_task(payload) for payload in payloads]
@@ -124,4 +132,5 @@ def characterize_suite_parallel(
     timing = SweepTiming(
         tasks=tuple(tasks), wall_seconds=wall_seconds, workers=workers
     )
+    logger.info("sweep: %s", timing.summary())
     return SuiteSweepResult(characterizations=characterizations, timing=timing)

@@ -13,13 +13,23 @@ any code:
   parallel, optionally persisting the store);
 * ``campaign`` — replication campaign over a (policy × seed × load)
   grid, optionally process-parallel, with mean ± 95 % CI aggregates;
+* ``trace`` — analyse a JSONL simulation trace (summary, decision
+  breakdown, per-core timeline);
 * ``reproduce`` — regenerate the full evaluation into ``results/``.
+
+``-v``/``-vv`` (or ``--log-level``) enable the library's diagnostic
+logging — cache rebuilds, model-store misses, campaign fan-out — on
+stderr.  ``--trace`` and ``--metrics-out`` attach the observability
+layer (:mod:`repro.obs`) to ``compare``/``campaign``/``sweep`` runs.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import logging
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.analysis import (
@@ -42,6 +52,15 @@ def build_parser() -> argparse.ArgumentParser:
             "Multicores' (DATE 2019)"
         ),
     )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="enable diagnostic logging (-v: INFO, -vv: DEBUG)",
+    )
+    parser.add_argument(
+        "--log-level", metavar="LEVEL", default=None,
+        choices=("DEBUG", "INFO", "WARNING", "ERROR", "CRITICAL"),
+        help="explicit log level (overrides -v)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     compare = sub.add_parser(
@@ -62,6 +81,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write full results JSON")
     compare.add_argument("--summaries", action="store_true",
                          help="print per-system summaries too")
+    compare.add_argument("--trace", metavar="PATH",
+                         help="write per-policy JSONL event traces "
+                              "(policy name is inserted before the "
+                              "suffix: out.jsonl -> out.base.jsonl ...)")
+    compare.add_argument("--metrics-out", metavar="PATH",
+                         help="write per-policy metrics-registry "
+                              "snapshots as JSON")
 
     characterize = sub.add_parser(
         "characterize", help="design-space table for one benchmark"
@@ -102,6 +128,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "replay baseline)")
     sweep.add_argument("--out", metavar="PATH",
                        help="write the characterisation store JSON here")
+    sweep.add_argument("--metrics-out", metavar="PATH",
+                       help="write the sweep's metrics-registry snapshot "
+                            "as JSON")
 
     campaign = sub.add_parser(
         "campaign",
@@ -128,6 +157,20 @@ def build_parser() -> argparse.ArgumentParser:
                           help="worker processes (default: one per CPU)")
     campaign.add_argument("--json", metavar="PATH",
                           help="write per-replication results JSON")
+    campaign.add_argument("--metrics-out", metavar="PATH",
+                          help="collect per-replication metrics across "
+                               "the worker pool and write per-cell "
+                               "aggregates as JSON")
+
+    trace = sub.add_parser(
+        "trace",
+        help="analyse a JSONL simulation trace",
+    )
+    trace.add_argument("path", help="JSONL trace file (see --trace)")
+    trace.add_argument("--validate", action="store_true",
+                       help="schema-check every line before analysing")
+    trace.add_argument("--json", metavar="PATH",
+                       help="write summary + decision breakdown JSON")
 
     reproduce = sub.add_parser(
         "reproduce",
@@ -140,11 +183,18 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _per_policy_path(template: str, policy: str) -> Path:
+    """``out.jsonl`` + ``base`` → ``out.base.jsonl`` (suffix preserved)."""
+    path = Path(template)
+    return path.with_name(f"{path.stem}.{policy}{path.suffix}")
+
+
 def _cmd_compare(args) -> int:
     from repro.core.simulation import SchedulerSimulation
     from repro.core.policies import POLICY_NAMES, make_policy
     from repro.core.system import base_system, paper_system
     from repro.experiment import default_predictor, default_store
+    from repro.obs import JsonlRecorder, MetricsRegistry
     from repro.workloads import eembc_suite, uniform_arrivals
 
     store = default_store()
@@ -156,15 +206,28 @@ def _cmd_compare(args) -> int:
         mean_interarrival_cycles=args.interarrival,
     )
     results = {}
+    snapshots = {}
     for name in POLICY_NAMES:
         policy = make_policy(name)
         system = base_system() if name == "base" else paper_system()
+        recorder = None
+        registry = MetricsRegistry() if args.metrics_out else None
+        if args.trace:
+            recorder = JsonlRecorder(_per_policy_path(args.trace, name))
         sim = SchedulerSimulation(
             system, policy, store,
             predictor=predictor if policy.uses_predictor else None,
             discipline=args.discipline,
+            recorder=recorder,
+            metrics=registry,
         )
-        results[name] = sim.run(arrivals)
+        try:
+            results[name] = sim.run(arrivals)
+        finally:
+            if recorder is not None:
+                recorder.close()
+        if registry is not None:
+            snapshots[name] = registry.snapshot()
 
     print(render_figure6(results))
     print()
@@ -179,6 +242,15 @@ def _cmd_compare(args) -> int:
     if args.json:
         results_to_json(results, args.json)
         print(f"wrote results JSON to {args.json}")
+    if args.trace:
+        names = ", ".join(
+            str(_per_policy_path(args.trace, name)) for name in results
+        )
+        print(f"wrote event traces: {names}")
+    if args.metrics_out:
+        with open(args.metrics_out, "w") as handle:
+            json.dump(snapshots, handle, indent=2, sort_keys=True)
+        print(f"wrote metrics snapshots to {args.metrics_out}")
     return 0
 
 
@@ -328,6 +400,14 @@ def _cmd_sweep(args) -> int:
         )
         store.to_json(args.out)
         print(f"wrote characterisation store to {args.out}")
+    if args.metrics_out:
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        result.timing.record_into(registry)
+        with open(args.metrics_out, "w") as handle:
+            json.dump(registry.snapshot(), handle, indent=2, sort_keys=True)
+        print(f"wrote sweep metrics to {args.metrics_out}")
     return 0
 
 
@@ -353,11 +433,11 @@ def _cmd_campaign(args) -> int:
         loads=loads,
         discipline=args.discipline,
         workers=args.workers,
+        collect_metrics=bool(args.metrics_out),
     )
     print(result.summary())
     if args.json:
         import dataclasses
-        import json
 
         payload = [
             dataclasses.asdict(replication)
@@ -366,6 +446,68 @@ def _cmd_campaign(args) -> int:
         with open(args.json, "w") as handle:
             json.dump(payload, handle, indent=2)
         print(f"\nwrote replication results JSON to {args.json}")
+    if args.metrics_out:
+        import dataclasses
+
+        payload = [
+            {
+                "policy": cell.policy,
+                "count": cell.count,
+                "mean_interarrival_cycles": cell.mean_interarrival_cycles,
+                "n": cell.n,
+                "observed": {
+                    key: dataclasses.asdict(aggregate)
+                    for key, aggregate in cell.observed.items()
+                },
+            }
+            for cell in result.cells
+        ]
+        with open(args.metrics_out, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"wrote per-cell metric aggregates to {args.metrics_out}")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.obs import event_from_dict, validate_event_dict
+    from repro.obs.report import (
+        decision_breakdown,
+        render_trace_report,
+        trace_summary,
+    )
+
+    path = Path(args.path)
+    if not path.exists():
+        print(f"error: no such trace file: {path}", file=sys.stderr)
+        return 2
+    events = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+                if args.validate:
+                    validate_event_dict(payload)
+                events.append(event_from_dict(payload))
+            except ValueError as error:
+                print(
+                    f"error: {path}:{line_number}: {error}", file=sys.stderr
+                )
+                return 2
+    if not events:
+        print(f"error: {path} contains no events", file=sys.stderr)
+        return 2
+    print(render_trace_report(events))
+    if args.json:
+        payload = {
+            "summary": trace_summary(events),
+            "decision_breakdown": decision_breakdown(events),
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"\nwrote trace analysis JSON to {args.json}")
     return 0
 
 
@@ -398,13 +540,37 @@ _COMMANDS = {
     "locality": _cmd_locality,
     "sweep": _cmd_sweep,
     "campaign": _cmd_campaign,
+    "trace": _cmd_trace,
     "reproduce": _cmd_reproduce,
 }
+
+
+def _configure_logging(args) -> None:
+    """Install a stderr handler for the library's loggers.
+
+    ``--log-level`` wins; otherwise ``-v`` maps to INFO and ``-vv`` (or
+    more) to DEBUG.  Without either, logging stays at the library
+    default (WARNING), so existing output is unchanged.
+    """
+    if args.log_level is not None:
+        level = getattr(logging, args.log_level)
+    elif args.verbose >= 2:
+        level = logging.DEBUG
+    elif args.verbose == 1:
+        level = logging.INFO
+    else:
+        return
+    logging.basicConfig(
+        level=level,
+        stream=sys.stderr,
+        format="%(levelname)s %(name)s: %(message)s",
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    _configure_logging(args)
     return _COMMANDS[args.command](args)
 
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Optional, Union
@@ -38,6 +39,8 @@ __all__ = [
     "save_ann_predictor",
     "load_ann_predictor",
 ]
+
+logger = logging.getLogger(__name__)
 
 #: Version of the on-disk JSON layout.
 MODEL_STORE_FORMAT = 1
@@ -181,14 +184,21 @@ def load_ann_predictor(
     """
     path = Path(path)
     if not path.is_file():
+        logger.info("model-store miss: %s does not exist", path)
         return None
     try:
         payload = json.loads(path.read_text())
-    except (OSError, json.JSONDecodeError):
+    except (OSError, json.JSONDecodeError) as error:
+        logger.warning("model-store miss: %s unreadable (%s)", path, error)
         return None
     if not isinstance(payload, dict):
+        logger.warning("model-store miss: %s is not a JSON object", path)
         return None
     if payload.get("format") != MODEL_STORE_FORMAT:
+        logger.info(
+            "model-store miss: %s has format %r, wanted %r",
+            path, payload.get("format"), MODEL_STORE_FORMAT,
+        )
         return None
     try:
         meta = ModelMeta(**payload["meta"])
@@ -227,10 +237,17 @@ def load_ann_predictor(
                     for layer in layers
                 ]
             )
-    except (KeyError, TypeError, ValueError):
+    except (KeyError, TypeError, ValueError) as error:
+        logger.warning("model-store miss: %s malformed (%s)", path, error)
         return None
     if expected_meta is not None and meta != expected_meta:
+        logger.info(
+            "model-store miss: %s was trained from different inputs "
+            "(cached %s, wanted %s)",
+            path, meta, expected_meta,
+        )
         return None
     predictor.ensemble._trained = True
     predictor._fitted = True
+    logger.debug("model-store hit: %s", path)
     return predictor

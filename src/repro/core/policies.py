@@ -188,7 +188,7 @@ class ProposedPolicy(SchedulingPolicy):
         # core's energy; without it the job stalls conservatively.
         best_session = sim.heuristic.session(job.benchmark, size_kb)
         if not best_session.done:
-            sim.count_stall_decision()
+            sim.count_stall_decision(job)
             return None
         best_record = sim.table.execution(
             job.benchmark, best_session.best_config
@@ -223,9 +223,9 @@ class ProposedPolicy(SchedulingPolicy):
             ),
         )
         if decision.stall:
-            sim.count_stall_decision()
+            sim.count_stall_decision(job)
             return None
-        sim.count_non_best_decision()
+        sim.count_non_best_decision(job)
         return Assignment(core_index=candidate.index, config=candidate_config)
 
 

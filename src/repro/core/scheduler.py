@@ -119,8 +119,15 @@ class CoreState:
         return self.tuner.current
 
     def is_idle(self, now: int) -> bool:
-        """Whether the core can accept a job at time ``now``."""
-        return self.current_job is None
+        """Whether the core can accept a job at time ``now``.
+
+        Both conditions matter: ``current_job`` clears when the occupant
+        finishes or is preempted, and ``busy_until`` guards against a
+        core being handed a job before its release time has been
+        reached (they coincide today only because dispatch runs at
+        event boundaries).
+        """
+        return self.current_job is None and now >= self.busy_until
 
     def begin(self, job: Job, now: int, service_cycles: int) -> None:
         """Occupy the core with a job for ``service_cycles``."""

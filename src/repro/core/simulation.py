@@ -32,12 +32,56 @@ from repro.core.scheduler import Assignment, CoreState, Job
 from repro.core.system import SystemConfig
 from repro.core.tuning import TuningHeuristic
 from repro.energy.tables import EnergyTable
+from repro.obs.events import (
+    ConfigInstalled,
+    EnergyAccrued,
+    JobArrived,
+    JobCompleted,
+    JobPreempted,
+    NonBestDispatch,
+    ProfilingCompleted,
+    ProfilingStarted,
+    SizePredicted,
+    StallDecision,
+    TuningStep,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import NULL_RECORDER, TraceRecorder
 from repro.sim.engine import EventEngine
 from repro.sim.events import Event, EventKind
 from repro.sim.queueing import ReadyQueue
 from repro.workloads.arrivals import JobArrival
 
 __all__ = ["SchedulerSimulation"]
+
+#: Counters pre-registered when a metrics registry is attached, so every
+#: traced run reports a uniform key set (campaign cells aggregate these
+#: across replications without key drift).
+_METRIC_COUNTERS = (
+    "sim.jobs_arrived",
+    "sim.jobs_completed",
+    "sim.executions",
+    "sim.profiling_executions",
+    "sim.tuning_executions",
+    "sim.stall_decisions",
+    "sim.non_best_decisions",
+    "sim.preemptions",
+    "sim.reconfigurations",
+    "sim.predictor_hits",
+    "sim.predictor_misses",
+    "sim.dispatch.best",
+    "sim.dispatch.non_best",
+    "sim.dispatch.tuning",
+    "sim.dispatch.profiling",
+)
+
+_METRIC_HISTOGRAMS = (
+    "sim.queue_depth",
+    "sim.waiting_cycles",
+    "sim.turnaround_cycles",
+    "sim.service_cycles",
+    "sim.tuner.exploration_steps",
+)
 
 
 class _PendingExecution:
@@ -51,6 +95,7 @@ class _PendingExecution:
         "dynamic_charged_nj",
         "static_charged_nj",
         "overhead_charged_nj",
+        "category",
     )
 
     def __init__(
@@ -62,6 +107,7 @@ class _PendingExecution:
         dynamic_charged_nj=0.0,
         static_charged_nj=0.0,
         overhead_charged_nj=0.0,
+        category="best",
     ) -> None:
         self.job = job
         self.assignment = assignment
@@ -70,6 +116,7 @@ class _PendingExecution:
         self.dynamic_charged_nj = dynamic_charged_nj
         self.static_charged_nj = static_charged_nj
         self.overhead_charged_nj = overhead_charged_nj
+        self.category = category
 
 
 class SchedulerSimulation:
@@ -122,6 +169,18 @@ class SchedulerSimulation:
         in the profiling table, and the tuning heuristic is run to
         completion against design-time measurements, so no run-time
         profiling or tuning executions happen.
+    recorder:
+        Trace recorder receiving one typed event per run-time decision
+        (see :mod:`repro.obs.events`).  Defaults to the no-op
+        :data:`~repro.obs.recorder.NULL_RECORDER`; recorders only read
+        simulation state, so a traced run is bit-identical to an
+        untraced one.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`; when
+        present the simulation reports counters (decisions, executions,
+        predictor hit/miss), streaming histograms (queue depth, waiting
+        and service cycles, tuner convergence) and end-of-run gauges
+        (energy decomposition, makespan, per-core utilisation) into it.
     """
 
     #: Queue disciplines supported by the dispatcher.
@@ -141,6 +200,8 @@ class SchedulerSimulation:
         preemptive: bool = False,
         preemption_quantum_cycles: int = 10_000,
         preload_profiles: bool = False,
+        recorder: Optional[TraceRecorder] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if policy.uses_predictor and predictor is None:
             raise ValueError(
@@ -193,6 +254,19 @@ class SchedulerSimulation:
         self._non_best_decisions = 0
         self._tuning_executions = 0
         self._profiling_executions = 0
+
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
+        self.metrics = metrics
+        #: Job id the policy just flagged as a non-best dispatch; consumed
+        #: by :meth:`_start` to categorise the execution it opens.
+        self._non_best_next: Optional[int] = None
+        if metrics is not None:
+            # Pre-register the uniform key set (counters start at zero,
+            # histograms empty) so snapshots of different runs align.
+            for name in _METRIC_COUNTERS:
+                metrics.counter(name)
+            for name in _METRIC_HISTOGRAMS:
+                metrics.histogram(name)
 
         if preload_profiles:
             self._preload_profiles()
@@ -249,13 +323,27 @@ class SchedulerSimulation:
         """Static leakage per cycle of a core (cache-size dependent)."""
         return self.energy_table.get(core.current_config).static_per_cycle_nj
 
-    def count_stall_decision(self) -> None:
+    def count_stall_decision(self, job: Optional[Job] = None) -> None:
         """Policy hook: an explicit stall decision was taken."""
         self._stall_decisions += 1
+        if self.metrics is not None:
+            self.metrics.counter("sim.stall_decisions").inc()
+        if self.recorder.enabled and job is not None:
+            self.recorder.emit(
+                StallDecision(
+                    cycle=self.now,
+                    job_id=job.job_id,
+                    benchmark=job.benchmark,
+                )
+            )
 
-    def count_non_best_decision(self) -> None:
+    def count_non_best_decision(self, job: Optional[Job] = None) -> None:
         """Policy hook: an explicit run-on-non-best decision was taken."""
         self._non_best_decisions += 1
+        if self.metrics is not None:
+            self.metrics.counter("sim.non_best_decisions").inc()
+        if job is not None:
+            self._non_best_next = job.job_id
 
     # -- main loop -----------------------------------------------------------
 
@@ -288,12 +376,25 @@ class SchedulerSimulation:
 
     def _handle(self, event: Event) -> None:
         if event.kind is EventKind.ARRIVAL:
-            self.queue.push(event.payload)
+            job = event.payload
+            self.queue.push(job)
+            if self.metrics is not None:
+                self.metrics.counter("sim.jobs_arrived").inc()
+            if self.recorder.enabled:
+                self.recorder.emit(
+                    JobArrived(
+                        cycle=self.now,
+                        job_id=job.job_id,
+                        benchmark=job.benchmark,
+                    )
+                )
         elif event.kind is EventKind.COMPLETION:
             self._complete(event.payload)
         else:  # pragma: no cover - no generic events are scheduled
             raise ValueError(f"unexpected event kind {event.kind}")
         self._dispatch()
+        if self.metrics is not None:
+            self.metrics.histogram("sim.queue_depth").observe(len(self.queue))
 
     # -- dispatch ------------------------------------------------------------
 
@@ -389,6 +490,22 @@ class SchedulerSimulation:
         )
         victim.preemptions += 1
         self.queue.push(victim)
+        if self.metrics is not None:
+            self.metrics.counter("sim.preemptions").inc()
+        if self.recorder.enabled:
+            self.recorder.emit(
+                JobPreempted(
+                    cycle=self.now,
+                    job_id=victim.job_id,
+                    core_index=core.index,
+                    benchmark=victim.benchmark,
+                    category=pending.category,
+                    fraction_run=fraction_run,
+                    refunded_dynamic_nj=pending.dynamic_charged_nj * refund,
+                    refunded_static_nj=pending.static_charged_nj * refund,
+                    refunded_overhead_nj=pending.overhead_charged_nj * refund,
+                )
+            )
 
     def _choose(self, job: Job) -> Optional[Assignment]:
         if self.policy.requires_profiling and not self.table.has_profile(
@@ -450,6 +567,20 @@ class SchedulerSimulation:
         if job.start_cycle is None:
             job.start_cycle = self.now
         core.begin(job, self.now, service)
+
+        # Dispatch category, by precedence: a profiling run trumps
+        # everything, a tuning trial trumps the policy's non-best flag.
+        if assignment.profiling:
+            category = "profiling"
+        elif assignment.tuning:
+            category = "tuning"
+        elif self._non_best_next == job.job_id:
+            category = "non_best"
+        else:
+            category = "best"
+        if self._non_best_next == job.job_id:
+            self._non_best_next = None
+
         self._pending[core.index] = _PendingExecution(
             job,
             assignment,
@@ -458,12 +589,86 @@ class SchedulerSimulation:
             dynamic_charged_nj=dynamic_charge,
             static_charged_nj=static_charge,
             overhead_charged_nj=overhead_nj,
+            category=category,
         )
         self.engine.schedule_at(
             self.now + service,
             EventKind.COMPLETION,
             payload=(core.index, core.epoch),
         )
+
+        if self.metrics is not None:
+            metrics = self.metrics
+            metrics.counter("sim.executions").inc()
+            metrics.counter(f"sim.dispatch.{category}").inc()
+            metrics.histogram("sim.service_cycles").observe(service)
+            if assignment.profiling:
+                metrics.counter("sim.profiling_executions").inc()
+            elif assignment.tuning:
+                metrics.counter("sim.tuning_executions").inc()
+            if cost.cycles or cost.energy_nj:
+                metrics.counter("sim.reconfigurations").inc()
+
+        rec = self.recorder
+        if rec.enabled:
+            if cost.cycles or cost.energy_nj:
+                rec.emit(
+                    ConfigInstalled(
+                        cycle=self.now,
+                        job_id=job.job_id,
+                        core_index=core.index,
+                        config=assignment.config.name,
+                        cycles=cost.cycles,
+                        energy_nj=cost.energy_nj,
+                    )
+                )
+            if category == "profiling":
+                rec.emit(
+                    ProfilingStarted(
+                        cycle=self.now,
+                        job_id=job.job_id,
+                        core_index=core.index,
+                        benchmark=job.benchmark,
+                    )
+                )
+            elif category == "tuning":
+                session = self.heuristic.session(
+                    job.benchmark, assignment.config.size_kb
+                )
+                rec.emit(
+                    TuningStep(
+                        cycle=self.now,
+                        job_id=job.job_id,
+                        core_index=core.index,
+                        benchmark=job.benchmark,
+                        config=assignment.config.name,
+                        step=session.exploration_count + 1,
+                    )
+                )
+            elif category == "non_best":
+                rec.emit(
+                    NonBestDispatch(
+                        cycle=self.now,
+                        job_id=job.job_id,
+                        core_index=core.index,
+                        benchmark=job.benchmark,
+                        config=assignment.config.name,
+                        predicted_size_kb=self.predicted_size_kb(job),
+                    )
+                )
+            rec.emit(
+                EnergyAccrued(
+                    cycle=self.now,
+                    job_id=job.job_id,
+                    core_index=core.index,
+                    benchmark=job.benchmark,
+                    category=category,
+                    dynamic_nj=dynamic_charge,
+                    static_nj=static_charge,
+                    overhead_nj=overhead_nj,
+                    service_cycles=service,
+                )
+            )
 
     # -- completion ----------------------------------------------------------
 
@@ -503,11 +708,36 @@ class SchedulerSimulation:
             self.table.record_profiling(
                 benchmark, self.store.counters(benchmark)
             )
+            if self.recorder.enabled:
+                self.recorder.emit(
+                    ProfilingCompleted(
+                        cycle=self.now,
+                        job_id=job.job_id,
+                        core_index=core_index,
+                        benchmark=benchmark,
+                    )
+                )
             if self.policy.uses_predictor:
                 size = self.predictor.predict_size_kb(
                     benchmark, self.store.counters(benchmark)
                 )
                 self.table.record_prediction(benchmark, size)
+                if self.metrics is not None or self.recorder.enabled:
+                    best = self.store.best_size_kb(benchmark)
+                    if self.metrics is not None:
+                        hit = "hits" if size == best else "misses"
+                        self.metrics.counter(f"sim.predictor_{hit}").inc()
+                    if self.recorder.enabled:
+                        self.recorder.emit(
+                            SizePredicted(
+                                cycle=self.now,
+                                job_id=job.job_id,
+                                core_index=core_index,
+                                benchmark=benchmark,
+                                size_kb=size,
+                                best_size_kb=best,
+                            )
+                        )
 
         if full_run and assignment.tuning and self.policy.uses_predictor:
             session = self.heuristic.session(
@@ -536,6 +766,28 @@ class SchedulerSimulation:
             )
         )
 
+        waiting = job.start_cycle - job.arrival_cycle
+        if self.metrics is not None:
+            metrics = self.metrics
+            metrics.counter("sim.jobs_completed").inc()
+            metrics.histogram("sim.waiting_cycles").observe(waiting)
+            metrics.histogram("sim.turnaround_cycles").observe(
+                job.completion_cycle - job.arrival_cycle
+            )
+        if self.recorder.enabled:
+            self.recorder.emit(
+                JobCompleted(
+                    cycle=self.now,
+                    job_id=job.job_id,
+                    core_index=core_index,
+                    benchmark=benchmark,
+                    config=assignment.config.name,
+                    category=pending.category,
+                    energy_nj=estimate.total_energy_nj,
+                    waiting_cycles=waiting,
+                )
+            )
+
     # -- result assembly ------------------------------------------------------
 
     def _result(self) -> SimulationResult:
@@ -553,6 +805,45 @@ class SchedulerSimulation:
             for name in self.table.benchmarks()
             if self.table.predicted_size_kb(name) is not None
         }
+        if self.metrics is not None:
+            metrics = self.metrics
+            metrics.gauge("sim.makespan_cycles").set(makespan)
+            metrics.gauge("sim.energy.idle_nj").set(idle_nj)
+            metrics.gauge("sim.energy.dynamic_nj").set(
+                self._dynamic_nj
+                + self._reconfig_nj
+                + self._profiling_overhead_nj
+            )
+            metrics.gauge("sim.energy.busy_static_nj").set(
+                self._busy_static_nj
+            )
+            metrics.gauge("sim.energy.reconfig_nj").set(self._reconfig_nj)
+            metrics.gauge("sim.energy.profiling_overhead_nj").set(
+                self._profiling_overhead_nj
+            )
+            metrics.gauge("sim.energy.total_nj").set(
+                idle_nj
+                + self._busy_static_nj
+                + self._dynamic_nj
+                + self._reconfig_nj
+                + self._profiling_overhead_nj
+            )
+            for core in self.cores:
+                prefix = f"sim.core.{core.index}"
+                metrics.gauge(f"{prefix}.busy_cycles").set(core.busy_cycles)
+                metrics.gauge(f"{prefix}.utilization").set(
+                    core.busy_cycles / makespan if makespan else 0.0
+                )
+            hits = metrics.counter("sim.predictor_hits").value
+            misses = metrics.counter("sim.predictor_misses").value
+            if hits + misses:
+                metrics.gauge("sim.predictor.hit_rate").set(
+                    hits / (hits + misses)
+                )
+            for steps in self.table.exploration_counts().values():
+                metrics.histogram("sim.tuner.exploration_steps").observe(
+                    steps
+                )
         return SimulationResult(
             policy=self.policy.name,
             jobs_completed=len(self._records),

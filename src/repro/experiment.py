@@ -17,6 +17,7 @@ calls:
 
 from __future__ import annotations
 
+import logging
 from pathlib import Path
 from typing import Dict, Optional, Sequence, Union
 
@@ -67,6 +68,8 @@ __all__ = [
     "quick_experiment",
 ]
 
+logger = logging.getLogger(__name__)
+
 #: Default on-disk cache location for suite characterisation.  The
 #: actual file carries the :meth:`StoreMeta.cache_key` in its name (see
 #: :func:`_keyed_cache_path`), so caches for different seeds, design
@@ -95,12 +98,22 @@ def _load_cached_store(
     metadata — in particular a different seed — or lacks benchmarks.
     """
     if not path.exists():
+        logger.info("store cache miss: %s does not exist", path)
         return None
     store = CharacterizationStore.from_json(path)
     if store.meta != meta:
+        logger.info(
+            "store cache miss: %s metadata mismatch (cached %s, wanted %s)",
+            path, store.meta, meta,
+        )
         return None
     if not expected_names.issubset(set(store.names())):
+        logger.info(
+            "store cache miss: %s lacks benchmarks %s",
+            path, sorted(expected_names - set(store.names())),
+        )
         return None
+    logger.debug("store cache hit: %s", path)
     return store
 
 
@@ -128,6 +141,10 @@ def default_store(
         cached = _load_cached_store(path, meta, expected)
         if cached is not None:
             return cached
+    logger.info(
+        "characterising the suite from scratch (seed=%d, workers=%s)",
+        seed, workers,
+    )
     store = CharacterizationStore(
         characterize_suite(eembc_suite(), seed=seed, workers=workers),
         meta=meta,
@@ -136,6 +153,7 @@ def default_store(
         path = _keyed_cache_path(cache_path, meta)
         path.parent.mkdir(parents=True, exist_ok=True)
         store.to_json(path)
+        logger.info("wrote characterisation store cache: %s", path)
     return store
 
 
@@ -185,6 +203,12 @@ def default_dataset(
                 # build_dataset characterises whatever is missing.
                 store = cached
                 disk_names = set(cached.names())
+            else:
+                logger.info(
+                    "dataset cache miss: %s metadata mismatch", path
+                )
+        else:
+            logger.info("dataset cache miss: %s does not exist", path)
     if base_store is not None and base_store.meta is not None:
         base_meta = base_store.meta
         if (
@@ -213,6 +237,7 @@ def default_dataset(
             path = _keyed_cache_path(cache_path, meta)
             path.parent.mkdir(parents=True, exist_ok=True)
             store.to_json(path)
+            logger.info("wrote dataset store cache: %s", path)
     return dataset, store
 
 
@@ -280,6 +305,11 @@ def default_predictor(
         )
         if cached is not None:
             return cached
+    logger.info(
+        "training the ANN predictor from scratch "
+        "(members=%d, epochs=%d, seed=%d)",
+        n_members, epochs, seed,
+    )
     # Paper-style split: shuffled 70/15/15 over all inputs (§IV.D), so the
     # deployed benchmarks' families are represented in training.  Pass
     # ``by_family=True`` to Dataset.split for held-out-family evaluation.

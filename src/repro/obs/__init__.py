@@ -1,0 +1,97 @@
+"""Observability: event tracing, metrics and trace analysis.
+
+Zero-dependency subsystem spanning every decision point of the
+reproduction:
+
+* :mod:`repro.obs.events` — typed trace events (arrival, profiling,
+  prediction, stall/non-best decisions, tuning, reconfiguration,
+  preemption, completion, energy attribution);
+* :mod:`repro.obs.recorder` — recorder implementations; the default
+  :data:`NULL_RECORDER` is near-zero overhead, and
+  :class:`JsonlRecorder` streams byte-deterministic JSONL traces;
+* :mod:`repro.obs.metrics` — counters, gauges and streaming-quantile
+  histograms behind one :class:`MetricsRegistry` shared by sweeps,
+  training, simulations and campaigns;
+* :mod:`repro.obs.report` — per-core timeline and decision-breakdown
+  reconstruction from a trace.
+
+Observation never perturbs the simulation: recorders and registries
+only ever *read* simulation state, and a traced run is bit-identical to
+an untraced one.
+"""
+
+from .events import (
+    EVENT_TYPES,
+    ConfigInstalled,
+    EnergyAccrued,
+    JobArrived,
+    JobCompleted,
+    JobPreempted,
+    NonBestDispatch,
+    ProfilingCompleted,
+    ProfilingStarted,
+    SizePredicted,
+    StallDecision,
+    TraceEvent,
+    TuningStep,
+    event_from_dict,
+    validate_event_dict,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, P2Quantile
+from .recorder import (
+    NULL_RECORDER,
+    JsonlRecorder,
+    ListRecorder,
+    NullRecorder,
+    TraceRecorder,
+    encode_event,
+    iter_trace,
+    read_trace,
+    write_trace,
+)
+from .report import (
+    ExecutionSegment,
+    decision_breakdown,
+    load_trace,
+    per_core_timeline,
+    render_trace_report,
+    trace_summary,
+)
+
+__all__ = [
+    "EVENT_TYPES",
+    "NULL_RECORDER",
+    "ConfigInstalled",
+    "Counter",
+    "EnergyAccrued",
+    "ExecutionSegment",
+    "Gauge",
+    "Histogram",
+    "JobArrived",
+    "JobCompleted",
+    "JobPreempted",
+    "JsonlRecorder",
+    "ListRecorder",
+    "MetricsRegistry",
+    "NonBestDispatch",
+    "NullRecorder",
+    "P2Quantile",
+    "ProfilingCompleted",
+    "ProfilingStarted",
+    "SizePredicted",
+    "StallDecision",
+    "TraceEvent",
+    "TraceRecorder",
+    "TuningStep",
+    "decision_breakdown",
+    "encode_event",
+    "event_from_dict",
+    "iter_trace",
+    "load_trace",
+    "per_core_timeline",
+    "read_trace",
+    "render_trace_report",
+    "trace_summary",
+    "validate_event_dict",
+    "write_trace",
+]

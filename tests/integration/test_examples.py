@@ -44,6 +44,13 @@ class TestFastExamples:
         assert "miss ratio @ 2KB" in proc.stdout
         assert "pntrch" in proc.stdout
 
+    def test_trace_scheduling(self):
+        proc = run_example("trace_scheduling.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "decision breakdown" in proc.stdout
+        assert "per-core timeline" in proc.stdout
+        assert "metrics registry all agree" in proc.stdout
+
     def test_compare_systems_small(self):
         proc = run_example("compare_systems.py", "200", "0", timeout=300)
         assert proc.returncode == 0, proc.stderr

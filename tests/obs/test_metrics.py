@@ -1,0 +1,128 @@
+"""Counters, gauges, P² streaming quantiles and the registry."""
+
+import random
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    P2Quantile,
+)
+
+
+def test_counter():
+    counter = Counter("c")
+    counter.inc()
+    counter.inc(5)
+    assert counter.value == 6
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+
+def test_gauge():
+    gauge = Gauge("g")
+    assert gauge.value == 0.0
+    gauge.set(3)
+    gauge.set(1.5)
+    assert gauge.value == 1.5
+
+
+def test_p2_rejects_bad_quantile():
+    with pytest.raises(ValueError):
+        P2Quantile(0.0)
+    with pytest.raises(ValueError):
+        P2Quantile(1.0)
+
+
+def test_p2_exact_under_five_samples():
+    estimator = P2Quantile(0.5)
+    assert estimator.value == 0.0
+    estimator.observe(10.0)
+    assert estimator.value == 10.0
+    estimator.observe(20.0)
+    assert estimator.value == 15.0  # interpolated median of {10, 20}
+    estimator.observe(30.0)
+    assert estimator.value == 20.0
+
+
+def test_p2_converges_on_uniform():
+    rng = random.Random(7)
+    samples = [rng.random() for _ in range(20_000)]
+    for p in (0.5, 0.9, 0.99):
+        estimator = P2Quantile(p)
+        for x in samples:
+            estimator.observe(x)
+        exact = sorted(samples)[int(p * len(samples))]
+        assert estimator.value == pytest.approx(exact, abs=0.02)
+
+
+def test_p2_is_deterministic():
+    rng = random.Random(3)
+    samples = [rng.gauss(0, 1) for _ in range(5000)]
+
+    def run():
+        estimator = P2Quantile(0.9)
+        for x in samples:
+            estimator.observe(x)
+        return estimator.value
+
+    assert run() == run()
+
+
+def test_histogram_snapshot():
+    histogram = Histogram("h")
+    empty = histogram.snapshot()
+    assert empty == {
+        "count": 0.0, "sum": 0.0, "mean": 0.0, "min": 0.0, "max": 0.0,
+        "p50": 0.0, "p90": 0.0, "p99": 0.0,
+    }
+    for value in (4, 1, 3, 2):
+        histogram.observe(value)
+    snap = histogram.snapshot()
+    assert snap["count"] == 4
+    assert snap["sum"] == 10.0
+    assert snap["mean"] == 2.5
+    assert snap["min"] == 1.0
+    assert snap["max"] == 4.0
+    assert histogram.quantile(0.5) == 2.5
+    with pytest.raises(KeyError):
+        histogram.quantile(0.42)
+
+
+def test_registry_create_on_first_use():
+    registry = MetricsRegistry()
+    assert registry.counter("a") is registry.counter("a")
+    assert registry.gauge("b") is registry.gauge("b")
+    assert registry.histogram("c") is registry.histogram("c")
+
+
+def test_registry_snapshot_and_scalars():
+    registry = MetricsRegistry()
+    registry.counter("jobs").inc(3)
+    registry.gauge("rate").set(0.75)
+    registry.histogram("wait").observe(10)
+    registry.histogram("wait").observe(30)
+
+    snapshot = registry.snapshot()
+    assert snapshot["counters"] == {"jobs": 3}
+    assert snapshot["gauges"] == {"rate": 0.75}
+    assert snapshot["histograms"]["wait"]["mean"] == 20.0
+
+    scalars = registry.scalars()
+    assert scalars["jobs"] == 3.0
+    assert scalars["rate"] == 0.75
+    assert scalars["wait.count"] == 2.0
+    assert scalars["wait.mean"] == 20.0
+    assert all(isinstance(v, float) for v in scalars.values())
+
+
+def test_registry_span_times_blocks():
+    registry = MetricsRegistry()
+    with registry.span("work"):
+        pass
+    snap = registry.histogram("work_seconds").snapshot()
+    assert snap["count"] == 1
+    assert snap["max"] >= 0.0

@@ -1,0 +1,116 @@
+"""Timeline and decision-breakdown reconstruction from event lists."""
+
+import pytest
+
+from repro.obs.events import (
+    EnergyAccrued,
+    JobCompleted,
+    JobPreempted,
+    StallDecision,
+)
+from repro.obs.report import (
+    decision_breakdown,
+    per_core_timeline,
+    render_trace_report,
+    trace_summary,
+)
+
+
+def _start(core, job, cycle, service, category="best", dyn=10.0, sta=4.0,
+           ovh=0.0):
+    return EnergyAccrued(
+        cycle=cycle, job_id=job, core_index=core, benchmark="a2time",
+        category=category, dynamic_nj=dyn, static_nj=sta, overhead_nj=ovh,
+        service_cycles=service,
+    )
+
+
+def _complete(core, job, cycle, category="best"):
+    return JobCompleted(
+        cycle=cycle, job_id=job, core_index=core, benchmark="a2time",
+        config="base", category=category, energy_nj=14.0, waiting_cycles=0,
+    )
+
+
+def test_timeline_completed_window():
+    events = [_start(0, 1, 100, 50), _complete(0, 1, 150)]
+    timeline = per_core_timeline(events)
+    [segment] = timeline[0]
+    assert (segment.start_cycle, segment.end_cycle) == (100, 150)
+    assert segment.cycles == 50
+    assert segment.completed
+
+
+def test_timeline_preempted_window_truncates():
+    events = [
+        _start(2, 7, 0, 100, category="tuning"),
+        JobPreempted(
+            cycle=40, job_id=7, core_index=2, benchmark="a2time",
+            category="tuning", fraction_run=0.4,
+            refunded_dynamic_nj=6.0, refunded_static_nj=2.4,
+            refunded_overhead_nj=0.0,
+        ),
+    ]
+    [segment] = per_core_timeline(events)[2]
+    assert segment.end_cycle == 40
+    assert not segment.completed
+    assert segment.category == "tuning"
+
+
+def test_timeline_truncated_trace_closes_at_scheduled_end():
+    events = [_start(1, 3, 500, 250)]
+    [segment] = per_core_timeline(events)[1]
+    assert segment.end_cycle == 750
+    assert not segment.completed
+
+
+def test_timeline_rejects_double_occupancy():
+    events = [_start(0, 1, 0, 100), _start(0, 2, 10, 100)]
+    with pytest.raises(ValueError, match="already occupied"):
+        per_core_timeline(events)
+
+
+def test_decision_breakdown_attributes_and_refunds():
+    events = [
+        _start(0, 1, 0, 100, category="best", dyn=10.0, sta=4.0),
+        _complete(0, 1, 100),
+        _start(1, 2, 0, 100, category="non_best", dyn=20.0, sta=8.0),
+        JobPreempted(
+            cycle=50, job_id=2, core_index=1, benchmark="a2time",
+            category="non_best", fraction_run=0.5,
+            refunded_dynamic_nj=10.0, refunded_static_nj=4.0,
+            refunded_overhead_nj=0.0,
+        ),
+        StallDecision(cycle=60, job_id=3, benchmark="a2time"),
+        StallDecision(cycle=70, job_id=3, benchmark="a2time"),
+    ]
+    breakdown = decision_breakdown(events)
+    best = breakdown["best"]
+    assert best["executions"] == 1
+    assert best["completions"] == 1
+    assert best["total_nj"] == pytest.approx(14.0)
+    non_best = breakdown["non_best"]
+    assert non_best["executions"] == 1
+    assert non_best["preemptions"] == 1
+    # Half the charges were refunded on preemption.
+    assert non_best["dynamic_nj"] == pytest.approx(10.0)
+    assert non_best["static_nj"] == pytest.approx(4.0)
+    assert non_best["total_nj"] == pytest.approx(14.0)
+    assert breakdown["stall"]["decisions"] == 2
+
+
+def test_summary_and_report_render():
+    events = [
+        _start(0, 1, 0, 100, category="profiling"),
+        _complete(0, 1, 100, category="profiling"),
+        StallDecision(cycle=110, job_id=2, benchmark="a2time"),
+    ]
+    summary = trace_summary(events)
+    assert summary["events"] == 3
+    assert summary["jobs_completed"] == 1
+    assert summary["stall_decisions"] == 1
+    assert summary["last_cycle"] == 110
+    report = render_trace_report(events)
+    assert "decision breakdown" in report
+    assert "per-core timeline" in report
+    assert "1 stalls" in report

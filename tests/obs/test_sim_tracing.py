@@ -1,0 +1,231 @@
+"""Simulation-level observability: non-perturbation, determinism, content.
+
+The two acceptance properties of the tracing layer:
+
+* a traced run is **bit-identical** to an untraced one (observation
+  never perturbs the simulation);
+* two runs of the same (policy, seed, load) produce **byte-identical**
+  JSONL traces.
+"""
+
+import pytest
+
+from repro.obs.events import (
+    EnergyAccrued,
+    JobArrived,
+    JobCompleted,
+    NonBestDispatch,
+    ProfilingCompleted,
+    ProfilingStarted,
+    SizePredicted,
+    StallDecision,
+    TuningStep,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import ListRecorder, encode_event, write_trace
+from repro.obs.report import per_core_timeline, trace_summary
+from repro.workloads.arrivals import uniform_arrivals
+
+from .conftest import SUITE_NAMES, arrivals_for, make_simulation
+
+
+def _suite_specs(store):
+    from repro.workloads.eembc import eembc_benchmark
+
+    return [eembc_benchmark(name) for name in store.names()]
+
+
+@pytest.mark.parametrize("policy", ["base", "optimal", "proposed"])
+def test_traced_run_is_bit_identical(small_store, oracle, policy):
+    arrivals = arrivals_for(SUITE_NAMES * 3)
+    plain = make_simulation(policy, small_store, oracle).run(arrivals)
+    recorder = ListRecorder()
+    registry = MetricsRegistry()
+    traced = make_simulation(
+        policy, small_store, oracle, recorder=recorder, metrics=registry
+    ).run(arrivals)
+    assert traced == plain
+    assert recorder.events, "tracing produced no events"
+
+
+def test_trace_is_deterministic(small_store, oracle):
+    arrivals = uniform_arrivals(
+        _suite_specs(small_store), count=30, seed=5,
+        mean_interarrival_cycles=40_000,
+    )
+
+    def run():
+        recorder = ListRecorder()
+        make_simulation(
+            "proposed", small_store, oracle, recorder=recorder
+        ).run(arrivals)
+        return [encode_event(e) for e in recorder.events]
+
+    assert run() == run()
+
+
+def test_trace_files_are_byte_identical(small_store, oracle, tmp_path):
+    arrivals = arrivals_for(SUITE_NAMES * 2)
+    paths = []
+    for tag in ("a", "b"):
+        recorder = ListRecorder()
+        make_simulation(
+            "proposed", small_store, oracle, recorder=recorder
+        ).run(arrivals)
+        path = tmp_path / f"{tag}.jsonl"
+        write_trace(recorder.events, path)
+        paths.append(path)
+    assert paths[0].read_bytes() == paths[1].read_bytes()
+
+
+def test_event_stream_content(small_store, oracle):
+    recorder = ListRecorder()
+    arrivals = arrivals_for(SUITE_NAMES * 2)
+    result = make_simulation(
+        "proposed", small_store, oracle, recorder=recorder
+    ).run(arrivals)
+    events = recorder.events
+
+    by_type = {}
+    for event in events:
+        by_type.setdefault(type(event), []).append(event)
+
+    assert len(by_type[JobArrived]) == len(arrivals)
+    assert len(by_type[JobCompleted]) == result.jobs_completed
+    assert len(by_type[ProfilingStarted]) == result.profiling_executions
+    assert len(by_type[ProfilingCompleted]) == result.profiling_executions
+    assert len(by_type[TuningStep]) == result.tuning_executions
+    # One prediction per profiling run on a predictor policy, and the
+    # carried ground truth matches the store.
+    predictions = by_type[SizePredicted]
+    assert len(predictions) == result.profiling_executions
+    for event in predictions:
+        assert event.best_size_kb == small_store.best_size_kb(
+            event.benchmark
+        )
+    # One EnergyAccrued per physical execution.
+    executions = (
+        result.jobs_completed  # every completion had a start
+    )
+    assert len(by_type[EnergyAccrued]) == executions
+    # Cycle stamps are non-decreasing (simulation order).
+    cycles = [e.cycle for e in events]
+    assert cycles == sorted(cycles)
+
+
+def test_stall_and_non_best_events_under_contention(small_store, oracle):
+    # Heavy load on the proposed policy forces §IV.E decisions.
+    recorder = ListRecorder()
+    arrivals = uniform_arrivals(
+        _suite_specs(small_store), count=60, seed=2,
+        mean_interarrival_cycles=8_000,
+    )
+    result = make_simulation(
+        "proposed", small_store, oracle, recorder=recorder
+    ).run(arrivals)
+    stalls = [e for e in recorder.events if isinstance(e, StallDecision)]
+    non_best = [
+        e for e in recorder.events if isinstance(e, NonBestDispatch)
+    ]
+    assert len(stalls) == result.stall_decisions
+    assert len(non_best) == result.non_best_decisions
+    assert result.stall_decisions + result.non_best_decisions > 0, (
+        "scenario did not exercise the stall-vs-non-best decision"
+    )
+    completions = [
+        e for e in recorder.events if isinstance(e, JobCompleted)
+    ]
+    assert sum(
+        1 for e in completions if e.category == "non_best"
+    ) == len(non_best)
+
+
+def test_timeline_matches_core_accounting(small_store, oracle):
+    recorder = ListRecorder()
+    arrivals = arrivals_for(SUITE_NAMES * 3)
+    simulation = make_simulation(
+        "proposed", small_store, oracle, recorder=recorder
+    )
+    result = simulation.run(arrivals)
+    timeline = per_core_timeline(recorder.events)
+    for core_index, segments in timeline.items():
+        assert all(s.completed for s in segments)
+        busy = sum(s.cycles for s in segments)
+        assert busy == result.core_busy_cycles[core_index]
+
+
+def test_metrics_registry_matches_result(small_store, oracle):
+    registry = MetricsRegistry()
+    arrivals = arrivals_for(SUITE_NAMES * 3)
+    result = make_simulation(
+        "proposed", small_store, oracle, metrics=registry
+    ).run(arrivals)
+    scalars = registry.scalars()
+    assert scalars["sim.jobs_arrived"] == len(arrivals)
+    assert scalars["sim.jobs_completed"] == result.jobs_completed
+    assert scalars["sim.profiling_executions"] == result.profiling_executions
+    assert scalars["sim.tuning_executions"] == result.tuning_executions
+    assert scalars["sim.stall_decisions"] == result.stall_decisions
+    assert scalars["sim.non_best_decisions"] == result.non_best_decisions
+    assert scalars["sim.makespan_cycles"] == result.makespan_cycles
+    assert scalars["sim.energy.total_nj"] == pytest.approx(
+        result.total_energy_nj
+    )
+    assert scalars["sim.energy.idle_nj"] == pytest.approx(
+        result.idle_energy_nj
+    )
+    assert scalars["sim.waiting_cycles.mean"] == pytest.approx(
+        result.mean_waiting_cycles
+    )
+    for core_index, busy in result.core_busy_cycles.items():
+        assert scalars[f"sim.core.{core_index}.busy_cycles"] == busy
+    # Predictor hit rate derives from the hit/miss counters.
+    hits = scalars["sim.predictor_hits"]
+    misses = scalars["sim.predictor_misses"]
+    if hits + misses:
+        assert scalars["sim.predictor.hit_rate"] == pytest.approx(
+            hits / (hits + misses)
+        )
+
+
+def test_golden_trace_schema_and_determinism(small_store, oracle, tmp_path):
+    """The CI golden-trace check: fixed-seed mini scenario, two runs.
+
+    Every emitted line must satisfy the event schema, and the two runs
+    must serialise to byte-identical JSONL (no checked-in golden file:
+    byte-stability of *this* environment is the contract).
+    """
+    import json
+
+    from repro.obs.events import validate_event_dict
+
+    arrivals = uniform_arrivals(
+        _suite_specs(small_store), count=20, seed=11,
+        mean_interarrival_cycles=30_000,
+    )
+    blobs = []
+    for _ in range(2):
+        recorder = ListRecorder()
+        make_simulation(
+            "proposed", small_store, oracle, recorder=recorder
+        ).run(arrivals)
+        lines = [encode_event(e) for e in recorder.events]
+        for line in lines:
+            validate_event_dict(json.loads(line))
+        blobs.append("\n".join(lines).encode("utf-8"))
+    assert blobs[0] == blobs[1]
+
+
+def test_trace_round_trips_losslessly(small_store, oracle, tmp_path):
+    from repro.obs.recorder import read_trace
+
+    recorder = ListRecorder()
+    arrivals = arrivals_for(SUITE_NAMES * 2)
+    make_simulation(
+        "proposed", small_store, oracle, recorder=recorder
+    ).run(arrivals)
+    path = tmp_path / "trace.jsonl"
+    write_trace(recorder.events, path)
+    restored = read_trace(path)
+    assert restored == recorder.events
+    assert trace_summary(restored) == trace_summary(recorder.events)

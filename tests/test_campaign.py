@@ -184,6 +184,96 @@ class TestCellLookup:
         assert "replications=1" in text
 
 
+class TestMetricsCollection:
+    def metrics_campaign(self, store, workers):
+        return run_campaign(
+            store,
+            policies=("base", "proposed"),
+            seeds=(0, 1),
+            loads=((40, 56_000),),
+            workers=workers,
+            collect_metrics=True,
+        )
+
+    def test_off_by_default(self, store):
+        result = run_campaign(
+            store, policies=("base",), seeds=(0,), workers=1
+        )
+        assert result.replications[0].observed == {}
+        assert result.cells[0].observed == {}
+
+    def test_replications_carry_scalars(self, store):
+        result = self.metrics_campaign(store, workers=1)
+        for replication in result.replications:
+            observed = replication.observed
+            assert observed["sim.jobs_completed"] == 40.0
+            assert observed["sim.jobs_arrived"] == 40.0
+            assert "sim.queue_depth.p90" in observed
+            assert all(
+                isinstance(value, float) for value in observed.values()
+            )
+
+    def test_cells_aggregate_observed(self, store):
+        result = self.metrics_campaign(store, workers=1)
+        for cell in result.cells:
+            aggregate = cell.observed["sim.jobs_completed"]
+            assert aggregate.mean == 40.0
+            assert aggregate.n == 2
+            # Registry energy totals agree with the headline metric.
+            assert cell.observed["sim.energy.total_nj"].mean == (
+                pytest.approx(cell.metrics["total_energy_nj"].mean)
+            )
+
+    def test_observed_worker_count_independent(self, store):
+        serial = self.metrics_campaign(store, workers=1)
+        parallel = self.metrics_campaign(store, workers=4)
+        for a, b in zip(serial.cells, parallel.cells):
+            assert a.observed == b.observed
+
+    def test_collection_does_not_perturb_results(self, store):
+        with_metrics = self.metrics_campaign(store, workers=1)
+        without = run_campaign(
+            store,
+            policies=("base", "proposed"),
+            seeds=(0, 1),
+            loads=((40, 56_000),),
+            workers=1,
+        )
+        for a, b in zip(with_metrics.cells, without.cells):
+            assert a.metrics == b.metrics
+
+
+class TestSweepTimingAbsorption:
+    def test_record_into_registry(self):
+        from repro.characterization.instrumentation import (
+            SweepTiming,
+            TaskTiming,
+        )
+        from repro.obs.metrics import MetricsRegistry
+
+        timing = SweepTiming(
+            tasks=(
+                TaskTiming(name="a", seconds=0.5, accesses=1000, configs=18),
+                TaskTiming(name="b", seconds=1.5, accesses=3000, configs=18),
+            ),
+            wall_seconds=2.0,
+            workers=2,
+        )
+        registry = MetricsRegistry()
+        timing.record_into(registry)
+        scalars = registry.scalars()
+        assert scalars["sweep.benchmarks"] == 2.0
+        assert scalars["sweep.accesses"] == 4000.0
+        assert scalars["sweep.config_replays"] == 36.0
+        assert scalars["sweep.wall_seconds"] == 2.0
+        assert scalars["sweep.traces_per_second"] == 1.0
+        assert scalars["sweep.task_seconds.count"] == 2.0
+        assert scalars["sweep.task_seconds.mean"] == 1.0
+        # Counters accumulate across sweeps.
+        timing.record_into(registry)
+        assert registry.scalars()["sweep.benchmarks"] == 4.0
+
+
 class TestValidation:
     def test_empty_policies(self, store):
         with pytest.raises(ValueError):

@@ -75,6 +75,42 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["campaign", "--policies", "turbo"])
 
+    def test_global_verbosity_flags(self):
+        args = build_parser().parse_args(["suite"])
+        assert args.verbose == 0
+        assert args.log_level is None
+        args = build_parser().parse_args(["-vv", "suite"])
+        assert args.verbose == 2
+        args = build_parser().parse_args(["--log-level", "DEBUG", "suite"])
+        assert args.log_level == "DEBUG"
+
+    def test_log_level_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--log-level", "LOUD", "suite"])
+
+    def test_trace_command_args(self):
+        args = build_parser().parse_args(
+            ["trace", "t.jsonl", "--validate", "--json", "out.json"]
+        )
+        assert args.path == "t.jsonl"
+        assert args.validate
+        assert args.json == "out.json"
+
+    def test_observability_flags(self):
+        args = build_parser().parse_args(
+            ["compare", "--trace", "t.jsonl", "--metrics-out", "m.json"]
+        )
+        assert args.trace == "t.jsonl"
+        assert args.metrics_out == "m.json"
+        args = build_parser().parse_args(
+            ["campaign", "--metrics-out", "m.json"]
+        )
+        assert args.metrics_out == "m.json"
+        args = build_parser().parse_args(
+            ["sweep", "--metrics-out", "m.json"]
+        )
+        assert args.metrics_out == "m.json"
+
 
 class TestCommands:
     def test_suite(self, capsys):
@@ -139,6 +175,80 @@ class TestCommands:
         assert len(payload) == 4
         assert payload[0]["spec"]["policy"] == "base"
         assert payload[0]["jobs_completed"] == 40
+
+    def test_compare_with_trace_and_metrics(self, capsys, tmp_path):
+        trace_template = tmp_path / "run.jsonl"
+        metrics_path = tmp_path / "metrics.json"
+        code = main([
+            "compare", "--jobs", "40", "--seed", "0",
+            "--predictor", "oracle",
+            "--trace", str(trace_template),
+            "--metrics-out", str(metrics_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "wrote event traces" in out
+        from repro.core.policies import POLICY_NAMES
+        from repro.obs.recorder import read_trace
+
+        for name in POLICY_NAMES:
+            trace_path = tmp_path / f"run.{name}.jsonl"
+            assert trace_path.exists()
+            assert read_trace(trace_path)  # parses back losslessly
+        import json as json_module
+
+        snapshots = json_module.loads(metrics_path.read_text())
+        assert set(snapshots) == set(POLICY_NAMES)
+        assert snapshots["proposed"]["counters"]["sim.jobs_completed"] == 40
+
+    def test_trace_round_trip_through_cli(self, capsys, tmp_path):
+        trace_template = tmp_path / "run.jsonl"
+        assert main([
+            "compare", "--jobs", "40", "--seed", "0",
+            "--predictor", "oracle", "--trace", str(trace_template),
+        ]) == 0
+        capsys.readouterr()
+        analysis_path = tmp_path / "analysis.json"
+        code = main([
+            "trace", str(tmp_path / "run.proposed.jsonl"),
+            "--validate", "--json", str(analysis_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "decision breakdown" in out
+        assert "per-core timeline" in out
+        import json as json_module
+
+        payload = json_module.loads(analysis_path.read_text())
+        assert payload["summary"]["jobs_completed"] == 40
+        assert "non_best" in payload["decision_breakdown"]
+
+    def test_trace_missing_file(self, capsys, tmp_path):
+        assert main(["trace", str(tmp_path / "nope.jsonl")]) == 2
+        assert "no such trace file" in capsys.readouterr().err
+
+    def test_trace_rejects_malformed_line(self, capsys, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind":"job_arrived","cycle":0}\n')
+        assert main(["trace", str(path), "--validate"]) == 2
+        assert "missing fields" in capsys.readouterr().err
+
+    def test_campaign_metrics_out(self, capsys, tmp_path):
+        metrics_path = tmp_path / "cells.json"
+        code = main([
+            "campaign", "--policies", "base", "--seeds", "0", "1",
+            "--jobs", "40", "--workers", "1",
+            "--metrics-out", str(metrics_path),
+        ])
+        assert code == 0
+        assert "per-cell metric aggregates" in capsys.readouterr().out
+        import json as json_module
+
+        cells = json_module.loads(metrics_path.read_text())
+        assert len(cells) == 1
+        observed = cells[0]["observed"]
+        assert observed["sim.jobs_completed"]["mean"] == 40.0
+        assert observed["sim.jobs_completed"]["n"] == 2
 
     def test_compare_summaries_flag(self, capsys):
         code = main([
