@@ -228,12 +228,14 @@ def _init_worker(
     energy_table: EnergyTable,
     discipline: str,
     collect_metrics: bool = False,
+    validate: bool = False,
 ) -> None:
     _WORKER_STATE["store"] = store
     _WORKER_STATE["predictor"] = predictor
     _WORKER_STATE["energy_table"] = energy_table
     _WORKER_STATE["discipline"] = discipline
     _WORKER_STATE["collect_metrics"] = collect_metrics
+    _WORKER_STATE["validate"] = validate
 
 
 def _run_replication(spec: ReplicationSpec) -> ReplicationResult:
@@ -260,6 +262,7 @@ def _run_replication(spec: ReplicationSpec) -> ReplicationResult:
         energy_table=_WORKER_STATE["energy_table"],
         discipline=_WORKER_STATE["discipline"],
         metrics=registry,
+        validate=_WORKER_STATE.get("validate", False),
     )
     result = simulation.run(arrivals)
     return ReplicationResult(
@@ -294,6 +297,7 @@ def run_campaign(
     energy_table: Optional[EnergyTable] = None,
     workers: Optional[int] = 1,
     collect_metrics: bool = False,
+    validate: bool = False,
 ) -> CampaignResult:
     """Run a (policy × load × seed) replication grid, optionally parallel.
 
@@ -329,6 +333,12 @@ def run_campaign(
         back with its result, and cells expose per-key aggregates via
         :attr:`CampaignCell.observed`.  Off by default (small but
         nonzero simulation overhead).
+    validate:
+        Attach the energy-conservation ledger and runtime invariant
+        checks (:mod:`repro.validate`) to every replication; a
+        violation raises :class:`~repro.validate.ledger.ValidationError`
+        out of the failing worker.  Results are unchanged when all
+        checks pass.
     """
     if not policies:
         raise ValueError("need at least one policy")
@@ -377,7 +387,7 @@ def run_campaign(
     start = time.perf_counter()
     if workers == 1 or len(specs) <= 1:
         _init_worker(store, predictor, energy_table, discipline,
-                     collect_metrics)
+                     collect_metrics, validate)
         replications = [_run_replication(spec) for spec in specs]
     else:
         ctx = _pool_context()
@@ -385,7 +395,7 @@ def run_campaign(
             processes=workers,
             initializer=_init_worker,
             initargs=(store, predictor, energy_table, discipline,
-                      collect_metrics),
+                      collect_metrics, validate),
         ) as pool:
             replications = pool.map(_run_replication, specs)
     wall_seconds = time.perf_counter() - start

@@ -15,12 +15,16 @@ any code:
   grid, optionally process-parallel, with mean ± 95 % CI aggregates;
 * ``trace`` — analyse a JSONL simulation trace (summary, decision
   breakdown, per-core timeline);
+* ``validate`` — replay a JSONL trace against the energy-conservation
+  ledger (:mod:`repro.validate`) and report whether it balances;
 * ``reproduce`` — regenerate the full evaluation into ``results/``.
 
 ``-v``/``-vv`` (or ``--log-level``) enable the library's diagnostic
 logging — cache rebuilds, model-store misses, campaign fan-out — on
 stderr.  ``--trace`` and ``--metrics-out`` attach the observability
-layer (:mod:`repro.obs`) to ``compare``/``campaign``/``sweep`` runs.
+layer (:mod:`repro.obs`) to ``compare``/``campaign``/``sweep`` runs;
+``--validate`` attaches the in-run invariant checks and ledger to
+``compare``/``campaign`` runs.
 """
 
 from __future__ import annotations
@@ -88,6 +92,9 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--metrics-out", metavar="PATH",
                          help="write per-policy metrics-registry "
                               "snapshots as JSON")
+    compare.add_argument("--validate", action="store_true",
+                         help="run with the energy-conservation ledger "
+                              "and invariant checks attached")
 
     characterize = sub.add_parser(
         "characterize", help="design-space table for one benchmark"
@@ -161,6 +168,10 @@ def build_parser() -> argparse.ArgumentParser:
                           help="collect per-replication metrics across "
                                "the worker pool and write per-cell "
                                "aggregates as JSON")
+    campaign.add_argument("--validate", action="store_true",
+                          help="attach the energy-conservation ledger "
+                               "and invariant checks to every "
+                               "replication")
 
     trace = sub.add_parser(
         "trace",
@@ -171,6 +182,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="schema-check every line before analysing")
     trace.add_argument("--json", metavar="PATH",
                        help="write summary + decision breakdown JSON")
+
+    validate = sub.add_parser(
+        "validate",
+        help="replay a JSONL trace against the energy-conservation "
+             "ledger",
+    )
+    validate.add_argument("path", help="JSONL trace file (see --trace)")
+    validate.add_argument("--json", metavar="PATH",
+                          help="write the replay report as JSON")
 
     reproduce = sub.add_parser(
         "reproduce",
@@ -220,6 +240,7 @@ def _cmd_compare(args) -> int:
             discipline=args.discipline,
             recorder=recorder,
             metrics=registry,
+            validate=args.validate,
         )
         try:
             results[name] = sim.run(arrivals)
@@ -434,6 +455,7 @@ def _cmd_campaign(args) -> int:
         discipline=args.discipline,
         workers=args.workers,
         collect_metrics=bool(args.metrics_out),
+        validate=args.validate,
     )
     print(result.summary())
     if args.json:
@@ -511,6 +533,49 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_validate(args) -> int:
+    from repro.obs import event_from_dict
+    from repro.validate import ValidationError, replay_trace
+
+    path = Path(args.path)
+    if not path.exists():
+        print(f"error: no such trace file: {path}", file=sys.stderr)
+        return 2
+    events = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(event_from_dict(json.loads(line)))
+            except ValueError as error:
+                print(
+                    f"error: {path}:{line_number}: {error}", file=sys.stderr
+                )
+                return 2
+    if not events:
+        print(f"error: {path} contains no events", file=sys.stderr)
+        return 2
+    try:
+        report = replay_trace(events)
+    except ValidationError as error:
+        print(f"{path}: FAILED {error.check}", file=sys.stderr)
+        print(f"  {error.detail}", file=sys.stderr)
+        return 1
+    print(f"{path}: OK")
+    print(report.summary())
+    if args.json:
+        import dataclasses
+
+        with open(args.json, "w") as handle:
+            json.dump(
+                dataclasses.asdict(report), handle, indent=2, sort_keys=True
+            )
+        print(f"\nwrote replay report JSON to {args.json}")
+    return 0
+
+
 def _cmd_reproduce(args) -> int:
     from repro.reporting import write_report
 
@@ -541,6 +606,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "campaign": _cmd_campaign,
     "trace": _cmd_trace,
+    "validate": _cmd_validate,
     "reproduce": _cmd_reproduce,
 }
 

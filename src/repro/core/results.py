@@ -30,6 +30,11 @@ class JobRecord:
     deadline_cycle: Optional[int] = None
     #: Times the job was preempted before completing.
     preemptions: int = 0
+    #: Total ready-queue cycles over all visits: the wait before the
+    #: first dispatch *plus* requeued time after preemptions.  Defaults
+    #: to ``start - arrival`` (exact whenever the job was never
+    #: preempted).
+    waiting_cycles: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not (
@@ -38,6 +43,13 @@ class JobRecord:
             raise ValueError(
                 "job cycles must satisfy arrival <= start <= completion"
             )
+        if self.waiting_cycles is None:
+            object.__setattr__(
+                self, "waiting_cycles",
+                self.start_cycle - self.arrival_cycle,
+            )
+        elif self.waiting_cycles < 0:
+            raise ValueError("waiting_cycles must be non-negative")
 
     @property
     def met_deadline(self) -> Optional[bool]:
@@ -45,11 +57,6 @@ class JobRecord:
         if self.deadline_cycle is None:
             return None
         return self.completion_cycle <= self.deadline_cycle
-
-    @property
-    def waiting_cycles(self) -> int:
-        """Cycles spent in the ready queue."""
-        return self.start_cycle - self.arrival_cycle
 
     @property
     def service_cycles(self) -> int:

@@ -42,6 +42,16 @@ class Job:
     remaining_fraction: float = 1.0
     #: How many times this job has been preempted.
     preemptions: int = 0
+    #: Cycle the job last entered the ready queue (arrival or requeue
+    #: after a preemption); ``None`` until the arrival is processed.
+    last_enqueue_cycle: Optional[int] = None
+    #: Ready-queue cycles accumulated over *all* visits — the wait
+    #: before the first dispatch plus any requeued time after
+    #: preemptions.
+    waiting_cycles: int = 0
+    #: Execution energy (dynamic + static) charged to this job across
+    #: all its slices, net of preemption refunds.
+    charged_energy_nj: float = 0.0
 
     def __post_init__(self) -> None:
         if self.job_id < 0:
@@ -102,6 +112,14 @@ class CoreState:
         #: Increments on every begin/preempt; completion events carry the
         #: epoch they were scheduled under so stale ones are ignored.
         self.epoch = 0
+        #: Closed config-residency intervals: ``(start, end, config,
+        #: busy_cycles)`` tuples, one per configuration the core has
+        #: left behind.  Idle leakage integrates over these piecewise
+        #: (a core's static power follows the *installed* configuration,
+        #: not the one it happens to end the run with).
+        self._residency_closed: list = []
+        self._residency_start = 0
+        self._residency_busy = 0
 
     @property
     def index(self) -> int:
@@ -141,6 +159,7 @@ class CoreState:
         self.run_started_at = now
         self.busy_until = now + service_cycles
         self.busy_cycles += service_cycles
+        self._residency_busy += service_cycles
         self.executions += 1
         self.epoch += 1
 
@@ -181,8 +200,38 @@ class CoreState:
         executed = now - self.run_started_at
         fraction_run = executed / service if service else 0.0
         self.busy_cycles -= self.busy_until - now
+        self._residency_busy -= self.busy_until - now
         job = self.current_job
         self.current_job = None
         self.busy_until = now
         self.epoch += 1
         return job, fraction_run
+
+    # -- config residency (idle-leakage accounting) --------------------------
+
+    def note_reconfigured(self, now: int, previous: CacheConfig) -> None:
+        """Close ``previous``'s residency interval at ``now``.
+
+        Called by the simulation whenever the tuner installs a
+        *different* configuration; the interval records how many of its
+        cycles were busy so idle leakage can be integrated per
+        configuration actually installed.
+        """
+        self._residency_closed.append(
+            (self._residency_start, now, previous, self._residency_busy)
+        )
+        self._residency_start = now
+        self._residency_busy = 0
+
+    def residency_intervals(self, end: int) -> list:
+        """All residency intervals up to ``end`` (makespan), closed form.
+
+        Returns ``(start, end, config, busy_cycles)`` tuples covering
+        ``[0, end)`` without gaps; the final (still open) interval is
+        closed at ``end`` under the currently installed configuration.
+        Does not mutate the core's state.
+        """
+        return self._residency_closed + [
+            (self._residency_start, end, self.current_config,
+             self._residency_busy)
+        ]

@@ -181,6 +181,19 @@ class SchedulerSimulation:
         predictor hit/miss), streaming histograms (queue depth, waiting
         and service cycles, tuner convergence) and end-of-run gauges
         (energy decomposition, makespan, per-core utilisation) into it.
+    validate:
+        Attach a :class:`~repro.validate.SimulationValidator`: an
+        independent double-entry energy ledger mirrors every charge and
+        refund, runtime invariants (queue conservation, core/pending
+        consistency, refund and fraction bounds) are re-derived after
+        every event, and end-of-run conservation checks assert the
+        ledger, the :class:`~repro.core.results.SimulationResult`
+        totals and the per-job/per-core attributions all agree.  Any
+        violation raises
+        :class:`~repro.validate.ValidationError` (and, with tracing
+        attached, emits an ``invariant_violation`` event first).
+        Validation only reads simulation state — a validated run is
+        bit-identical to an unvalidated one.
     """
 
     #: Queue disciplines supported by the dispatcher.
@@ -202,6 +215,7 @@ class SchedulerSimulation:
         preload_profiles: bool = False,
         recorder: Optional[TraceRecorder] = None,
         metrics: Optional[MetricsRegistry] = None,
+        validate: bool = False,
     ) -> None:
         if policy.uses_predictor and predictor is None:
             raise ValueError(
@@ -224,7 +238,12 @@ class SchedulerSimulation:
         self.discipline = discipline
         self.preemptive = preemptive
         self.preemption_quantum_cycles = preemption_quantum_cycles
-        self._preempted_at: Dict[int, set] = {}
+        #: Jobs already preempted at the *current* timestamp (bounds
+        #: churn when the policy then declines the freed core).  Only
+        #: one timestamp's set is ever retained — keyed storage would
+        #: leak one set per preemption time over a long run.
+        self._preempted_now: set = set()
+        self._preempted_now_cycle = -1
         self._preemption_count = 0
         self.system = system
         self.policy = policy
@@ -267,6 +286,20 @@ class SchedulerSimulation:
                 metrics.counter(name)
             for name in _METRIC_HISTOGRAMS:
                 metrics.histogram(name)
+
+        if validate:
+            # Imported lazily: the default path stays free of the
+            # validation layer entirely.
+            from repro.validate.invariants import SimulationValidator
+
+            self._validator: Optional[SimulationValidator] = (
+                SimulationValidator(self)
+            )
+            if metrics is not None:
+                metrics.counter("sim.validate.checks")
+                metrics.counter("sim.validate.violations")
+        else:
+            self._validator = None
 
         if preload_profiles:
             self._preload_profiles()
@@ -377,7 +410,10 @@ class SchedulerSimulation:
     def _handle(self, event: Event) -> None:
         if event.kind is EventKind.ARRIVAL:
             job = event.payload
+            job.last_enqueue_cycle = self.now
             self.queue.push(job)
+            if self._validator is not None:
+                self._validator.on_arrival(job)
             if self.metrics is not None:
                 self.metrics.counter("sim.jobs_arrived").inc()
             if self.recorder.enabled:
@@ -393,6 +429,8 @@ class SchedulerSimulation:
         else:  # pragma: no cover - no generic events are scheduled
             raise ValueError(f"unexpected event kind {event.kind}")
         self._dispatch()
+        if self._validator is not None:
+            self._validator.after_event()
         if self.metrics is not None:
             self.metrics.histogram("sim.queue_depth").observe(len(self.queue))
 
@@ -451,7 +489,10 @@ class SchedulerSimulation:
         when the policy then declines the freed core); profiling runs
         are never preempted.
         """
-        already = self._preempted_at.setdefault(self.now, set())
+        if self._preempted_now_cycle != self.now:
+            self._preempted_now_cycle = self.now
+            self._preempted_now.clear()
+        already = self._preempted_now
         quantum = self.preemption_quantum_cycles
         running = [
             core for core in self.cores
@@ -478,18 +519,31 @@ class SchedulerSimulation:
         """Halt a core's execution; requeue the victim's remaining work."""
         pending = self._pending.pop(core.index)
         victim, fraction_run = core.preempt(self.now)
-        self._preempted_at[self.now].add(victim.job_id)
+        self._preempted_now.add(victim.job_id)
         self._preemption_count += 1
         # Refund the unexecuted share of the charges made at start.
         refund = 1.0 - fraction_run
-        self._dynamic_nj -= pending.dynamic_charged_nj * refund
-        self._busy_static_nj -= pending.static_charged_nj * refund
-        self._profiling_overhead_nj -= pending.overhead_charged_nj * refund
+        refund_dynamic = pending.dynamic_charged_nj * refund
+        refund_static = pending.static_charged_nj * refund
+        refund_overhead = pending.overhead_charged_nj * refund
+        self._dynamic_nj -= refund_dynamic
+        self._busy_static_nj -= refund_static
+        self._profiling_overhead_nj -= refund_overhead
+        victim.charged_energy_nj -= refund_dynamic + refund_static
         victim.remaining_fraction = (
             pending.fraction_at_start * (1.0 - fraction_run)
         )
         victim.preemptions += 1
+        victim.last_enqueue_cycle = self.now
         self.queue.push(victim)
+        if self._validator is not None:
+            self._validator.on_preempt(
+                victim, core,
+                fraction_run=fraction_run,
+                refund_dynamic_nj=refund_dynamic,
+                refund_static_nj=refund_static,
+                refund_overhead_nj=refund_overhead,
+            )
         if self.metrics is not None:
             self.metrics.counter("sim.preemptions").inc()
         if self.recorder.enabled:
@@ -501,9 +555,9 @@ class SchedulerSimulation:
                     benchmark=victim.benchmark,
                     category=pending.category,
                     fraction_run=fraction_run,
-                    refunded_dynamic_nj=pending.dynamic_charged_nj * refund,
-                    refunded_static_nj=pending.static_charged_nj * refund,
-                    refunded_overhead_nj=pending.overhead_charged_nj * refund,
+                    refunded_dynamic_nj=refund_dynamic,
+                    refunded_static_nj=refund_static,
+                    refunded_overhead_nj=refund_overhead,
                 )
             )
 
@@ -530,7 +584,13 @@ class SchedulerSimulation:
             raise ValueError(
                 f"{core.spec.name} cannot install {assignment.config.name}"
             )
+        previous_config = core.current_config
         cost = core.tuner.reconfigure(assignment.config)
+        if assignment.config != previous_config:
+            # Close the outgoing configuration's residency interval so
+            # idle leakage integrates at the static power that was
+            # actually installed during each idle stretch.
+            core.note_reconfigured(self.now, previous_config)
         self._reconfig_nj += cost.energy_nj
         self._reconfig_cycles += cost.cycles
 
@@ -561,12 +621,28 @@ class SchedulerSimulation:
         static_charge = estimate.energy.static_nj * fraction
         self._dynamic_nj += dynamic_charge
         self._busy_static_nj += static_charge
+        job.charged_energy_nj += dynamic_charge + static_charge
 
         work_cycles = max(1, int(round(estimate.total_cycles * fraction)))
         service = work_cycles + cost.cycles + overhead_cycles
         if job.start_cycle is None:
             job.start_cycle = self.now
+        enqueued_at = (
+            job.last_enqueue_cycle
+            if job.last_enqueue_cycle is not None
+            else job.arrival_cycle
+        )
+        job.waiting_cycles += self.now - enqueued_at
+        job.last_enqueue_cycle = None
         core.begin(job, self.now, service)
+        if self._validator is not None:
+            self._validator.on_dispatch(
+                job, core,
+                dynamic_nj=dynamic_charge,
+                static_nj=static_charge,
+                overhead_nj=overhead_nj,
+                reconfig_nj=cost.energy_nj,
+            )
 
         # Dispatch category, by precedence: a profiling run trumps
         # everything, a tuning trial trumps the policy's non-best flag.
@@ -748,6 +824,11 @@ class SchedulerSimulation:
                 if session.done:
                     self.table.mark_tuned(benchmark, assignment.config.size_kb)
 
+        # The job's attributed energy is what was actually charged over
+        # all its slices (pro-rata, refunds netted) — for a never-
+        # preempted job this equals the estimate's total exactly.
+        charged_nj = job.charged_energy_nj
+        waiting = job.waiting_cycles
         self._records.append(
             JobRecord(
                 job_id=job.job_id,
@@ -759,14 +840,16 @@ class SchedulerSimulation:
                 config_name=assignment.config.name,
                 profiled=assignment.profiling,
                 tuning=assignment.tuning,
-                energy_nj=estimate.total_energy_nj,
+                energy_nj=charged_nj,
                 priority=job.priority,
                 deadline_cycle=job.deadline_cycle,
                 preemptions=job.preemptions,
+                waiting_cycles=waiting,
             )
         )
 
-        waiting = job.start_cycle - job.arrival_cycle
+        if self._validator is not None:
+            self._validator.on_complete(job, core_index)
         if self.metrics is not None:
             metrics = self.metrics
             metrics.counter("sim.jobs_completed").inc()
@@ -783,7 +866,7 @@ class SchedulerSimulation:
                     benchmark=benchmark,
                     config=assignment.config.name,
                     category=pending.category,
-                    energy_nj=estimate.total_energy_nj,
+                    energy_nj=charged_nj,
                     waiting_cycles=waiting,
                 )
             )
@@ -792,14 +875,26 @@ class SchedulerSimulation:
 
     def _result(self) -> SimulationResult:
         makespan = max((r.completion_cycle for r in self._records), default=0)
+        # Idle leakage is integrated piecewise over each core's
+        # config-residency intervals: a core that spent part of the run
+        # under a different configuration leaks at *that* config's
+        # static power for the idle cycles of that interval, not at the
+        # final config's.  Idle cycles are grouped by power value per
+        # core before multiplying, mirroring EnergyLedger.close_idle so
+        # that validated and simulated totals agree bit-for-bit.
         idle_nj = 0.0
         for core in self.cores:
-            idle_cycles = makespan - core.busy_cycles
-            if idle_cycles < 0:  # pragma: no cover - internal invariant
-                raise RuntimeError(
-                    f"{core.spec.name} busy beyond the makespan"
-                )
-            idle_nj += idle_cycles * self.idle_power_nj_per_cycle(core)
+            per_power: Dict[float, int] = {}
+            for start, end, config, busy in core.residency_intervals(makespan):
+                idle_cycles = (end - start) - busy
+                if idle_cycles < 0:  # pragma: no cover - internal invariant
+                    raise RuntimeError(
+                        f"{core.spec.name} busy beyond the makespan"
+                    )
+                power = self.energy_table.get(config).static_per_cycle_nj
+                per_power[power] = per_power.get(power, 0) + idle_cycles
+            for power, cycles in per_power.items():
+                idle_nj += cycles * power
         predictions = {
             name: self.table.predicted_size_kb(name)
             for name in self.table.benchmarks()
@@ -844,7 +939,7 @@ class SchedulerSimulation:
                 metrics.histogram("sim.tuner.exploration_steps").observe(
                     steps
                 )
-        return SimulationResult(
+        result = SimulationResult(
             policy=self.policy.name,
             jobs_completed=len(self._records),
             makespan_cycles=makespan,
@@ -870,3 +965,6 @@ class SchedulerSimulation:
             predictions_kb=predictions,
             jobs=list(self._records),
         )
+        if self._validator is not None:
+            self._validator.finish(result, makespan)
+        return result

@@ -24,6 +24,7 @@ from .events import (
     EVENT_TYPES,
     ConfigInstalled,
     EnergyAccrued,
+    InvariantViolation,
     JobArrived,
     JobCompleted,
     JobPreempted,
@@ -67,6 +68,7 @@ __all__ = [
     "ExecutionSegment",
     "Gauge",
     "Histogram",
+    "InvariantViolation",
     "JobArrived",
     "JobCompleted",
     "JobPreempted",

@@ -32,6 +32,7 @@ __all__ = [
     "JobPreempted",
     "JobCompleted",
     "EnergyAccrued",
+    "InvariantViolation",
     "EVENT_TYPES",
     "event_from_dict",
     "validate_event_dict",
@@ -197,6 +198,25 @@ class JobCompleted(TraceEvent):
 
 
 @dataclass(frozen=True)
+class InvariantViolation(TraceEvent):
+    """A validation invariant failed (``validate=True`` runs only).
+
+    Emitted immediately before the
+    :class:`~repro.validate.ledger.ValidationError` raise, so the trace
+    of a failing run ends with the machine-readable reason.  ``check``
+    is the dotted invariant name (e.g. ``invariant.queue``,
+    ``ledger.total``); ``detail`` is the human-readable diagnosis.
+    """
+
+    kind = "invariant_violation"
+    cycle: int
+    check: str
+    detail: str
+    job_id: Optional[int] = None
+    core_index: Optional[int] = None
+
+
+@dataclass(frozen=True)
 class EnergyAccrued(TraceEvent):
     """Energy charged when an execution starts (pro-rata for resumes).
 
@@ -233,6 +253,7 @@ EVENT_TYPES: Dict[str, Type[TraceEvent]] = {
         JobPreempted,
         JobCompleted,
         EnergyAccrued,
+        InvariantViolation,
     )
 }
 
@@ -295,11 +316,12 @@ def validate_event_dict(payload: dict) -> None:
     }
     for name in present:
         value = payload[name]
-        if name in ("benchmark", "config", "category", "kind"):
+        if name in ("benchmark", "config", "category", "kind", "check",
+                    "detail"):
             if not isinstance(value, str):
                 raise ValueError(f"{kind}.{name}: expected str")
-        elif name == "core_index" and value is None:
-            continue  # StallDecision may carry no core
+        elif value is None and str(declared[name]).startswith("Optional"):
+            continue  # e.g. StallDecision / InvariantViolation core/job
         elif name in hints:
             if not _TYPE_CHECKS[int](value):
                 raise ValueError(f"{kind}.{name}: expected int")

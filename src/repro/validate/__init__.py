@@ -1,0 +1,40 @@
+"""Simulation validation: energy-conservation ledger + invariants.
+
+The paper's headline claim (28 % total-energy reduction, Figure 4's
+idle / busy-static / dynamic ledger) is an *accounting* statement, so
+the reproduction carries an independent double-entry bookkeeper that
+can prove a run's energy totals are conserved rather than trusting the
+simulation's own accumulators:
+
+* :mod:`repro.validate.ledger` — :class:`EnergyLedger` independently
+  accrues every charge and refund (dispatch, reconfiguration,
+  profiling overhead, preemption refunds, idle leakage per
+  config-residency interval) and asserts at end of run that ledger
+  totals equal the :class:`~repro.core.results.SimulationResult`
+  totals and the per-job / per-core attribution sums;
+* :mod:`repro.validate.invariants` — :class:`SimulationValidator`
+  hooks runtime invariant checks (queue conservation, core/pending
+  consistency, refund bounds, ``0 < remaining_fraction <= 1``) into a
+  :class:`~repro.core.simulation.SchedulerSimulation` behind its
+  ``validate=True`` flag;
+* :mod:`repro.validate.replay` — replays a recorded JSONL trace
+  against an event-sourced ledger (the CLI ``validate`` subcommand).
+
+Violations raise :class:`ValidationError`; with tracing attached they
+also emit an :class:`~repro.obs.events.InvariantViolation` event and
+bump the ``sim.validate.*`` counters first, so a failing run leaves a
+diagnosable trail.
+"""
+
+from .ledger import EnergyLedger, LedgerEntry, ValidationError
+from .invariants import SimulationValidator
+from .replay import ReplayReport, replay_trace
+
+__all__ = [
+    "EnergyLedger",
+    "LedgerEntry",
+    "ReplayReport",
+    "SimulationValidator",
+    "ValidationError",
+    "replay_trace",
+]

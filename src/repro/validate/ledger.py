@@ -1,0 +1,366 @@
+"""Double-entry energy-conservation ledger.
+
+The :class:`EnergyLedger` is an *independent* bookkeeper for one
+simulation run: every charge and refund the simulation makes is posted
+here too, attributed simultaneously to the run's totals, to the job it
+serves and to the core it runs on.  At end of run :meth:`check`
+asserts three mutually-redundant views agree:
+
+1. ledger category totals == the ``SimulationResult`` totals
+   (idle / busy static / dynamic-plus-overheads, and their sum);
+2. the per-job attributions sum to the execution charges
+   (dynamic + busy static net of preemption refunds), and each
+   completed job's attribution equals its ``JobRecord.energy_nj``;
+3. the per-core attributions (execution charges + reconfiguration +
+   profiling overhead + idle leakage) sum to the grand total.
+
+Idle leakage is accrued per config-residency interval
+(:meth:`~repro.core.scheduler.CoreState.residency_intervals`): a core
+that reconfigured mid-run leaks at the static power of whichever
+configuration was *installed* during each idle stretch.  Within a core
+the idle cycles are grouped by static power before multiplying, which
+both avoids needless float drift and reproduces the simulation's own
+arithmetic bit-for-bit.
+
+Comparisons use an ULP-scale relative tolerance
+(:data:`REL_TOLERANCE`): the ledger receives the same IEEE-754 values
+the simulation accumulates, in the same order, so totals agree exactly
+except for benign re-association in the per-job/per-core regroupings.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["EnergyLedger", "LedgerEntry", "ValidationError", "REL_TOLERANCE"]
+
+#: Relative tolerance of the conservation checks.  Totals are sums of
+#: thousands of nJ-scale doubles; 2**-40 relative (~1e-12) admits only
+#: re-association noise, never a lost or double-counted charge.
+REL_TOLERANCE = 2.0 ** -40
+
+#: Absolute floor (nJ) under which differences are ignored — guards the
+#: all-zero corner (empty refunds, zero-cost reconfigurations).
+ABS_TOLERANCE = 1e-6
+
+
+class ValidationError(AssertionError):
+    """An energy-conservation or runtime invariant was violated.
+
+    Subclasses ``AssertionError`` so a validated run fails loudly under
+    test harnesses while remaining a distinct, catchable type.
+    """
+
+    def __init__(self, check: str, detail: str) -> None:
+        super().__init__(f"{check}: {detail}")
+        self.check = check
+        self.detail = detail
+
+
+@dataclass(frozen=True)
+class LedgerEntry:
+    """One posted charge (positive) or refund (negative amounts).
+
+    ``kind`` is one of ``dispatch``, ``refund`` or ``idle``; dispatch
+    entries may also carry reconfiguration energy (the tuner runs at
+    dispatch time).
+    """
+
+    cycle: int
+    kind: str
+    job_id: Optional[int]
+    core_index: Optional[int]
+    dynamic_nj: float = 0.0
+    static_nj: float = 0.0
+    overhead_nj: float = 0.0
+    reconfig_nj: float = 0.0
+    idle_nj: float = 0.0
+
+    @property
+    def total_nj(self) -> float:
+        """Signed sum of every component of the entry."""
+        return (
+            self.dynamic_nj
+            + self.static_nj
+            + self.overhead_nj
+            + self.reconfig_nj
+            + self.idle_nj
+        )
+
+
+def _close(a: float, b: float) -> bool:
+    return math.isclose(a, b, rel_tol=REL_TOLERANCE, abs_tol=ABS_TOLERANCE)
+
+
+class EnergyLedger:
+    """Independent double-entry accrual of one run's energy flows.
+
+    Parameters
+    ----------
+    keep_entries:
+        Retain every posted :class:`LedgerEntry` (diagnostics, tests).
+        Off by default: the running totals alone are enough for the
+        conservation checks, and long runs post one entry per dispatch.
+    """
+
+    def __init__(self, *, keep_entries: bool = False) -> None:
+        self.entries: List[LedgerEntry] = []
+        self._keep = keep_entries
+        # Category totals (the result's decomposition).
+        self.dynamic_nj = 0.0
+        self.busy_static_nj = 0.0
+        self.overhead_nj = 0.0
+        self.reconfig_nj = 0.0
+        self.idle_nj = 0.0
+        # Attribution views.
+        self.per_job_nj: Dict[int, float] = {}
+        self.per_core_nj: Dict[int, float] = {}
+        self.dispatches = 0
+        self.refunds = 0
+        self.closed = False
+
+    # -- posting -------------------------------------------------------------
+
+    def post_dispatch(
+        self,
+        cycle: int,
+        job_id: int,
+        core_index: int,
+        *,
+        dynamic_nj: float,
+        static_nj: float,
+        overhead_nj: float = 0.0,
+        reconfig_nj: float = 0.0,
+    ) -> None:
+        """Record an execution start's charges (pro-rata for resumes)."""
+        self._require_open()
+        for name, value in (
+            ("dynamic_nj", dynamic_nj),
+            ("static_nj", static_nj),
+            ("overhead_nj", overhead_nj),
+            ("reconfig_nj", reconfig_nj),
+        ):
+            if value < 0.0 or math.isnan(value):
+                raise ValidationError(
+                    "ledger.dispatch",
+                    f"cycle {cycle} job {job_id}: {name}={value} "
+                    "must be a non-negative number",
+                )
+        self.dynamic_nj += dynamic_nj
+        self.busy_static_nj += static_nj
+        self.overhead_nj += overhead_nj
+        self.reconfig_nj += reconfig_nj
+        # Job attribution covers the execution's own energy; system
+        # overheads (tuner, counter readout) attribute to the core only.
+        self.per_job_nj[job_id] = (
+            self.per_job_nj.get(job_id, 0.0) + (dynamic_nj + static_nj)
+        )
+        self.per_core_nj[core_index] = (
+            self.per_core_nj.get(core_index, 0.0)
+            + (dynamic_nj + static_nj + overhead_nj + reconfig_nj)
+        )
+        self.dispatches += 1
+        if self._keep:
+            self.entries.append(LedgerEntry(
+                cycle=cycle, kind="dispatch", job_id=job_id,
+                core_index=core_index, dynamic_nj=dynamic_nj,
+                static_nj=static_nj, overhead_nj=overhead_nj,
+                reconfig_nj=reconfig_nj,
+            ))
+
+    def post_refund(
+        self,
+        cycle: int,
+        job_id: int,
+        core_index: int,
+        *,
+        dynamic_nj: float,
+        static_nj: float,
+        overhead_nj: float = 0.0,
+    ) -> None:
+        """Record a preemption's pro-rata refund (amounts are positive)."""
+        self._require_open()
+        for name, value in (
+            ("dynamic_nj", dynamic_nj),
+            ("static_nj", static_nj),
+            ("overhead_nj", overhead_nj),
+        ):
+            if value < 0.0 or math.isnan(value):
+                raise ValidationError(
+                    "ledger.refund",
+                    f"cycle {cycle} job {job_id}: refund {name}={value} "
+                    "must be a non-negative number",
+                )
+        charged = self.per_job_nj.get(job_id, 0.0)
+        refunded = dynamic_nj + static_nj
+        if refunded > charged and not _close(refunded, charged):
+            raise ValidationError(
+                "ledger.refund",
+                f"cycle {cycle} job {job_id}: refund {refunded} nJ exceeds "
+                f"the {charged} nJ charged so far",
+            )
+        self.dynamic_nj -= dynamic_nj
+        self.busy_static_nj -= static_nj
+        self.overhead_nj -= overhead_nj
+        self.per_job_nj[job_id] = charged - refunded
+        self.per_core_nj[core_index] = (
+            self.per_core_nj.get(core_index, 0.0)
+            - (dynamic_nj + static_nj + overhead_nj)
+        )
+        self.refunds += 1
+        if self._keep:
+            self.entries.append(LedgerEntry(
+                cycle=cycle, kind="refund", job_id=job_id,
+                core_index=core_index, dynamic_nj=-dynamic_nj,
+                static_nj=-static_nj, overhead_nj=-overhead_nj,
+            ))
+
+    def post_idle(
+        self, core_index: int, idle_cycles: int, power_nj_per_cycle: float
+    ) -> None:
+        """Accrue one idle-leakage lot (cycles at one static power)."""
+        self._require_open()
+        if idle_cycles < 0:
+            raise ValidationError(
+                "ledger.idle",
+                f"core {core_index}: negative idle cycles {idle_cycles} "
+                "(busy beyond its residency interval)",
+            )
+        energy = idle_cycles * power_nj_per_cycle
+        self.idle_nj += energy
+        self.per_core_nj[core_index] = (
+            self.per_core_nj.get(core_index, 0.0) + energy
+        )
+        if self._keep:
+            self.entries.append(LedgerEntry(
+                cycle=0, kind="idle", job_id=None,
+                core_index=core_index, idle_nj=energy,
+            ))
+
+    def close_idle(
+        self,
+        cores: Sequence,
+        makespan: int,
+        power_of,
+    ) -> None:
+        """Integrate idle leakage piecewise over config residencies.
+
+        ``cores`` are :class:`~repro.core.scheduler.CoreState` objects,
+        ``power_of(config)`` maps a configuration to its static nJ per
+        cycle.  Within one core, idle cycles are grouped by power value
+        before multiplying (see module docstring).
+        """
+        for core in cores:
+            per_power: Dict[float, int] = {}
+            for start, end, config, busy in core.residency_intervals(makespan):
+                idle_cycles = (end - start) - busy
+                if idle_cycles < 0:
+                    raise ValidationError(
+                        "ledger.idle",
+                        f"core {core.index}: busy {busy} cycles exceed the "
+                        f"[{start}, {end}) residency interval",
+                    )
+                power = power_of(config)
+                per_power[power] = per_power.get(power, 0) + idle_cycles
+            for power, cycles in per_power.items():
+                self.post_idle(core.index, cycles, power)
+        self.closed = True
+
+    # -- derived totals ------------------------------------------------------
+
+    @property
+    def execution_nj(self) -> float:
+        """Net execution energy (dynamic + busy static, refunds netted)."""
+        return self.dynamic_nj + self.busy_static_nj
+
+    @property
+    def dynamic_with_overheads_nj(self) -> float:
+        """The result's ``dynamic_energy_nj`` bucket (incl. overheads)."""
+        return self.dynamic_nj + self.reconfig_nj + self.overhead_nj
+
+    @property
+    def total_nj(self) -> float:
+        """Grand total: idle + busy static + dynamic + overheads."""
+        return (
+            self.idle_nj
+            + self.busy_static_nj
+            + self.dynamic_nj
+            + self.reconfig_nj
+            + self.overhead_nj
+        )
+
+    # -- checks --------------------------------------------------------------
+
+    def _require_open(self) -> None:
+        if self.closed:
+            raise ValidationError(
+                "ledger.closed", "cannot post after close_idle()"
+            )
+
+    def _compare(self, check: str, ledger: float, reported: float) -> None:
+        if not _close(ledger, reported):
+            raise ValidationError(
+                check,
+                f"ledger accrued {ledger!r} nJ but the simulation reported "
+                f"{reported!r} nJ (diff {reported - ledger:+.6g})",
+            )
+
+    def check(self, result, records: Optional[Sequence] = None) -> None:
+        """Assert the ledger agrees with a ``SimulationResult``.
+
+        ``records`` defaults to ``result.jobs``; pass explicitly when
+        checking a partial view.  Raises :class:`ValidationError` on the
+        first disagreement.
+        """
+        if records is None:
+            records = result.jobs
+        self._compare("ledger.idle", self.idle_nj, result.idle_energy_nj)
+        self._compare(
+            "ledger.busy_static",
+            self.busy_static_nj,
+            result.busy_static_energy_nj,
+        )
+        self._compare(
+            "ledger.dynamic",
+            self.dynamic_with_overheads_nj,
+            result.dynamic_energy_nj,
+        )
+        self._compare(
+            "ledger.reconfig", self.reconfig_nj, result.reconfig_energy_nj
+        )
+        self._compare(
+            "ledger.overhead",
+            self.overhead_nj,
+            result.profiling_overhead_nj,
+        )
+        self._compare("ledger.total", self.total_nj, result.total_energy_nj)
+
+        # Per-job attribution: each record's energy is what the ledger
+        # actually charged that job, and the attributions sum to the
+        # net execution energy.
+        for record in records:
+            attributed = self.per_job_nj.get(record.job_id)
+            if attributed is None:
+                raise ValidationError(
+                    "ledger.job",
+                    f"job {record.job_id} completed but was never charged",
+                )
+            if not _close(attributed, record.energy_nj):
+                raise ValidationError(
+                    "ledger.job",
+                    f"job {record.job_id}: ledger charged {attributed!r} nJ "
+                    f"but its record reports {record.energy_nj!r} nJ",
+                )
+        self._compare(
+            "ledger.job_sum",
+            math.fsum(self.per_job_nj.values()),
+            self.execution_nj,
+        )
+        # Per-core attribution: cores partition the grand total.
+        self._compare(
+            "ledger.core_sum",
+            math.fsum(self.per_core_nj.values()),
+            self.total_nj,
+        )

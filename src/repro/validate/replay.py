@@ -1,0 +1,281 @@
+"""Replay a recorded JSONL trace against an event-sourced ledger.
+
+A simulation trace (:mod:`repro.obs`) carries every accounting event a
+run made: ``energy_accrued`` charges, ``config_installed``
+reconfiguration costs, ``job_preempted`` refunds and ``job_completed``
+attributions.  :func:`replay_trace` rebuilds the energy ledger purely
+from those events and checks the stream's internal consistency — no
+simulation, store or energy table required, so a trace file alone is
+auditable after the fact (the CLI ``validate`` subcommand).
+
+Checks performed:
+
+* event cycles are monotonically non-decreasing;
+* every ``job_preempted`` matches an open execution on that core, its
+  ``fraction_run`` lies in ``[0, 1)``, its refunds are non-negative
+  and the refunded share equals ``(1 - fraction_run)`` of the charges;
+* every ``job_completed`` closes an open execution on that core, and
+  its ``energy_nj`` equals the net charge (dispatch charges minus
+  refunds) the trace accrued for that job;
+* ``waiting_cycles`` are non-negative, and at least the job's
+  first-dispatch wait when the trace carries the arrival;
+* at end of trace no execution is left open, and every arrived job
+  either completed or was never dispatched (jobs may legitimately
+  still be queued only if the trace was truncated — reported, not
+  fatal, via :attr:`ReplayReport.unfinished_jobs`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.events import (
+    ConfigInstalled,
+    EnergyAccrued,
+    JobArrived,
+    JobCompleted,
+    JobPreempted,
+    TraceEvent,
+)
+
+from .ledger import ABS_TOLERANCE, REL_TOLERANCE, ValidationError
+
+__all__ = ["ReplayReport", "replay_trace"]
+
+
+def _close(a: float, b: float) -> bool:
+    return math.isclose(a, b, rel_tol=REL_TOLERANCE, abs_tol=ABS_TOLERANCE)
+
+
+@dataclass
+class _OpenExecution:
+    job_id: int
+    dynamic_nj: float
+    static_nj: float
+    overhead_nj: float
+
+
+@dataclass
+class ReplayReport:
+    """Outcome of one trace replay (all checks passed)."""
+
+    events: int
+    arrivals: int
+    completions: int
+    preemptions: int
+    reconfigurations: int
+    #: Net execution energy accrued by the trace (dynamic + static,
+    #: refunds netted; excludes overheads and idle, which dispatch-time
+    #: events cannot carry).
+    execution_nj: float
+    overhead_nj: float
+    reconfig_nj: float
+    #: Net charge per job over all its slices.
+    per_job_nj: Dict[int, float] = field(default_factory=dict)
+    #: Jobs that arrived but neither completed nor were dispatched —
+    #: nonempty only for truncated traces.
+    unfinished_jobs: Tuple[int, ...] = ()
+
+    def summary(self) -> str:
+        """Human-readable one-paragraph report."""
+        lines = [
+            f"events:            {self.events}",
+            f"arrivals:          {self.arrivals}",
+            f"completions:       {self.completions}",
+            f"preemptions:       {self.preemptions}",
+            f"reconfigurations:  {self.reconfigurations}",
+            f"execution energy:  {self.execution_nj / 1e6:.4f} mJ "
+            "(net of refunds)",
+            f"profiling overhead:{self.overhead_nj / 1e6:.4f} mJ",
+            f"reconfig energy:   {self.reconfig_nj / 1e6:.4f} mJ",
+            "ledger: conserved (charges - refunds == per-job attributions)",
+        ]
+        if self.unfinished_jobs:
+            lines.append(
+                f"warning: {len(self.unfinished_jobs)} arrived jobs never "
+                "completed (truncated trace?)"
+            )
+        return "\n".join(lines)
+
+
+def replay_trace(events: Iterable[TraceEvent]) -> ReplayReport:
+    """Re-derive and check the energy ledger of a recorded trace.
+
+    Raises :class:`~repro.validate.ledger.ValidationError` on the first
+    inconsistency; returns a :class:`ReplayReport` otherwise.
+    """
+    open_execs: Dict[int, _OpenExecution] = {}
+    per_job: Dict[int, float] = {}
+    arrived: Dict[int, int] = {}
+    completed: set = set()
+    execution_nj = 0.0
+    overhead_nj = 0.0
+    reconfig_nj = 0.0
+    counts = {"events": 0, "arrivals": 0, "completions": 0,
+              "preemptions": 0, "reconfigurations": 0}
+    last_cycle = -1
+
+    for index, event in enumerate(events):
+        counts["events"] += 1
+        cycle = getattr(event, "cycle", None)
+        if cycle is None or cycle < last_cycle:
+            raise ValidationError(
+                "replay.order",
+                f"event {index} ({event.kind}) at cycle {cycle} precedes "
+                f"cycle {last_cycle}",
+            )
+        last_cycle = cycle
+
+        if isinstance(event, JobArrived):
+            counts["arrivals"] += 1
+            arrived[event.job_id] = cycle
+
+        elif isinstance(event, ConfigInstalled):
+            counts["reconfigurations"] += 1
+            if event.energy_nj < 0 or event.cycles < 0:
+                raise ValidationError(
+                    "replay.reconfig",
+                    f"event {index}: negative reconfiguration cost",
+                )
+            reconfig_nj += event.energy_nj
+
+        elif isinstance(event, EnergyAccrued):
+            if event.core_index in open_execs:
+                raise ValidationError(
+                    "replay.dispatch",
+                    f"event {index}: core {event.core_index} charged for "
+                    f"job {event.job_id} while job "
+                    f"{open_execs[event.core_index].job_id} is still "
+                    "running on it",
+                )
+            if min(event.dynamic_nj, event.static_nj, event.overhead_nj) < 0:
+                raise ValidationError(
+                    "replay.dispatch",
+                    f"event {index}: negative charge for job "
+                    f"{event.job_id}",
+                )
+            open_execs[event.core_index] = _OpenExecution(
+                job_id=event.job_id,
+                dynamic_nj=event.dynamic_nj,
+                static_nj=event.static_nj,
+                overhead_nj=event.overhead_nj,
+            )
+            execution_nj += event.dynamic_nj + event.static_nj
+            overhead_nj += event.overhead_nj
+            per_job[event.job_id] = (
+                per_job.get(event.job_id, 0.0)
+                + (event.dynamic_nj + event.static_nj)
+            )
+
+        elif isinstance(event, JobPreempted):
+            counts["preemptions"] += 1
+            execution = open_execs.pop(event.core_index, None)
+            if execution is None or execution.job_id != event.job_id:
+                raise ValidationError(
+                    "replay.preempt",
+                    f"event {index}: preemption of job {event.job_id} on "
+                    f"core {event.core_index} matches no open execution",
+                )
+            if not 0.0 <= event.fraction_run < 1.0:
+                raise ValidationError(
+                    "replay.preempt",
+                    f"event {index}: fraction_run {event.fraction_run!r} "
+                    "outside [0, 1)",
+                )
+            refunds = (
+                event.refunded_dynamic_nj,
+                event.refunded_static_nj,
+                event.refunded_overhead_nj,
+            )
+            if min(refunds) < 0:
+                raise ValidationError(
+                    "replay.preempt",
+                    f"event {index}: negative refund for job "
+                    f"{event.job_id}",
+                )
+            share = 1.0 - event.fraction_run
+            for name, refunded, charged in (
+                ("dynamic", event.refunded_dynamic_nj, execution.dynamic_nj),
+                ("static", event.refunded_static_nj, execution.static_nj),
+                ("overhead", event.refunded_overhead_nj,
+                 execution.overhead_nj),
+            ):
+                if not _close(refunded, charged * share):
+                    raise ValidationError(
+                        "replay.preempt",
+                        f"event {index}: job {event.job_id} {name} refund "
+                        f"{refunded!r} is not (1 - fraction_run) = "
+                        f"{share!r} of the {charged!r} charged",
+                    )
+            execution_nj -= (
+                event.refunded_dynamic_nj + event.refunded_static_nj
+            )
+            overhead_nj -= event.refunded_overhead_nj
+            per_job[event.job_id] = per_job.get(event.job_id, 0.0) - (
+                event.refunded_dynamic_nj + event.refunded_static_nj
+            )
+
+        elif isinstance(event, JobCompleted):
+            counts["completions"] += 1
+            execution = open_execs.pop(event.core_index, None)
+            if execution is None or execution.job_id != event.job_id:
+                raise ValidationError(
+                    "replay.complete",
+                    f"event {index}: completion of job {event.job_id} on "
+                    f"core {event.core_index} matches no open execution",
+                )
+            if event.job_id in completed:
+                raise ValidationError(
+                    "replay.complete",
+                    f"event {index}: job {event.job_id} completed twice",
+                )
+            completed.add(event.job_id)
+            if event.waiting_cycles < 0:
+                raise ValidationError(
+                    "replay.complete",
+                    f"event {index}: job {event.job_id} waiting_cycles "
+                    f"{event.waiting_cycles} is negative",
+                )
+            attributed = per_job.get(event.job_id, 0.0)
+            if not _close(attributed, event.energy_nj):
+                raise ValidationError(
+                    "replay.attribution",
+                    f"event {index}: job {event.job_id} reports "
+                    f"{event.energy_nj!r} nJ but its slices net to "
+                    f"{attributed!r} nJ",
+                )
+
+    if open_execs:
+        stuck = sorted(e.job_id for e in open_execs.values())
+        raise ValidationError(
+            "replay.drain",
+            f"trace ended with executions still open for jobs {stuck}",
+        )
+    unfinished = tuple(sorted(
+        job_id for job_id in arrived
+        if job_id not in completed and job_id not in per_job
+    ))
+    dispatched_unfinished = sorted(
+        job_id for job_id in per_job
+        if job_id not in completed
+    )
+    if dispatched_unfinished:
+        raise ValidationError(
+            "replay.drain",
+            f"jobs {dispatched_unfinished} were charged but never "
+            "completed",
+        )
+    return ReplayReport(
+        events=counts["events"],
+        arrivals=counts["arrivals"],
+        completions=counts["completions"],
+        preemptions=counts["preemptions"],
+        reconfigurations=counts["reconfigurations"],
+        execution_nj=execution_nj,
+        overhead_nj=overhead_nj,
+        reconfig_nj=reconfig_nj,
+        per_job_nj=dict(per_job),
+        unfinished_jobs=unfinished,
+    )

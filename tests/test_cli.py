@@ -96,6 +96,21 @@ class TestParser:
         assert args.validate
         assert args.json == "out.json"
 
+    def test_validate_command_args(self):
+        args = build_parser().parse_args(
+            ["validate", "t.jsonl", "--json", "out.json"]
+        )
+        assert args.path == "t.jsonl"
+        assert args.json == "out.json"
+
+    def test_validate_flags_on_compare_and_campaign(self):
+        args = build_parser().parse_args(["compare", "--validate"])
+        assert args.validate
+        args = build_parser().parse_args(["compare"])
+        assert not args.validate
+        args = build_parser().parse_args(["campaign", "--validate"])
+        assert args.validate
+
     def test_observability_flags(self):
         args = build_parser().parse_args(
             ["compare", "--trace", "t.jsonl", "--metrics-out", "m.json"]
@@ -249,6 +264,77 @@ class TestCommands:
         observed = cells[0]["observed"]
         assert observed["sim.jobs_completed"]["mean"] == 40.0
         assert observed["sim.jobs_completed"]["n"] == 2
+
+    def test_compare_with_validate(self, capsys):
+        code = main([
+            "compare", "--jobs", "40", "--seed", "0",
+            "--predictor", "oracle", "--validate",
+        ])
+        assert code == 0
+        assert "Figure 6" in capsys.readouterr().out
+
+    def test_campaign_with_validate(self, capsys):
+        code = main([
+            "campaign", "--policies", "base", "--seeds", "0",
+            "--jobs", "30", "--workers", "1", "--validate",
+        ])
+        assert code == 0
+        assert "replications=1" in capsys.readouterr().out
+
+    def test_validate_replays_clean_trace(self, capsys, tmp_path):
+        trace_template = tmp_path / "run.jsonl"
+        assert main([
+            "compare", "--jobs", "40", "--seed", "0",
+            "--predictor", "oracle", "--trace", str(trace_template),
+        ]) == 0
+        capsys.readouterr()
+        report_path = tmp_path / "report.json"
+        code = main([
+            "validate", str(tmp_path / "run.proposed.jsonl"),
+            "--json", str(report_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "OK" in out
+        assert "ledger: conserved" in out
+        import json as json_module
+
+        payload = json_module.loads(report_path.read_text())
+        assert payload["completions"] == 40
+        assert payload["unfinished_jobs"] == []
+
+    def test_validate_detects_corrupt_trace(self, capsys, tmp_path):
+        trace_template = tmp_path / "run.jsonl"
+        assert main([
+            "compare", "--jobs", "40", "--seed", "0",
+            "--predictor", "oracle", "--trace", str(trace_template),
+        ]) == 0
+        capsys.readouterr()
+        import json as json_module
+
+        path = tmp_path / "run.proposed.jsonl"
+        lines = path.read_text().splitlines()
+        for index, line in enumerate(lines):
+            payload = json_module.loads(line)
+            if payload["kind"] == "job_completed":
+                payload["energy_nj"] *= 1.5
+                lines[index] = json_module.dumps(payload)
+                break
+        path.write_text("\n".join(lines) + "\n")
+        assert main(["validate", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "FAILED" in err
+        assert "replay.attribution" in err
+
+    def test_validate_missing_file(self, capsys, tmp_path):
+        assert main(["validate", str(tmp_path / "nope.jsonl")]) == 2
+        assert "no such trace file" in capsys.readouterr().err
+
+    def test_validate_rejects_malformed_line(self, capsys, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind":"mystery","cycle":0}\n')
+        assert main(["validate", str(path)]) == 2
+        assert "unknown event kind" in capsys.readouterr().err
 
     def test_compare_summaries_flag(self, capsys):
         code = main([

@@ -1,0 +1,65 @@
+"""Golden end-to-end conservation and bit-identity guarantees.
+
+Two contracts:
+
+* ``total == idle + busy_static + dynamic`` holds *bit-exactly* for
+  every policy x discipline x preemption combination (the result's
+  ``total_energy_nj`` is defined as that sum, and the ledger re-derives
+  each term independently);
+* attaching ``validate=True`` never changes a passing run's results.
+"""
+
+import dataclasses
+
+import pytest
+
+from .conftest import SUITE_NAMES, arrivals_for, make_simulation, qos_arrivals
+
+POLICIES = ("base", "optimal", "energy_centric", "proposed")
+DISCIPLINES = ("fifo", "priority", "edf")
+
+
+def scenario(discipline, preemptive):
+    if discipline == "fifo":
+        return arrivals_for(SUITE_NAMES * 4, gap=60_000)
+    return qos_arrivals(repeats=4, gap=60_000)
+
+
+def grid():
+    for policy in POLICIES:
+        for discipline in DISCIPLINES:
+            for preemptive in (False, True):
+                if preemptive and discipline == "fifo":
+                    continue
+                yield policy, discipline, preemptive
+
+
+@pytest.mark.parametrize("policy,discipline,preemptive", list(grid()))
+def test_total_is_exact_sum_of_categories(policy, discipline, preemptive,
+                                          small_store, oracle, energy_table):
+    sim = make_simulation(policy, small_store, oracle, energy_table,
+                          discipline=discipline, preemptive=preemptive,
+                          validate=True)
+    result = sim.run(scenario(discipline, preemptive))
+    assert result.total_energy_nj == (
+        result.idle_energy_nj
+        + result.busy_static_energy_nj
+        + result.dynamic_energy_nj
+    )
+    # The dynamic bucket contains its overhead sub-buckets.
+    assert result.reconfig_energy_nj <= result.dynamic_energy_nj
+    assert result.profiling_overhead_nj <= result.dynamic_energy_nj
+
+
+@pytest.mark.parametrize("policy,discipline,preemptive", list(grid()))
+def test_validation_does_not_change_results(policy, discipline, preemptive,
+                                            small_store, oracle,
+                                            energy_table):
+    arrivals = scenario(discipline, preemptive)
+    plain = make_simulation(policy, small_store, oracle, energy_table,
+                            discipline=discipline,
+                            preemptive=preemptive).run(arrivals)
+    checked = make_simulation(policy, small_store, oracle, energy_table,
+                              discipline=discipline, preemptive=preemptive,
+                              validate=True).run(arrivals)
+    assert dataclasses.asdict(plain) == dataclasses.asdict(checked)

@@ -1,0 +1,199 @@
+"""Tests for the runtime invariant harness (``validate=True``)."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.obs import InvariantViolation, ListRecorder, MetricsRegistry
+from repro.validate import EnergyLedger, SimulationValidator, ValidationError
+
+from .conftest import SUITE_NAMES, arrivals_for, make_simulation
+
+
+def fake_sim(**overrides):
+    """The minimal sim surface the validator hooks touch."""
+    sim = SimpleNamespace(
+        now=0,
+        metrics=None,
+        recorder=SimpleNamespace(enabled=False),
+        queue=[],
+        _pending={},
+        cores=[],
+    )
+    for key, value in overrides.items():
+        setattr(sim, key, value)
+    return sim
+
+
+def fake_job(job_id=1, remaining=1.0):
+    return SimpleNamespace(job_id=job_id, remaining_fraction=remaining)
+
+
+def fake_core(index=0):
+    return SimpleNamespace(index=index)
+
+
+class TestHookGuards:
+    def test_dispatch_fraction_out_of_range(self):
+        validator = SimulationValidator(fake_sim())
+        with pytest.raises(ValidationError, match="invariant.fraction"):
+            validator.on_dispatch(
+                fake_job(remaining=0.0), fake_core(),
+                dynamic_nj=1.0, static_nj=1.0, overhead_nj=0.0,
+                reconfig_nj=0.0,
+            )
+
+    def test_dispatch_negative_charge(self):
+        validator = SimulationValidator(fake_sim())
+        with pytest.raises(ValidationError, match="ledger.dispatch"):
+            validator.on_dispatch(
+                fake_job(), fake_core(),
+                dynamic_nj=-1.0, static_nj=0.0, overhead_nj=0.0,
+                reconfig_nj=0.0,
+            )
+
+    def test_preempt_fraction_run_out_of_range(self):
+        validator = SimulationValidator(fake_sim())
+        with pytest.raises(ValidationError, match="invariant.fraction"):
+            validator.on_preempt(
+                fake_job(remaining=0.5), fake_core(), fraction_run=1.0,
+                refund_dynamic_nj=0.0, refund_static_nj=0.0,
+                refund_overhead_nj=0.0,
+            )
+
+    def test_preempt_requeued_fraction_out_of_range(self):
+        validator = SimulationValidator(fake_sim())
+        with pytest.raises(ValidationError, match="invariant.fraction"):
+            validator.on_preempt(
+                fake_job(remaining=0.0), fake_core(), fraction_run=0.5,
+                refund_dynamic_nj=0.0, refund_static_nj=0.0,
+                refund_overhead_nj=0.0,
+            )
+
+    def test_preempt_negative_refund(self):
+        validator = SimulationValidator(fake_sim())
+        with pytest.raises(ValidationError, match="invariant.refund"):
+            validator.on_preempt(
+                fake_job(remaining=0.5), fake_core(), fraction_run=0.5,
+                refund_dynamic_nj=-1.0, refund_static_nj=0.0,
+                refund_overhead_nj=0.0,
+            )
+
+    def test_complete_with_work_left(self):
+        validator = SimulationValidator(fake_sim())
+        validator.ledger.post_dispatch(0, 1, 0, dynamic_nj=1.0,
+                                       static_nj=0.0)
+        with pytest.raises(ValidationError, match="invariant.fraction"):
+            validator.on_complete(fake_job(remaining=0.25), core_index=0)
+
+
+class TestStructuralInvariants:
+    def test_queue_conservation_violation(self):
+        validator = SimulationValidator(fake_sim())
+        validator.arrived = 2
+        validator.completed = 0
+        with pytest.raises(ValidationError, match="invariant.queue"):
+            validator.after_event()
+
+    def test_idle_core_with_pending_execution(self):
+        core = SimpleNamespace(index=0, current_job=None)
+        sim = fake_sim(
+            cores=[core],
+            _pending={0: SimpleNamespace(job=fake_job(job_id=7))},
+        )
+        validator = SimulationValidator(sim)
+        validator.arrived = 1
+        with pytest.raises(ValidationError, match="invariant.core"):
+            validator.after_event()
+
+    def test_busy_core_without_pending_execution(self):
+        core = SimpleNamespace(index=0, current_job=fake_job(job_id=7),
+                               busy_until=100)
+        sim = fake_sim(cores=[core], _pending={})
+        validator = SimulationValidator(sim)
+        validator.arrived = 1
+        validator.sim._pending = {}
+        sim.queue = [fake_job(job_id=8)]
+        with pytest.raises(ValidationError, match="invariant.core"):
+            validator.after_event()
+
+    def test_core_occupied_past_release(self):
+        job = fake_job(job_id=7)
+        core = SimpleNamespace(index=0, current_job=job, busy_until=50)
+        sim = fake_sim(cores=[core],
+                       _pending={0: SimpleNamespace(job=job)}, now=100)
+        validator = SimulationValidator(sim)
+        validator.arrived = 1
+        with pytest.raises(ValidationError, match="past its release"):
+            validator.after_event()
+
+    def test_busy_until_equal_to_now_is_legal(self):
+        # The completion event may still be queued at this timestamp.
+        job = fake_job(job_id=7)
+        core = SimpleNamespace(index=0, current_job=job, busy_until=100)
+        sim = fake_sim(cores=[core],
+                       _pending={0: SimpleNamespace(job=job)}, now=100)
+        validator = SimulationValidator(sim)
+        validator.arrived = 1
+        validator.after_event()
+
+
+class TestViolationReporting:
+    def test_violation_emits_event_and_counter(self):
+        recorder = ListRecorder()
+        metrics = MetricsRegistry()
+        sim = fake_sim(recorder=recorder, metrics=metrics, now=42)
+        validator = SimulationValidator(sim)
+        validator.arrived = 1
+        with pytest.raises(ValidationError):
+            validator.after_event()
+        [event] = recorder.events
+        assert isinstance(event, InvariantViolation)
+        assert event.check == "invariant.queue"
+        assert event.cycle == 42
+        assert metrics.counter("sim.validate.violations").value == 1
+
+    def test_violation_event_round_trips(self):
+        from repro.obs import event_from_dict, validate_event_dict
+
+        event = InvariantViolation(cycle=1, check="ledger.total",
+                                   detail="off by 1", job_id=None,
+                                   core_index=3)
+        payload = event.to_dict()
+        validate_event_dict(payload)
+        assert event_from_dict(payload) == event
+
+
+class TestEndToEnd:
+    def test_clean_run_passes_and_counts_checks(self, small_store, oracle,
+                                                energy_table):
+        metrics = MetricsRegistry()
+        sim = make_simulation("proposed", small_store, oracle, energy_table,
+                              validate=True, metrics=metrics)
+        sim.run(arrivals_for(SUITE_NAMES * 3))
+        assert metrics.counter("sim.validate.checks").value > 0
+        assert metrics.counter("sim.validate.violations").value == 0
+
+    def test_lost_charge_is_detected_at_finish(self, small_store, oracle,
+                                               energy_table, monkeypatch):
+        """Sabotage: the ledger misses half of every dynamic charge, so
+        the end-of-run conservation check must fail."""
+        original = EnergyLedger.post_dispatch
+
+        def lossy(self, cycle, job_id, core_index, *, dynamic_nj,
+                  static_nj, overhead_nj=0.0, reconfig_nj=0.0):
+            original(self, cycle, job_id, core_index,
+                     dynamic_nj=dynamic_nj * 0.5, static_nj=static_nj,
+                     overhead_nj=overhead_nj, reconfig_nj=reconfig_nj)
+
+        monkeypatch.setattr(EnergyLedger, "post_dispatch", lossy)
+        sim = make_simulation("base", small_store, oracle, energy_table,
+                              validate=True)
+        with pytest.raises(ValidationError, match="ledger."):
+            sim.run(arrivals_for(SUITE_NAMES))
+
+    def test_unvalidated_run_has_no_validator(self, small_store, oracle,
+                                              energy_table):
+        sim = make_simulation("base", small_store, oracle, energy_table)
+        assert sim._validator is None
+        sim.run(arrivals_for(SUITE_NAMES))

@@ -1,0 +1,203 @@
+"""Unit tests for the double-entry energy ledger."""
+
+import math
+from types import SimpleNamespace
+
+import pytest
+
+from repro.validate import EnergyLedger, ValidationError
+
+
+def make_result(ledger, jobs=()):
+    """A SimulationResult-shaped view that matches the ledger exactly."""
+    return SimpleNamespace(
+        idle_energy_nj=ledger.idle_nj,
+        busy_static_energy_nj=ledger.busy_static_nj,
+        dynamic_energy_nj=ledger.dynamic_with_overheads_nj,
+        reconfig_energy_nj=ledger.reconfig_nj,
+        profiling_overhead_nj=ledger.overhead_nj,
+        total_energy_nj=ledger.total_nj,
+        jobs=list(jobs),
+    )
+
+
+def job_record(job_id, energy_nj):
+    return SimpleNamespace(job_id=job_id, energy_nj=energy_nj)
+
+
+class TestPosting:
+    def test_dispatch_accrues_all_views(self):
+        ledger = EnergyLedger()
+        ledger.post_dispatch(100, 1, 0, dynamic_nj=10.0, static_nj=4.0,
+                             overhead_nj=2.0, reconfig_nj=1.0)
+        assert ledger.dynamic_nj == 10.0
+        assert ledger.busy_static_nj == 4.0
+        assert ledger.overhead_nj == 2.0
+        assert ledger.reconfig_nj == 1.0
+        # Overheads attribute to the core, not to the job.
+        assert ledger.per_job_nj == {1: 14.0}
+        assert ledger.per_core_nj == {0: 17.0}
+        assert ledger.dispatches == 1
+
+    def test_refund_nets_out(self):
+        ledger = EnergyLedger()
+        ledger.post_dispatch(0, 1, 0, dynamic_nj=10.0, static_nj=4.0)
+        ledger.post_refund(50, 1, 0, dynamic_nj=5.0, static_nj=2.0)
+        assert ledger.execution_nj == pytest.approx(7.0)
+        assert ledger.per_job_nj[1] == pytest.approx(7.0)
+        assert ledger.per_core_nj[0] == pytest.approx(7.0)
+        assert ledger.refunds == 1
+
+    def test_idle_accrues_per_core(self):
+        ledger = EnergyLedger()
+        ledger.post_idle(0, 1000, 0.25)
+        ledger.post_idle(1, 500, 0.5)
+        assert ledger.idle_nj == pytest.approx(500.0)
+        assert ledger.per_core_nj == {0: 250.0, 1: 250.0}
+
+    def test_negative_charge_rejected(self):
+        ledger = EnergyLedger()
+        with pytest.raises(ValidationError, match="ledger.dispatch"):
+            ledger.post_dispatch(0, 1, 0, dynamic_nj=-1.0, static_nj=0.0)
+
+    def test_nan_charge_rejected(self):
+        ledger = EnergyLedger()
+        with pytest.raises(ValidationError, match="ledger.dispatch"):
+            ledger.post_dispatch(0, 1, 0, dynamic_nj=float("nan"),
+                                 static_nj=0.0)
+
+    def test_negative_refund_rejected(self):
+        ledger = EnergyLedger()
+        ledger.post_dispatch(0, 1, 0, dynamic_nj=10.0, static_nj=0.0)
+        with pytest.raises(ValidationError, match="ledger.refund"):
+            ledger.post_refund(0, 1, 0, dynamic_nj=-1.0, static_nj=0.0)
+
+    def test_refund_exceeding_charge_rejected(self):
+        ledger = EnergyLedger()
+        ledger.post_dispatch(0, 1, 0, dynamic_nj=10.0, static_nj=0.0)
+        with pytest.raises(ValidationError, match="exceeds"):
+            ledger.post_refund(0, 1, 0, dynamic_nj=11.0, static_nj=0.0)
+
+    def test_full_refund_is_allowed(self):
+        ledger = EnergyLedger()
+        ledger.post_dispatch(0, 1, 0, dynamic_nj=10.0, static_nj=4.0)
+        ledger.post_refund(0, 1, 0, dynamic_nj=10.0, static_nj=4.0)
+        assert ledger.per_job_nj[1] == pytest.approx(0.0)
+
+    def test_negative_idle_rejected(self):
+        ledger = EnergyLedger()
+        with pytest.raises(ValidationError, match="ledger.idle"):
+            ledger.post_idle(0, -1, 0.25)
+
+    def test_posting_after_close_rejected(self):
+        ledger = EnergyLedger()
+        ledger.close_idle([], 0, lambda config: 0.0)
+        with pytest.raises(ValidationError, match="ledger.closed"):
+            ledger.post_dispatch(0, 1, 0, dynamic_nj=1.0, static_nj=0.0)
+
+    def test_keep_entries_records_postings(self):
+        ledger = EnergyLedger(keep_entries=True)
+        ledger.post_dispatch(0, 1, 0, dynamic_nj=10.0, static_nj=4.0)
+        ledger.post_refund(50, 1, 0, dynamic_nj=5.0, static_nj=2.0)
+        ledger.post_idle(0, 100, 0.5)
+        kinds = [entry.kind for entry in ledger.entries]
+        assert kinds == ["dispatch", "refund", "idle"]
+        # Double entry: the signed entry totals sum to the ledger total.
+        assert math.fsum(e.total_nj for e in ledger.entries) == (
+            pytest.approx(ledger.total_nj)
+        )
+
+    def test_entries_off_by_default(self):
+        ledger = EnergyLedger()
+        ledger.post_dispatch(0, 1, 0, dynamic_nj=1.0, static_nj=0.0)
+        assert ledger.entries == []
+
+
+class TestCheck:
+    def make_balanced(self):
+        ledger = EnergyLedger()
+        ledger.post_dispatch(0, 1, 0, dynamic_nj=10.0, static_nj=4.0,
+                             overhead_nj=0.5, reconfig_nj=0.25)
+        ledger.post_dispatch(10, 2, 1, dynamic_nj=8.0, static_nj=3.0)
+        ledger.post_refund(20, 2, 1, dynamic_nj=4.0, static_nj=1.5)
+        ledger.post_dispatch(30, 2, 0, dynamic_nj=4.0, static_nj=1.5)
+        ledger.post_idle(0, 100, 0.25)
+        ledger.post_idle(1, 200, 0.25)
+        return ledger
+
+    def records_for(self, ledger):
+        return [job_record(job_id, energy)
+                for job_id, energy in ledger.per_job_nj.items()]
+
+    def test_balanced_ledger_passes(self):
+        ledger = self.make_balanced()
+        ledger.check(make_result(ledger, self.records_for(ledger)))
+
+    def test_total_mismatch_detected(self):
+        ledger = self.make_balanced()
+        result = make_result(ledger, self.records_for(ledger))
+        result.total_energy_nj += 1.0
+        with pytest.raises(ValidationError, match="ledger.total"):
+            ledger.check(result)
+
+    def test_category_mismatch_detected(self):
+        ledger = self.make_balanced()
+        result = make_result(ledger, self.records_for(ledger))
+        result.idle_energy_nj *= 1.001
+        with pytest.raises(ValidationError, match="ledger.idle"):
+            ledger.check(result)
+
+    def test_job_attribution_mismatch_detected(self):
+        ledger = self.make_balanced()
+        records = self.records_for(ledger)
+        records[0].energy_nj += 0.5
+        with pytest.raises(ValidationError, match="ledger.job"):
+            ledger.check(make_result(ledger, records))
+
+    def test_uncharged_job_detected(self):
+        ledger = self.make_balanced()
+        records = self.records_for(ledger) + [job_record(99, 1.0)]
+        with pytest.raises(ValidationError, match="never charged"):
+            ledger.check(make_result(ledger, records))
+
+    def test_ulp_noise_tolerated(self):
+        ledger = self.make_balanced()
+        result = make_result(ledger, self.records_for(ledger))
+        # Re-association noise well inside the 2**-40 relative band.
+        result.total_energy_nj *= 1.0 + 2.0 ** -50
+        ledger.check(result)
+
+
+class TestCloseIdle:
+    def test_piecewise_residency_integration(self):
+        from repro.core.scheduler import CoreState, Job
+        from repro.core.system import CoreSpec
+
+        from repro.cache.config import CacheConfig
+
+        core = CoreState(CoreSpec(index=0, cache_size_kb=8))
+        first_config = core.current_config
+        job = Job(job_id=0, benchmark="b", arrival_cycle=0)
+        core.begin(job, now=100, service_cycles=200)
+        core.finish(now=300)
+        other = CacheConfig(size_kb=first_config.size_kb,
+                            assoc=first_config.assoc * 2,
+                            line_b=first_config.line_b)
+        core.tuner.reconfigure(other)
+        core.note_reconfigured(300, first_config)
+
+        ledger = EnergyLedger()
+        powers = {first_config: 2.0, other: 3.0}
+        ledger.close_idle([core], 1000, powers.__getitem__)
+        # [0, 300) at 2.0 with 200 busy -> 100 idle; [300, 1000) at 3.0
+        # fully idle -> 700 idle.
+        assert ledger.idle_nj == pytest.approx(100 * 2.0 + 700 * 3.0)
+
+    def test_busy_beyond_interval_rejected(self):
+        core = SimpleNamespace(
+            index=0,
+            residency_intervals=lambda end: [(0, 100, "cfg", 150)],
+        )
+        ledger = EnergyLedger()
+        with pytest.raises(ValidationError, match="ledger.idle"):
+            ledger.close_idle([core], 100, lambda config: 1.0)

@@ -1,0 +1,165 @@
+"""Unit tests for event-sourced trace replay."""
+
+import pytest
+
+from repro.obs import (
+    ConfigInstalled,
+    EnergyAccrued,
+    JobArrived,
+    JobCompleted,
+    JobPreempted,
+)
+from repro.validate import ValidationError, replay_trace
+
+
+def arrive(cycle, job_id):
+    return JobArrived(cycle=cycle, job_id=job_id, benchmark="b")
+
+
+def accrue(cycle, job_id, core=0, dynamic=10.0, static=4.0, overhead=0.0):
+    return EnergyAccrued(
+        cycle=cycle, job_id=job_id, core_index=core, benchmark="b",
+        category="best", dynamic_nj=dynamic, static_nj=static,
+        overhead_nj=overhead, service_cycles=100,
+    )
+
+
+def preempt(cycle, job_id, core=0, fraction=0.5, dynamic=5.0, static=2.0,
+            overhead=0.0):
+    return JobPreempted(
+        cycle=cycle, job_id=job_id, core_index=core, benchmark="b",
+        category="best", fraction_run=fraction,
+        refunded_dynamic_nj=dynamic, refunded_static_nj=static,
+        refunded_overhead_nj=overhead,
+    )
+
+
+def complete(cycle, job_id, core=0, energy=14.0, waiting=0):
+    return JobCompleted(
+        cycle=cycle, job_id=job_id, core_index=core, benchmark="b",
+        config="8KB_2W_32B", category="best", energy_nj=energy,
+        waiting_cycles=waiting,
+    )
+
+
+class TestCleanTraces:
+    def test_simple_run(self):
+        report = replay_trace([
+            arrive(0, 1),
+            accrue(0, 1),
+            complete(100, 1, energy=14.0),
+        ])
+        assert report.completions == 1
+        assert report.execution_nj == pytest.approx(14.0)
+        assert not report.unfinished_jobs
+
+    def test_preempt_and_resume(self):
+        report = replay_trace([
+            arrive(0, 1),
+            accrue(0, 1),
+            preempt(50, 1, fraction=0.5, dynamic=5.0, static=2.0),
+            accrue(60, 1, core=1, dynamic=5.0, static=2.0),
+            complete(160, 1, core=1, energy=14.0),
+        ])
+        assert report.preemptions == 1
+        assert report.per_job_nj[1] == pytest.approx(14.0)
+
+    def test_reconfigurations_counted(self):
+        report = replay_trace([
+            arrive(0, 1),
+            ConfigInstalled(cycle=0, job_id=1, core_index=0,
+                            config="8KB_4W_32B", cycles=100, energy_nj=2.5),
+            accrue(0, 1),
+            complete(100, 1),
+        ])
+        assert report.reconfigurations == 1
+        assert report.reconfig_nj == pytest.approx(2.5)
+
+    def test_truncated_trace_reports_unfinished_arrivals(self):
+        report = replay_trace([
+            arrive(0, 1),
+            arrive(10, 2),
+            accrue(10, 1),
+            complete(110, 1),
+        ])
+        assert report.unfinished_jobs == (2,)
+
+
+class TestCorruptTraces:
+    def test_out_of_order_cycles(self):
+        with pytest.raises(ValidationError, match="replay.order"):
+            replay_trace([arrive(100, 1), accrue(50, 1)])
+
+    def test_double_booked_core(self):
+        with pytest.raises(ValidationError, match="replay.dispatch"):
+            replay_trace([
+                arrive(0, 1), arrive(0, 2),
+                accrue(0, 1), accrue(10, 2),
+            ])
+
+    def test_preempt_without_open_execution(self):
+        with pytest.raises(ValidationError, match="replay.preempt"):
+            replay_trace([arrive(0, 1), preempt(10, 1)])
+
+    def test_refund_not_pro_rata(self):
+        with pytest.raises(ValidationError, match="not .* of the"):
+            replay_trace([
+                arrive(0, 1),
+                accrue(0, 1, dynamic=10.0, static=4.0),
+                preempt(50, 1, fraction=0.5, dynamic=9.0, static=2.0),
+            ])
+
+    def test_completion_energy_mismatch(self):
+        with pytest.raises(ValidationError, match="replay.attribution"):
+            replay_trace([
+                arrive(0, 1),
+                accrue(0, 1),
+                complete(100, 1, energy=99.0),
+            ])
+
+    def test_completion_without_open_execution(self):
+        with pytest.raises(ValidationError, match="replay.complete"):
+            replay_trace([arrive(0, 1), complete(100, 1)])
+
+    def test_negative_waiting_cycles(self):
+        with pytest.raises(ValidationError, match="negative"):
+            replay_trace([
+                arrive(0, 1),
+                accrue(0, 1),
+                complete(100, 1, waiting=-5),
+            ])
+
+    def test_execution_left_open(self):
+        with pytest.raises(ValidationError, match="replay.drain"):
+            replay_trace([arrive(0, 1), accrue(0, 1)])
+
+    def test_charged_job_never_completed(self):
+        with pytest.raises(ValidationError, match="replay.drain"):
+            replay_trace([
+                arrive(0, 1),
+                accrue(0, 1),
+                preempt(50, 1),
+            ])
+
+
+class TestRealTraceRoundTrip:
+    def test_preemptive_run_replays(self, small_store, oracle, energy_table):
+        from repro.obs import ListRecorder
+
+        from .conftest import make_simulation, qos_arrivals
+
+        recorder = ListRecorder()
+        sim = make_simulation("proposed", small_store, oracle, energy_table,
+                              discipline="priority", preemptive=True,
+                              recorder=recorder)
+        result = sim.run(qos_arrivals(repeats=5))
+        report = replay_trace(recorder.events)
+        assert report.completions == result.jobs_completed
+        assert report.preemptions == result.preemption_count
+        assert report.execution_nj == pytest.approx(
+            result.busy_static_energy_nj
+            + result.dynamic_energy_nj
+            - result.reconfig_energy_nj
+            - result.profiling_overhead_nj,
+            rel=1e-9,
+        )
