@@ -10,7 +10,16 @@ energy-centric system's naive always-stall rule visibly backfires (see
 EXPERIMENTS.md).
 """
 
+import sys
+from pathlib import Path
+
 import pytest
+
+# benchmarks/ is not a package, so make the repo root importable: the
+# QoS ablation shares its scenario builders with tests/scenarios.py.
+_ROOT = str(Path(__file__).resolve().parent.parent)
+if _ROOT not in sys.path:
+    sys.path.insert(0, _ROOT)
 
 from repro.experiment import (
     default_predictor,

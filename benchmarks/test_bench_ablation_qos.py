@@ -21,33 +21,21 @@ one EDF run.
 """
 
 from repro.analysis import format_table
-from repro.cache import BASE_CONFIG
 from repro.core import (
     OraclePredictor,
     SchedulerSimulation,
     make_policy,
     paper_system,
 )
-from repro.workloads import eembc_suite, uniform_arrivals, with_qos
+
+from tests.scenarios import qos_headline_arrivals
 
 DISCIPLINES = ("fifo", "priority", "edf")
 N_JOBS = 1500
 
 
 def annotated_arrivals(store, seed=5):
-    raw = uniform_arrivals(
-        eembc_suite(), count=N_JOBS, seed=seed,
-        mean_interarrival_cycles=70_000,
-    )
-    return with_qos(
-        raw,
-        service_estimate=lambda name: store.estimate(
-            name, BASE_CONFIG
-        ).total_cycles,
-        priority_levels=3,
-        deadline_slack=4.0,
-        seed=seed,
-    )
+    return qos_headline_arrivals(store, count=N_JOBS, seed=seed)
 
 
 def run(store, arrivals, discipline, preemptive=False):

@@ -36,6 +36,7 @@ from repro.core.predictor import BestCorePredictor, OraclePredictor
 from repro.core.simulation import SchedulerSimulation
 from repro.core.system import base_system, paper_system
 from repro.energy.tables import EnergyTable
+from repro.faults.plan import FaultPlan
 from repro.obs.metrics import MetricsRegistry
 from repro.workloads.arrivals import uniform_arrivals
 from repro.workloads.eembc import eembc_suite
@@ -65,7 +66,7 @@ CAMPAIGN_METRICS = (
 
 @dataclass(frozen=True)
 class ReplicationSpec:
-    """One point of the campaign grid: policy × seed × load."""
+    """One point of the campaign grid: policy × load × fault plan × seed."""
 
     policy: str
     seed: int
@@ -73,6 +74,10 @@ class ReplicationSpec:
     count: int
     #: Mean gap between arrivals (smaller = heavier load).
     mean_interarrival_cycles: int
+    #: Fault plan injected into the replication (``None`` = clean run).
+    #: :class:`~repro.faults.plan.FaultPlan` is hashable/picklable pure
+    #: data, so the spec stays frozen and pool-shippable.
+    fault_plan: Optional[FaultPlan] = None
 
 
 @dataclass(frozen=True)
@@ -114,13 +119,15 @@ class MetricAggregate:
 
 @dataclass(frozen=True)
 class CampaignCell:
-    """Aggregates of every replication sharing (policy, load)."""
+    """Aggregates of every replication sharing (policy, load, plan)."""
 
     policy: str
     count: int
     mean_interarrival_cycles: int
     metrics: Dict[str, MetricAggregate]
     n: int
+    #: Name of the injected fault plan (``None`` = clean cell).
+    faults: Optional[str] = None
     #: Aggregates of the per-replication registry scalars (empty unless
     #: the campaign ran with ``collect_metrics=True``).  Keys follow the
     #: flat ``sim.*`` naming of
@@ -164,12 +171,23 @@ class CampaignResult:
         *,
         count: Optional[int] = None,
         mean_interarrival_cycles: Optional[int] = None,
+        faults: Optional[str] = None,
     ) -> CampaignCell:
         """The unique cell matching the selectors.
 
-        Load selectors may be omitted when the campaign swept only one
-        load; ambiguous or empty selections raise ``KeyError``.
+        Load and fault selectors may be omitted when the campaign swept
+        only one load / fault plan; ambiguous or empty selections raise
+        ``KeyError``.  ``faults`` matches the plan name; pass the
+        string ``"none"`` to select the clean cell of a mixed campaign.
         """
+
+        def faults_match(cell: CampaignCell) -> bool:
+            if faults is None:
+                return True
+            if faults == "none":
+                return cell.faults is None
+            return cell.faults == faults
+
         matches = [
             cell
             for cell in self.cells
@@ -179,6 +197,7 @@ class CampaignResult:
                 mean_interarrival_cycles is None
                 or cell.mean_interarrival_cycles == mean_interarrival_cycles
             )
+            and faults_match(cell)
         ]
         if not matches:
             raise KeyError(
@@ -188,14 +207,21 @@ class CampaignResult:
         if len(matches) > 1:
             raise KeyError(
                 f"{len(matches)} campaign cells match policy={policy!r}; "
-                "pass count= / mean_interarrival_cycles= to disambiguate"
+                "pass count= / mean_interarrival_cycles= / faults= to "
+                "disambiguate"
             )
         return matches[0]
 
     def summary(self) -> str:
         """Text table of per-cell mean ± CI for the headline metrics."""
+        def label_for(cell: CampaignCell) -> str:
+            if cell.faults is None:
+                return cell.policy
+            return f"{cell.policy}+{cell.faults}"
+
+        width = max([15] + [len(label_for(cell)) for cell in self.cells])
         header = (
-            f"{'policy':<15} {'jobs':>6} {'gap':>8} {'n':>3} "
+            f"{'policy':<{width}} {'jobs':>6} {'gap':>8} {'n':>3} "
             f"{'energy (mJ)':>16} {'makespan (Mcyc)':>18} {'wait (kcyc)':>14}"
         )
         lines = [header, "-" * len(header)]
@@ -203,8 +229,9 @@ class CampaignResult:
             energy = cell.metrics["total_energy_nj"]
             makespan = cell.metrics["makespan_cycles"]
             wait = cell.metrics["mean_waiting_cycles"]
+            label = label_for(cell)
             lines.append(
-                f"{cell.policy:<15} {cell.count:>6} "
+                f"{label:<{width}} {cell.count:>6} "
                 f"{cell.mean_interarrival_cycles:>8} {cell.n:>3} "
                 f"{energy.mean / 1e6:>9.3f} ±{energy.ci95 / 1e6:<5.3f} "
                 f"{makespan.mean / 1e6:>11.2f} ±{makespan.ci95 / 1e6:<5.2f} "
@@ -263,6 +290,7 @@ def _run_replication(spec: ReplicationSpec) -> ReplicationResult:
         discipline=_WORKER_STATE["discipline"],
         metrics=registry,
         validate=_WORKER_STATE.get("validate", False),
+        faults=spec.fault_plan,
     )
     result = simulation.run(arrivals)
     return ReplicationResult(
@@ -298,8 +326,9 @@ def run_campaign(
     workers: Optional[int] = 1,
     collect_metrics: bool = False,
     validate: bool = False,
+    fault_plans: Sequence[Optional[FaultPlan]] = (None,),
 ) -> CampaignResult:
-    """Run a (policy × load × seed) replication grid, optionally parallel.
+    """Run a (policy × load × fault plan × seed) grid, optionally parallel.
 
     Parameters
     ----------
@@ -339,6 +368,13 @@ def run_campaign(
         violation raises :class:`~repro.validate.ledger.ValidationError`
         out of the failing worker.  Results are unchanged when all
         checks pass.
+    fault_plans:
+        Fault plans to sweep as a grid axis (see :mod:`repro.faults`);
+        each entry is a :class:`~repro.faults.plan.FaultPlan` or
+        ``None`` for a clean run.  The default single-``None`` axis
+        leaves campaign behaviour bit-identical to before the axis
+        existed.  Plan names must be unique within the sweep (they key
+        the cells).
     """
     if not policies:
         raise ValueError("need at least one policy")
@@ -356,6 +392,11 @@ def run_campaign(
             raise ValueError("load count must be positive")
         if gap <= 0:
             raise ValueError("mean_interarrival_cycles must be positive")
+    if not fault_plans:
+        raise ValueError("need at least one fault-plan entry (None = clean)")
+    plan_names = [p.name for p in fault_plans if p is not None]
+    if len(plan_names) != len(set(plan_names)):
+        raise ValueError("fault plan names must be unique within a campaign")
 
     if predictor is None:
         predictor = OraclePredictor(store)
@@ -368,9 +409,11 @@ def run_campaign(
             seed=seed,
             count=count,
             mean_interarrival_cycles=gap,
+            fault_plan=plan,
         )
         for policy in policies
         for count, gap in loads
+        for plan in fault_plans
         for seed in seeds
     ]
 
@@ -379,10 +422,10 @@ def run_campaign(
     workers = max(1, min(workers, len(specs)))
 
     logger.info(
-        "campaign: %d replications (%d policies x %d loads x %d seeds), "
-        "%d worker(s), metrics %s",
-        len(specs), len(policies), len(loads), len(seeds), workers,
-        "on" if collect_metrics else "off",
+        "campaign: %d replications (%d policies x %d loads x %d plans "
+        "x %d seeds), %d worker(s), metrics %s",
+        len(specs), len(policies), len(loads), len(fault_plans), len(seeds),
+        workers, "on" if collect_metrics else "off",
     )
     start = time.perf_counter()
     if workers == 1 or len(specs) <= 1:
@@ -404,41 +447,45 @@ def run_campaign(
     cells = []
     for policy in policies:
         for count, gap in loads:
-            members = [
-                r
-                for r in replications
-                if r.spec.policy == policy
-                and r.spec.count == count
-                and r.spec.mean_interarrival_cycles == gap
-            ]
-            metrics = {
-                name: _aggregate([m.metric(name) for m in members])
-                for name in CAMPAIGN_METRICS
-            }
-            # Registry scalars aggregate over the union of keys (missing
-            # keys default to 0.0, matching a never-incremented counter),
-            # so cells stay well-formed even across heterogeneous runs.
-            observed: Dict[str, MetricAggregate] = {}
-            if collect_metrics and members:
-                keys = sorted(
-                    {key for m in members for key in m.observed}
-                )
-                observed = {
-                    key: _aggregate(
-                        [m.observed.get(key, 0.0) for m in members]
-                    )
-                    for key in keys
+            for plan in fault_plans:
+                members = [
+                    r
+                    for r in replications
+                    if r.spec.policy == policy
+                    and r.spec.count == count
+                    and r.spec.mean_interarrival_cycles == gap
+                    and r.spec.fault_plan is plan
+                ]
+                metrics = {
+                    name: _aggregate([m.metric(name) for m in members])
+                    for name in CAMPAIGN_METRICS
                 }
-            cells.append(
-                CampaignCell(
-                    policy=policy,
-                    count=count,
-                    mean_interarrival_cycles=gap,
-                    metrics=metrics,
-                    n=len(members),
-                    observed=observed,
+                # Registry scalars aggregate over the union of keys
+                # (missing keys default to 0.0, matching a
+                # never-incremented counter), so cells stay well-formed
+                # even across heterogeneous runs.
+                observed: Dict[str, MetricAggregate] = {}
+                if collect_metrics and members:
+                    keys = sorted(
+                        {key for m in members for key in m.observed}
+                    )
+                    observed = {
+                        key: _aggregate(
+                            [m.observed.get(key, 0.0) for m in members]
+                        )
+                        for key in keys
+                    }
+                cells.append(
+                    CampaignCell(
+                        policy=policy,
+                        count=count,
+                        mean_interarrival_cycles=gap,
+                        metrics=metrics,
+                        n=len(members),
+                        observed=observed,
+                        faults=None if plan is None else plan.name,
+                    )
                 )
-            )
 
     return CampaignResult(
         replications=tuple(replications),

@@ -17,6 +17,9 @@ any code:
   breakdown, per-core timeline);
 * ``validate`` — replay a JSONL trace against the energy-conservation
   ledger (:mod:`repro.validate`) and report whether it balances;
+* ``faults`` — generate or describe deterministic fault-injection
+  plans (:mod:`repro.faults`); ``--faults plan.json`` injects one into
+  ``compare``/``campaign`` runs;
 * ``reproduce`` — regenerate the full evaluation into ``results/``.
 
 ``-v``/``-vv`` (or ``--log-level``) enable the library's diagnostic
@@ -95,6 +98,10 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--validate", action="store_true",
                          help="run with the energy-conservation ledger "
                               "and invariant checks attached")
+    compare.add_argument("--faults", metavar="PATH",
+                         help="inject the fault plan in this JSON file "
+                              "into every policy's run (see the faults "
+                              "subcommand)")
 
     characterize = sub.add_parser(
         "characterize", help="design-space table for one benchmark"
@@ -172,6 +179,10 @@ def build_parser() -> argparse.ArgumentParser:
                           help="attach the energy-conservation ledger "
                                "and invariant checks to every "
                                "replication")
+    campaign.add_argument("--faults", nargs="+", metavar="PATH",
+                          help="fault-plan JSON files to add as a grid "
+                               "axis (a clean no-fault cell is always "
+                               "included)")
 
     trace = sub.add_parser(
         "trace",
@@ -191,6 +202,34 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument("path", help="JSONL trace file (see --trace)")
     validate.add_argument("--json", metavar="PATH",
                           help="write the replay report as JSON")
+
+    faults = sub.add_parser(
+        "faults",
+        help="generate or describe a deterministic fault-injection plan",
+    )
+    faults.add_argument("action", choices=("generate", "describe"),
+                        help="generate a plan from a seed, or describe "
+                             "an existing plan JSON")
+    faults.add_argument("path", nargs="?",
+                        help="plan JSON to describe (describe only)")
+    faults.add_argument("--out", metavar="PATH",
+                        help="write the generated plan JSON here "
+                             "(generate only)")
+    faults.add_argument("--seed", type=int, default=0,
+                        help="generation seed (the plan is a pure "
+                             "function of it)")
+    faults.add_argument("--density", type=float, default=0.25,
+                        help="fault density in [0, 1] scaling window "
+                             "counts and rates")
+    faults.add_argument("--horizon", type=int, default=3_000_000,
+                        help="cycle horizon the fault windows span")
+    faults.add_argument("--cores", type=int, default=4,
+                        help="number of cores the plan targets")
+    faults.add_argument("--classes", nargs="+", metavar="CLASS",
+                        help="restrict the plan to these fault classes "
+                             "(default: all)")
+    faults.add_argument("--name", help="plan name (default: derived "
+                                       "from the seed)")
 
     reproduce = sub.add_parser(
         "reproduce",
@@ -217,6 +256,17 @@ def _cmd_compare(args) -> int:
     from repro.obs import JsonlRecorder, MetricsRegistry
     from repro.workloads import eembc_suite, uniform_arrivals
 
+    fault_plan = None
+    if args.faults:
+        from repro.faults import load_plan
+
+        try:
+            fault_plan = load_plan(args.faults)
+        except (OSError, ValueError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        print(f"injecting fault plan '{fault_plan.name}' "
+              f"({', '.join(fault_plan.classes()) or 'empty'})")
     store = default_store()
     predictor = default_predictor(
         store, kind=args.predictor, seed=args.seed
@@ -241,6 +291,7 @@ def _cmd_compare(args) -> int:
             recorder=recorder,
             metrics=registry,
             validate=args.validate,
+            faults=fault_plan,
         )
         try:
             results[name] = sim.run(arrivals)
@@ -439,6 +490,17 @@ def _cmd_campaign(args) -> int:
         run_campaign,
     )
 
+    fault_plans = (None,)
+    if args.faults:
+        from repro.faults import load_plan
+
+        try:
+            fault_plans = (None,) + tuple(
+                load_plan(path) for path in args.faults
+            )
+        except (OSError, ValueError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
     store = default_store()
     predictor = None
     if args.predictor == "ann":
@@ -456,6 +518,7 @@ def _cmd_campaign(args) -> int:
         workers=args.workers,
         collect_metrics=bool(args.metrics_out),
         validate=args.validate,
+        fault_plans=fault_plans,
     )
     print(result.summary())
     if args.json:
@@ -476,6 +539,7 @@ def _cmd_campaign(args) -> int:
                 "policy": cell.policy,
                 "count": cell.count,
                 "mean_interarrival_cycles": cell.mean_interarrival_cycles,
+                "faults": cell.faults,
                 "n": cell.n,
                 "observed": {
                     key: dataclasses.asdict(aggregate)
@@ -576,6 +640,47 @@ def _cmd_validate(args) -> int:
     return 0
 
 
+def _cmd_faults(args) -> int:
+    from repro.faults import FAULT_CLASSES, generate_plan, load_plan
+
+    if args.action == "describe":
+        if not args.path:
+            print("error: describe needs a plan JSON path",
+                  file=sys.stderr)
+            return 2
+        try:
+            plan = load_plan(args.path)
+        except (OSError, ValueError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        print(plan.describe())
+        return 0
+
+    if args.path:
+        print("error: generate takes no positional path (use --out)",
+              file=sys.stderr)
+        return 2
+    classes = tuple(args.classes) if args.classes else FAULT_CLASSES
+    unknown = sorted(set(classes) - set(FAULT_CLASSES))
+    if unknown:
+        print(f"error: unknown fault classes {unknown}; "
+              f"choose from {list(FAULT_CLASSES)}", file=sys.stderr)
+        return 2
+    try:
+        plan = generate_plan(
+            args.seed, density=args.density, horizon_cycles=args.horizon,
+            cores=args.cores, classes=classes, name=args.name,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(plan.describe())
+    if args.out:
+        plan.to_json(args.out)
+        print(f"\nwrote fault plan to {args.out}")
+    return 0
+
+
 def _cmd_reproduce(args) -> int:
     from repro.reporting import write_report
 
@@ -607,6 +712,7 @@ _COMMANDS = {
     "campaign": _cmd_campaign,
     "trace": _cmd_trace,
     "validate": _cmd_validate,
+    "faults": _cmd_faults,
     "reproduce": _cmd_reproduce,
 }
 

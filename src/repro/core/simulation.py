@@ -194,6 +194,14 @@ class SchedulerSimulation:
         attached, emits an ``invariant_violation`` event first).
         Validation only reads simulation state — a validated run is
         bit-identical to an unvalidated one.
+    faults:
+        Optional :class:`~repro.faults.plan.FaultPlan`; when present a
+        :class:`~repro.faults.injector.FaultInjector` drives seeded
+        core failures/slowdowns, predictor outages/mispredictions,
+        profiling noise, table eviction/corruption, reconfiguration
+        pinning and dispatch failures through the simulation's fault
+        checkpoints (see ``docs/faults.md``).  An *empty* plan injects
+        nothing and the run is bit-identical to ``faults=None``.
     """
 
     #: Queue disciplines supported by the dispatcher.
@@ -216,6 +224,7 @@ class SchedulerSimulation:
         recorder: Optional[TraceRecorder] = None,
         metrics: Optional[MetricsRegistry] = None,
         validate: bool = False,
+        faults=None,
     ) -> None:
         if policy.uses_predictor and predictor is None:
             raise ValueError(
@@ -300,6 +309,17 @@ class SchedulerSimulation:
                 metrics.counter("sim.validate.violations")
         else:
             self._validator = None
+
+        if faults is not None:
+            # Imported lazily: the default path stays free of the fault
+            # layer entirely.
+            from repro.faults.injector import FaultInjector
+
+            self._faults: Optional[FaultInjector] = FaultInjector(
+                self, faults
+            )
+        else:
+            self._faults = None
 
         if preload_profiles:
             self._preload_profiles()
@@ -400,6 +420,8 @@ class SchedulerSimulation:
             self.engine.schedule_at(
                 arrival.arrival_cycle, EventKind.ARRIVAL, payload=job
             )
+        if self._faults is not None:
+            self._faults.schedule_windows()
         self.engine.run(self._handle)
         if self.queue:
             raise RuntimeError(
@@ -426,7 +448,12 @@ class SchedulerSimulation:
                 )
         elif event.kind is EventKind.COMPLETION:
             self._complete(event.payload)
-        else:  # pragma: no cover - no generic events are scheduled
+        elif event.kind is EventKind.GENERIC and self._faults is not None:
+            # Fault edges and retry wakeups; at equal timestamps the
+            # engine orders COMPLETION < ARRIVAL < GENERIC, so a core
+            # failing at cycle t never kills a job that finished at t.
+            self._faults.handle(event.payload)
+        else:  # pragma: no cover - no other generic events exist
             raise ValueError(f"unexpected event kind {event.kind}")
         self._dispatch()
         if self._validator is not None:
@@ -454,13 +481,24 @@ class SchedulerSimulation:
 
     def _dispatch(self) -> None:
         """Assign queued jobs until no further assignment is possible."""
+        faults = self._faults
         while True:
             assigned = False
             if any(core.is_idle(self.now) for core in self.cores):
                 for job in self._queue_view():
-                    assignment = self._choose(job)
+                    if faults is not None and not faults.eligible(job):
+                        continue  # dispatch-failure backoff pending
+                    assignment = None
+                    if faults is not None:
+                        assignment = faults.surrender_assignment(job)
+                    if assignment is None:
+                        assignment = self._choose(job)
                     if assignment is None:
                         continue
+                    if faults is not None:
+                        assignment = faults.filter_dispatch(job, assignment)
+                        if assignment is None:
+                            continue  # dispatch failed; backoff scheduled
                     self.queue.remove(job)
                     self._start(job, assignment)
                     assigned = True
@@ -469,6 +507,13 @@ class SchedulerSimulation:
                 continue
             if self.preemptive and self._try_preempt():
                 continue
+            if faults is not None:
+                forced = faults.break_deadlock()
+                if forced is not None:
+                    job, assignment = forced
+                    self.queue.remove(job)
+                    self._start(job, assignment)
+                    continue
             return
 
     # -- preemption ----------------------------------------------------------
@@ -517,10 +562,25 @@ class SchedulerSimulation:
 
     def _preempt_core(self, core: CoreState) -> None:
         """Halt a core's execution; requeue the victim's remaining work."""
+        self._requeue_from_core(core, reason="preemption")
+
+    def _requeue_from_core(self, core: CoreState, *, reason: str) -> None:
+        """Shared requeue path for preemptions and core failures.
+
+        Both interruption kinds follow the exact same accounting —
+        pro-rata refund of the charges made at start, remaining-fraction
+        bookkeeping, ``waiting_cycles`` resumption via
+        ``last_enqueue_cycle`` — so the PR-4 refund semantics hold
+        identically under fault injection.  Only the scheduler-facing
+        side effects differ: a ``preemption`` counts toward the
+        preemption statistics and the per-timestamp churn guard, a
+        ``core_failure`` toward the ``sim.faults.requeued`` counter.
+        """
         pending = self._pending.pop(core.index)
         victim, fraction_run = core.preempt(self.now)
-        self._preempted_now.add(victim.job_id)
-        self._preemption_count += 1
+        if reason == "preemption":
+            self._preempted_now.add(victim.job_id)
+            self._preemption_count += 1
         # Refund the unexecuted share of the charges made at start.
         refund = 1.0 - fraction_run
         refund_dynamic = pending.dynamic_charged_nj * refund
@@ -545,7 +605,10 @@ class SchedulerSimulation:
                 refund_overhead_nj=refund_overhead,
             )
         if self.metrics is not None:
-            self.metrics.counter("sim.preemptions").inc()
+            if reason == "preemption":
+                self.metrics.counter("sim.preemptions").inc()
+            else:
+                self.metrics.counter("sim.faults.requeued").inc()
         if self.recorder.enabled:
             self.recorder.emit(
                 JobPreempted(
@@ -558,6 +621,7 @@ class SchedulerSimulation:
                     refunded_dynamic_nj=refund_dynamic,
                     refunded_static_nj=refund_static,
                     refunded_overhead_nj=refund_overhead,
+                    reason=reason,
                 )
             )
 
@@ -625,6 +689,11 @@ class SchedulerSimulation:
 
         work_cycles = max(1, int(round(estimate.total_cycles * fraction)))
         service = work_cycles + cost.cycles + overhead_cycles
+        if self._faults is not None:
+            # Transient slowdown dilates occupancy only; energy charges
+            # stay estimate-based, so the ledger's busy/idle split (both
+            # derived from the same dilated busy cycles) stays balanced.
+            service = self._faults.scale_service(core.index, service, job)
         if job.start_cycle is None:
             job.start_cycle = self.now
         enqueued_at = (
@@ -781,9 +850,10 @@ class SchedulerSimulation:
             )
 
         if assignment.profiling:
-            self.table.record_profiling(
-                benchmark, self.store.counters(benchmark)
-            )
+            counters = self.store.counters(benchmark)
+            if self._faults is not None:
+                counters = self._faults.perturb_counters(benchmark, counters)
+            self.table.record_profiling(benchmark, counters)
             if self.recorder.enabled:
                 self.recorder.emit(
                     ProfilingCompleted(
@@ -794,26 +864,42 @@ class SchedulerSimulation:
                     )
                 )
             if self.policy.uses_predictor:
-                size = self.predictor.predict_size_kb(
-                    benchmark, self.store.counters(benchmark)
-                )
-                self.table.record_prediction(benchmark, size)
-                if self.metrics is not None or self.recorder.enabled:
-                    best = self.store.best_size_kb(benchmark)
-                    if self.metrics is not None:
-                        hit = "hits" if size == best else "misses"
-                        self.metrics.counter(f"sim.predictor_{hit}").inc()
-                    if self.recorder.enabled:
-                        self.recorder.emit(
-                            SizePredicted(
-                                cycle=self.now,
-                                job_id=job.job_id,
-                                core_index=core_index,
-                                benchmark=benchmark,
-                                size_kb=size,
-                                best_size_kb=best,
-                            )
+                if (
+                    self._faults is not None
+                    and not self._faults.predictor_available()
+                ):
+                    # Predictor outage: fall back to the base-config
+                    # size heuristic (no hit/miss accounting — no
+                    # prediction was made).
+                    size = self._faults.fallback_prediction(job, core_index)
+                    self.table.record_prediction(benchmark, size)
+                else:
+                    size = self.predictor.predict_size_kb(
+                        benchmark, counters
+                    )
+                    if self._faults is not None:
+                        size = self._faults.perturb_prediction(
+                            job, core_index, size
                         )
+                    self.table.record_prediction(benchmark, size)
+                    if self.metrics is not None or self.recorder.enabled:
+                        best = self.store.best_size_kb(benchmark)
+                        if self.metrics is not None:
+                            hit = "hits" if size == best else "misses"
+                            self.metrics.counter(
+                                f"sim.predictor_{hit}"
+                            ).inc()
+                        if self.recorder.enabled:
+                            self.recorder.emit(
+                                SizePredicted(
+                                    cycle=self.now,
+                                    job_id=job.job_id,
+                                    core_index=core_index,
+                                    benchmark=benchmark,
+                                    size_kb=size,
+                                    best_size_kb=best,
+                                )
+                            )
 
         if full_run and assignment.tuning and self.policy.uses_predictor:
             session = self.heuristic.session(
@@ -847,6 +933,11 @@ class SchedulerSimulation:
                 waiting_cycles=waiting,
             )
         )
+
+        if self._faults is not None:
+            # Table eviction/corruption draws happen once per
+            # completion, after all knowledge updates for this job.
+            self._faults.after_completion(benchmark)
 
         if self._validator is not None:
             self._validator.on_complete(job, core_index)

@@ -1,0 +1,35 @@
+"""Deterministic fault injection and scheduler degradation paths.
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan`, the pure-data,
+  JSON-serialisable fault schedule (seeded per-site RNG streams);
+* :mod:`repro.faults.injector` — :class:`FaultInjector`, the runtime
+  layer a :class:`~repro.core.simulation.SchedulerSimulation` attaches
+  when constructed with ``faults=<plan>``.
+
+See ``docs/faults.md`` for the fault model, plan schema, degradation
+semantics and determinism guarantees.
+"""
+
+from .injector import FaultInjector
+from .plan import (
+    CORE_FAULT_KINDS,
+    FAULT_CLASSES,
+    PREDICTOR_FAULT_KINDS,
+    CoreFault,
+    FaultPlan,
+    PredictorFault,
+    generate_plan,
+    load_plan,
+)
+
+__all__ = [
+    "CORE_FAULT_KINDS",
+    "FAULT_CLASSES",
+    "PREDICTOR_FAULT_KINDS",
+    "CoreFault",
+    "FaultInjector",
+    "FaultPlan",
+    "PredictorFault",
+    "generate_plan",
+    "load_plan",
+]

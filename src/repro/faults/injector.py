@@ -1,0 +1,437 @@
+"""Runtime fault injection for one scheduler simulation.
+
+:class:`FaultInjector` binds a :class:`~repro.faults.plan.FaultPlan` to
+a running :class:`~repro.core.simulation.SchedulerSimulation`.  The
+simulation calls its checkpoints at dispatch, service-scheduling and
+completion time; windowed core/predictor faults are driven by GENERIC
+engine events so they interleave deterministically with arrivals and
+completions (completions sort first at equal timestamps, so a core
+failing at cycle ``t`` never kills an execution that finished at ``t``).
+
+Degradation semantics (mirrored in ``docs/faults.md``):
+
+* a failing core's occupant is requeued through the simulation's shared
+  requeue path — identical pro-rata refund accounting to a preemption,
+  so the PR-4 energy ledger stays balanced;
+* best-core election excludes down cores
+  (:meth:`~repro.core.scheduler.CoreState.is_idle` is false while
+  ``failed``); the proposed policy additionally dispatches non-best
+  directly when every best-size core is down;
+* predictor outages fall back to the base-configuration size heuristic;
+* repeated dispatch failures retry with capped exponential backoff and,
+  after ``dispatch_max_retries`` failures, surrender to any idle core;
+* a reconfiguration failure pins dispatches to the core's reset (base)
+  configuration for the window;
+* the deadlock breaker guarantees termination: when the queue is
+  non-empty but no execution and no event is outstanding, one queued
+  job is force-dispatched to an idle up core (or the run aborts loudly
+  if every core is down with no recovery scheduled).
+
+All randomness comes from the plan's per-site streams, so the fault
+event sequence of a (plan, workload, policy) triple is byte-identical
+across runs, worker processes and ``PYTHONHASHSEED`` values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields
+from typing import Optional, Tuple
+
+from repro.cache import CACHE_SIZES_KB
+from repro.core.scheduler import Assignment, Job
+from repro.obs.events import CoreDown, CoreUp, FallbackDecision, FaultInjected
+from repro.sim.events import EventKind
+from repro.workloads.counters import HardwareCounters
+
+from .plan import FaultPlan
+
+__all__ = ["FaultInjector"]
+
+#: ``sim.faults.*`` counters pre-registered when metrics are attached
+#: (uniform key set across replications, like the simulation's own).
+_FAULT_COUNTERS = (
+    "sim.faults.injected",
+    "sim.faults.core_down",
+    "sim.faults.core_up",
+    "sim.faults.requeued",
+    "sim.faults.dispatch_failures",
+    "sim.faults.surrenders",
+    "sim.faults.slowdowns",
+    "sim.faults.predictor_outages",
+    "sim.faults.mispredictions",
+    "sim.faults.counter_noise",
+    "sim.faults.table_evictions",
+    "sim.faults.table_corruptions",
+    "sim.faults.reconfig_pins",
+    "sim.faults.forced_dispatches",
+)
+
+#: Integer counter fields (perturbed values are rounded and clamped).
+_INT_COUNTER_FIELDS = frozenset(
+    f.name for f in fields(HardwareCounters) if f.type in ("int", int)
+)
+
+
+class FaultInjector:
+    """Applies one :class:`FaultPlan` to one simulation run."""
+
+    def __init__(self, sim, plan: FaultPlan) -> None:
+        self.sim = sim
+        self.plan = plan
+        for fault in plan.core_faults:
+            if fault.core_index >= len(sim.cores):
+                raise ValueError(
+                    f"fault plan {plan.name!r} targets core "
+                    f"{fault.core_index} but the system has "
+                    f"{len(sim.cores)} cores"
+                )
+        self._dispatch_rng = plan.rng("dispatch")
+        self._counter_rng = plan.rng("counters")
+        self._table_rng = plan.rng("table")
+        self._mispredict_rng = plan.rng("mispredict")
+        #: Overlap-safe down-window nesting depth per core.
+        self._down_depth = {core.index: 0 for core in sim.cores}
+        #: Consecutive dispatch failures per job id.
+        self._failures = {}
+        #: Earliest cycle a backed-off job may retry dispatch.
+        self._retry_not_before = {}
+        if sim.metrics is not None:
+            for name in _FAULT_COUNTERS:
+                sim.metrics.counter(name)
+
+    # -- shared emit helpers -------------------------------------------------
+
+    def _count(self, name: str) -> None:
+        if self.sim.metrics is not None:
+            self.sim.metrics.counter("sim.faults.injected").inc()
+            self.sim.metrics.counter(name).inc()
+
+    def _emit(self, event) -> None:
+        if self.sim.recorder.enabled:
+            self.sim.recorder.emit(event)
+
+    # -- windowed faults (engine-driven) -------------------------------------
+
+    def schedule_windows(self) -> None:
+        """Schedule GENERIC events for every core failure/recovery edge.
+
+        Slowdown, pin and predictor windows need no events — they are
+        membership tests at dispatch/completion checkpoints.
+        """
+        engine = self.sim.engine
+        for fault in self.plan.core_faults:
+            if fault.kind != "failure":
+                continue
+            engine.schedule_at(
+                fault.start_cycle,
+                EventKind.GENERIC,
+                payload=("core_fail", fault.core_index),
+            )
+            if fault.end_cycle is not None:
+                engine.schedule_at(
+                    fault.end_cycle,
+                    EventKind.GENERIC,
+                    payload=("core_recover", fault.core_index),
+                )
+
+    def handle(self, payload: Tuple) -> None:
+        """Process one GENERIC fault event (called from ``_handle``)."""
+        action, arg = payload
+        sim = self.sim
+        if action == "core_fail":
+            core = sim.cores[arg]
+            self._down_depth[arg] += 1
+            if self._down_depth[arg] == 1:
+                core.failed = True
+                self._count("sim.faults.core_down")
+                self._emit(CoreDown(cycle=sim.now, core_index=arg))
+            if core.current_job is not None and core.busy_until > sim.now:
+                sim._requeue_from_core(core, reason="core_failure")
+        elif action == "core_recover":
+            core = sim.cores[arg]
+            self._down_depth[arg] -= 1
+            if self._down_depth[arg] == 0:
+                core.failed = False
+                self._count("sim.faults.core_up")
+                self._emit(CoreUp(cycle=sim.now, core_index=arg))
+        elif action == "retry":
+            # Pure wakeup: _handle runs a dispatch pass after every
+            # event, which re-examines the backed-off job.
+            pass
+        else:  # pragma: no cover - internal invariant
+            raise ValueError(f"unknown fault event {action!r}")
+
+    # -- dispatch checkpoints ------------------------------------------------
+
+    def eligible(self, job: Job) -> bool:
+        """Whether the job's dispatch-failure backoff has expired."""
+        return self._retry_not_before.get(job.job_id, 0) <= self.sim.now
+
+    def surrender_assignment(self, job: Job) -> Optional[Assignment]:
+        """Any-idle-core assignment for a job that exhausted its retries.
+
+        Returns ``None`` while the job is below the retry cap (the
+        policy decides) or when no up core is idle (the job waits).
+        """
+        if self._failures.get(job.job_id, 0) < self.plan.dispatch_max_retries:
+            return None
+        sim = self.sim
+        for core in sim.cores:
+            if core.is_idle(sim.now):
+                self._count("sim.faults.surrenders")
+                self._emit(FallbackDecision(
+                    cycle=sim.now,
+                    job_id=job.job_id,
+                    benchmark=job.benchmark,
+                    reason="retries_exhausted",
+                    core_index=core.index,
+                ))
+                return Assignment(
+                    core_index=core.index, config=core.current_config
+                )
+        return None
+
+    def filter_dispatch(
+        self, job: Job, assignment: Assignment
+    ) -> Optional[Assignment]:
+        """Last gate before ``_start``: fail, pin, or pass through."""
+        sim = self.sim
+        plan = self.plan
+        failures = self._failures.get(job.job_id, 0)
+        if (
+            plan.dispatch_failure_rate > 0.0
+            and failures < plan.dispatch_max_retries
+            and self._dispatch_rng.random() < plan.dispatch_failure_rate
+        ):
+            failures += 1
+            self._failures[job.job_id] = failures
+            delay = min(
+                plan.dispatch_retry_cap_cycles,
+                plan.dispatch_retry_base_cycles * 2 ** (failures - 1),
+            )
+            self._retry_not_before[job.job_id] = sim.now + delay
+            sim.engine.schedule_at(
+                sim.now + delay,
+                EventKind.GENERIC,
+                payload=("retry", job.job_id),
+            )
+            self._count("sim.faults.dispatch_failures")
+            self._emit(FaultInjected(
+                cycle=sim.now,
+                fault="dispatch_failure",
+                site=f"core{assignment.core_index}",
+                detail=f"attempt {failures}, retry in {delay} cycles",
+                job_id=job.job_id,
+                core_index=assignment.core_index,
+            ))
+            return None
+        core = sim.cores[assignment.core_index]
+        pinned = core.spec.reset_config
+        if assignment.config != pinned and any(
+            fault.kind == "reconfig_pin"
+            and fault.core_index == assignment.core_index
+            and fault.active(sim.now)
+            for fault in plan.core_faults
+        ):
+            self._count("sim.faults.reconfig_pins")
+            self._emit(FaultInjected(
+                cycle=sim.now,
+                fault="reconfig_pin",
+                site=f"core{assignment.core_index}",
+                detail=f"{assignment.config.name} -> {pinned.name}",
+                job_id=job.job_id,
+                core_index=assignment.core_index,
+            ))
+            return Assignment(
+                core_index=assignment.core_index,
+                config=pinned,
+                profiling=assignment.profiling,
+                tuning=False,
+            )
+        return assignment
+
+    def scale_service(self, core_index: int, service: int, job: Job) -> int:
+        """Dilate service cycles by active slowdown windows (composed)."""
+        factor = 1.0
+        for fault in self.plan.core_faults:
+            if (
+                fault.kind == "slowdown"
+                and fault.core_index == core_index
+                and fault.active(self.sim.now)
+            ):
+                factor *= fault.factor
+        if factor == 1.0:
+            return service
+        scaled = max(1, int(round(service * factor)))
+        self._count("sim.faults.slowdowns")
+        self._emit(FaultInjected(
+            cycle=self.sim.now,
+            fault="core_slowdown",
+            site=f"core{core_index}",
+            detail=f"service {service} -> {scaled} (x{factor:g})",
+            job_id=job.job_id,
+            core_index=core_index,
+        ))
+        return scaled
+
+    # -- completion checkpoints ----------------------------------------------
+
+    def perturb_counters(
+        self, benchmark: str, counters: HardwareCounters
+    ) -> HardwareCounters:
+        """Apply multiplicative per-counter noise (identity at rate 0)."""
+        noise = self.plan.counter_noise
+        if noise == 0.0:
+            return counters
+        rng = self._counter_rng
+        values = {}
+        for field in fields(HardwareCounters):
+            value = getattr(counters, field.name)
+            scaled = value * (1.0 + rng.uniform(-noise, noise))
+            if field.name in _INT_COUNTER_FIELDS:
+                scaled = max(0, int(round(scaled)))
+            values[field.name] = scaled
+        self._count("sim.faults.counter_noise")
+        self._emit(FaultInjected(
+            cycle=self.sim.now,
+            fault="counter_noise",
+            site=benchmark,
+            detail=f"+/-{noise:g} multiplicative",
+        ))
+        return HardwareCounters(**values)
+
+    def predictor_available(self) -> bool:
+        """Whether the predictor is outside every outage window."""
+        now = self.sim.now
+        return not any(
+            fault.kind == "outage" and fault.active(now)
+            for fault in self.plan.predictor_faults
+        )
+
+    def fallback_prediction(self, job: Job, core_index: int) -> int:
+        """Base-configuration size heuristic used during an outage."""
+        from repro.cache.config import BASE_CONFIG
+
+        self._count("sim.faults.predictor_outages")
+        self._emit(FallbackDecision(
+            cycle=self.sim.now,
+            job_id=job.job_id,
+            benchmark=job.benchmark,
+            reason="predictor_outage",
+            core_index=core_index,
+        ))
+        return BASE_CONFIG.size_kb
+
+    def perturb_prediction(self, job: Job, core_index: int, size_kb: int) -> int:
+        """Shift a prediction along the size ladder inside spike windows."""
+        now = self.sim.now
+        offset = 0
+        for fault in self.plan.predictor_faults:
+            if fault.kind == "misprediction" and fault.active(now):
+                offset = max(offset, fault.offset)
+        if offset == 0:
+            return size_kb
+        sizes = sorted(CACHE_SIZES_KB)
+        index = min(
+            range(len(sizes)), key=lambda i: abs(sizes[i] - size_kb)
+        )
+        direction = self._mispredict_rng.choice((-1, 1))
+        shifted = min(len(sizes) - 1, max(0, index + direction * offset))
+        if sizes[shifted] == size_kb:
+            return size_kb
+        self._count("sim.faults.mispredictions")
+        self._emit(FaultInjected(
+            cycle=now,
+            fault="misprediction",
+            site=job.benchmark,
+            detail=f"{size_kb}KB -> {sizes[shifted]}KB",
+            job_id=job.job_id,
+            core_index=core_index,
+        ))
+        return sizes[shifted]
+
+    def after_completion(self, benchmark: str) -> None:
+        """Profiling-table eviction/corruption draws (one per completion)."""
+        plan = self.plan
+        sim = self.sim
+        rng = self._table_rng
+        if plan.table_eviction_rate > 0.0 and (
+            rng.random() < plan.table_eviction_rate
+        ):
+            targets = sorted(sim.table.benchmarks())
+            if targets:
+                target = rng.choice(targets)
+                profile = sim.table.profile(target)
+                sizes = sorted({c.size_kb for c in profile.executions})
+                if sizes and rng.random() < 0.5:
+                    size_kb = rng.choice(sizes)
+                    sim.table.evict_size(target, size_kb)
+                    # The tuning state machine must restart too, so a
+                    # "done" session never points at evicted records.
+                    sim.heuristic.invalidate(target, size_kb)
+                    detail = f"evicted {size_kb}KB records of {target}"
+                else:
+                    sim.table.evict_counters(target)
+                    detail = f"evicted counters of {target}"
+                self._count("sim.faults.table_evictions")
+                self._emit(FaultInjected(
+                    cycle=sim.now,
+                    fault="table_eviction",
+                    site=target,
+                    detail=detail,
+                ))
+        if plan.table_corruption_rate > 0.0 and (
+            rng.random() < plan.table_corruption_rate
+        ):
+            targets = [
+                name for name in sorted(sim.table.benchmarks())
+                if sim.table.profile(name).executions
+            ]
+            if targets:
+                target = rng.choice(targets)
+                configs = sorted(sim.table.profile(target).executions)
+                config = rng.choice(configs)
+                factor = rng.uniform(0.5, 2.0)
+                sim.table.corrupt_execution(target, config, factor)
+                self._count("sim.faults.table_corruptions")
+                self._emit(FaultInjected(
+                    cycle=sim.now,
+                    fault="table_corruption",
+                    site=target,
+                    detail=f"{config.name} energy x{factor:.3f}",
+                ))
+
+    # -- termination guarantee -----------------------------------------------
+
+    def break_deadlock(self) -> Optional[Tuple[Job, Assignment]]:
+        """Force-dispatch when nothing else can ever happen.
+
+        Fires only when jobs are queued, no execution is in flight and
+        the event heap is empty — without intervention the run would
+        drain with jobs stranded.  Backed-off jobs always have a retry
+        wakeup in the heap, so a firing breaker implies every queued job
+        is dispatch-eligible.
+        """
+        sim = self.sim
+        if not sim.queue or sim._pending or sim.engine.pending:
+            return None
+        idle = [core for core in sim.cores if core.is_idle(sim.now)]
+        if not idle:
+            raise RuntimeError(
+                f"fault plan {self.plan.name!r} leaves every core down at "
+                f"cycle {sim.now} with {len(sim.queue)} jobs queued and no "
+                "recovery scheduled"
+            )
+        job = sim._queue_view()[0]
+        core = min(idle, key=lambda c: c.index)
+        self._count("sim.faults.forced_dispatches")
+        self._emit(FallbackDecision(
+            cycle=sim.now,
+            job_id=job.job_id,
+            benchmark=job.benchmark,
+            reason="forced_dispatch",
+            core_index=core.index,
+        ))
+        return job, Assignment(
+            core_index=core.index, config=core.current_config
+        )

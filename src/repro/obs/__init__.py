@@ -23,7 +23,11 @@ an untraced one.
 from .events import (
     EVENT_TYPES,
     ConfigInstalled,
+    CoreDown,
+    CoreUp,
     EnergyAccrued,
+    FallbackDecision,
+    FaultInjected,
     InvariantViolation,
     JobArrived,
     JobCompleted,
@@ -63,9 +67,13 @@ __all__ = [
     "EVENT_TYPES",
     "NULL_RECORDER",
     "ConfigInstalled",
+    "CoreDown",
+    "CoreUp",
     "Counter",
     "EnergyAccrued",
     "ExecutionSegment",
+    "FallbackDecision",
+    "FaultInjected",
     "Gauge",
     "Histogram",
     "InvariantViolation",

@@ -1,59 +1,31 @@
 """Shared fixtures for core scheduler tests.
 
-Uses a real (but small) characterisation store: four benchmarks chosen to
-span best cache sizes, over the full 18-configuration design space.
+Scenario logic lives in :mod:`tests.scenarios`; this conftest only
+binds it to fixtures and re-exports the builders existing tests import.
 """
 
 import pytest
 
-from repro.characterization.explorer import characterize_suite
-from repro.characterization.store import CharacterizationStore
-from repro.core.policies import make_policy
-from repro.core.predictor import OraclePredictor
-from repro.core.simulation import SchedulerSimulation
-from repro.core.system import base_system, paper_system
-from repro.energy.tables import EnergyTable
-from repro.workloads.arrivals import JobArrival
-from repro.workloads.eembc import eembc_benchmark
-
-#: Small mixed-best-size suite: 2KB, 4KB and 8KB winners.
-SUITE_NAMES = ("puwmod", "idctrn", "pntrch", "a2time")
+from tests.scenarios import (  # noqa: F401  (re-exported for tests)
+    SUITE_NAMES,
+    arrivals_for,
+    build_energy_table,
+    build_oracle,
+    build_small_store,
+    make_simulation,
+)
 
 
 @pytest.fixture(scope="session")
 def small_store():
-    specs = [eembc_benchmark(name) for name in SUITE_NAMES]
-    return CharacterizationStore(characterize_suite(specs))
+    return build_small_store()
 
 
 @pytest.fixture(scope="session")
 def oracle(small_store):
-    return OraclePredictor(small_store)
+    return build_oracle(small_store)
 
 
 @pytest.fixture(scope="session")
 def energy_table():
-    return EnergyTable()
-
-
-def make_simulation(policy_name, store, predictor=None, energy_table=None,
-                    system=None, **kwargs):
-    policy = make_policy(policy_name)
-    if system is None:
-        system = base_system() if policy_name == "base" else paper_system()
-    return SchedulerSimulation(
-        system,
-        policy,
-        store,
-        predictor=predictor if policy.uses_predictor else None,
-        energy_table=energy_table,
-        **kwargs,
-    )
-
-
-def arrivals_for(names, gap=200_000, start=0):
-    """One arrival per name, `gap` cycles apart."""
-    return [
-        JobArrival(job_id=i, benchmark=name, arrival_cycle=start + i * gap)
-        for i, name in enumerate(names)
-    ]
+    return build_energy_table()

@@ -1,0 +1,86 @@
+"""Fixtures and plan builders for the fault-injection suites."""
+
+import pytest
+
+from repro.faults import CoreFault, FaultPlan, PredictorFault
+
+from tests.scenarios import (  # noqa: F401  (re-exported for tests)
+    SUITE_NAMES,
+    arrivals_for,
+    build_oracle,
+    build_small_store,
+    make_simulation,
+    qos_arrivals,
+)
+
+
+@pytest.fixture(scope="session")
+def small_store():
+    return build_small_store()
+
+
+@pytest.fixture(scope="session")
+def oracle(small_store):
+    return build_oracle(small_store)
+
+
+def plan_for(fault_class, seed=0):
+    """An aggressive single-class plan sized for the small test runs.
+
+    Windows are placed inside the first ~1M cycles, where a
+    ``SUITE_NAMES * 6`` stream keeps every core busy, so each class
+    demonstrably fires.
+    """
+    core_faults = ()
+    predictor_faults = ()
+    kwargs = {}
+    if fault_class == "core_failure":
+        core_faults = (
+            CoreFault(kind="failure", core_index=1,
+                      start_cycle=80_000, end_cycle=500_000),
+            CoreFault(kind="failure", core_index=2,
+                      start_cycle=250_000, end_cycle=650_000),
+        )
+    elif fault_class == "core_slowdown":
+        core_faults = tuple(
+            CoreFault(kind="slowdown", core_index=index,
+                      start_cycle=50_000, end_cycle=900_000, factor=2.5)
+            for index in range(4)
+        )
+    elif fault_class == "reconfig_pin":
+        core_faults = tuple(
+            CoreFault(kind="reconfig_pin", core_index=index,
+                      start_cycle=0, end_cycle=1_200_000)
+            for index in range(4)
+        )
+    elif fault_class == "predictor_outage":
+        predictor_faults = (
+            PredictorFault(kind="outage", start_cycle=0,
+                           end_cycle=800_000),
+        )
+    elif fault_class == "misprediction":
+        predictor_faults = (
+            PredictorFault(kind="misprediction", start_cycle=0,
+                           end_cycle=None, offset=1),
+        )
+    elif fault_class == "counter_noise":
+        kwargs["counter_noise"] = 0.15
+    elif fault_class == "table_eviction":
+        kwargs["table_eviction_rate"] = 0.5
+    elif fault_class == "table_corruption":
+        kwargs["table_corruption_rate"] = 0.5
+    elif fault_class == "dispatch_failure":
+        kwargs.update(
+            dispatch_failure_rate=0.4,
+            dispatch_retry_base_cycles=1_000,
+            dispatch_max_retries=3,
+        )
+    else:
+        raise ValueError(f"unknown fault class {fault_class!r}")
+    return FaultPlan(
+        name=f"chaos-{fault_class}",
+        seed=seed,
+        core_faults=core_faults,
+        predictor_faults=predictor_faults,
+        **kwargs,
+    )

@@ -1,0 +1,390 @@
+"""Targeted degradation-path tests, one fault mechanism at a time."""
+
+import pytest
+
+from repro.faults import CoreFault, FaultPlan, PredictorFault
+from repro.obs import (
+    ConfigInstalled,
+    CoreDown,
+    CoreUp,
+    FallbackDecision,
+    FaultInjected,
+    JobPreempted,
+    ListRecorder,
+    MetricsRegistry,
+    SizePredicted,
+)
+from repro.validate import replay_trace
+
+from .conftest import SUITE_NAMES, arrivals_for, make_simulation, qos_arrivals
+
+
+def all_cores_down(start, end):
+    return tuple(
+        CoreFault(kind="failure", core_index=index,
+                  start_cycle=start, end_cycle=end)
+        for index in range(4)
+    )
+
+
+class TestCoreFailure:
+    def test_occupant_requeued_with_refund(self, small_store, oracle):
+        """A failing core requeues its job; work resumes after recovery.
+
+        Cores 1-3 go down at cycle 0 (after the dispatch: ARRIVAL
+        events order before GENERIC at equal timestamps), core 0 — the
+        one the base policy picked — at 10k, so the single job is
+        requeued exactly once and nothing can run until recovery.
+        """
+        plan = FaultPlan(
+            name="fail-all",
+            core_faults=(
+                CoreFault(kind="failure", core_index=0,
+                          start_cycle=10_000, end_cycle=400_000),
+            ) + tuple(
+                CoreFault(kind="failure", core_index=index,
+                          start_cycle=0, end_cycle=400_000)
+                for index in range(1, 4)
+            ),
+        )
+        recorder = ListRecorder()
+        metrics = MetricsRegistry()
+        sim = make_simulation("base", small_store, oracle,
+                              recorder=recorder, metrics=metrics,
+                              validate=True, faults=plan)
+        result = sim.run(arrivals_for(SUITE_NAMES[:1]))
+        assert result.jobs_completed == 1
+
+        downs = [e for e in recorder.events if isinstance(e, CoreDown)]
+        ups = [e for e in recorder.events if isinstance(e, CoreUp)]
+        assert len(downs) == 4 and len(ups) == 4
+        [requeue] = [
+            e for e in recorder.events if isinstance(e, JobPreempted)
+        ]
+        assert requeue.reason == "core_failure"
+        assert 0.0 <= requeue.fraction_run < 1.0
+        assert requeue.refunded_dynamic_nj > 0.0
+        assert metrics.counter("sim.faults.requeued").value == 1
+        # The interruption is a fault statistic, not a preemption.
+        assert result.preemption_count == 0
+        # The job could only finish after every core recovered.
+        [record] = result.jobs
+        assert record.completion_cycle > 400_000
+        replay_trace(recorder.events)
+
+    def test_failed_core_is_not_idle(self, small_store, oracle):
+        sim = make_simulation("base", small_store, oracle)
+        core = sim.cores[0]
+        assert core.is_idle(0)
+        core.failed = True
+        assert not core.is_idle(0)
+
+    def test_overlapping_windows_nest(self, small_store, oracle):
+        """Two overlapping failure windows produce one down/up edge pair."""
+        plan = FaultPlan(core_faults=(
+            CoreFault(kind="failure", core_index=1,
+                      start_cycle=10_000, end_cycle=300_000),
+            CoreFault(kind="failure", core_index=1,
+                      start_cycle=50_000, end_cycle=200_000),
+        ))
+        recorder = ListRecorder()
+        sim = make_simulation("base", small_store, oracle,
+                              recorder=recorder, validate=True,
+                              faults=plan)
+        sim.run(arrivals_for(SUITE_NAMES * 2, gap=60_000))
+        downs = [e for e in recorder.events if isinstance(e, CoreDown)]
+        ups = [e for e in recorder.events if isinstance(e, CoreUp)]
+        assert [e.cycle for e in downs] == [10_000]
+        assert [e.cycle for e in ups] == [300_000]
+
+
+class TestPredictorOutage:
+    def test_falls_back_to_base_size(self, small_store, oracle):
+        from repro.cache import BASE_CONFIG
+
+        plan = FaultPlan(predictor_faults=(
+            PredictorFault(kind="outage", start_cycle=0, end_cycle=None),
+        ))
+        recorder = ListRecorder()
+        metrics = MetricsRegistry()
+        sim = make_simulation("proposed", small_store, oracle,
+                              recorder=recorder, metrics=metrics,
+                              validate=True, faults=plan)
+        result = sim.run(arrivals_for(SUITE_NAMES * 3, gap=120_000))
+        assert result.jobs_completed == len(SUITE_NAMES) * 3
+
+        fallbacks = [
+            e for e in recorder.events
+            if isinstance(e, FallbackDecision)
+            and e.reason == "predictor_outage"
+        ]
+        # One fallback per profiling run, and no real prediction made.
+        assert len(fallbacks) == len(SUITE_NAMES)
+        assert not any(
+            isinstance(e, SizePredicted) for e in recorder.events
+        )
+        assert metrics.counter(
+            "sim.faults.predictor_outages"
+        ).value == len(SUITE_NAMES)
+        for name in SUITE_NAMES:
+            assert sim.table.profile(name).predicted_size_kb == (
+                BASE_CONFIG.size_kb
+            )
+
+
+class TestMisprediction:
+    def test_spike_shifts_predictions_along_ladder(self, small_store,
+                                                   oracle):
+        plan = FaultPlan(seed=1, predictor_faults=(
+            PredictorFault(kind="misprediction", start_cycle=0,
+                           end_cycle=None, offset=2),
+        ))
+        recorder = ListRecorder()
+        sim = make_simulation("proposed", small_store, oracle,
+                              recorder=recorder, validate=True,
+                              faults=plan)
+        result = sim.run(arrivals_for(SUITE_NAMES * 3, gap=120_000))
+        assert result.jobs_completed == len(SUITE_NAMES) * 3
+        shifted = [
+            e for e in recorder.events
+            if isinstance(e, FaultInjected) and e.fault == "misprediction"
+        ]
+        # Most predictions shift (a draw at the ladder edge can clamp
+        # back to the same size, which injects nothing).
+        assert 1 <= len(shifted) <= len(SUITE_NAMES)
+        predictions = [
+            e for e in recorder.events if isinstance(e, SizePredicted)
+        ]
+        assert any(
+            e.size_kb != e.best_size_kb for e in predictions
+        )
+
+
+class TestDispatchFailure:
+    def test_backoff_then_surrender(self, small_store, oracle):
+        """Rate 1.0 exhausts every retry, then any idle core is taken."""
+        plan = FaultPlan(
+            dispatch_failure_rate=1.0,
+            dispatch_retry_base_cycles=1_000,
+            dispatch_retry_cap_cycles=4_000,
+            dispatch_max_retries=2,
+        )
+        recorder = ListRecorder()
+        metrics = MetricsRegistry()
+        sim = make_simulation("base", small_store, oracle,
+                              recorder=recorder, metrics=metrics,
+                              validate=True, faults=plan)
+        result = sim.run(arrivals_for(SUITE_NAMES[:1]))
+        assert result.jobs_completed == 1
+        # Exactly max_retries failures, then one surrender dispatch.
+        assert metrics.counter("sim.faults.dispatch_failures").value == 2
+        assert metrics.counter("sim.faults.surrenders").value == 1
+        [surrender] = [
+            e for e in recorder.events
+            if isinstance(e, FallbackDecision)
+            and e.reason == "retries_exhausted"
+        ]
+        failures = [
+            e for e in recorder.events
+            if isinstance(e, FaultInjected)
+            and e.fault == "dispatch_failure"
+        ]
+        # Capped exponential backoff: 1000 then 2000 cycles.
+        assert [e.cycle for e in failures] == [0, 1_000]
+        assert surrender.cycle == 3_000
+
+    def test_backoff_respects_cap(self, small_store, oracle):
+        plan = FaultPlan(
+            dispatch_failure_rate=1.0,
+            dispatch_retry_base_cycles=1_000,
+            dispatch_retry_cap_cycles=2_500,
+            dispatch_max_retries=4,
+        )
+        recorder = ListRecorder()
+        sim = make_simulation("base", small_store, oracle,
+                              recorder=recorder, validate=True,
+                              faults=plan)
+        sim.run(arrivals_for(SUITE_NAMES[:1]))
+        failures = [
+            e for e in recorder.events
+            if isinstance(e, FaultInjected)
+            and e.fault == "dispatch_failure"
+        ]
+        # Delays 1000, 2000, then capped at 2500 twice.
+        assert [e.cycle for e in failures] == [0, 1_000, 3_000, 5_500]
+
+
+class TestReconfigPin:
+    def test_pinned_core_installs_nothing(self, small_store, oracle):
+        plan = FaultPlan(core_faults=tuple(
+            CoreFault(kind="reconfig_pin", core_index=index,
+                      start_cycle=0, end_cycle=None)
+            for index in range(4)
+        ))
+        recorder = ListRecorder()
+        metrics = MetricsRegistry()
+        sim = make_simulation("proposed", small_store, oracle,
+                              recorder=recorder, metrics=metrics,
+                              validate=True, faults=plan)
+        result = sim.run(arrivals_for(SUITE_NAMES * 4, gap=60_000))
+        assert result.jobs_completed == len(SUITE_NAMES) * 4
+        assert metrics.counter("sim.faults.reconfig_pins").value > 0
+        # Every dispatch was pinned to the reset configuration, so the
+        # tuner never switched a cache.
+        assert not any(
+            isinstance(e, ConfigInstalled) for e in recorder.events
+        )
+        for event in recorder.events:
+            if isinstance(event, FaultInjected):
+                assert event.fault == "reconfig_pin"
+
+
+class TestTableEviction:
+    def test_evicted_benchmarks_reprofile(self, small_store, oracle):
+        from repro.obs import ProfilingCompleted
+
+        plan = FaultPlan(seed=5, table_eviction_rate=1.0)
+        recorder = ListRecorder()
+        metrics = MetricsRegistry()
+        sim = make_simulation("proposed", small_store, oracle,
+                              recorder=recorder, metrics=metrics,
+                              validate=True, faults=plan)
+        result = sim.run(arrivals_for(SUITE_NAMES * 5, gap=80_000))
+        assert result.jobs_completed == len(SUITE_NAMES) * 5
+        assert metrics.counter("sim.faults.table_evictions").value > 0
+        # Counter evictions force re-profiling: more profiling runs
+        # than distinct benchmarks.
+        profilings = [
+            e for e in recorder.events
+            if isinstance(e, ProfilingCompleted)
+        ]
+        assert len(profilings) > len(SUITE_NAMES)
+        replay_trace(recorder.events)
+
+
+class TestDeadlockBreaker:
+    def test_forced_dispatch_rescues_stalled_job(self, small_store,
+                                                 oracle):
+        """energy_centric stalls forever for a dead best core; the
+        breaker hands the job to an idle up core instead."""
+        probe = make_simulation("energy_centric", small_store, oracle)
+        # A benchmark whose best core is not a profiling core, so
+        # profiling still happens and the stall is purely the policy's.
+        chosen = None
+        for name in SUITE_NAMES:
+            size = oracle.predict_size_kb(
+                name, small_store.counters(name)
+            )
+            targets = [
+                c.index for c in probe.cores
+                if c.size_kb == size and not c.spec.profiling
+            ]
+            if targets and len(targets) < len(probe.cores):
+                chosen = (name, targets)
+                break
+        assert chosen is not None
+        name, targets = chosen
+        plan = FaultPlan(core_faults=tuple(
+            CoreFault(kind="failure", core_index=index, start_cycle=0)
+            for index in targets
+        ))
+        recorder = ListRecorder()
+        metrics = MetricsRegistry()
+        sim = make_simulation("energy_centric", small_store, oracle,
+                              recorder=recorder, metrics=metrics,
+                              validate=True, faults=plan)
+        # The first arrival profiles (its profiling run *is* its
+        # execution); the second is already profiled, so the policy
+        # stalls it forever on the dead best core — until the breaker.
+        result = sim.run(arrivals_for([name, name], gap=600_000))
+        assert result.jobs_completed == 2
+        assert metrics.counter("sim.faults.forced_dispatches").value == 1
+        [forced] = [
+            e for e in recorder.events
+            if isinstance(e, FallbackDecision)
+            and e.reason == "forced_dispatch"
+        ]
+        assert forced.core_index not in targets
+
+    def test_all_cores_down_forever_aborts_loudly(self, small_store,
+                                                  oracle):
+        plan = FaultPlan(
+            name="blackout",
+            core_faults=tuple(
+                CoreFault(kind="failure", core_index=index, start_cycle=0)
+                for index in range(4)
+            ),
+        )
+        sim = make_simulation("base", small_store, oracle, faults=plan)
+        with pytest.raises(RuntimeError, match="every core down"):
+            sim.run(arrivals_for(SUITE_NAMES[:1]))
+
+    def test_plan_targeting_missing_core_rejected(self, small_store,
+                                                  oracle):
+        plan = FaultPlan(core_faults=(
+            CoreFault(kind="failure", core_index=9, start_cycle=0),
+        ))
+        with pytest.raises(ValueError, match="targets core 9"):
+            make_simulation("base", small_store, oracle, faults=plan)
+
+
+class TestRequeueRegression:
+    def test_preempt_then_fail_shares_one_requeue_path(self, small_store,
+                                                       oracle):
+        """Regression: a stream that both preempts and loses cores keeps
+        consistent waiting/refund accounting across the two reasons.
+
+        Historically the two interruption kinds risked diverging
+        (double-counted preemptions, missed ``last_enqueue_cycle``
+        resets); the shared ``_requeue_from_core`` path plus the replay
+        audit pins them together.
+        """
+        plan = FaultPlan(
+            name="preempt-and-fail",
+            core_faults=(
+                CoreFault(kind="failure", core_index=1,
+                          start_cycle=120_000, end_cycle=600_000),
+                CoreFault(kind="failure", core_index=3,
+                          start_cycle=200_000, end_cycle=700_000),
+            ),
+        )
+        recorder = ListRecorder()
+        metrics = MetricsRegistry()
+        sim = make_simulation(
+            "proposed", small_store, oracle,
+            discipline="priority", preemptive=True,
+            recorder=recorder, metrics=metrics, validate=True,
+            faults=plan,
+        )
+        arrivals = qos_arrivals(repeats=8, gap=25_000, seed=4)
+        result = sim.run(arrivals)
+        assert result.jobs_completed == len(arrivals)
+
+        requeues = [
+            e for e in recorder.events if isinstance(e, JobPreempted)
+        ]
+        reasons = {e.reason for e in requeues}
+        # The combined scenario really exercised both interruption
+        # kinds in one run.
+        assert reasons == {"preemption", "core_failure"}
+        # Identical accounting invariants for both reasons...
+        for event in requeues:
+            assert 0.0 <= event.fraction_run < 1.0
+            assert event.refunded_dynamic_nj >= 0.0
+            assert event.refunded_static_nj >= 0.0
+        # ...and disjoint statistics: scheduler preemptions vs fault
+        # requeues partition the JobPreempted stream.
+        by_reason = {
+            reason: sum(1 for e in requeues if e.reason == reason)
+            for reason in reasons
+        }
+        assert result.preemption_count == by_reason["preemption"]
+        assert metrics.counter("sim.faults.requeued").value == (
+            by_reason["core_failure"]
+        )
+        # The offline auditor checks every refund is pro-rata and every
+        # waiting_cycles non-negative, for both reasons at once.
+        report = replay_trace(recorder.events)
+        assert report.preemptions == len(requeues)
+        assert not report.unfinished_jobs
+        assert metrics.counter("sim.validate.violations").value == 0

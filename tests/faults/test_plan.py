@@ -1,0 +1,193 @@
+"""Fault-plan data model: validation, round-trips, generation."""
+
+import pytest
+
+from repro.faults import (
+    CORE_FAULT_KINDS,
+    FAULT_CLASSES,
+    CoreFault,
+    FaultPlan,
+    PredictorFault,
+    generate_plan,
+    load_plan,
+)
+
+
+class TestCoreFault:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown core fault kind"):
+            CoreFault(kind="meltdown", core_index=0, start_cycle=0)
+
+    def test_rejects_negative_core(self):
+        with pytest.raises(ValueError, match="core_index"):
+            CoreFault(kind="failure", core_index=-1, start_cycle=0)
+
+    def test_rejects_inverted_window(self):
+        with pytest.raises(ValueError, match="end_cycle"):
+            CoreFault(kind="failure", core_index=0,
+                      start_cycle=100, end_cycle=100)
+
+    def test_rejects_speedup_factor(self):
+        with pytest.raises(ValueError, match="slowdown factor"):
+            CoreFault(kind="slowdown", core_index=0, start_cycle=0,
+                      factor=0.5)
+
+    def test_active_window_semantics(self):
+        fault = CoreFault(kind="failure", core_index=0,
+                          start_cycle=10, end_cycle=20)
+        assert not fault.active(9)
+        assert fault.active(10)
+        assert fault.active(19)
+        assert not fault.active(20)
+
+    def test_open_window_lasts_forever(self):
+        fault = CoreFault(kind="failure", core_index=0, start_cycle=10)
+        assert fault.active(10**12)
+
+
+class TestPredictorFault:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown predictor fault"):
+            PredictorFault(kind="lies", start_cycle=0)
+
+    def test_rejects_zero_offset(self):
+        with pytest.raises(ValueError, match="offset"):
+            PredictorFault(kind="misprediction", start_cycle=0, offset=0)
+
+
+class TestFaultPlan:
+    def test_empty_plan(self):
+        plan = FaultPlan()
+        assert plan.is_empty()
+        assert plan.classes() == ()
+        assert "injects nothing" in plan.describe()
+
+    def test_rejects_bad_rates(self):
+        with pytest.raises(ValueError, match="dispatch_failure_rate"):
+            FaultPlan(dispatch_failure_rate=1.5)
+        with pytest.raises(ValueError, match="table_eviction_rate"):
+            FaultPlan(table_eviction_rate=-0.1)
+        with pytest.raises(ValueError, match="counter_noise"):
+            FaultPlan(counter_noise=-1.0)
+
+    def test_rejects_bad_backoff(self):
+        with pytest.raises(ValueError, match="base delay"):
+            FaultPlan(dispatch_retry_base_cycles=5_000,
+                      dispatch_retry_cap_cycles=1_000)
+
+    def test_sequences_normalised_to_tuples(self):
+        plan = FaultPlan(core_faults=[
+            CoreFault(kind="failure", core_index=0, start_cycle=0)
+        ])
+        assert isinstance(plan.core_faults, tuple)
+        hash(plan)  # stays hashable for frozen replication specs
+
+    def test_classes_reports_whats_scheduled(self):
+        plan = FaultPlan(
+            core_faults=(
+                CoreFault(kind="failure", core_index=0, start_cycle=0),
+                CoreFault(kind="slowdown", core_index=1, start_cycle=0,
+                          factor=2.0),
+            ),
+            predictor_faults=(
+                PredictorFault(kind="outage", start_cycle=0),
+            ),
+            dispatch_failure_rate=0.1,
+        )
+        assert plan.classes() == (
+            "core_failure", "core_slowdown", "predictor_outage",
+            "dispatch_failure",
+        )
+
+    def test_rng_streams_are_deterministic_and_independent(self):
+        plan = FaultPlan(seed=9)
+        a1 = [plan.rng("dispatch").random() for _ in range(3)]
+        a2 = [plan.rng("dispatch").random() for _ in range(3)]
+        b = [plan.rng("counters").random() for _ in range(3)]
+        assert a1 == a2
+        assert a1 != b
+
+    def test_round_trip_via_dict(self):
+        plan = FaultPlan(
+            name="rt", seed=4,
+            core_faults=(
+                CoreFault(kind="slowdown", core_index=2, start_cycle=10,
+                          end_cycle=99, factor=1.5),
+            ),
+            predictor_faults=(
+                PredictorFault(kind="misprediction", start_cycle=5,
+                               offset=2),
+            ),
+            counter_noise=0.05,
+            dispatch_failure_rate=0.2,
+        )
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_round_trip_via_json(self, tmp_path):
+        plan = FaultPlan(
+            name="disk", seed=1,
+            core_faults=(
+                CoreFault(kind="failure", core_index=0, start_cycle=0,
+                          end_cycle=10),
+            ),
+            table_eviction_rate=0.3,
+        )
+        path = tmp_path / "plan.json"
+        plan.to_json(path)
+        assert load_plan(path) == plan
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown fault-plan fields"):
+            FaultPlan.from_dict({"name": "x", "gremlins": True})
+
+    def test_load_plan_rejects_non_object(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[1, 2, 3]\n")
+        with pytest.raises(ValueError, match="JSON object"):
+            load_plan(path)
+
+
+class TestGeneratePlan:
+    def test_same_seed_same_plan(self):
+        assert generate_plan(3) == generate_plan(3)
+
+    def test_different_seeds_differ(self):
+        assert generate_plan(3) != generate_plan(4)
+
+    def test_covers_requested_classes(self):
+        plan = generate_plan(0, density=0.5)
+        assert set(plan.classes()) == set(FAULT_CLASSES)
+        restricted = generate_plan(
+            0, classes=("core_failure", "dispatch_failure")
+        )
+        assert set(restricted.classes()) == {
+            "core_failure", "dispatch_failure"
+        }
+
+    def test_failure_windows_are_finite(self):
+        plan = generate_plan(5, density=1.0)
+        for fault in plan.core_faults:
+            if fault.kind == "failure":
+                assert fault.end_cycle is not None
+
+    def test_respects_core_count(self):
+        plan = generate_plan(2, cores=2)
+        assert all(f.core_index < 2 for f in plan.core_faults)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError, match="density"):
+            generate_plan(0, density=2.0)
+        with pytest.raises(ValueError, match="unknown fault classes"):
+            generate_plan(0, classes=("gremlins",))
+
+    def test_round_trips_through_json(self, tmp_path):
+        plan = generate_plan(11, density=0.75)
+        path = tmp_path / "gen.json"
+        plan.to_json(path)
+        assert load_plan(path) == plan
+
+    def test_kind_constants(self):
+        assert set(CORE_FAULT_KINDS) == {
+            "failure", "slowdown", "reconfig_pin"
+        }
+        assert len(FAULT_CLASSES) == 9

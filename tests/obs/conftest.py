@@ -1,45 +1,30 @@
-"""Fixtures for observability tests: a real small store + simulations."""
+"""Fixtures for observability tests.
+
+Scenario logic lives in :mod:`tests.scenarios`; this conftest keeps the
+suite's historical denser arrival gap (120k cycles) so golden traces
+stay byte-identical.
+"""
 
 import pytest
 
-from repro.characterization.explorer import characterize_suite
-from repro.characterization.store import CharacterizationStore
-from repro.core.policies import make_policy
-from repro.core.predictor import OraclePredictor
-from repro.core.simulation import SchedulerSimulation
-from repro.core.system import base_system, paper_system
-from repro.workloads.arrivals import JobArrival
-from repro.workloads.eembc import eembc_benchmark
-
-#: Same mixed-best-size suite the core scheduler tests use.
-SUITE_NAMES = ("puwmod", "idctrn", "pntrch", "a2time")
+from tests import scenarios
+from tests.scenarios import (  # noqa: F401  (re-exported for tests)
+    SUITE_NAMES,
+    build_oracle,
+    build_small_store,
+    make_simulation,
+)
 
 
 @pytest.fixture(scope="session")
 def small_store():
-    specs = [eembc_benchmark(name) for name in SUITE_NAMES]
-    return CharacterizationStore(characterize_suite(specs))
+    return build_small_store()
 
 
 @pytest.fixture(scope="session")
 def oracle(small_store):
-    return OraclePredictor(small_store)
-
-
-def make_simulation(policy_name, store, predictor=None, **kwargs):
-    policy = make_policy(policy_name)
-    system = base_system() if policy_name == "base" else paper_system()
-    return SchedulerSimulation(
-        system,
-        policy,
-        store,
-        predictor=predictor if policy.uses_predictor else None,
-        **kwargs,
-    )
+    return build_oracle(small_store)
 
 
 def arrivals_for(names, gap=120_000, start=0):
-    return [
-        JobArrival(job_id=i, benchmark=name, arrival_cycle=start + i * gap)
-        for i, name in enumerate(names)
-    ]
+    return scenarios.arrivals_for(names, gap=gap, start=start)

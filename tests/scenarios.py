@@ -1,0 +1,119 @@
+"""Shared scenario builders for the test and benchmark suites.
+
+One home for the simulation scaffolding that used to be copy-pasted
+across ``tests/core/conftest.py``, ``tests/validate/conftest.py``,
+``tests/obs/conftest.py`` and the benchmark files: the small
+mixed-best-size characterisation store, the oracle predictor, the
+simulation factory and the arrival-stream builders.  The per-directory
+conftests stay as thin delegating wrappers (so existing
+``from .conftest import ...`` sites keep working and each suite keeps
+its historical gap default), but the logic lives here.
+"""
+
+from repro.characterization.explorer import characterize_suite
+from repro.characterization.store import CharacterizationStore
+from repro.core.policies import make_policy
+from repro.core.predictor import OraclePredictor
+from repro.core.simulation import SchedulerSimulation
+from repro.core.system import base_system, paper_system
+from repro.energy.tables import EnergyTable
+from repro.workloads.arrivals import JobArrival, with_qos
+from repro.workloads.eembc import eembc_benchmark
+
+__all__ = [
+    "SUITE_NAMES",
+    "arrivals_for",
+    "build_energy_table",
+    "build_oracle",
+    "build_small_store",
+    "make_simulation",
+    "qos_arrivals",
+    "qos_headline_arrivals",
+]
+
+#: Small mixed-best-size suite: 2KB, 4KB and 8KB winners.
+SUITE_NAMES = ("puwmod", "idctrn", "pntrch", "a2time")
+
+
+def build_small_store(names=SUITE_NAMES):
+    """Characterise ``names`` over the full 18-config design space."""
+    specs = [eembc_benchmark(name) for name in names]
+    return CharacterizationStore(characterize_suite(specs))
+
+
+def build_oracle(store):
+    """An oracle predictor over ``store`` (perfect size predictions)."""
+    return OraclePredictor(store)
+
+
+def build_energy_table():
+    """The default per-configuration energy model."""
+    return EnergyTable()
+
+
+def make_simulation(policy_name, store, predictor=None, energy_table=None,
+                    system=None, **kwargs):
+    """A simulation for ``policy_name`` with the conventional system.
+
+    ``base`` runs on the homogeneous baseline system, everything else on
+    the paper's heterogeneous four-core system; the predictor is only
+    attached when the policy consults one.  Extra ``kwargs`` (recorder,
+    metrics, discipline, validate, faults, ...) pass straight through to
+    :class:`~repro.core.simulation.SchedulerSimulation`.
+    """
+    policy = make_policy(policy_name)
+    if system is None:
+        system = base_system() if policy_name == "base" else paper_system()
+    return SchedulerSimulation(
+        system,
+        policy,
+        store,
+        predictor=predictor if policy.uses_predictor else None,
+        energy_table=energy_table,
+        **kwargs,
+    )
+
+
+def arrivals_for(names, gap=200_000, start=0):
+    """One arrival per name, ``gap`` cycles apart."""
+    return [
+        JobArrival(job_id=i, benchmark=name, arrival_cycle=start + i * gap)
+        for i, name in enumerate(names)
+    ]
+
+
+def qos_arrivals(repeats=10, gap=40_000, seed=1):
+    """A priority/deadline stream dense enough to force preemptions."""
+    return with_qos(
+        arrivals_for(SUITE_NAMES * repeats, gap=gap),
+        service_estimate=lambda name: 400_000,
+        priority_levels=4,
+        seed=seed,
+    )
+
+
+def qos_headline_arrivals(store, count=1500, seed=5,
+                          mean_interarrival_cycles=70_000,
+                          priority_levels=3, deadline_slack=4.0):
+    """The QoS-annotated headline stream the ablation benchmarks use.
+
+    Deadlines are ``deadline_slack`` times the base-configuration
+    execution estimate from ``store``; priorities are uniform over
+    ``priority_levels``.
+    """
+    from repro.cache import BASE_CONFIG
+    from repro.workloads import eembc_suite, uniform_arrivals
+
+    raw = uniform_arrivals(
+        eembc_suite(), count=count, seed=seed,
+        mean_interarrival_cycles=mean_interarrival_cycles,
+    )
+    return with_qos(
+        raw,
+        service_estimate=lambda name: store.estimate(
+            name, BASE_CONFIG
+        ).total_cycles,
+        priority_levels=priority_levels,
+        deadline_slack=deadline_slack,
+        seed=seed,
+    )

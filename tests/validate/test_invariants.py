@@ -30,7 +30,7 @@ def fake_job(job_id=1, remaining=1.0):
 
 
 def fake_core(index=0):
-    return SimpleNamespace(index=index)
+    return SimpleNamespace(index=index, failed=False)
 
 
 class TestHookGuards:
@@ -108,7 +108,7 @@ class TestStructuralInvariants:
 
     def test_busy_core_without_pending_execution(self):
         core = SimpleNamespace(index=0, current_job=fake_job(job_id=7),
-                               busy_until=100)
+                               busy_until=100, failed=False)
         sim = fake_sim(cores=[core], _pending={})
         validator = SimulationValidator(sim)
         validator.arrived = 1
@@ -119,7 +119,8 @@ class TestStructuralInvariants:
 
     def test_core_occupied_past_release(self):
         job = fake_job(job_id=7)
-        core = SimpleNamespace(index=0, current_job=job, busy_until=50)
+        core = SimpleNamespace(index=0, current_job=job, busy_until=50,
+                               failed=False)
         sim = fake_sim(cores=[core],
                        _pending={0: SimpleNamespace(job=job)}, now=100)
         validator = SimulationValidator(sim)
@@ -130,7 +131,8 @@ class TestStructuralInvariants:
     def test_busy_until_equal_to_now_is_legal(self):
         # The completion event may still be queued at this timestamp.
         job = fake_job(job_id=7)
-        core = SimpleNamespace(index=0, current_job=job, busy_until=100)
+        core = SimpleNamespace(index=0, current_job=job, busy_until=100,
+                               failed=False)
         sim = fake_sim(cores=[core],
                        _pending={0: SimpleNamespace(job=job)}, now=100)
         validator = SimulationValidator(sim)
