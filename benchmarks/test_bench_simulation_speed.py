@@ -1,0 +1,142 @@
+"""S1 — simulation engine speed: struct-of-arrays vs reference loop.
+
+The headline number of the fast-engine work: the fig6-style proposed
+system run (1500 jobs, paper arrival intensity) measured on the
+struct-of-arrays engine (:mod:`repro.sim.fast`) against the reference
+event loop.  Both engines consume the same arrival stream through the
+same :class:`SchedulerSimulation` front end and must return bit-identical
+:class:`SimulationResult` objects — the speedup is pure engine, not a
+change in what gets computed.
+
+Timing protocol: simulations are constructed outside the timed region
+(the fast engine precompiles its tables at construction), rounds are
+interleaved ref/fast/ref/fast so drift hits both engines alike, and the
+ratio is the global-min estimator — min over *all* reference times
+divided by min over *all* fast times — the least-noise estimate of the
+true cost ratio.
+
+The measured numbers are also written to ``BENCH_simulation_speed.json``
+so CI can upload them as an artifact.
+
+Run with ``pytest benchmarks/test_bench_simulation_speed.py -s`` to see
+the throughput table.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.analysis import format_table
+from repro.core import (
+    OraclePredictor,
+    SchedulerSimulation,
+    make_policy,
+    paper_system,
+)
+from repro.workloads import eembc_suite, uniform_arrivals
+
+#: Required end-to-end advantage of the struct-of-arrays engine.
+MIN_SPEEDUP = 10.0
+
+#: Interleaved timing rounds; the global minimum per engine is used.
+ROUNDS = 3
+
+#: Repetitions inside each round (each one is a fresh simulation).
+REPS = 3
+
+N_JOBS = 1500
+SEED = 4
+
+
+def _make_sim(store, engine):
+    return SchedulerSimulation(
+        paper_system(),
+        make_policy("proposed"),
+        store,
+        predictor=OraclePredictor(store),
+        engine=engine,
+    )
+
+
+def _timed_run(store, engine, arrivals):
+    """One construction-excluded run; returns (seconds, result)."""
+    sim = _make_sim(store, engine)
+    start = time.perf_counter()
+    result = sim.run(arrivals)
+    return time.perf_counter() - start, result
+
+
+def test_bench_simulation_speed(benchmark, store):
+    arrivals = uniform_arrivals(
+        eembc_suite(), count=N_JOBS, seed=SEED,
+        mean_interarrival_cycles=56_000,
+    )
+
+    # Warm both paths (imports, allocator, branch caches) before timing.
+    _, ref_result = _timed_run(store, "reference", arrivals)
+    _, fast_result = _timed_run(store, "fast", arrivals)
+
+    # Oracle equivalence: the speedup must not change a single bit.
+    assert fast_result == ref_result, "fast engine diverged from reference"
+    assert ref_result.jobs_completed == N_JOBS
+
+    # Interleaved rounds: drift (thermal, GC pressure) hits both engines.
+    ref_times, fast_times = [], []
+    for _ in range(ROUNDS):
+        for _ in range(REPS):
+            seconds, _ = _timed_run(store, "reference", arrivals)
+            ref_times.append(seconds)
+        for _ in range(REPS):
+            seconds, _ = _timed_run(store, "fast", arrivals)
+            fast_times.append(seconds)
+
+    ref_seconds = min(ref_times)
+    fast_seconds = min(fast_times)
+    speedup = ref_seconds / fast_seconds
+
+    # pytest-benchmark records the fast engine as the tracked series.
+    benchmark.pedantic(
+        lambda: _timed_run(store, "fast", arrivals),
+        rounds=ROUNDS,
+        iterations=1,
+    )
+
+    ref_jps = N_JOBS / ref_seconds
+    fast_jps = N_JOBS / fast_seconds
+
+    print()
+    print(f"Proposed-system run ({N_JOBS} jobs, seed {SEED}, "
+          f"56k mean interarrival)")
+    print(format_table(
+        ("engine", "wall ms", "jobs/s"),
+        (
+            ("reference (event loop)", f"{ref_seconds * 1e3:.1f}",
+             f"{ref_jps:,.0f}"),
+            ("fast (struct-of-arrays)", f"{fast_seconds * 1e3:.1f}",
+             f"{fast_jps:,.0f}"),
+        ),
+    ))
+    print(f"speedup: {speedup:.2f}x (required: >= {MIN_SPEEDUP:.1f}x)")
+
+    payload = {
+        "benchmark": "simulation_speed",
+        "jobs": N_JOBS,
+        "seed": SEED,
+        "mean_interarrival_cycles": 56_000,
+        "rounds": ROUNDS * REPS,
+        "reference_seconds": ref_seconds,
+        "fast_seconds": fast_seconds,
+        "reference_jobs_per_second": ref_jps,
+        "fast_jobs_per_second": fast_jps,
+        "speedup": speedup,
+        "bit_identical": True,
+        "min_speedup_required": MIN_SPEEDUP,
+    }
+    Path("BENCH_simulation_speed.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"fast engine speedup {speedup:.2f}x below the "
+        f"{MIN_SPEEDUP:.1f}x bar"
+    )

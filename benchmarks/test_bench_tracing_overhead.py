@@ -30,6 +30,11 @@ from repro.workloads import eembc_suite, uniform_arrivals
 
 def make_run(store, recorder=None, metrics=None):
     arrivals = uniform_arrivals(eembc_suite(), count=1000, seed=2)
+    # Pinned to the reference engine: this benchmark measures what the
+    # *hooks* cost, so both sides must run the hook-bearing loop.  With
+    # engine="auto" the untraced side would silently switch to the
+    # hook-free fast engine (benchmarks/test_bench_simulation_speed.py
+    # measures that gap) and the ratio would conflate the two effects.
     sim = SchedulerSimulation(
         paper_system(),
         make_policy("proposed"),
@@ -37,6 +42,7 @@ def make_run(store, recorder=None, metrics=None):
         predictor=OraclePredictor(store),
         recorder=recorder,
         metrics=metrics,
+        engine="reference",
     )
     return sim.run(arrivals)
 

@@ -25,12 +25,18 @@ from repro.workloads import eembc_suite, uniform_arrivals
 
 def make_run(store, validate=False):
     arrivals = uniform_arrivals(eembc_suite(), count=1000, seed=2)
+    # Pinned to the reference engine: this benchmark measures what the
+    # *validator* costs, so both sides must run the hook-bearing loop.
+    # With engine="auto" the unvalidated side would silently switch to
+    # the hook-free fast engine and blow the 15% budget with a speedup
+    # that test_bench_simulation_speed measures on purpose.
     sim = SchedulerSimulation(
         paper_system(),
         make_policy("proposed"),
         store,
         predictor=OraclePredictor(store),
         validate=validate,
+        engine="reference",
     )
     return sim.run(arrivals)
 

@@ -78,6 +78,9 @@ class ReplicationSpec:
     #: :class:`~repro.faults.plan.FaultPlan` is hashable/picklable pure
     #: data, so the spec stays frozen and pool-shippable.
     fault_plan: Optional[FaultPlan] = None
+    #: Simulation engine (``auto`` / ``fast`` / ``reference``), forwarded
+    #: to :class:`~repro.core.simulation.SchedulerSimulation`.
+    engine: str = "auto"
 
 
 @dataclass(frozen=True)
@@ -128,6 +131,11 @@ class CampaignCell:
     n: int
     #: Name of the injected fault plan (``None`` = clean cell).
     faults: Optional[str] = None
+    #: Engine mode the cell's replications ran under.  Part of the cell
+    #: label whenever it is not the default ``auto``, so results from
+    #: explicitly pinned engines are never silently aggregated with
+    #: others.
+    engine: str = "auto"
     #: Aggregates of the per-replication registry scalars (empty unless
     #: the campaign ran with ``collect_metrics=True``).  Keys follow the
     #: flat ``sim.*`` naming of
@@ -215,9 +223,12 @@ class CampaignResult:
     def summary(self) -> str:
         """Text table of per-cell mean ± CI for the headline metrics."""
         def label_for(cell: CampaignCell) -> str:
-            if cell.faults is None:
-                return cell.policy
-            return f"{cell.policy}+{cell.faults}"
+            label = cell.policy
+            if cell.faults is not None:
+                label = f"{label}+{cell.faults}"
+            if cell.engine != "auto":
+                label = f"{label}@{cell.engine}"
+            return label
 
         width = max([15] + [len(label_for(cell)) for cell in self.cells])
         header = (
@@ -291,6 +302,7 @@ def _run_replication(spec: ReplicationSpec) -> ReplicationResult:
         metrics=registry,
         validate=_WORKER_STATE.get("validate", False),
         faults=spec.fault_plan,
+        engine=spec.engine,
     )
     result = simulation.run(arrivals)
     return ReplicationResult(
@@ -327,6 +339,7 @@ def run_campaign(
     collect_metrics: bool = False,
     validate: bool = False,
     fault_plans: Sequence[Optional[FaultPlan]] = (None,),
+    engine: str = "auto",
 ) -> CampaignResult:
     """Run a (policy × load × fault plan × seed) grid, optionally parallel.
 
@@ -375,6 +388,16 @@ def run_campaign(
         leaves campaign behaviour bit-identical to before the axis
         existed.  Plan names must be unique within the sweep (they key
         the cells).
+    engine:
+        Simulation engine for every replication (``auto`` / ``fast`` /
+        ``reference``, see
+        :class:`~repro.core.simulation.SchedulerSimulation`).  The
+        default ``auto`` picks the fast engine for clean runs and the
+        reference engine whenever metrics/validation/faults are on;
+        requesting ``fast`` together with any of those hooks raises
+        ``ValueError`` before any replication starts.  Non-default
+        engines appear in the cell labels (``policy@engine``) so
+        differently pinned results are never silently aggregated.
     """
     if not policies:
         raise ValueError("need at least one policy")
@@ -397,6 +420,20 @@ def run_campaign(
     plan_names = [p.name for p in fault_plans if p is not None]
     if len(plan_names) != len(set(plan_names)):
         raise ValueError("fault plan names must be unique within a campaign")
+    if engine not in SchedulerSimulation.ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; choose from "
+            f"{SchedulerSimulation.ENGINES}"
+        )
+    if engine == "fast" and (
+        collect_metrics or validate or any(p is not None for p in fault_plans)
+    ):
+        # Fail the whole campaign up front instead of deep inside a
+        # worker process on the first replication.
+        raise ValueError(
+            "engine='fast' is incompatible with collect_metrics, validate "
+            "and fault plans; drop those options or use engine='reference'"
+        )
 
     if predictor is None:
         predictor = OraclePredictor(store)
@@ -410,6 +447,7 @@ def run_campaign(
             count=count,
             mean_interarrival_cycles=gap,
             fault_plan=plan,
+            engine=engine,
         )
         for policy in policies
         for count, gap in loads
@@ -484,6 +522,7 @@ def run_campaign(
                         n=len(members),
                         observed=observed,
                         faults=None if plan is None else plan.name,
+                        engine=engine,
                     )
                 )
 

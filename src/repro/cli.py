@@ -102,6 +102,15 @@ def build_parser() -> argparse.ArgumentParser:
                          help="inject the fault plan in this JSON file "
                               "into every policy's run (see the faults "
                               "subcommand)")
+    compare.add_argument("--engine",
+                         choices=("auto", "fast", "reference"),
+                         default="auto",
+                         help="simulation engine: 'fast' is the "
+                              "struct-of-arrays loop (bit-identical, "
+                              "~10x faster, incompatible with --trace/"
+                              "--metrics-out/--validate/--faults); "
+                              "'auto' picks it whenever those hooks "
+                              "are off (default: auto)")
 
     characterize = sub.add_parser(
         "characterize", help="design-space table for one benchmark"
@@ -183,6 +192,13 @@ def build_parser() -> argparse.ArgumentParser:
                           help="fault-plan JSON files to add as a grid "
                                "axis (a clean no-fault cell is always "
                                "included)")
+    campaign.add_argument("--engine",
+                          choices=("auto", "fast", "reference"),
+                          default="auto",
+                          help="simulation engine for every replication "
+                               "('fast' is incompatible with "
+                               "--metrics-out/--validate/--faults; "
+                               "default: auto)")
 
     trace = sub.add_parser(
         "trace",
@@ -256,6 +272,16 @@ def _cmd_compare(args) -> int:
     from repro.obs import JsonlRecorder, MetricsRegistry
     from repro.workloads import eembc_suite, uniform_arrivals
 
+    if args.engine == "fast" and (
+        args.trace or args.metrics_out or args.validate or args.faults
+    ):
+        print(
+            "error: --engine fast is incompatible with --trace, "
+            "--metrics-out, --validate and --faults; drop those "
+            "options or use --engine reference",
+            file=sys.stderr,
+        )
+        return 2
     fault_plan = None
     if args.faults:
         from repro.faults import load_plan
@@ -292,6 +318,7 @@ def _cmd_compare(args) -> int:
             metrics=registry,
             validate=args.validate,
             faults=fault_plan,
+            engine=args.engine,
         )
         try:
             results[name] = sim.run(arrivals)
@@ -490,6 +517,16 @@ def _cmd_campaign(args) -> int:
         run_campaign,
     )
 
+    if args.engine == "fast" and (
+        args.metrics_out or args.validate or args.faults
+    ):
+        print(
+            "error: --engine fast is incompatible with --metrics-out, "
+            "--validate and --faults; drop those options or use "
+            "--engine reference",
+            file=sys.stderr,
+        )
+        return 2
     fault_plans = (None,)
     if args.faults:
         from repro.faults import load_plan
@@ -519,6 +556,7 @@ def _cmd_campaign(args) -> int:
         collect_metrics=bool(args.metrics_out),
         validate=args.validate,
         fault_plans=fault_plans,
+        engine=args.engine,
     )
     print(result.summary())
     if args.json:

@@ -1,0 +1,128 @@
+"""Glue between :class:`SchedulerSimulation` and the fast engine.
+
+:func:`run_fast` builds a :class:`~repro.sim.fast.FastSimulation` from a
+configured :class:`~repro.core.simulation.SchedulerSimulation`, runs the
+arrival stream through it, and then writes the fast engine's end-of-run
+state back into the reference object — engine clock and counters, core
+occupancy/tuner/residency state, the profiling table, tuning sessions
+and the decision accumulators — so post-run introspection
+(``sim.engine.processed``, ``sim.cores[i].busy_cycles``,
+``sim.table``, ``sim.heuristic``) observes exactly what a reference run
+would have left behind.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.profiling import ExecutionRecord, ProfilingTable
+from repro.core.results import SimulationResult
+from repro.core.tuning import TuningHeuristic
+from repro.sim.fast import FastSimulation
+from repro.workloads.arrivals import JobArrival
+
+__all__ = ["build_fast", "run_fast"]
+
+
+def build_fast(sim) -> FastSimulation:
+    """A :class:`FastSimulation` mirroring ``sim``'s configuration."""
+    return FastSimulation(
+        sim.system,
+        sim.policy,
+        sim.store,
+        predictor=sim.predictor,
+        energy_table=sim.energy_table,
+        tuner_costs=sim._tuner_costs,
+        profiling_overhead_fraction=sim.profiling_overhead_fraction,
+        discipline=sim.discipline,
+        preemptive=sim.preemptive,
+        preemption_quantum_cycles=sim.preemption_quantum_cycles,
+        preload_profiles=sim._preload_profiles_requested,
+    )
+
+
+def run_fast(sim, arrivals: Sequence[JobArrival]) -> SimulationResult:
+    """Run ``sim``'s configuration on the fast engine.
+
+    ``sim`` must have been constructed with the obs/validate/faults
+    hooks all off (engine resolution guarantees this).  Uses the
+    engine prebuilt at construction when available and still fresh
+    (engine selection can change between construction and run if the
+    caller toggles hooks, and an engine instance runs exactly once).
+    """
+    fast = sim._fast
+    if fast is None or fast.final_state is not None:
+        fast = build_fast(sim)
+    result = fast.run(arrivals)
+    _write_back(sim, fast, result)
+    return result
+
+
+def _write_back(sim, fast: FastSimulation, result: SimulationResult) -> None:
+    """Install the fast engine's final state on the reference object."""
+    state = fast.final_state
+    engine = sim.engine
+    engine._now = state["now"]
+    engine._processed = state["processed"]
+    engine._sequence = state["sequence"]
+
+    sim.queue.enqueued_total = state["enqueued_total"]
+    sim.queue.max_length = state["max_queue_len"]
+
+    for core, snap in zip(sim.cores, state["cores"]):
+        core.current_job = None
+        core.busy_until = snap["busy_until"]
+        core.busy_cycles = snap["busy_cycles"]
+        core.executions = snap["executions"]
+        core.epoch = snap["epoch"]
+        core.run_started_at = snap["run_started_at"]
+        core._residency_closed = snap["residency_closed"]
+        core._residency_start = snap["residency_start"]
+        core._residency_busy = snap["residency_busy"]
+        tuner = core.tuner
+        tuner._current = snap["config"]
+        tuner.reconfigurations = snap["reconfigurations"]
+        tuner.total_cycles = snap["reconfig_cycles"]
+        tuner.total_energy_nj = snap["reconfig_energy_nj"]
+
+    # Rebuild the profiling table in the fast run's touch order (the
+    # reference table's dict order is observable through benchmarks(),
+    # exploration_counts() and predictions_kb).
+    table = ProfilingTable()
+    for b in fast.touch_order:
+        name = fast.bench_names[b]
+        profile = table.profile(name)
+        if fast.profiled[b]:
+            profile.counters = sim.store.counters(name)
+        if fast.pred_raw[b] is not None:
+            profile.predicted_size_kb = fast.pred_raw[b]
+        for cid in fast.executed[b]:
+            config = fast.cfg_objs[cid]
+            entry = fast._est[b][cid]
+            profile.executions[config] = ExecutionRecord(
+                config=config,
+                total_energy_nj=entry[3],
+                total_cycles=entry[0],
+            )
+        profile.tuned_sizes = set(fast.tuned[b])
+    sim.table = table
+
+    heuristic = TuningHeuristic()
+    heuristic._sessions = {
+        (fast.bench_names[b], size_kb): session
+        for (b, size_kb), session in fast.sessions.items()
+    }
+    sim.heuristic = heuristic
+
+    acc = state["accumulators"]
+    sim._dynamic_nj = acc["dynamic_nj"]
+    sim._busy_static_nj = acc["busy_static_nj"]
+    sim._reconfig_nj = acc["reconfig_nj"]
+    sim._reconfig_cycles = acc["reconfig_cycles"]
+    sim._profiling_overhead_nj = acc["profiling_overhead_nj"]
+    sim._stall_decisions = acc["stall_decisions"]
+    sim._non_best_decisions = acc["non_best_decisions"]
+    sim._tuning_executions = acc["tuning_executions"]
+    sim._profiling_executions = acc["profiling_executions"]
+    sim._preemption_count = acc["preemption_count"]
+    sim._records = list(result.jobs)

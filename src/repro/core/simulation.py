@@ -202,10 +202,23 @@ class SchedulerSimulation:
         pinning and dispatch failures through the simulation's fault
         checkpoints (see ``docs/faults.md``).  An *empty* plan injects
         nothing and the run is bit-identical to ``faults=None``.
+    engine:
+        Which event loop executes :meth:`run`.  ``"reference"`` is the
+        oracle loop in this module; ``"fast"`` is the struct-of-arrays
+        engine (:mod:`repro.sim.fast`) with the obs/validate/faults
+        hooks compiled out — bit-identical results, an order of
+        magnitude faster, but incompatible with tracing, metrics,
+        validation and fault injection (requesting both raises
+        :class:`ValueError`).  The default ``"auto"`` picks the fast
+        engine exactly when all four hooks are off (see
+        ``docs/performance.md``).
     """
 
     #: Queue disciplines supported by the dispatcher.
     DISCIPLINES = ("fifo", "priority", "edf")
+
+    #: Engine selection modes accepted by the ``engine`` parameter.
+    ENGINES = ("auto", "fast", "reference")
 
     def __init__(
         self,
@@ -225,6 +238,7 @@ class SchedulerSimulation:
         metrics: Optional[MetricsRegistry] = None,
         validate: bool = False,
         faults=None,
+        engine: str = "auto",
     ) -> None:
         if policy.uses_predictor and predictor is None:
             raise ValueError(
@@ -244,6 +258,11 @@ class SchedulerSimulation:
             )
         if preemption_quantum_cycles < 0:
             raise ValueError("preemption_quantum_cycles must be >= 0")
+        if engine not in self.ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; choose from {self.ENGINES}"
+            )
+        self.engine_mode = engine
         self.discipline = discipline
         self.preemptive = preemptive
         self.preemption_quantum_cycles = preemption_quantum_cycles
@@ -262,6 +281,15 @@ class SchedulerSimulation:
             energy_table if energy_table is not None else EnergyTable()
         )
         self.profiling_overhead_fraction = profiling_overhead_fraction
+        #: Kept for the fast path, which builds its own core state.
+        self._tuner_costs = tuner_costs
+        self._preload_profiles_requested = preload_profiles
+        #: (queue.mutations, view) pair backing :meth:`_queue_view`.
+        self._queue_view_cache = None
+        #: Per-(benchmark, config) memo over the store's estimate rows.
+        self._estimate_cache: Dict[tuple, object] = {}
+        #: Per-benchmark memo over the store's profiling counters.
+        self._counters_cache: Dict[str, object] = {}
 
         self.engine = EventEngine()
         self.queue: ReadyQueue[Job] = ReadyQueue()
@@ -321,13 +349,47 @@ class SchedulerSimulation:
         else:
             self._faults = None
 
+        if engine == "fast" and not self._fast_eligible():
+            raise ValueError(
+                "engine='fast' is incompatible with tracing, metrics, "
+                "validation and fault injection; drop those hooks or "
+                "use engine='reference'"
+            )
+
         if preload_profiles:
             self._preload_profiles()
+
+        # When the fast engine is already known to run, build it now:
+        # its lookup tables (config interning, characterisation rows,
+        # reconfiguration costs) are construction-time state, exactly
+        # like the reference's preloaded profiles above.
+        self._fast = None
+        if self._resolve_engine() == "fast":
+            from repro.core.fastpath import build_fast
+
+            self._fast = build_fast(self)
+
+    # -- engine selection ----------------------------------------------------
+
+    def _fast_eligible(self) -> bool:
+        """Whether the hook-free fast engine may run this simulation."""
+        return (
+            not self.recorder.enabled
+            and self.metrics is None
+            and self._validator is None
+            and self._faults is None
+        )
+
+    def _resolve_engine(self) -> str:
+        """The engine :meth:`run` will actually use."""
+        if self.engine_mode == "auto":
+            return "fast" if self._fast_eligible() else "reference"
+        return self.engine_mode
 
     def _preload_profiles(self) -> None:
         """Install design-time profiling/tuning knowledge (§IV.B)."""
         for benchmark in self.store.names():
-            counters = self.store.counters(benchmark)
+            counters = self._counters(benchmark)
             self.table.record_profiling(benchmark, counters)
             if self.policy.uses_predictor:
                 size = self.predictor.predict_size_kb(benchmark, counters)
@@ -338,7 +400,7 @@ class SchedulerSimulation:
                     session = self.heuristic.session(benchmark, size_kb)
                     while not session.done:
                         config = session.next_config()
-                        estimate = self.store.estimate(benchmark, config)
+                        estimate = self._estimate(benchmark, config)
                         self.table.record_execution(
                             benchmark,
                             config,
@@ -347,6 +409,30 @@ class SchedulerSimulation:
                         )
                         session.record(config, estimate.total_energy_nj)
                     self.table.mark_tuned(benchmark, size_kb)
+
+    # -- store lookup memos --------------------------------------------------
+
+    def _estimate(self, benchmark: str, config):
+        """Memoised ``store.estimate``: one row walk per (bench, config).
+
+        The store is immutable for the lifetime of a run, so the first
+        lookup's result (or its ``KeyError``) is definitive; misses are
+        not cached so the exception surfaces identically on every call.
+        """
+        key = (benchmark, config)
+        estimate = self._estimate_cache.get(key)
+        if estimate is None:
+            estimate = self.store.estimate(benchmark, config)
+            self._estimate_cache[key] = estimate
+        return estimate
+
+    def _counters(self, benchmark: str):
+        """Memoised ``store.counters`` (same object, one walk)."""
+        counters = self._counters_cache.get(benchmark)
+        if counters is None:
+            counters = self.store.counters(benchmark)
+            self._counters_cache[benchmark] = counters
+        return counters
 
     # -- read interface used by policies ------------------------------------
 
@@ -402,6 +488,12 @@ class SchedulerSimulation:
 
     def run(self, arrivals: Sequence[JobArrival]) -> SimulationResult:
         """Simulate the full arrival stream to completion."""
+        if self._resolve_engine() == "fast":
+            # Imported lazily: the reference path stays importable even
+            # if the fast engine's dependencies are unavailable.
+            from repro.core.fastpath import run_fast
+
+            return run_fast(self, arrivals)
         if not arrivals:
             raise ValueError("need at least one arrival")
         for arrival in arrivals:
@@ -464,19 +556,30 @@ class SchedulerSimulation:
     # -- dispatch ------------------------------------------------------------
 
     def _queue_view(self):
-        """Queued jobs in the discipline's service order."""
+        """Queued jobs in the discipline's service order.
+
+        The view is cached against the queue's mutation counter: a
+        dispatch round that scans many jobs without assigning reuses one
+        sorted copy instead of re-copying and re-sorting per scan (the
+        sort keys — priority, deadline — are immutable, so only queue
+        membership changes can invalidate the order).
+        """
+        cached = self._queue_view_cache
+        mutations = self.queue.mutations
+        if cached is not None and cached[0] == mutations:
+            return cached[1]
         jobs = list(self.queue)
         if self.discipline == "priority":
             # Stable sort: FIFO among equal priorities.
-            return sorted(jobs, key=lambda j: -j.priority)
-        if self.discipline == "edf":
+            jobs.sort(key=lambda j: -j.priority)
+        elif self.discipline == "edf":
             infinity = float("inf")
-            return sorted(
-                jobs,
+            jobs.sort(
                 key=lambda j: (
                     infinity if j.deadline_cycle is None else j.deadline_cycle
                 ),
             )
+        self._queue_view_cache = (mutations, jobs)
         return jobs
 
     def _dispatch(self) -> None:
@@ -658,7 +761,7 @@ class SchedulerSimulation:
         self._reconfig_nj += cost.energy_nj
         self._reconfig_cycles += cost.cycles
 
-        estimate = self.store.estimate(job.benchmark, assignment.config)
+        estimate = self._estimate(job.benchmark, assignment.config)
         # A preempted job resumes with only its remaining work; cycles
         # and energy are charged pro-rata (the lost cache state is
         # approximated by the cold-cache characterisation itself).
@@ -850,7 +953,7 @@ class SchedulerSimulation:
             )
 
         if assignment.profiling:
-            counters = self.store.counters(benchmark)
+            counters = self._counters(benchmark)
             if self._faults is not None:
                 counters = self._faults.perturb_counters(benchmark, counters)
             self.table.record_profiling(benchmark, counters)

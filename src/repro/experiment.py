@@ -333,12 +333,15 @@ def run_four_systems(
     predictor: BestCorePredictor,
     *,
     policies: Sequence[str] = POLICY_NAMES,
+    engine: str = "auto",
 ) -> Dict[str, SimulationResult]:
     """Simulate the selected systems on one arrival stream.
 
     The base system runs on the homogeneous machine, the other three on
     the paper's heterogeneous quad-core; all share the characterisation
-    store and energy constants.
+    store and energy constants.  ``engine`` selects the event loop
+    (``auto`` / ``fast`` / ``reference``); since these runs attach no
+    hooks, the default resolves to the fast engine.
     """
     energy_table = EnergyTable()
     results: Dict[str, SimulationResult] = {}
@@ -351,6 +354,7 @@ def run_four_systems(
             store,
             predictor=predictor if policy.uses_predictor else None,
             energy_table=energy_table,
+            engine=engine,
         )
         results[name] = simulation.run(arrivals)
     return results

@@ -1,9 +1,16 @@
 """Discrete-event simulation substrate: events, a deterministic event
-engine and the FIFO ready queue.
+engine, the FIFO ready queue and the struct-of-arrays fast engine.
 """
 
 from .engine import EventEngine
 from .events import Event, EventKind
+from .fast import FastSimulation
 from .queueing import ReadyQueue
 
-__all__ = ["Event", "EventEngine", "EventKind", "ReadyQueue"]
+__all__ = [
+    "Event",
+    "EventEngine",
+    "EventKind",
+    "FastSimulation",
+    "ReadyQueue",
+]

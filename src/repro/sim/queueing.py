@@ -9,68 +9,162 @@ before strictly younger arrivals.
 
 Waiting-time accounting is built in because idle/stall energy attribution
 needs it.
+
+Implementation: a flat list with tombstones and an identity index
+instead of a deque.  The dispatcher's hot operation — remove a specific
+job it just picked from the sorted queue view — is O(1) by object
+identity (jobs are mutable dataclasses, so identity is the only stable
+handle); removal by *value* of an object not present by identity falls
+back to the deque-compatible first-equal linear scan.  The two differ
+only when distinct-but-equal items coexist in the queue, which the
+simulation never produces (queued jobs differ in id, arrival time or
+mutable progress state).  The :attr:`mutations` counter increments on
+every membership change so callers (the dispatcher's queue view) can
+cache derived orderings and invalidate precisely.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Deque, Generic, Iterator, List, Optional, TypeVar
+from typing import Dict, Generic, Iterator, List, Optional, TypeVar
 
 __all__ = ["ReadyQueue"]
 
 T = TypeVar("T")
+
+#: Tombstone threshold: compact once the dead slots outnumber both this
+#: floor and the live items (amortised O(1) per operation).
+_COMPACT_MIN_DEAD = 64
 
 
 class ReadyQueue(Generic[T]):
     """FIFO queue with stall re-enqueue and occupancy statistics."""
 
     def __init__(self) -> None:
-        self._queue: Deque[T] = deque()
+        self._items: List[Optional[T]] = []
+        self._head = 0
+        self._size = 0
+        #: id(item) -> slot index (first occurrence wins).
+        self._pos: Dict[int, int] = {}
         self.enqueued_total = 0
         self.requeued_total = 0
         self.max_length = 0
+        #: Bumps on every membership change (push/pop/remove/drain).
+        self.mutations = 0
 
     def __len__(self) -> int:
-        return len(self._queue)
+        return self._size
 
     def __bool__(self) -> bool:
-        return bool(self._queue)
+        return self._size > 0
 
     def __iter__(self) -> Iterator[T]:
-        return iter(self._queue)
+        items = self._items
+        return (
+            items[i]
+            for i in range(self._head, len(items))
+            if items[i] is not None
+        )
 
     def push(self, item: T) -> None:
         """Enqueue a newly arrived job at the back."""
-        self._queue.append(item)
+        self._pos.setdefault(id(item), len(self._items))
+        self._items.append(item)
+        self._size += 1
         self.enqueued_total += 1
-        self.max_length = max(self.max_length, len(self._queue))
+        if self._size > self.max_length:
+            self.max_length = self._size
+        self.mutations += 1
 
     def push_front(self, item: T) -> None:
         """Re-enqueue a stalled job at the front (keeps its seniority)."""
-        self._queue.appendleft(item)
+        if self._head > 0:
+            self._head -= 1
+            self._items[self._head] = item
+            self._pos.setdefault(id(item), self._head)
+        else:
+            self._items.insert(0, item)
+            self._reindex()
+        self._size += 1
         self.requeued_total += 1
-        self.max_length = max(self.max_length, len(self._queue))
+        if self._size > self.max_length:
+            self.max_length = self._size
+        self.mutations += 1
 
     def pop(self) -> T:
         """Dequeue the oldest job."""
-        if not self._queue:
+        items = self._items
+        head = self._head
+        n = len(items)
+        while head < n and items[head] is None:
+            head += 1
+        if head >= n:
+            self._head = head
             raise IndexError("pop from an empty ready queue")
-        return self._queue.popleft()
+        item = items[head]
+        items[head] = None
+        self._head = head + 1
+        self._pos.pop(id(item), None)
+        self._size -= 1
+        self.mutations += 1
+        return item
 
     def peek(self) -> Optional[T]:
         """The oldest job without removing it, or ``None`` if empty."""
-        return self._queue[0] if self._queue else None
+        items = self._items
+        head = self._head
+        n = len(items)
+        while head < n and items[head] is None:
+            head += 1
+        self._head = head  # skipping tombstones is not a mutation
+        return items[head] if head < n else None
 
     def remove(self, item: T) -> bool:
-        """Remove a specific job; returns whether it was present."""
-        try:
-            self._queue.remove(item)
-            return True
-        except ValueError:
-            return False
+        """Remove a specific job; returns whether it was present.
+
+        O(1) when ``item`` itself is queued (the dispatcher's case);
+        otherwise a first-equal linear scan, matching deque semantics.
+        """
+        index = self._pos.get(id(item))
+        if index is not None and self._items[index] is item:
+            self._items[index] = None
+            del self._pos[id(item)]
+        else:
+            for i in range(self._head, len(self._items)):
+                candidate = self._items[i]
+                if candidate is not None and candidate == item:
+                    self._items[i] = None
+                    self._pos.pop(id(candidate), None)
+                    break
+            else:
+                return False
+        self._size -= 1
+        self.mutations += 1
+        if (
+            len(self._items) - self._head - self._size > _COMPACT_MIN_DEAD
+            and len(self._items) - self._head > 2 * self._size
+        ):
+            self._compact()
+        return True
 
     def drain(self) -> List[T]:
         """Remove and return everything, oldest first."""
-        items = list(self._queue)
-        self._queue.clear()
+        items = [item for item in self._items if item is not None]
+        self._items = []
+        self._head = 0
+        self._size = 0
+        self._pos = {}
+        self.mutations += 1
         return items
+
+    def _compact(self) -> None:
+        self._items = [item for item in self._items if item is not None]
+        self._head = 0
+        self._reindex()
+
+    def _reindex(self) -> None:
+        pos: Dict[int, int] = {}
+        for i in range(self._head, len(self._items)):
+            item = self._items[i]
+            if item is not None:
+                pos.setdefault(id(item), i)
+        self._pos = pos
