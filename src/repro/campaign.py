@@ -49,6 +49,7 @@ __all__ = [
     "MetricAggregate",
     "ReplicationResult",
     "ReplicationSpec",
+    "StreamLoad",
     "run_campaign",
 ]
 
@@ -62,6 +63,35 @@ CAMPAIGN_METRICS = (
     "jobs_completed",
     "non_best_decisions",
 )
+
+
+@dataclass(frozen=True)
+class StreamLoad:
+    """Open-system load axis: replications stream instead of replaying.
+
+    When passed to :func:`run_campaign`, every replication consumes a
+    generator-backed arrival process through the streaming engine
+    (:mod:`repro.sim.stream`) instead of materialising a batch: the
+    grid's ``(count, gap)`` loads become ``(max_jobs,
+    mean_interarrival_cycles)`` of the stream, and the replication seed
+    seeds the process.  Hashable/picklable pure data, like
+    :class:`~repro.faults.plan.FaultPlan`.
+    """
+
+    #: Arrival process kind (see
+    #: :func:`~repro.workloads.arrivals.make_process`).
+    process: str = "poisson"
+    #: Metrics-only warm-up: jobs arriving before this cycle are
+    #: excluded from the waiting/turnaround quantiles.
+    warmup_cycles: int = 0
+    #: Ready-queue bound (``None`` = unbounded, no admission control).
+    queue_capacity: Optional[int] = None
+    #: Admission policy under a full queue: ``drop`` / ``shed`` /
+    #: ``block``.
+    admission: str = "block"
+    #: Extra keyword arguments for the process constructor, as a sorted
+    #: tuple of ``(name, value)`` pairs so the spec stays hashable.
+    process_args: Tuple[Tuple[str, float], ...] = ()
 
 
 @dataclass(frozen=True)
@@ -81,6 +111,8 @@ class ReplicationSpec:
     #: Simulation engine (``auto`` / ``fast`` / ``reference``), forwarded
     #: to :class:`~repro.core.simulation.SchedulerSimulation`.
     engine: str = "auto"
+    #: Open-system load (``None`` = closed-batch replay, the default).
+    stream: Optional[StreamLoad] = None
 
 
 @dataclass(frozen=True)
@@ -139,8 +171,12 @@ class CampaignCell:
     #: Aggregates of the per-replication registry scalars (empty unless
     #: the campaign ran with ``collect_metrics=True``).  Keys follow the
     #: flat ``sim.*`` naming of
-    #: :meth:`~repro.obs.metrics.MetricsRegistry.scalars`.
+    #: :meth:`~repro.obs.metrics.MetricsRegistry.scalars`; open-system
+    #: campaigns report their windowed metrics here under ``stream.*``.
     observed: Dict[str, MetricAggregate] = field(default_factory=dict)
+    #: Arrival-process kind of an open-system campaign (``None`` =
+    #: closed-batch replay).  Part of the cell label, like ``engine``.
+    stream: Optional[str] = None
 
     def metric(self, name: str) -> MetricAggregate:
         """Aggregate by metric name."""
@@ -228,6 +264,8 @@ class CampaignResult:
                 label = f"{label}+{cell.faults}"
             if cell.engine != "auto":
                 label = f"{label}@{cell.engine}"
+            if cell.stream is not None:
+                label = f"{label}~{cell.stream}"
             return label
 
         width = max([15] + [len(label_for(cell)) for cell in self.cells])
@@ -281,12 +319,6 @@ def _run_replication(spec: ReplicationSpec) -> ReplicationResult:
     start = time.perf_counter()
     policy = make_policy(spec.policy)
     system = base_system() if spec.policy == "base" else paper_system()
-    arrivals = uniform_arrivals(
-        eembc_suite(),
-        count=spec.count,
-        seed=spec.seed,
-        mean_interarrival_cycles=spec.mean_interarrival_cycles,
-    )
     registry = (
         MetricsRegistry() if _WORKER_STATE.get("collect_metrics") else None
     )
@@ -304,6 +336,14 @@ def _run_replication(spec: ReplicationSpec) -> ReplicationResult:
         faults=spec.fault_plan,
         engine=spec.engine,
     )
+    if spec.stream is not None:
+        return _stream_replication(spec, simulation, start)
+    arrivals = uniform_arrivals(
+        eembc_suite(),
+        count=spec.count,
+        seed=spec.seed,
+        mean_interarrival_cycles=spec.mean_interarrival_cycles,
+    )
     result = simulation.run(arrivals)
     return ReplicationResult(
         spec=spec,
@@ -316,6 +356,65 @@ def _run_replication(spec: ReplicationSpec) -> ReplicationResult:
         non_best_decisions=result.non_best_decisions,
         seconds=time.perf_counter() - start,
         observed=registry.scalars() if registry is not None else {},
+    )
+
+
+def _stream_replication(
+    spec: ReplicationSpec, simulation: SchedulerSimulation, start: float
+) -> ReplicationResult:
+    """Open-system variant of one grid point."""
+    from repro.sim.stream import StreamConfig
+    from repro.workloads.arrivals import make_process
+
+    load = spec.stream
+    process = make_process(
+        load.process,
+        eembc_suite(),
+        mean_interarrival_cycles=spec.mean_interarrival_cycles,
+        seed=spec.seed,
+        **dict(load.process_args),
+    )
+    result = simulation.stream(
+        process,
+        StreamConfig(
+            max_jobs=spec.count,
+            warmup_cycles=load.warmup_cycles,
+            queue_capacity=load.queue_capacity,
+            admission=load.admission,
+        ),
+    )
+    # The windowed stream metrics ride back through ``observed`` (flat
+    # floats, exactly like registry scalars) so cells aggregate the
+    # quantile snapshots without retaining per-job state anywhere.
+    observed = {
+        "stream.jobs_generated": float(result.jobs_generated),
+        "stream.jobs_dropped": float(result.jobs_dropped),
+        "stream.jobs_shed": float(result.jobs_shed),
+        "stream.shed_rate": result.shed_rate,
+        "stream.blocked_cycles": float(result.blocked_cycles),
+        "stream.observed_jobs": float(result.observed_jobs),
+        "stream.throughput_jobs_per_mcycle": (
+            result.throughput_jobs_per_mcycle
+        ),
+        "stream.energy_rate_nj_per_cycle": result.energy_rate_nj_per_cycle,
+    }
+    for prefix, snapshot in (
+        ("stream.waiting", result.waiting),
+        ("stream.turnaround", result.turnaround),
+    ):
+        for key, value in snapshot.items():
+            observed[f"{prefix}.{key}"] = value
+    return ReplicationResult(
+        spec=spec,
+        jobs_completed=result.jobs_completed,
+        makespan_cycles=result.makespan_cycles,
+        total_energy_nj=result.total_energy_nj,
+        idle_energy_nj=result.idle_energy_nj,
+        dynamic_energy_nj=result.dynamic_energy_nj,
+        mean_waiting_cycles=result.waiting.get("mean", 0.0),
+        non_best_decisions=result.non_best_decisions,
+        seconds=time.perf_counter() - start,
+        observed=observed,
     )
 
 
@@ -340,6 +439,7 @@ def run_campaign(
     validate: bool = False,
     fault_plans: Sequence[Optional[FaultPlan]] = (None,),
     engine: str = "auto",
+    stream: Optional[StreamLoad] = None,
 ) -> CampaignResult:
     """Run a (policy × load × fault plan × seed) grid, optionally parallel.
 
@@ -398,6 +498,16 @@ def run_campaign(
         ``ValueError`` before any replication starts.  Non-default
         engines appear in the cell labels (``policy@engine``) so
         differently pinned results are never silently aggregated.
+    stream:
+        Open-system load axis (:class:`StreamLoad`).  When set, every
+        replication consumes a generator-backed arrival process through
+        the streaming engine instead of replaying a materialised batch:
+        ``loads`` become ``(max_jobs, mean_interarrival_cycles)`` of
+        the stream, and the windowed waiting/turnaround quantiles,
+        throughput and shed rates come back through
+        :attr:`CampaignCell.observed` under ``stream.*`` keys.  Like
+        ``engine='fast'``, streaming rejects the metrics/validation/
+        fault hooks up front.
     """
     if not policies:
         raise ValueError("need at least one policy")
@@ -434,6 +544,27 @@ def run_campaign(
             "engine='fast' is incompatible with collect_metrics, validate "
             "and fault plans; drop those options or use engine='reference'"
         )
+    if stream is not None:
+        if (
+            collect_metrics
+            or validate
+            or any(p is not None for p in fault_plans)
+            or engine == "reference"
+        ):
+            raise ValueError(
+                "an open-system stream campaign is incompatible with "
+                "collect_metrics, validate, fault plans and "
+                "engine='reference': streaming runs hook-free on the "
+                "fast engine.  Drop those options and read the windowed "
+                "stream.* metrics from CampaignCell.observed instead."
+            )
+        from repro.sim.stream import ADMISSION_POLICIES
+
+        if stream.admission not in ADMISSION_POLICIES:
+            raise ValueError(
+                f"unknown admission policy {stream.admission!r}; "
+                f"choose from {ADMISSION_POLICIES}"
+            )
 
     if predictor is None:
         predictor = OraclePredictor(store)
@@ -448,6 +579,7 @@ def run_campaign(
             mean_interarrival_cycles=gap,
             fault_plan=plan,
             engine=engine,
+            stream=stream,
         )
         for policy in policies
         for count, gap in loads
@@ -503,7 +635,7 @@ def run_campaign(
                 # never-incremented counter), so cells stay well-formed
                 # even across heterogeneous runs.
                 observed: Dict[str, MetricAggregate] = {}
-                if collect_metrics and members:
+                if members and (collect_metrics or stream is not None):
                     keys = sorted(
                         {key for m in members for key in m.observed}
                     )
@@ -523,6 +655,7 @@ def run_campaign(
                         observed=observed,
                         faults=None if plan is None else plan.name,
                         engine=engine,
+                        stream=None if stream is None else stream.process,
                     )
                 )
 

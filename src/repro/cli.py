@@ -13,6 +13,10 @@ any code:
   parallel, optionally persisting the store);
 * ``campaign`` — replication campaign over a (policy × seed × load)
   grid, optionally process-parallel, with mean ± 95 % CI aggregates;
+  ``--stream`` switches the grid to open-system streaming loads;
+* ``stream`` — open-system streaming run (:mod:`repro.sim.stream`):
+  unbounded generator-backed arrivals in bounded memory, with
+  admission control and deterministic ``--checkpoint``/``--resume``;
 * ``trace`` — analyse a JSONL simulation trace (summary, decision
   breakdown, per-core timeline);
 * ``validate`` — replay a JSONL trace against the energy-conservation
@@ -199,6 +203,78 @@ def build_parser() -> argparse.ArgumentParser:
                                "('fast' is incompatible with "
                                "--metrics-out/--validate/--faults; "
                                "default: auto)")
+    campaign.add_argument("--stream",
+                          choices=("poisson", "mmpp", "diurnal"),
+                          default=None,
+                          help="open-system load axis: stream each "
+                               "replication's arrivals through the "
+                               "streaming engine (--jobs bounds the "
+                               "stream; incompatible with "
+                               "--metrics-out/--validate/--faults)")
+    campaign.add_argument("--queue-capacity", type=int, default=None,
+                          help="ready-queue bound for --stream runs "
+                               "(default: unbounded)")
+    campaign.add_argument("--admission",
+                          choices=("drop", "shed", "block"),
+                          default="block",
+                          help="admission policy under a full queue "
+                               "for --stream runs (default: block)")
+    campaign.add_argument("--warmup", type=int, default=0,
+                          help="metrics warm-up in cycles for --stream "
+                               "runs")
+
+    stream = sub.add_parser(
+        "stream",
+        help="open-system streaming run: unbounded arrivals in bounded "
+             "memory, with checkpoint/resume",
+    )
+    stream.add_argument("--policy",
+                        choices=("base", "optimal", "energy_centric",
+                                 "proposed"),
+                        default="proposed")
+    stream.add_argument("--process",
+                        choices=("poisson", "mmpp", "diurnal"),
+                        default="poisson",
+                        help="arrival process (default: poisson)")
+    stream.add_argument("--max-jobs", type=int, default=None,
+                        help="stop generating after this many arrivals")
+    stream.add_argument("--duration", type=int, default=None,
+                        help="stop generating at this cycle horizon "
+                             "(jobs already admitted still complete)")
+    stream.add_argument("--interarrival", type=float, default=56_000.0,
+                        help="mean inter-arrival gap in cycles")
+    stream.add_argument("--seed", type=int, default=1)
+    stream.add_argument("--warmup", type=int, default=0,
+                        help="exclude jobs arriving before this cycle "
+                             "from the latency quantiles")
+    stream.add_argument("--queue-capacity", type=int, default=None,
+                        help="ready-queue bound (default: unbounded)")
+    stream.add_argument("--admission",
+                        choices=("drop", "shed", "block"),
+                        default="block",
+                        help="admission policy under a full queue")
+    stream.add_argument("--discipline",
+                        choices=("fifo", "priority", "edf"),
+                        default="fifo")
+    stream.add_argument("--predictor", choices=("ann", "oracle"),
+                        default="oracle")
+    stream.add_argument("--checkpoint", metavar="PATH",
+                        help="write an atomic snapshot here "
+                             "periodically and at the end")
+    stream.add_argument("--checkpoint-every", type=int, default=None,
+                        help="completions between snapshots "
+                             "(default: 100000)")
+    stream.add_argument("--resume", action="store_true",
+                        help="resume from the --checkpoint file "
+                             "(bit-identical to an uninterrupted run)")
+    stream.add_argument("--burst-factor", type=float, default=4.0,
+                        help="mmpp: burst-phase arrival-rate multiplier")
+    stream.add_argument("--amplitude", type=float, default=0.5,
+                        help="diurnal: modulation depth in [0, 1)")
+    stream.add_argument("--period", type=int, default=20_000_000,
+                        help="diurnal: period in cycles")
+    stream.add_argument("--json", metavar="PATH",
+                        help="write the stream result as JSON")
 
     trace = sub.add_parser(
         "trace",
@@ -527,6 +603,25 @@ def _cmd_campaign(args) -> int:
             file=sys.stderr,
         )
         return 2
+    stream_load = None
+    if args.stream:
+        if args.metrics_out or args.validate or args.faults:
+            print(
+                "error: --stream is incompatible with --metrics-out, "
+                "--validate and --faults (streaming runs hook-free on "
+                "the fast engine); the windowed stream.* metrics are "
+                "in the campaign output instead",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.campaign import StreamLoad
+
+        stream_load = StreamLoad(
+            process=args.stream,
+            warmup_cycles=args.warmup,
+            queue_capacity=args.queue_capacity,
+            admission=args.admission,
+        )
     fault_plans = (None,)
     if args.faults:
         from repro.faults import load_plan
@@ -557,6 +652,7 @@ def _cmd_campaign(args) -> int:
         validate=args.validate,
         fault_plans=fault_plans,
         engine=args.engine,
+        stream=stream_load,
     )
     print(result.summary())
     if args.json:
@@ -589,6 +685,122 @@ def _cmd_campaign(args) -> int:
         with open(args.metrics_out, "w") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
         print(f"wrote per-cell metric aggregates to {args.metrics_out}")
+    return 0
+
+
+def _cmd_stream(args) -> int:
+    import dataclasses
+
+    from repro.core.policies import make_policy
+    from repro.core.simulation import SchedulerSimulation
+    from repro.core.system import base_system, paper_system
+    from repro.experiment import default_predictor, default_store
+    from repro.sim.stream import StreamConfig
+    from repro.workloads import eembc_suite, make_process
+
+    if args.max_jobs is None and args.duration is None:
+        print(
+            "error: bound the stream with --max-jobs and/or --duration",
+            file=sys.stderr,
+        )
+        return 2
+    if args.resume and not args.checkpoint:
+        print("error: --resume needs --checkpoint PATH", file=sys.stderr)
+        return 2
+    if args.resume and not Path(args.checkpoint).exists():
+        print(
+            f"error: no checkpoint file at {args.checkpoint}",
+            file=sys.stderr,
+        )
+        return 2
+
+    process_args = {}
+    if args.process == "mmpp":
+        process_args["burst_factor"] = args.burst_factor
+    elif args.process == "diurnal":
+        process_args["amplitude"] = args.amplitude
+        process_args["period_cycles"] = args.period
+    try:
+        process = make_process(
+            args.process,
+            eembc_suite(),
+            mean_interarrival_cycles=args.interarrival,
+            seed=args.seed,
+            **process_args,
+        )
+        config = StreamConfig(
+            max_jobs=args.max_jobs,
+            duration_cycles=args.duration,
+            warmup_cycles=args.warmup,
+            queue_capacity=args.queue_capacity,
+            admission=args.admission,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    store = default_store()
+    policy = make_policy(args.policy)
+    predictor = None
+    if policy.uses_predictor:
+        predictor = default_predictor(
+            store, kind=args.predictor, seed=args.seed
+        )
+    system = base_system() if args.policy == "base" else paper_system()
+    sim = SchedulerSimulation(
+        system, policy, store,
+        predictor=predictor, discipline=args.discipline,
+    )
+    try:
+        result = sim.stream(
+            process,
+            config,
+            checkpoint_path=args.checkpoint,
+            checkpoint_every=args.checkpoint_every,
+            resume_from=args.checkpoint if args.resume else None,
+        )
+    except (ValueError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    verb = "resumed" if args.resume else "ran"
+    print(f"{verb} {args.policy} on a {args.process} stream "
+          f"({args.discipline}, admission={result.admission}"
+          + (f", capacity={result.queue_capacity}"
+             if result.queue_capacity is not None else "")
+          + ")")
+    print(f"jobs: generated={result.jobs_generated:,} "
+          f"completed={result.jobs_completed:,} "
+          f"dropped={result.jobs_dropped:,} shed={result.jobs_shed:,} "
+          f"(shed rate {result.shed_rate * 100:.1f}%)")
+    print(f"makespan: {result.makespan_cycles / 1e6:.2f} Mcycles, "
+          f"throughput {result.throughput_jobs_per_mcycle:.2f} "
+          f"jobs/Mcycle")
+    print(f"energy: {result.total_energy_nj / 1e6:.3f} mJ total "
+          f"({result.energy_rate_nj_per_cycle:.2f} nJ/cycle; "
+          f"idle {result.idle_energy_nj / 1e6:.3f}, "
+          f"dynamic {result.dynamic_energy_nj / 1e6:.3f})")
+    utilisation = ", ".join(
+        f"core{index}={value * 100:.0f}%"
+        for index, value in result.utilisation().items()
+    )
+    print(f"utilisation: {utilisation}")
+    for label, snapshot in (
+        ("waiting", result.waiting), ("turnaround", result.turnaround),
+    ):
+        print(f"{label} (kcyc, {result.observed_jobs:,} observed): "
+              f"p50={snapshot['p50'] / 1e3:.1f} "
+              f"p90={snapshot['p90'] / 1e3:.1f} "
+              f"p99={snapshot['p99'] / 1e3:.1f} "
+              f"mean={snapshot['mean'] / 1e3:.1f}")
+    if args.checkpoint:
+        print(f"checkpoint: {args.checkpoint}")
+    if args.json:
+        payload = dataclasses.asdict(result)
+        del payload["sim_result"]
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"wrote stream result JSON to {args.json}")
     return 0
 
 
@@ -748,6 +960,7 @@ _COMMANDS = {
     "locality": _cmd_locality,
     "sweep": _cmd_sweep,
     "campaign": _cmd_campaign,
+    "stream": _cmd_stream,
     "trace": _cmd_trace,
     "validate": _cmd_validate,
     "faults": _cmd_faults,

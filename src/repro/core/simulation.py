@@ -484,6 +484,83 @@ class SchedulerSimulation:
         if job is not None:
             self._non_best_next = job.job_id
 
+    # -- open-system streaming ----------------------------------------------
+
+    def stream(
+        self,
+        process,
+        config,
+        *,
+        checkpoint_path: Optional[str] = None,
+        checkpoint_every: Optional[int] = None,
+        resume_from=None,
+    ):
+        """Open-system run: consume an unbounded arrival process.
+
+        Drives a :class:`~repro.sim.stream.StreamingSimulation` built
+        from this simulation's configuration — the fast engine's event
+        loop fed in bounded chunks from ``process``, with streaming
+        metric accumulation, admission control and deterministic
+        checkpoint/resume — and returns its
+        :class:`~repro.sim.stream.StreamResult`.
+
+        ``config`` is a :class:`~repro.sim.stream.StreamConfig`
+        bounding the run (``max_jobs`` and/or ``duration_cycles``).
+        ``checkpoint_path`` enables periodic atomic snapshots every
+        ``checkpoint_every`` completions; ``resume_from`` (a snapshot
+        dict or a checkpoint file path) continues a previous run
+        bit-identically instead of starting fresh.
+
+        Streaming is fast-engine-only: an unbounded run cannot retain
+        per-event traces, per-job records or mid-run hook state, so —
+        exactly like ``engine='fast'`` — tracing, metrics, validation
+        and fault injection are rejected up front.
+        """
+        if self.engine_mode == "reference" or not self._fast_eligible():
+            raise ValueError(
+                "streaming is incompatible with tracing, metrics, "
+                "validation, fault injection and engine='reference': "
+                "an open-system run is unbounded, so per-event hooks "
+                "would retain unbounded state.  Drop the hooks (use "
+                "engine='auto' or 'fast') and read windowed metrics "
+                "from the StreamResult instead — waiting/turnaround "
+                "P50/P90/P99 snapshots, throughput, energy and shed "
+                "rates are accumulated in O(1) memory."
+            )
+        from repro.sim.stream import StreamingSimulation, read_checkpoint
+
+        streaming = StreamingSimulation(
+            self.system,
+            self.policy,
+            self.store,
+            predictor=self.predictor,
+            energy_table=self.energy_table,
+            tuner_costs=self._tuner_costs,
+            profiling_overhead_fraction=self.profiling_overhead_fraction,
+            discipline=self.discipline,
+            preemptive=self.preemptive,
+            preemption_quantum_cycles=self.preemption_quantum_cycles,
+            preload_profiles=self._preload_profiles_requested,
+            config=config,
+        )
+        if resume_from is not None:
+            snapshot = (
+                read_checkpoint(resume_from)
+                if isinstance(resume_from, str)
+                else resume_from
+            )
+            return streaming.resume(
+                snapshot,
+                process,
+                checkpoint_path=checkpoint_path,
+                checkpoint_every=checkpoint_every,
+            )
+        return streaming.run(
+            process,
+            checkpoint_path=checkpoint_path,
+            checkpoint_every=checkpoint_every,
+        )
+
     # -- main loop -----------------------------------------------------------
 
     def run(self, arrivals: Sequence[JobArrival]) -> SimulationResult:

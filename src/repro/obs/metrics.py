@@ -145,6 +145,51 @@ class P2Quantile:
             return q[low] + (q[high] - q[low]) * (rank - low)
         return q[2]
 
+    @property
+    def count(self) -> int:
+        """Observations fed so far."""
+        q = self._heights
+        return len(q) if len(q) < 5 else self._positions[4]
+
+    def snapshot(self) -> Dict[str, float]:
+        """Cheap point-in-time view: ``{p, count, value}``.
+
+        Reads the current marker state without merging, copying or
+        touching the estimator, so periodic window reporting can call
+        it at any cadence with O(1) cost and zero perturbation of the
+        stream.
+        """
+        return {
+            "p": self.p,
+            "count": float(self.count),
+            "value": self.value,
+        }
+
+    def state_dict(self) -> dict:
+        """Full estimator state, JSON-serialisable and exact.
+
+        Every field (marker heights, integer positions, fractional
+        desired positions) round-trips bit-exactly through
+        :meth:`load_state`, so a checkpointed estimator continues the
+        stream as if never interrupted.
+        """
+        return {
+            "p": self.p,
+            "heights": list(self._heights),
+            "positions": list(self._positions),
+            "desired": list(self._desired),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore the exact state captured by :meth:`state_dict`."""
+        if state["p"] != self.p:
+            raise ValueError(
+                f"state is for p={state['p']}, estimator tracks p={self.p}"
+            )
+        self._heights = [float(x) for x in state["heights"]]
+        self._positions = [int(x) for x in state["positions"]]
+        self._desired = [float(x) for x in state["desired"]]
+
 
 #: Default histogram quantiles (reported as p50 / p90 / p99).
 DEFAULT_QUANTILES = (0.5, 0.9, 0.99)
@@ -206,6 +251,31 @@ class Histogram:
         for estimator in self._estimators:
             summary[_quantile_key(estimator.p)] = estimator.value
         return summary
+
+    def state_dict(self) -> dict:
+        """Exact JSON-serialisable state (for checkpoint/resume)."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "estimators": [e.state_dict() for e in self._estimators],
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore the exact state captured by :meth:`state_dict`."""
+        estimators = state["estimators"]
+        if len(estimators) != len(self._estimators):
+            raise ValueError(
+                f"state has {len(estimators)} estimators, histogram "
+                f"{self.name!r} tracks {len(self._estimators)}"
+            )
+        self.count = int(state["count"])
+        self.total = float(state["total"])
+        self.min = float(state["min"])
+        self.max = float(state["max"])
+        for estimator, sub in zip(self._estimators, estimators):
+            estimator.load_state(sub)
 
 
 class MetricsRegistry:

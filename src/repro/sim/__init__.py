@@ -1,16 +1,31 @@
 """Discrete-event simulation substrate: events, a deterministic event
-engine, the FIFO ready queue and the struct-of-arrays fast engine.
+engine, the FIFO ready queue, the struct-of-arrays fast engine and the
+open-system streaming engine built on top of it.
 """
 
 from .engine import EventEngine
 from .events import Event, EventKind
 from .fast import FastSimulation
 from .queueing import ReadyQueue
+from .stream import (
+    ADMISSION_POLICIES,
+    STREAM_SNAPSHOT_VERSION,
+    StreamConfig,
+    StreamingSimulation,
+    StreamResult,
+    read_checkpoint,
+)
 
 __all__ = [
+    "ADMISSION_POLICIES",
     "Event",
     "EventEngine",
     "EventKind",
     "FastSimulation",
     "ReadyQueue",
+    "STREAM_SNAPSHOT_VERSION",
+    "StreamConfig",
+    "StreamResult",
+    "StreamingSimulation",
+    "read_checkpoint",
 ]

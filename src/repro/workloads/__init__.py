@@ -2,7 +2,19 @@
 generation, hardware counters and arrival streams.
 """
 
-from .arrivals import JobArrival, poisson_arrivals, uniform_arrivals, with_qos
+from .arrivals import (
+    STREAM_CHUNK,
+    ArrivalProcess,
+    DiurnalProcess,
+    JobArrival,
+    MMPPProcess,
+    PoissonProcess,
+    QoSProcess,
+    make_process,
+    poisson_arrivals,
+    uniform_arrivals,
+    with_qos,
+)
 from .benchmark import BenchmarkSpec, InstructionMix, Trace
 from .counters import (
     ALL_COUNTER_NAMES,
@@ -32,7 +44,13 @@ from .tracegen import (
 __all__ = [
     "ALL_COUNTER_NAMES",
     "ANN_SELECTED_FEATURES",
+    "ArrivalProcess",
     "BenchmarkSpec",
+    "DiurnalProcess",
+    "MMPPProcess",
+    "PoissonProcess",
+    "QoSProcess",
+    "STREAM_CHUNK",
     "EEMBC_DOMAINS",
     "EEMBC_NAMES",
     "HardwareCounters",
@@ -52,6 +70,7 @@ __all__ = [
     "eembc_benchmark",
     "eembc_suite",
     "interleave_chunks",
+    "make_process",
     "miss_ratio_curve",
     "poisson_arrivals",
     "reuse_distance_histogram",

@@ -72,6 +72,158 @@ def test_p2_is_deterministic():
     assert run() == run()
 
 
+def test_p2_heavy_duplicates():
+    """Long runs of identical values must not divide by zero or drift.
+
+    Duplicate-heavy streams are the classic P² killer: adjacent markers
+    collapse onto the same height and naive implementations divide by a
+    zero position gap in the parabolic step.
+    """
+    estimator = P2Quantile(0.9)
+    for _ in range(10_000):
+        estimator.observe(7.0)
+    assert estimator.value == 7.0
+    assert estimator.count == 10_000
+
+    # Duplicates with a sprinkle of outliers: estimate stays on the
+    # dominant value (90% of mass IS 5.0).
+    mixed = P2Quantile(0.5)
+    rng = random.Random(11)
+    for _ in range(20_000):
+        mixed.observe(5.0 if rng.random() < 0.9 else 100.0)
+    assert mixed.value == pytest.approx(5.0, abs=1e-6)
+
+
+def test_p2_marker_heights_stay_monotone():
+    """q0 <= q1 <= q2 <= q3 <= q4 after every observation.
+
+    The marker heights are order statistics of the stream; the
+    parabolic/linear adjustment must never let one cross a neighbour.
+    """
+    rng = random.Random(13)
+    estimator = P2Quantile(0.9)
+    for i in range(30_000):
+        # A nasty mix: heavy tails, duplicates and constants.
+        bucket = i % 4
+        if bucket == 0:
+            x = rng.gauss(0, 1)
+        elif bucket == 1:
+            x = rng.expovariate(1e-3)
+        elif bucket == 2:
+            x = 42.0
+        else:
+            x = rng.random()
+        estimator.observe(x)
+        q = estimator._heights
+        if len(q) == 5:
+            assert q[0] <= q[1] <= q[2] <= q[3] <= q[4], i
+            n = estimator._positions
+            assert n[0] < n[1] < n[2] < n[3] < n[4], i
+
+
+def test_p2_tiny_sample_exactness():
+    """With fewer than five samples the estimate is the exact
+    linear-interpolated quantile, for every p, in any feed order."""
+    samples = [3.0, 1.0, 4.0, 1.5]
+    for p in (0.25, 0.5, 0.75, 0.9):
+        estimator = P2Quantile(p)
+        for x in samples:
+            estimator.observe(x)
+        data = sorted(samples)
+        rank = p * (len(data) - 1)
+        low = int(rank)
+        exact = data[low] + (data[low + 1] - data[low]) * (rank - low)
+        assert estimator.value == exact
+        assert estimator.count == 4
+
+
+def test_p2_snapshot_is_merge_free():
+    """snapshot() reads without perturbing: the estimate sequence is
+    identical whether or not snapshots are interleaved."""
+    rng = random.Random(5)
+    samples = [rng.gauss(10, 3) for _ in range(4_000)]
+
+    plain = P2Quantile(0.9)
+    for x in samples:
+        plain.observe(x)
+
+    snapshotted = P2Quantile(0.9)
+    views = []
+    for i, x in enumerate(samples):
+        snapshotted.observe(x)
+        if i % 7 == 0:
+            views.append(snapshotted.snapshot())
+
+    assert snapshotted.value == plain.value
+    assert snapshotted.state_dict() == plain.state_dict()
+    last = views[-1]
+    assert last["p"] == 0.9
+    assert last["count"] == 3998.0  # last i with i % 7 == 0 is 3997
+    # Snapshots are plain floats (windowed reporting serialises them).
+    assert all(isinstance(v, float) for v in last.values())
+
+
+def test_p2_state_round_trip_continues_bit_identically():
+    """Checkpoint mid-stream, restore, and the tail of the stream
+    produces the same estimate as the uninterrupted run."""
+    rng = random.Random(17)
+    samples = [rng.expovariate(0.01) for _ in range(6_000)]
+
+    straight = P2Quantile(0.99)
+    for x in samples:
+        straight.observe(x)
+
+    first = P2Quantile(0.99)
+    for x in samples[:2_500]:
+        first.observe(x)
+    import json
+    state = json.loads(json.dumps(first.state_dict()))
+
+    resumed = P2Quantile(0.99)
+    resumed.load_state(state)
+    for x in samples[2_500:]:
+        resumed.observe(x)
+
+    assert resumed.value == straight.value
+    assert resumed.state_dict() == straight.state_dict()
+
+
+def test_p2_load_state_rejects_wrong_quantile():
+    donor = P2Quantile(0.5)
+    donor.observe(1.0)
+    estimator = P2Quantile(0.9)
+    with pytest.raises(ValueError, match="p=0.5"):
+        estimator.load_state(donor.state_dict())
+
+
+def test_histogram_state_round_trip():
+    rng = random.Random(23)
+    samples = [rng.gauss(50, 20) for _ in range(3_000)]
+
+    straight = Histogram("h")
+    for x in samples:
+        straight.observe(x)
+
+    first = Histogram("h")
+    for x in samples[:1_000]:
+        first.observe(x)
+    resumed = Histogram("h")
+    resumed.load_state(first.state_dict())
+    for x in samples[1_000:]:
+        resumed.observe(x)
+
+    assert resumed.snapshot() == straight.snapshot()
+    assert resumed.state_dict() == straight.state_dict()
+
+
+def test_histogram_load_state_rejects_estimator_mismatch():
+    donor = Histogram("h", quantiles=(0.5,))
+    donor.observe(1.0)
+    histogram = Histogram("h")
+    with pytest.raises(ValueError, match="estimators"):
+        histogram.load_state(donor.state_dict())
+
+
 def test_histogram_snapshot():
     histogram = Histogram("h")
     empty = histogram.snapshot()

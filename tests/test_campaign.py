@@ -8,6 +8,7 @@ from repro.campaign import (
     CAMPAIGN_METRICS,
     MetricAggregate,
     ReplicationSpec,
+    StreamLoad,
     _aggregate,
     run_campaign,
 )
@@ -272,6 +273,71 @@ class TestSweepTimingAbsorption:
         # Counters accumulate across sweeps.
         timing.record_into(registry)
         assert registry.scalars()["sweep.benchmarks"] == 4.0
+
+
+class TestStreamAxis:
+    def stream_campaign(self, store, workers, **load_kwargs):
+        return run_campaign(
+            store,
+            policies=("base", "proposed"),
+            seeds=(0, 1),
+            loads=((120, 40_000),),
+            workers=workers,
+            stream=StreamLoad(**load_kwargs),
+        )
+
+    def test_open_system_cells(self, store):
+        result = self.stream_campaign(
+            store, workers=1, queue_capacity=16, admission="shed"
+        )
+        assert len(result.replications) == 4
+        cell = result.cell("proposed")
+        assert cell.stream == "poisson"
+        assert cell.n == 2
+        assert "stream.waiting.p99" in cell.observed
+        assert "stream.turnaround.mean" in cell.observed
+        assert "stream.shed_rate" in cell.observed
+        shed = cell.observed["stream.jobs_shed"].mean
+        assert cell.metrics["jobs_completed"].mean == 120 - shed
+        assert "~poisson" in result.summary()
+
+    def test_worker_count_independent(self, store):
+        serial = self.stream_campaign(store, workers=1)
+        parallel = self.stream_campaign(store, workers=4)
+        for a, b in zip(serial.cells, parallel.cells):
+            assert a.metrics == b.metrics
+            assert a.observed == b.observed
+
+    def test_process_kinds_differ(self, store):
+        poisson = self.stream_campaign(store, workers=1)
+        mmpp = self.stream_campaign(
+            store, workers=1, process="mmpp",
+            process_args=(("burst_factor", 4.0),),
+        )
+        assert mmpp.cell("proposed").stream == "mmpp"
+        assert (
+            poisson.cell("proposed").metrics["mean_waiting_cycles"]
+            != mmpp.cell("proposed").metrics["mean_waiting_cycles"]
+        )
+
+    def test_rejects_hooks_up_front(self, store):
+        for kwargs in (
+            {"validate": True},
+            {"collect_metrics": True},
+            {"engine": "reference"},
+        ):
+            with pytest.raises(ValueError, match="stream"):
+                run_campaign(
+                    store, policies=("base",),
+                    stream=StreamLoad(), **kwargs,
+                )
+
+    def test_rejects_bad_admission(self, store):
+        with pytest.raises(ValueError, match="admission"):
+            run_campaign(
+                store, policies=("base",),
+                stream=StreamLoad(admission="bounce"),
+            )
 
 
 class TestValidation:

@@ -395,3 +395,135 @@ class TestLocalityCommand:
                      "--window", "500"])
         assert code == 0
         assert "500-access window" in capsys.readouterr().out
+
+
+class TestStreamParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["stream"])
+        assert args.policy == "proposed"
+        assert args.process == "poisson"
+        assert args.max_jobs is None
+        assert args.duration is None
+        assert args.interarrival == 56_000.0
+        assert args.admission == "block"
+        assert args.queue_capacity is None
+        assert args.checkpoint is None
+        assert not args.resume
+
+    def test_options(self):
+        args = build_parser().parse_args([
+            "stream", "--policy", "base", "--process", "mmpp",
+            "--max-jobs", "5000", "--duration", "1000000",
+            "--queue-capacity", "32", "--admission", "shed",
+            "--warmup", "200000", "--discipline", "edf",
+            "--checkpoint", "c.json", "--checkpoint-every", "500",
+            "--resume", "--burst-factor", "6",
+        ])
+        assert args.policy == "base"
+        assert args.process == "mmpp"
+        assert args.max_jobs == 5000
+        assert args.duration == 1_000_000
+        assert args.queue_capacity == 32
+        assert args.admission == "shed"
+        assert args.warmup == 200_000
+        assert args.discipline == "edf"
+        assert args.checkpoint == "c.json"
+        assert args.checkpoint_every == 500
+        assert args.resume
+        assert args.burst_factor == 6.0
+
+    def test_rejects_unknown_process(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stream", "--process", "uniform"])
+
+    def test_campaign_stream_flags(self):
+        args = build_parser().parse_args([
+            "campaign", "--stream", "diurnal",
+            "--queue-capacity", "16", "--admission", "drop",
+            "--warmup", "100000",
+        ])
+        assert args.stream == "diurnal"
+        assert args.queue_capacity == 16
+        assert args.admission == "drop"
+        assert args.warmup == 100_000
+
+
+class TestStreamCommand:
+    def test_stream_small(self, capsys, tmp_path):
+        import json as json_module
+
+        json_path = tmp_path / "stream.json"
+        code = main([
+            "stream", "--max-jobs", "300", "--seed", "2",
+            "--json", str(json_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ran proposed on a poisson stream" in out
+        assert "generated=300" in out
+        assert "waiting" in out and "p99" in out
+        payload = json_module.loads(json_path.read_text())
+        assert payload["jobs_completed"] == 300
+        assert payload["policy"] == "proposed"
+        assert "sim_result" not in payload
+        assert payload["waiting"]["count"] == 300.0
+
+    def test_stream_requires_a_bound(self, capsys):
+        assert main(["stream"]) == 2
+        assert "--max-jobs" in capsys.readouterr().err
+
+    def test_resume_needs_checkpoint_path(self, capsys):
+        assert main(["stream", "--max-jobs", "10", "--resume"]) == 2
+        assert "--checkpoint" in capsys.readouterr().err
+
+    def test_resume_needs_existing_file(self, capsys, tmp_path):
+        code = main([
+            "stream", "--max-jobs", "10", "--resume",
+            "--checkpoint", str(tmp_path / "missing.json"),
+        ])
+        assert code == 2
+        assert "no checkpoint file" in capsys.readouterr().err
+
+    def test_checkpoint_and_resume_round_trip(self, capsys, tmp_path):
+        import json as json_module
+
+        ckpt = tmp_path / "stream.ckpt"
+        first_json = tmp_path / "first.json"
+        resumed_json = tmp_path / "resumed.json"
+        base_args = [
+            "stream", "--max-jobs", "300", "--seed", "2",
+            "--checkpoint", str(ckpt), "--checkpoint-every", "100",
+        ]
+        assert main(base_args + ["--json", str(first_json)]) == 0
+        assert ckpt.exists()
+
+        # Resuming the final checkpoint replays no events and reports
+        # the identical result — the bit-identity contract end to end.
+        code = main(
+            base_args + ["--resume", "--json", str(resumed_json)]
+        )
+        assert code == 0
+        assert "resumed proposed" in capsys.readouterr().out
+        assert json_module.loads(first_json.read_text()) == (
+            json_module.loads(resumed_json.read_text())
+        )
+
+    def test_campaign_stream_small(self, capsys):
+        code = main([
+            "campaign", "--policies", "base", "proposed",
+            "--seeds", "0", "--jobs", "60", "--workers", "1",
+            "--stream", "poisson", "--queue-capacity", "16",
+            "--admission", "shed",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "~poisson" in out
+        assert "replications=2" in out
+
+    def test_campaign_stream_rejects_hooks(self, capsys, tmp_path):
+        code = main([
+            "campaign", "--stream", "poisson", "--jobs", "20",
+            "--validate",
+        ])
+        assert code == 2
+        assert "incompatible" in capsys.readouterr().err
