@@ -1,5 +1,11 @@
 """Result normalisation and text reporting for the paper's figures."""
 
+from .bench import (
+    BenchCheck,
+    bench_checks,
+    load_bench_artifacts,
+    render_bench_report,
+)
 from .export import (
     jobs_to_csv,
     result_summary_dict,
@@ -19,7 +25,11 @@ from .report import (
 
 __all__ = [
     "METRICS",
+    "BenchCheck",
+    "bench_checks",
     "format_table",
+    "load_bench_artifacts",
+    "render_bench_report",
     "jobs_to_csv",
     "normalize_results",
     "percent_change",

@@ -12,7 +12,8 @@ mean / std / 95 % confidence intervals.
 Determinism contract: a replication's arrival stream derives only from
 its :class:`ReplicationSpec` (the replication seed feeds
 :func:`~repro.workloads.arrivals.uniform_arrivals` directly), and
-``pool.map`` preserves task order, so campaign results are identical for
+``pool.map``/``pool.imap`` preserve task order, so campaign results are
+identical for
 any worker count — including the in-process serial path — and for any
 scheduling of tasks onto workers.  The ``fork`` start method is
 preferred when available (workers inherit the store without pickling);
@@ -28,7 +29,7 @@ import multiprocessing
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from repro.characterization.store import CharacterizationStore
 from repro.core.policies import POLICY_NAMES, make_policy
@@ -440,6 +441,7 @@ def run_campaign(
     fault_plans: Sequence[Optional[FaultPlan]] = (None,),
     engine: str = "auto",
     stream: Optional[StreamLoad] = None,
+    progress: Optional[Callable[[int, int], None]] = None,
 ) -> CampaignResult:
     """Run a (policy × load × fault plan × seed) grid, optionally parallel.
 
@@ -508,6 +510,13 @@ def run_campaign(
         :attr:`CampaignCell.observed` under ``stream.*`` keys.  Like
         ``engine='fast'``, streaming rejects the metrics/validation/
         fault hooks up front.
+    progress:
+        ``progress(done, total)`` callback invoked after every finished
+        replication (and once with ``(0, total)`` before the first), in
+        completion order on the driving process.  The parallel path
+        switches from ``pool.map`` to the equally order-preserving
+        ``pool.imap`` so results stream back as they finish; the
+        replications and aggregates are identical either way.
     """
     if not policies:
         raise ValueError("need at least one policy")
@@ -598,10 +607,16 @@ def run_campaign(
         workers, "on" if collect_metrics else "off",
     )
     start = time.perf_counter()
+    if progress is not None:
+        progress(0, len(specs))
     if workers == 1 or len(specs) <= 1:
         _init_worker(store, predictor, energy_table, discipline,
                      collect_metrics, validate)
-        replications = [_run_replication(spec) for spec in specs]
+        replications = []
+        for spec in specs:
+            replications.append(_run_replication(spec))
+            if progress is not None:
+                progress(len(replications), len(specs))
     else:
         ctx = _pool_context()
         with ctx.Pool(
@@ -610,7 +625,13 @@ def run_campaign(
             initargs=(store, predictor, energy_table, discipline,
                       collect_metrics, validate),
         ) as pool:
-            replications = pool.map(_run_replication, specs)
+            if progress is None:
+                replications = pool.map(_run_replication, specs)
+            else:
+                replications = []
+                for result in pool.imap(_run_replication, specs):
+                    replications.append(result)
+                    progress(len(replications), len(specs))
     wall_seconds = time.perf_counter() - start
     logger.info("campaign: finished in %.2fs", wall_seconds)
 

@@ -24,6 +24,11 @@ any code:
 * ``faults`` — generate or describe deterministic fault-injection
   plans (:mod:`repro.faults`); ``--faults plan.json`` injects one into
   ``compare``/``campaign`` runs;
+* ``telemetry`` — analyse a sampled-telemetry JSONL time series
+  (written by ``--telemetry-out``) as a table, Prometheus-style
+  exposition or JSON;
+* ``bench`` — one perf-trajectory table over the ``BENCH_*.json``
+  artifacts the tier-2 benchmark suite writes;
 * ``reproduce`` — regenerate the full evaluation into ``results/``.
 
 ``-v``/``-vv`` (or ``--log-level``) enable the library's diagnostic
@@ -31,7 +36,10 @@ logging — cache rebuilds, model-store misses, campaign fan-out — on
 stderr.  ``--trace`` and ``--metrics-out`` attach the observability
 layer (:mod:`repro.obs`) to ``compare``/``campaign``/``sweep`` runs;
 ``--validate`` attaches the in-run invariant checks and ledger to
-``compare``/``campaign`` runs.
+``compare``/``campaign`` runs.  ``--telemetry-out``/``--sampled-trace``/
+``--progress`` attach the low-overhead sampled telemetry
+(:mod:`repro.obs.telemetry`) to fast-engine ``compare``/``stream`` runs,
+and ``campaign --progress`` shows a live replication count.
 """
 
 from __future__ import annotations
@@ -115,6 +123,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "--metrics-out/--validate/--faults); "
                               "'auto' picks it whenever those hooks "
                               "are off (default: auto)")
+    _add_telemetry_args(compare, per_policy=True)
 
     characterize = sub.add_parser(
         "characterize", help="design-space table for one benchmark"
@@ -222,6 +231,9 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--warmup", type=int, default=0,
                           help="metrics warm-up in cycles for --stream "
                                "runs")
+    campaign.add_argument("--progress", action="store_true",
+                          help="live replication-count progress line on "
+                               "stderr (works with any engine/hooks)")
 
     stream = sub.add_parser(
         "stream",
@@ -275,6 +287,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="diurnal: period in cycles")
     stream.add_argument("--json", metavar="PATH",
                         help="write the stream result as JSON")
+    _add_telemetry_args(stream, per_policy=False)
 
     trace = sub.add_parser(
         "trace",
@@ -323,6 +336,37 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--name", help="plan name (default: derived "
                                        "from the seed)")
 
+    telemetry = sub.add_parser(
+        "telemetry",
+        help="analyse a sampled-telemetry JSONL time series "
+             "(see --telemetry-out)",
+    )
+    telemetry.add_argument("action", choices=("report",),
+                           help="report: render the time series as a "
+                                "table")
+    telemetry.add_argument("path",
+                           help="telemetry JSONL file written by "
+                                "--telemetry-out")
+    telemetry.add_argument("--prom", metavar="PATH",
+                           help="write the last sample as a "
+                                "Prometheus-style text exposition")
+    telemetry.add_argument("--json", metavar="PATH",
+                           help="write the parsed header + samples as "
+                                "JSON")
+
+    bench = sub.add_parser(
+        "bench",
+        help="report over the BENCH_*.json benchmark artifacts",
+    )
+    bench.add_argument("action", choices=("report",),
+                       help="report: one perf-trajectory table of "
+                            "measured values vs thresholds")
+    bench.add_argument("--dir", default=".",
+                       help="directory holding BENCH_*.json artifacts "
+                            "(default: current directory)")
+    bench.add_argument("--json", metavar="PATH",
+                       help="write the per-check rows as JSON")
+
     reproduce = sub.add_parser(
         "reproduce",
         help="regenerate the full evaluation into a results directory",
@@ -334,10 +378,68 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_telemetry_args(
+    parser: argparse.ArgumentParser, *, per_policy: bool
+) -> None:
+    """The sampled-telemetry flag group shared by compare and stream."""
+    note = (" (the policy name is inserted before the suffix, like "
+            "--trace)" if per_policy else "")
+    parser.add_argument("--telemetry-out", metavar="PATH",
+                        help="append chunk-boundary JSONL telemetry "
+                             "samples here" + note)
+    parser.add_argument("--telemetry-every", type=int, default=1000,
+                        help="completions between samples "
+                             "(default: 1000; the streaming engine "
+                             "samples at every arrival-buffer refill)")
+    parser.add_argument("--sampled-trace", metavar="PATH",
+                        help="write every Nth dispatch/completion as a "
+                             "typed trace event (sampled=true) here"
+                             + note)
+    parser.add_argument("--sampled-trace-every", type=int, default=1000,
+                        help="dispatch/completion sampling stride for "
+                             "--sampled-trace (default: 1000)")
+    parser.add_argument("--progress", action="store_true",
+                        help="live progress line on stderr (jobs/s, "
+                             "%% done, p99 wait, queue depth)")
+
+
 def _per_policy_path(template: str, policy: str) -> Path:
     """``out.jsonl`` + ``base`` → ``out.base.jsonl`` (suffix preserved)."""
     path = Path(template)
     return path.with_name(f"{path.stem}.{policy}{path.suffix}")
+
+
+def _wants_telemetry(args) -> bool:
+    """Whether any sampled-telemetry flag was passed."""
+    return bool(args.telemetry_out or args.sampled_trace or args.progress)
+
+
+def _make_telemetry(args, *, label: str = "", policy: str = None):
+    """A :class:`~repro.obs.Telemetry` from the CLI flag group.
+
+    Returns ``None`` when no telemetry flag was passed.  ``policy``
+    routes the outputs through :func:`_per_policy_path` for commands
+    that run several policies in one invocation.
+    """
+    if not _wants_telemetry(args):
+        return None
+    from repro.obs import Telemetry
+
+    def _route(template):
+        if template is None:
+            return None
+        if policy is None:
+            return template
+        return _per_policy_path(template, policy)
+
+    return Telemetry(
+        out=_route(args.telemetry_out),
+        trace_out=_route(args.sampled_trace),
+        sample_every=args.telemetry_every,
+        trace_every=args.sampled_trace_every if args.sampled_trace else 0,
+        progress=sys.stderr if args.progress else None,
+        label=label,
+    )
 
 
 def _cmd_compare(args) -> int:
@@ -358,6 +460,24 @@ def _cmd_compare(args) -> int:
             file=sys.stderr,
         )
         return 2
+    if _wants_telemetry(args):
+        if args.trace or args.metrics_out or args.validate or args.faults:
+            print(
+                "error: --telemetry-out/--sampled-trace/--progress are "
+                "the sampled observability of the fast engine and are "
+                "incompatible with the full-fidelity hooks (--trace, "
+                "--metrics-out, --validate, --faults); drop one side",
+                file=sys.stderr,
+            )
+            return 2
+        if args.engine == "reference":
+            print(
+                "error: --engine reference has the full-fidelity hooks "
+                "instead of sampled telemetry; drop --engine reference "
+                "or the telemetry flags",
+                file=sys.stderr,
+            )
+            return 2
     fault_plan = None
     if args.faults:
         from repro.faults import load_plan
@@ -386,6 +506,7 @@ def _cmd_compare(args) -> int:
         registry = MetricsRegistry() if args.metrics_out else None
         if args.trace:
             recorder = JsonlRecorder(_per_policy_path(args.trace, name))
+        telemetry = _make_telemetry(args, label=name, policy=name)
         sim = SchedulerSimulation(
             system, policy, store,
             predictor=predictor if policy.uses_predictor else None,
@@ -395,12 +516,15 @@ def _cmd_compare(args) -> int:
             validate=args.validate,
             faults=fault_plan,
             engine=args.engine,
+            telemetry=telemetry,
         )
         try:
             results[name] = sim.run(arrivals)
         finally:
             if recorder is not None:
                 recorder.close()
+            if telemetry is not None:
+                telemetry.close()
         if registry is not None:
             snapshots[name] = registry.snapshot()
 
@@ -422,6 +546,18 @@ def _cmd_compare(args) -> int:
             str(_per_policy_path(args.trace, name)) for name in results
         )
         print(f"wrote event traces: {names}")
+    if args.telemetry_out:
+        names = ", ".join(
+            str(_per_policy_path(args.telemetry_out, name))
+            for name in results
+        )
+        print(f"wrote telemetry time series: {names}")
+    if args.sampled_trace:
+        names = ", ".join(
+            str(_per_policy_path(args.sampled_trace, name))
+            for name in results
+        )
+        print(f"wrote sampled traces: {names}")
     if args.metrics_out:
         with open(args.metrics_out, "w") as handle:
             json.dump(snapshots, handle, indent=2, sort_keys=True)
@@ -640,6 +776,12 @@ def _cmd_campaign(args) -> int:
     loads = [
         (count, gap) for count in args.jobs for gap in args.interarrival
     ]
+    progress = None
+    if args.progress:
+        def progress(done: int, total: int) -> None:
+            print(f"\rcampaign: {done}/{total} replications",
+                  end="\n" if done == total else "",
+                  file=sys.stderr, flush=True)
     result = run_campaign(
         store,
         predictor,
@@ -653,6 +795,7 @@ def _cmd_campaign(args) -> int:
         fault_plans=fault_plans,
         engine=args.engine,
         stream=stream_load,
+        progress=progress,
     )
     print(result.summary())
     if args.json:
@@ -747,9 +890,15 @@ def _cmd_stream(args) -> int:
             store, kind=args.predictor, seed=args.seed
         )
     system = base_system() if args.policy == "base" else paper_system()
+    try:
+        telemetry = _make_telemetry(args, label=f"stream:{args.policy}")
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     sim = SchedulerSimulation(
         system, policy, store,
         predictor=predictor, discipline=args.discipline,
+        telemetry=telemetry,
     )
     try:
         result = sim.stream(
@@ -762,6 +911,9 @@ def _cmd_stream(args) -> int:
     except (ValueError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    finally:
+        if telemetry is not None:
+            telemetry.close()
 
     verb = "resumed" if args.resume else "ran"
     print(f"{verb} {args.policy} on a {args.process} stream "
@@ -795,6 +947,10 @@ def _cmd_stream(args) -> int:
               f"mean={snapshot['mean'] / 1e3:.1f}")
     if args.checkpoint:
         print(f"checkpoint: {args.checkpoint}")
+    if args.telemetry_out:
+        print(f"wrote telemetry time series to {args.telemetry_out}")
+    if args.sampled_trace:
+        print(f"wrote sampled trace to {args.sampled_trace}")
     if args.json:
         payload = dataclasses.asdict(result)
         del payload["sim_result"]
@@ -817,6 +973,7 @@ def _cmd_trace(args) -> int:
         print(f"error: no such trace file: {path}", file=sys.stderr)
         return 2
     events = []
+    sampled = False
     with open(path, "r", encoding="utf-8") as handle:
         for line_number, line in enumerate(handle, start=1):
             line = line.strip()
@@ -826,6 +983,7 @@ def _cmd_trace(args) -> int:
                 payload = json.loads(line)
                 if args.validate:
                     validate_event_dict(payload)
+                sampled = sampled or payload.get("sampled") is True
                 events.append(event_from_dict(payload))
             except ValueError as error:
                 print(
@@ -835,7 +993,7 @@ def _cmd_trace(args) -> int:
     if not events:
         print(f"error: {path} contains no events", file=sys.stderr)
         return 2
-    print(render_trace_report(events))
+    print(render_trace_report(events, lenient=sampled))
     if args.json:
         payload = {
             "summary": trace_summary(events),
@@ -931,6 +1089,72 @@ def _cmd_faults(args) -> int:
     return 0
 
 
+def _cmd_telemetry(args) -> int:
+    from repro.obs import (
+        read_telemetry,
+        render_prometheus,
+        render_telemetry_report,
+    )
+
+    path = Path(args.path)
+    if not path.exists():
+        print(f"error: no such telemetry file: {path}", file=sys.stderr)
+        return 2
+    try:
+        header, samples = read_telemetry(path)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(render_telemetry_report(header, samples))
+    if args.prom:
+        if not samples:
+            print("error: --prom needs at least one sample",
+                  file=sys.stderr)
+            return 2
+        with open(args.prom, "w", encoding="utf-8") as handle:
+            handle.write(render_prometheus(samples[-1]))
+        print(f"\nwrote Prometheus exposition to {args.prom}")
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump({"header": header, "samples": samples},
+                      handle, indent=2, sort_keys=True)
+        print(f"wrote telemetry JSON to {args.json}")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    import dataclasses
+
+    from repro.analysis.bench import (
+        bench_checks,
+        load_bench_artifacts,
+        render_bench_report,
+    )
+
+    try:
+        artifacts = load_bench_artifacts(args.dir)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if not artifacts:
+        print(f"error: no BENCH_*.json artifacts in {args.dir} "
+              "(run pytest benchmarks/ to produce them)",
+              file=sys.stderr)
+        return 2
+    print(render_bench_report(artifacts))
+    if args.json:
+        payload = [
+            dataclasses.asdict(check) | {
+                "ok": check.ok, "margin": check.margin,
+            }
+            for check in bench_checks(artifacts)
+        ]
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"\nwrote per-check JSON to {args.json}")
+    return 0
+
+
 def _cmd_reproduce(args) -> int:
     from repro.reporting import write_report
 
@@ -964,6 +1188,8 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "validate": _cmd_validate,
     "faults": _cmd_faults,
+    "telemetry": _cmd_telemetry,
+    "bench": _cmd_bench,
     "reproduce": _cmd_reproduce,
 }
 

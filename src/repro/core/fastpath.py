@@ -38,6 +38,7 @@ def build_fast(sim) -> FastSimulation:
         preemptive=sim.preemptive,
         preemption_quantum_cycles=sim.preemption_quantum_cycles,
         preload_profiles=sim._preload_profiles_requested,
+        telemetry=sim.telemetry,
     )
 
 

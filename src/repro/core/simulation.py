@@ -212,6 +212,14 @@ class SchedulerSimulation:
         :class:`ValueError`).  The default ``"auto"`` picks the fast
         engine exactly when all four hooks are off (see
         ``docs/performance.md``).
+    telemetry:
+        Optional :class:`~repro.obs.telemetry.Telemetry` sink.  Unlike
+        the four per-event hooks above it is *sampled* observability —
+        fed at chunk boundaries by the fast and streaming engines, so
+        attaching it keeps ``engine="auto"`` on the fast path and the
+        results bit-identical.  Requires the fast engine (attaching it
+        alongside hooks, which force the reference engine, raises
+        :class:`ValueError`).  See ``docs/observability.md``.
     """
 
     #: Queue disciplines supported by the dispatcher.
@@ -239,6 +247,7 @@ class SchedulerSimulation:
         validate: bool = False,
         faults=None,
         engine: str = "auto",
+        telemetry=None,
     ) -> None:
         if policy.uses_predictor and predictor is None:
             raise ValueError(
@@ -313,6 +322,12 @@ class SchedulerSimulation:
 
         self.recorder = recorder if recorder is not None else NULL_RECORDER
         self.metrics = metrics
+        #: Sampled telemetry sink (:mod:`repro.obs.telemetry`) for the
+        #: fast and streaming engines.  Deliberately NOT part of
+        #: :meth:`_fast_eligible`: telemetry fires on chunk boundaries
+        #: only, so requesting it keeps ``engine="auto"`` on the fast
+        #: path.
+        self.telemetry = telemetry
         #: Job id the policy just flagged as a non-best dispatch; consumed
         #: by :meth:`_start` to categorise the execution it opens.
         self._non_best_next: Optional[int] = None
@@ -353,7 +368,18 @@ class SchedulerSimulation:
             raise ValueError(
                 "engine='fast' is incompatible with tracing, metrics, "
                 "validation and fault injection; drop those hooks or "
-                "use engine='reference'"
+                "use engine='reference'.  For low-overhead visibility "
+                "on the fast engine, attach sampled telemetry instead "
+                "(telemetry=Telemetry(...), or --telemetry-out / "
+                "--progress on the CLI)"
+            )
+        if telemetry is not None and self._resolve_engine() == "reference":
+            raise ValueError(
+                "telemetry is the sampled observability of the fast and "
+                "streaming engines; the reference engine has the "
+                "full-fidelity hooks (recorder/metrics/validate/faults) "
+                "instead.  Drop the hooks so engine='auto' picks the "
+                "fast engine, or drop telemetry"
             )
 
         if preload_profiles:
@@ -514,7 +540,10 @@ class SchedulerSimulation:
         Streaming is fast-engine-only: an unbounded run cannot retain
         per-event traces, per-job records or mid-run hook state, so —
         exactly like ``engine='fast'`` — tracing, metrics, validation
-        and fault injection are rejected up front.
+        and fault injection are rejected up front.  Sampled telemetry
+        (the ``telemetry`` constructor argument) is the exception: it
+        fires at refill boundaries in O(1) memory, so it rides along on
+        the fast path and into the stream's checkpoints.
         """
         if self.engine_mode == "reference" or not self._fast_eligible():
             raise ValueError(
@@ -522,8 +551,11 @@ class SchedulerSimulation:
                 "validation, fault injection and engine='reference': "
                 "an open-system run is unbounded, so per-event hooks "
                 "would retain unbounded state.  Drop the hooks (use "
-                "engine='auto' or 'fast') and read windowed metrics "
-                "from the StreamResult instead — waiting/turnaround "
+                "engine='auto' or 'fast') and either attach sampled "
+                "telemetry (telemetry=Telemetry(...), or "
+                "--telemetry-out / --progress on the CLI) for "
+                "chunk-boundary time-series, or read windowed metrics "
+                "from the StreamResult — waiting/turnaround "
                 "P50/P90/P99 snapshots, throughput, energy and shed "
                 "rates are accumulated in O(1) memory."
             )
@@ -542,6 +574,7 @@ class SchedulerSimulation:
             preemption_quantum_cycles=self.preemption_quantum_cycles,
             preload_profiles=self._preload_profiles_requested,
             config=config,
+            telemetry=self.telemetry,
         )
         if resume_from is not None:
             snapshot = (

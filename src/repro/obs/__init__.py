@@ -62,10 +62,19 @@ from .report import (
     render_trace_report,
     trace_summary,
 )
+from .telemetry import (
+    TELEMETRY_SCHEMA_VERSION,
+    Telemetry,
+    read_telemetry,
+    render_prometheus,
+    render_telemetry_report,
+)
 
 __all__ = [
     "EVENT_TYPES",
     "NULL_RECORDER",
+    "TELEMETRY_SCHEMA_VERSION",
+    "Telemetry",
     "ConfigInstalled",
     "CoreDown",
     "CoreUp",
@@ -99,7 +108,10 @@ __all__ = [
     "iter_trace",
     "load_trace",
     "per_core_timeline",
+    "read_telemetry",
     "read_trace",
+    "render_prometheus",
+    "render_telemetry_report",
     "render_trace_report",
     "trace_summary",
     "validate_event_dict",

@@ -61,9 +61,16 @@ class TraceEvent:
 
     @classmethod
     def from_dict(cls, payload: dict) -> "TraceEvent":
-        """Reconstruct the event from a :meth:`to_dict` payload."""
+        """Reconstruct the event from a :meth:`to_dict` payload.
+
+        The ``sampled`` marker telemetry adds to re-emitted events (see
+        :mod:`repro.obs.telemetry`) is envelope metadata, not an event
+        field, so it is stripped here — sampled traces replay through
+        the same classes as full-fidelity ones.
+        """
         data = dict(payload)
         kind = data.pop("kind", None)
+        data.pop("sampled", None)
         if kind != cls.kind:
             raise ValueError(f"payload kind {kind!r} is not {cls.kind!r}")
         return cls(**data)
@@ -361,7 +368,9 @@ def validate_event_dict(payload: dict) -> None:
     if cls is None:
         raise ValueError(f"unknown event kind {kind!r}")
     declared = {f.name: f.type for f in fields(cls)}
-    present = set(payload) - {"kind"}
+    if "sampled" in payload and not isinstance(payload["sampled"], bool):
+        raise ValueError(f"{kind}.sampled: expected bool")
+    present = set(payload) - {"kind", "sampled"}
     missing = [
         name
         for name, type_ in declared.items()

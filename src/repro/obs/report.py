@@ -72,6 +72,8 @@ def load_trace(path: Union[str, Path]) -> List[TraceEvent]:
 
 def per_core_timeline(
     events: Sequence[TraceEvent],
+    *,
+    lenient: bool = False,
 ) -> Dict[int, List[ExecutionSegment]]:
     """Reconstruct every core's execution windows, in start order.
 
@@ -79,11 +81,41 @@ def per_core_timeline(
     emitted exactly once per execution start and carries the scheduled
     service); :class:`~repro.obs.events.JobCompleted` /
     :class:`~repro.obs.events.JobPreempted` close it.
+
+    ``lenient`` accepts *sampled* traces (``--sampled-trace``), where
+    most starts and completions lack their counterpart: an unmatched
+    start closes at its scheduled end, and an unmatched completion is
+    skipped (its start cycle is unknowable).  A full trace should keep
+    the default strict pairing, which flags malformed traces.
     """
     open_windows: Dict[int, EnergyAccrued] = {}
     timeline: Dict[int, List[ExecutionSegment]] = {}
 
-    def close(core: int, end_cycle: int, completed: bool) -> None:
+    def flush(core: int) -> None:
+        started = open_windows.pop(core)
+        timeline.setdefault(core, []).append(
+            ExecutionSegment(
+                core_index=core,
+                job_id=started.job_id,
+                benchmark=started.benchmark,
+                category=started.category,
+                start_cycle=started.cycle,
+                end_cycle=started.cycle + started.service_cycles,
+                completed=False,
+            )
+        )
+
+    def close(core: int, job_id: int, end_cycle: int,
+              completed: bool) -> None:
+        started = open_windows.get(core)
+        if lenient and (started is None or started.job_id != job_id):
+            # Sampled trace: this completion's start was not sampled.
+            # A stale window on the core still closes at its own
+            # scheduled end so it is not silently dropped.
+            if started is not None and started.cycle + \
+                    started.service_cycles <= end_cycle:
+                flush(core)
+            return
         started = open_windows.pop(core)
         timeline.setdefault(core, []).append(
             ExecutionSegment(
@@ -100,15 +132,20 @@ def per_core_timeline(
     for event in events:
         if isinstance(event, EnergyAccrued):
             if event.core_index in open_windows:
-                raise ValueError(
-                    f"core {event.core_index} started job {event.job_id} "
-                    f"at {event.cycle} while already occupied"
-                )
+                if not lenient:
+                    raise ValueError(
+                        f"core {event.core_index} started job "
+                        f"{event.job_id} at {event.cycle} while "
+                        "already occupied"
+                    )
+                flush(event.core_index)
             open_windows[event.core_index] = event
         elif isinstance(event, JobCompleted):
-            close(event.core_index, event.cycle, completed=True)
+            close(event.core_index, event.job_id, event.cycle,
+                  completed=True)
         elif isinstance(event, JobPreempted):
-            close(event.core_index, event.cycle, completed=False)
+            close(event.core_index, event.job_id, event.cycle,
+                  completed=False)
     # Truncated trace: close what is still running at its scheduled end.
     for core, started in sorted(open_windows.items()):
         timeline.setdefault(core, []).append(
@@ -196,13 +233,21 @@ def trace_summary(events: Sequence[TraceEvent]) -> Dict[str, int]:
     }
 
 
-def render_trace_report(events: Sequence[TraceEvent]) -> str:
-    """Human-readable report: summary, decision breakdown, timelines."""
+def render_trace_report(
+    events: Sequence[TraceEvent], *, lenient: bool = False
+) -> str:
+    """Human-readable report: summary, decision breakdown, timelines.
+
+    Pass ``lenient=True`` for sampled traces (see
+    :func:`per_core_timeline`); the report header then marks the
+    counts as sampled lower bounds.
+    """
     from repro.analysis.report import format_table
 
     summary = trace_summary(events)
     lines = [
-        f"trace: {summary['events']} events, "
+        ("sampled " if lenient else "")
+        + f"trace: {summary['events']} events, "
         f"{summary['jobs_arrived']} arrivals, "
         f"{summary['jobs_completed']} completions, "
         f"last cycle {summary['last_cycle']:,}",
@@ -252,7 +297,7 @@ def render_trace_report(events: Sequence[TraceEvent]) -> str:
         )
     )
 
-    timeline = per_core_timeline(events)
+    timeline = per_core_timeline(events, lenient=lenient)
     if timeline:
         span = max(summary["last_cycle"], 1)
         core_rows = []

@@ -51,6 +51,7 @@ from repro.core.predictor import BestCorePredictor
 from repro.core.results import JobRecord, SimulationResult
 from repro.core.tuning import TuningSession
 from repro.energy.tables import EnergyTable
+from repro.obs.events import CATEGORIES as _CATEGORIES
 from repro.workloads.arrivals import JobArrival
 
 __all__ = ["FastSimulation"]
@@ -67,7 +68,12 @@ class FastSimulation:
     same validation errors); :meth:`run` returns a bit-identical
     :class:`~repro.core.results.SimulationResult`.  The observability /
     validation / fault hooks are deliberately absent — use the reference
-    engine when any of them is needed.
+    engine when any of them is needed.  The one observability surface
+    this engine does carry is the sampled
+    :class:`~repro.obs.telemetry.Telemetry` sink, fed every
+    ``sample_every`` completions (never per event) from state the loop
+    already maintains, so results stay bit-identical telemetry-on vs
+    telemetry-off.
 
     After :meth:`run`, :attr:`final_state` holds the reference-shaped
     end-of-run state (engine counters, per-core occupancy and residency,
@@ -92,6 +98,7 @@ class FastSimulation:
         preemptive: bool = False,
         preemption_quantum_cycles: int = 10_000,
         preload_profiles: bool = False,
+        telemetry=None,
     ) -> None:
         if policy.uses_predictor and predictor is None:
             raise ValueError(f"policy {policy.name!r} needs a predictor")
@@ -120,6 +127,11 @@ class FastSimulation:
         self.discipline = discipline
         self.preemptive = preemptive
         self.preemption_quantum_cycles = preemption_quantum_cycles
+        # Sampled telemetry sink (repro.obs.telemetry).  Unlike the
+        # per-event hooks this engine compiles out, telemetry fires on
+        # completion-count thresholds only, so attaching it keeps the
+        # fast path fast and the results bit-identical.
+        self.telemetry = telemetry
         self.final_state: Optional[dict] = None
 
         # -- configuration interning ------------------------------------
@@ -457,6 +469,7 @@ class FastSimulation:
         cfg_ids = self.cfg_ids
         recfg_cycles_from = self.recfg_cycles_from
         recfg_nj_from = self.recfg_nj_from
+        cfg_names = self.cfg_names
         core_sizes = self.core_sizes
         core_cfg_ids = self.core_cfg_ids
         cores_by_size = self.cores_by_size
@@ -540,6 +553,36 @@ class FastSimulation:
 
         records: List[tuple] = []
 
+        # Telemetry thresholds.  Telemetry-off parks the sample
+        # threshold past the run and the trace thresholds at -1, so the
+        # only hot-loop cost is one integer compare per completion (plus
+        # one per start while sampled tracing is on).  Everything the
+        # sample reads is state the loop already maintains — no extra
+        # accounting, which is what keeps telemetry-on bit-identical.
+        tel = self.telemetry
+        done_ct = 0
+        rec_i = 0  # completions already fed into the waiting window
+        if tel is None:
+            tel_every = tr_every = 0
+            tel_next = n + 1
+            tr_comp_next = tr_start_next = -1
+        else:
+            tel_every = tel.sample_every
+            tel_next = tel_every
+            tr_every = tel.trace_every
+            if tr_every > 0:
+                tr_comp_next = tr_every
+                tr_start_next = n + tr_every  # seq starts at n
+            else:
+                tr_comp_next = tr_start_next = -1
+            tel.begin({
+                "engine": "fast",
+                "policy": policy.name,
+                "discipline": discipline,
+                "preemptive": preemptive,
+                "jobs": n,
+            })
+
         fifo = sort_key is None
 
         # -- the event loop ----------------------------------------------
@@ -563,7 +606,7 @@ class FastSimulation:
                 if cepoch == epoch[ci]:
                     # ---- job completion ----------------------------
                     (jid, cid, prof, tun, fraction_at_start,
-                     _, _, _, _, e_tot, _) = pending[ci]
+                     _, _, _, _, e_tot, cat) = pending[ci]
                     pending[ci] = None
                     cur_job[ci] = -1
                     n_busy -= 1
@@ -625,6 +668,45 @@ class FastSimulation:
                                     False, cfg_ids.get(nxt, -1), nxt,
                                 )
                     records.append((jid, ci, cid, prof, tun))
+                    done_ct += 1
+                    if done_ct == tel_next:
+                        # Chunk boundary: feed the completions since the
+                        # last sample into the waiting window, then read
+                        # the loop's own state into one JSONL sample.
+                        tel_next += tel_every
+                        ow = tel.wait_hist.observe
+                        while rec_i < done_ct:
+                            ow(waiting[records[rec_i][0]])
+                            rec_i += 1
+                        tel.sample(
+                            engine="fast", now=now, done=done_ct,
+                            total=n, queue=len(queue), busy=n_busy,
+                            cores=[
+                                [busy_cycles[i], cfg_names[cur_cfg[i]]]
+                                for i in core_range
+                            ],
+                            dynamic_nj=dynamic_nj,
+                            busy_static_nj=busy_static_nj,
+                            reconfig_nj=reconfig_nj,
+                            profiling_overhead_nj=profiling_overhead_nj,
+                            stalls=stall_decisions,
+                            non_best=non_best_decisions,
+                            preemptions=preemption_count,
+                            waiting=tel.wait_hist.snapshot(),
+                            jobs_per_mcycle=(
+                                done_ct * 1e6 / now if now else 0.0
+                            ),
+                        )
+                    if done_ct == tr_comp_next:
+                        tr_comp_next += tr_every
+                        tel.emit_completion(
+                            cycle=now, job_id=jlab[jid], core_index=ci,
+                            benchmark=bench_names[b],
+                            config=cfg_names[cid],
+                            category=_CATEGORIES[cat],
+                            energy_nj=charged[jid],
+                            waiting_cycles=waiting[jid],
+                        )
                 # A stale completion (preempted epoch) still opens a
                 # dispatch round, exactly like the reference.
             else:
@@ -963,6 +1045,18 @@ class FastSimulation:
                             (now + service, seq, ci, epoch[ci]),
                         )
                         seq += 1
+                        if seq == tr_start_next:
+                            tr_start_next += tr_every
+                            tel.emit_dispatch(
+                                cycle=now, job_id=jlab[jid],
+                                core_index=ci,
+                                benchmark=bench_names[b],
+                                category=_CATEGORIES[cat],
+                                dynamic_nj=dynamic_charge,
+                                static_nj=static_charge,
+                                overhead_nj=overhead_nj,
+                                service_cycles=service,
+                            )
                         assigned = True
                         break  # core states changed; rescan
                     if assigned:
@@ -1053,6 +1147,32 @@ class FastSimulation:
                 f"simulation drained with {len(queue)} jobs still queued"
             )
 
+        if tel is not None:
+            # Final sample at drain time (marked ``final``), whether or
+            # not the completion count landed on a threshold.
+            ow = tel.wait_hist.observe
+            while rec_i < done_ct:
+                ow(waiting[records[rec_i][0]])
+                rec_i += 1
+            tel.sample(
+                engine="fast", now=now, done=done_ct, total=n,
+                queue=0, busy=n_busy,
+                cores=[
+                    [busy_cycles[i], cfg_names[cur_cfg[i]]]
+                    for i in core_range
+                ],
+                dynamic_nj=dynamic_nj,
+                busy_static_nj=busy_static_nj,
+                reconfig_nj=reconfig_nj,
+                profiling_overhead_nj=profiling_overhead_nj,
+                stalls=stall_decisions,
+                non_best=non_best_decisions,
+                preemptions=preemption_count,
+                waiting=tel.wait_hist.snapshot(),
+                jobs_per_mcycle=done_ct * 1e6 / now if now else 0.0,
+                final=True,
+            )
+
         # -- result assembly ----------------------------------------------
         # JobRecord is a frozen dataclass: its generated __init__ routes
         # every field through object.__setattr__ and then validates
@@ -1060,7 +1180,6 @@ class FastSimulation:
         # <= completion, waiting >= 0).  Building via __new__ + __dict__
         # skips that per-record overhead; the generated __eq__/__hash__
         # read attributes, so the records compare identically.
-        cfg_names = self.cfg_names
         new_record = JobRecord.__new__
         job_records = []
         for jid, ci, cid, prof, tun in records:

@@ -53,6 +53,7 @@ from repro.cache.config import CacheConfig
 from repro.cache.tuner import TunerCostModel
 from repro.core.results import JobRecord, SimulationResult
 from repro.core.tuning import TuningSession
+from repro.obs.events import CATEGORIES as _CATEGORIES
 from repro.obs.metrics import Histogram
 from repro.sim.fast import FastSimulation
 from repro.workloads.arrivals import ArrivalProcess, JobArrival
@@ -67,8 +68,9 @@ __all__ = [
 ]
 
 #: Snapshot schema version; bumped on any layout change.  Loading a
-#: snapshot with a different version fails loudly.
-STREAM_SNAPSHOT_VERSION = 1
+#: snapshot with a different version fails loudly.  v2 added the
+#: ``telemetry`` section (sample count + output byte offsets).
+STREAM_SNAPSHOT_VERSION = 2
 
 #: Bounded-queue admission policies.
 ADMISSION_POLICIES = ("drop", "shed", "block")
@@ -301,6 +303,7 @@ class StreamingSimulation:
         preemption_quantum_cycles: int = 10_000,
         preload_profiles: bool = False,
         config: StreamConfig = None,
+        telemetry=None,
     ) -> None:
         if config is None:
             raise ValueError("a StreamConfig is required")
@@ -318,6 +321,11 @@ class StreamingSimulation:
             preload_profiles=preload_profiles,
         )
         self.config = config
+        # Sampled telemetry sink (repro.obs.telemetry), fed once per
+        # arrival-buffer refill — the stream's natural chunk boundary —
+        # plus a final sample at drain.  Its byte offsets ride in the
+        # checkpoint, so kill/resume reproduces byte-identical files.
+        self.telemetry = telemetry
         self.process: Optional[ArrivalProcess] = None
         self._s: Optional[dict] = None
         self._wait_hist = Histogram("stream.waiting_cycles")
@@ -411,6 +419,21 @@ class StreamingSimulation:
             "last_arrival_cycle": 0,
             # per-(benchmark, size) session cache, rebuilt lazily
             "sess_state": [dict() for _ in self.f.bench_names],
+        }
+        if self.telemetry is not None:
+            self.telemetry.begin(self._telemetry_header())
+
+    def _telemetry_header(self) -> dict:
+        """Deterministic run metadata for the telemetry header line."""
+        f = self.f
+        return {
+            "engine": "stream",
+            "policy": f.policy.name,
+            "discipline": f.discipline,
+            "preemptive": f.preemptive,
+            "admission": self.config.admission,
+            "max_jobs": self.config.max_jobs,
+            "duration_cycles": self.config.duration_cycles,
         }
 
     def run(
@@ -514,6 +537,7 @@ class StreamingSimulation:
         cfg_static = f.cfg_static_nj
         cfg_objs = f.cfg_objs
         cfg_ids = f.cfg_ids
+        cfg_names = f.cfg_names
         recfg_cycles_from = f.recfg_cycles_from
         recfg_nj_from = f.recfg_nj_from
         core_sizes = f.core_sizes
@@ -613,6 +637,26 @@ class StreamingSimulation:
         sess_state = s["sess_state"]
         wait_observe = self._wait_hist.observe
         turn_observe = self._turn_hist.observe
+
+        # Telemetry thresholds.  Samples fire only inside the chunked
+        # refill (cold path); sampled-trace thresholds are recomputed
+        # from the persisted ``completed``/``seq`` counters, so a
+        # resumed run re-emits exactly the events an uninterrupted run
+        # would, without checkpointing the thresholds themselves.
+        # Telemetry-off parks both at -1: one int compare per
+        # completion/start is the entire hot-loop cost.
+        tel = self.telemetry
+        if tel is None:
+            tr_every = 0
+            tr_comp_next = tr_start_next = -1
+        else:
+            tr_every = tel.trace_every
+            if tr_every > 0:
+                tr_comp_next = tr_every * (completed // tr_every) + tr_every
+                tr_start_next = tr_every * (seq // tr_every) + tr_every
+            else:
+                tr_comp_next = tr_start_next = -1
+
         view: Optional[list] = None
         more = True
 
@@ -668,6 +712,33 @@ class StreamingSimulation:
                     abuf = raw
                     atimes = [x.arrival_cycle for x in raw]
                     abuf_i = 0
+                    if tel is not None:
+                        # Chunk boundary (cold path, once per refill):
+                        # read the loop's own state into one sample.
+                        tel.sample(
+                            engine="stream", now=now, done=completed,
+                            total=max_jobs, generated=generated,
+                            admitted=admitted, dropped=dropped,
+                            shed=shed, queue=len(queue), busy=n_busy,
+                            cores=[
+                                [busy_cycles[i],
+                                 cfg_names[cur_cfg[i]]]
+                                for i in core_range
+                            ],
+                            dynamic_nj=dynamic_nj,
+                            busy_static_nj=busy_static_nj,
+                            reconfig_nj=reconfig_nj,
+                            profiling_overhead_nj=(
+                                profiling_overhead_nj
+                            ),
+                            stalls=stall_decisions,
+                            non_best=non_best_decisions,
+                            preemptions=preemption_count,
+                            waiting=self._wait_hist.snapshot(),
+                            jobs_per_mcycle=(
+                                completed * 1e6 / now if now else 0.0
+                            ),
+                        )
                 have_arr = deferred is None and abuf_i < len(abuf)
                 if comp_heap and not (
                     have_arr and atimes[abuf_i] < comp_heap[0][0]
@@ -676,7 +747,7 @@ class StreamingSimulation:
                     if cepoch == epoch[ci]:
                         # ---- job completion ------------------------
                         (jid, cid, prof, tun, fraction_at_start,
-                         _, _, _, _, e_tot, _) = pending[ci]
+                         _, _, _, _, e_tot, cat) = pending[ci]
                         pending[ci] = None
                         cur_job[ci] = -1
                         n_busy -= 1
@@ -754,6 +825,17 @@ class StreamingSimulation:
                             observed += 1
                             wait_observe(waiting[jid])
                             turn_observe(now - jarr[jid])
+                        if completed == tr_comp_next:
+                            tr_comp_next += tr_every
+                            tel.emit_completion(
+                                cycle=now, job_id=jlab[jid],
+                                core_index=ci,
+                                benchmark=bench_names[b],
+                                config=cfg_names[cid],
+                                category=_CATEGORIES[cat],
+                                energy_nj=charged[jid],
+                                waiting_cycles=waiting[jid],
+                            )
                         if recycle:
                             free_slots.append(jid)
                     # A stale completion (preempted epoch) still opens
@@ -820,6 +902,34 @@ class StreamingSimulation:
                     forced += 1
                     blocked_cycles += now - a_admit.arrival_cycle
                 else:
+                    if tel is not None:
+                        # Final sample at drain (idempotent: the sink
+                        # ignores samples after the ``final`` one).
+                        tel.sample(
+                            engine="stream", now=now, done=completed,
+                            total=max_jobs, generated=generated,
+                            admitted=admitted, dropped=dropped,
+                            shed=shed, queue=len(queue), busy=n_busy,
+                            cores=[
+                                [busy_cycles[i],
+                                 cfg_names[cur_cfg[i]]]
+                                for i in core_range
+                            ],
+                            dynamic_nj=dynamic_nj,
+                            busy_static_nj=busy_static_nj,
+                            reconfig_nj=reconfig_nj,
+                            profiling_overhead_nj=(
+                                profiling_overhead_nj
+                            ),
+                            stalls=stall_decisions,
+                            non_best=non_best_decisions,
+                            preemptions=preemption_count,
+                            waiting=self._wait_hist.snapshot(),
+                            jobs_per_mcycle=(
+                                completed * 1e6 / now if now else 0.0
+                            ),
+                            final=True,
+                        )
                     more = False
                     break
 
@@ -1207,6 +1317,18 @@ class StreamingSimulation:
                             (now + service, seq, ci, epoch[ci]),
                         )
                         seq += 1
+                        if seq == tr_start_next:
+                            tr_start_next += tr_every
+                            tel.emit_dispatch(
+                                cycle=now, job_id=jlab[jid],
+                                core_index=ci,
+                                benchmark=bench_names[b],
+                                category=_CATEGORIES[cat],
+                                dynamic_nj=dynamic_charge,
+                                static_nj=static_charge,
+                                overhead_nj=overhead_nj,
+                                service_cycles=service,
+                            )
                         assigned = True
                         break  # core states changed; rescan
                     if assigned:
@@ -1597,6 +1719,11 @@ class StreamingSimulation:
                 "waiting": self._wait_hist.state_dict(),
                 "turnaround": self._turn_hist.state_dict(),
             },
+            "telemetry": (
+                None
+                if self.telemetry is None
+                else self.telemetry.state_dict()
+            ),
         }
 
     _SCALAR_KEYS = (
@@ -1724,6 +1851,23 @@ class StreamingSimulation:
         stats = snapshot["stats"]
         self._wait_hist.load_state(stats["waiting"])
         self._turn_hist.load_state(stats["turnaround"])
+
+        tel_state = snapshot.get("telemetry")
+        if tel_state is not None:
+            if self.telemetry is None:
+                raise ValueError(
+                    "the snapshot carries telemetry state; attach a "
+                    "matching Telemetry (e.g. --telemetry-out) before "
+                    "resuming, or delete the telemetry files and the "
+                    "checkpoint to start over"
+                )
+            # Truncate the output files back to the checkpointed byte
+            # offsets, then reopen for append: the resumed stream
+            # rewrites exactly the samples the kill discarded, so the
+            # final files are byte-identical to an uninterrupted run.
+            self.telemetry.load_state(tel_state)
+        if self.telemetry is not None:
+            self.telemetry.begin(self._telemetry_header())
 
     def write_checkpoint(self, path: str) -> None:
         """Atomically write :meth:`snapshot` as JSON to ``path``."""

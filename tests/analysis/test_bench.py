@@ -1,0 +1,123 @@
+"""Generic BENCH_*.json threshold scanning and the perf-trajectory table."""
+
+import json
+
+import pytest
+
+from repro.analysis.bench import (
+    BenchCheck,
+    bench_checks,
+    load_bench_artifacts,
+    render_bench_report,
+)
+
+
+def _write(tmp_path, name, payload):
+    path = tmp_path / name
+    path.write_text(json.dumps(payload))
+    return path
+
+
+class TestLoading:
+    def test_loads_sorted_and_ignores_other_files(self, tmp_path):
+        _write(tmp_path, "BENCH_b.json", {"benchmark": "b"})
+        _write(tmp_path, "BENCH_a.json", {"benchmark": "a"})
+        _write(tmp_path, "other.json", {"benchmark": "nope"})
+        artifacts = load_bench_artifacts(tmp_path)
+        assert [p.name for p, _ in artifacts] == [
+            "BENCH_a.json", "BENCH_b.json",
+        ]
+
+    def test_rejects_invalid_json(self, tmp_path):
+        (tmp_path / "BENCH_bad.json").write_text("{not json")
+        with pytest.raises(ValueError, match="BENCH_bad.json"):
+            load_bench_artifacts(tmp_path)
+
+    def test_rejects_non_object(self, tmp_path):
+        _write(tmp_path, "BENCH_list.json", [1, 2])
+        with pytest.raises(ValueError, match="JSON object"):
+            load_bench_artifacts(tmp_path)
+
+    def test_empty_directory(self, tmp_path):
+        assert load_bench_artifacts(tmp_path) == []
+
+
+class TestThresholdScan:
+    def test_min_required_is_a_floor(self, tmp_path):
+        path = _write(tmp_path, "BENCH_speed.json", {
+            "benchmark": "speed", "speedup": 12.0,
+            "min_speedup_required": 10.0,
+        })
+        (check,) = bench_checks(load_bench_artifacts(tmp_path))
+        assert check == BenchCheck(
+            benchmark="speed", metric="speedup", measured=12.0,
+            kind="floor", bound=10.0, source=str(path),
+        )
+        assert check.ok
+        assert check.margin == pytest.approx(0.2)
+
+    def test_max_allowed_and_bare_max_are_ceilings(self, tmp_path):
+        _write(tmp_path, "BENCH_s.json", {
+            "benchmark": "s",
+            "slowdown": 1.8, "max_slowdown_allowed": 1.5,
+            "rss_growth_mib": 64.0, "max_rss_growth_mib": 256,
+        })
+        checks = {c.metric: c
+                  for c in bench_checks(load_bench_artifacts(tmp_path))}
+        assert not checks["slowdown"].ok
+        assert checks["slowdown"].margin == pytest.approx(-0.2)
+        assert checks["rss_growth_mib"].ok
+        assert checks["rss_growth_mib"].margin == pytest.approx(0.75)
+
+    def test_threshold_without_measured_metric_is_skipped(self, tmp_path):
+        _write(tmp_path, "BENCH_x.json", {
+            "benchmark": "x", "min_ghost_required": 1.0,
+            "max_enabled": True, "bit_identical": True,
+        })
+        assert bench_checks(load_bench_artifacts(tmp_path)) == []
+
+    def test_name_falls_back_to_file_stem(self, tmp_path):
+        _write(tmp_path, "BENCH_anon.json", {
+            "speed": 2.0, "min_speed": 1.0,
+        })
+        (check,) = bench_checks(load_bench_artifacts(tmp_path))
+        assert check.benchmark == "anon"
+
+    def test_zero_bound_degenerates_to_absolute_headroom(self, tmp_path):
+        _write(tmp_path, "BENCH_z.json", {
+            "benchmark": "z", "growth": 3.0, "max_growth_allowed": 0.0,
+        })
+        (check,) = bench_checks(load_bench_artifacts(tmp_path))
+        assert not check.ok
+        assert check.margin == pytest.approx(-3.0)
+
+
+class TestRendering:
+    def test_report_table_and_summary(self, tmp_path):
+        _write(tmp_path, "BENCH_speed.json", {
+            "benchmark": "speed", "speedup": 12.0,
+            "min_speedup_required": 10.0,
+        })
+        _write(tmp_path, "BENCH_slow.json", {
+            "benchmark": "slow", "slowdown": 1.8,
+            "max_slowdown_allowed": 1.5,
+        })
+        text = render_bench_report(load_bench_artifacts(tmp_path))
+        assert "speedup" in text and ">= 10" in text
+        assert "FAIL" in text and "ok" in text
+        assert "2 artifact(s), 2 check(s), 1 FAILING" in text
+
+    def test_report_without_checks(self, tmp_path):
+        _write(tmp_path, "BENCH_plain.json", {"benchmark": "plain"})
+        text = render_bench_report(load_bench_artifacts(tmp_path))
+        assert "no threshold checks" in text
+
+    def test_real_repo_artifacts_parse(self):
+        # The artifacts checked into the repo root (written by the
+        # tier-2 suite) must always scan cleanly.
+        artifacts = load_bench_artifacts(".")
+        if not artifacts:  # pragma: no cover - fresh checkout
+            pytest.skip("no BENCH_*.json artifacts present")
+        checks = bench_checks(artifacts)
+        assert checks
+        render_bench_report(artifacts)

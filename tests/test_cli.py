@@ -527,3 +527,152 @@ class TestStreamCommand:
         ])
         assert code == 2
         assert "incompatible" in capsys.readouterr().err
+
+
+class TestTelemetryCli:
+    def test_parser_telemetry_flags(self):
+        for command, extra in (("compare", []), ("stream", [])):
+            args = build_parser().parse_args([
+                command, *extra,
+                "--telemetry-out", "t.jsonl", "--telemetry-every", "500",
+                "--sampled-trace", "s.jsonl",
+                "--sampled-trace-every", "50", "--progress",
+            ])
+            assert args.telemetry_out == "t.jsonl"
+            assert args.telemetry_every == 500
+            assert args.sampled_trace == "s.jsonl"
+            assert args.sampled_trace_every == 50
+            assert args.progress
+        args = build_parser().parse_args(["campaign", "--progress"])
+        assert args.progress
+
+    def test_compare_rejects_telemetry_with_hooks(self, capsys):
+        code = main([
+            "compare", "--jobs", "10",
+            "--telemetry-out", "t.jsonl", "--validate",
+        ])
+        assert code == 2
+        assert "incompatible" in capsys.readouterr().err
+
+    def test_compare_rejects_telemetry_on_reference(self, capsys):
+        code = main([
+            "compare", "--jobs", "10", "--progress",
+            "--engine", "reference",
+        ])
+        assert code == 2
+        assert "reference" in capsys.readouterr().err
+
+    def test_stream_telemetry_and_report(self, capsys, tmp_path):
+        tel = tmp_path / "t.jsonl"
+        trace = tmp_path / "s.jsonl"
+        code = main([
+            "stream", "--max-jobs", "200", "--seed", "2",
+            "--telemetry-out", str(tel),
+            "--sampled-trace", str(trace),
+            "--sampled-trace-every", "40",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "wrote telemetry time series" in out
+        assert "wrote sampled trace" in out
+
+        prom = tmp_path / "t.prom"
+        code = main([
+            "telemetry", "report", str(tel), "--prom", str(prom),
+            "--json", str(tmp_path / "t.json"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "telemetry schema v1" in out
+        assert "200 jobs done" in out
+        assert "repro_done 200" in prom.read_text()
+
+        # The sampled trace flows through the trace tooling.
+        assert main(["trace", str(trace), "--validate"]) == 0
+        assert "sampled trace:" in capsys.readouterr().out
+
+    def test_stream_telemetry_resume_is_byte_identical(
+        self, capsys, tmp_path
+    ):
+        tel = tmp_path / "t.jsonl"
+        ckpt = tmp_path / "stream.ckpt"
+        base_args = [
+            "stream", "--max-jobs", "300", "--seed", "2",
+            "--telemetry-out", str(tel),
+            "--checkpoint", str(ckpt), "--checkpoint-every", "100",
+        ]
+        assert main(base_args) == 0
+        baseline = tel.read_bytes()
+        assert main(base_args + ["--resume"]) == 0
+        capsys.readouterr()
+        assert tel.read_bytes() == baseline
+
+    def test_stream_resume_with_telemetry_needs_the_flag(
+        self, capsys, tmp_path
+    ):
+        tel = tmp_path / "t.jsonl"
+        ckpt = tmp_path / "stream.ckpt"
+        assert main([
+            "stream", "--max-jobs", "300", "--seed", "2",
+            "--telemetry-out", str(tel),
+            "--checkpoint", str(ckpt), "--checkpoint-every", "100",
+        ]) == 0
+        capsys.readouterr()
+        code = main([
+            "stream", "--max-jobs", "300", "--seed", "2",
+            "--checkpoint", str(ckpt), "--resume",
+        ])
+        assert code == 2
+        assert "--telemetry-out" in capsys.readouterr().err
+
+    def test_compare_writes_per_policy_telemetry(self, capsys, tmp_path):
+        code = main([
+            "compare", "--jobs", "40", "--predictor", "oracle",
+            "--telemetry-out", str(tmp_path / "c.jsonl"),
+            "--telemetry-every", "10",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "wrote telemetry time series" in out
+        for policy in ("base", "optimal", "energy_centric", "proposed"):
+            assert (tmp_path / f"c.{policy}.jsonl").exists()
+
+    def test_campaign_progress_line(self, capsys):
+        code = main([
+            "campaign", "--policies", "base", "--seeds", "0", "1",
+            "--jobs", "40", "--workers", "1", "--progress",
+        ])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "campaign: 2/2 replications" in err
+
+    def test_telemetry_report_missing_file(self, capsys, tmp_path):
+        code = main(["telemetry", "report", str(tmp_path / "no.jsonl")])
+        assert code == 2
+        assert "no such telemetry file" in capsys.readouterr().err
+
+
+class TestBenchCli:
+    def test_bench_report(self, capsys, tmp_path):
+        import json as json_module
+
+        (tmp_path / "BENCH_speed.json").write_text(json_module.dumps({
+            "benchmark": "speed", "speedup": 12.0,
+            "min_speedup_required": 10.0,
+        }))
+        out_json = tmp_path / "rows.json"
+        code = main([
+            "bench", "report", "--dir", str(tmp_path),
+            "--json", str(out_json),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out and "all within bounds" in out
+        rows = json_module.loads(out_json.read_text())
+        assert rows[0]["metric"] == "speedup"
+        assert rows[0]["ok"] is True
+
+    def test_bench_report_empty_dir(self, capsys, tmp_path):
+        code = main(["bench", "report", "--dir", str(tmp_path)])
+        assert code == 2
+        assert "no BENCH_" in capsys.readouterr().err
