@@ -32,7 +32,12 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from repro.characterization.store import CharacterizationStore
-from repro.core.policies import POLICY_NAMES, make_policy
+from repro.core.policies import (
+    ALL_POLICY_NAMES,
+    DEADLINE_POLICY_NAMES,
+    POLICY_NAMES,
+    make_policy,
+)
 from repro.core.predictor import BestCorePredictor, OraclePredictor
 from repro.core.simulation import SchedulerSimulation
 from repro.core.system import base_system, paper_system
@@ -47,6 +52,7 @@ logger = logging.getLogger(__name__)
 __all__ = [
     "CampaignCell",
     "CampaignResult",
+    "DagLoad",
     "MetricAggregate",
     "ReplicationResult",
     "ReplicationSpec",
@@ -96,6 +102,34 @@ class StreamLoad:
 
 
 @dataclass(frozen=True)
+class DagLoad:
+    """Task-graph load axis: replications run generated DAG workloads.
+
+    When passed to :func:`run_campaign`, every replication generates a
+    seed-keyed task-graph set
+    (:func:`~repro.workloads.dag.generate_task_graphs`) and runs it
+    through :meth:`~repro.core.simulation.SchedulerSimulation.run_dags`
+    with precedence gating: the grid's ``(count, gap)`` loads become
+    ``(graph count, mean graph interarrival)``, and the replication
+    seed keys the generator.  Deadline/slack outcomes ride back through
+    :attr:`CampaignCell.observed` under ``dag.*`` keys.  DAG campaigns
+    are reference-engine territory, so the metrics/validation/fault
+    hooks all compose with this axis; the open-system ``stream`` axis
+    does not.  Hashable/picklable pure data, like :class:`StreamLoad`.
+    """
+
+    #: Tasks per graph, drawn uniformly from this range.
+    tasks_min: int = 3
+    tasks_max: int = 8
+    #: Probability of a forward precedence edge between any task pair.
+    edge_density: float = 0.35
+    #: Deadline looseness multiplier (smaller = tighter = more misses).
+    deadline_slack: float = 2.5
+    #: DAG-level criticality is drawn from ``1..criticality_levels``.
+    criticality_levels: int = 3
+
+
+@dataclass(frozen=True)
 class ReplicationSpec:
     """One point of the campaign grid: policy × load × fault plan × seed."""
 
@@ -114,6 +148,8 @@ class ReplicationSpec:
     engine: str = "auto"
     #: Open-system load (``None`` = closed-batch replay, the default).
     stream: Optional[StreamLoad] = None
+    #: Task-graph load (``None`` = independent-job arrivals).
+    dag: Optional[DagLoad] = None
 
 
 @dataclass(frozen=True)
@@ -178,19 +214,57 @@ class CampaignCell:
     #: Arrival-process kind of an open-system campaign (``None`` =
     #: closed-batch replay).  Part of the cell label, like ``engine``.
     stream: Optional[str] = None
+    #: Whether the cell's replications ran task-graph workloads
+    #: (:class:`DagLoad`).  Part of the cell label (``policy^dag``), so
+    #: DAG results are never silently aggregated with plain-job ones.
+    dag: bool = False
 
     def metric(self, name: str) -> MetricAggregate:
         """Aggregate by metric name."""
         return self.metrics[name]
 
 
+#: Two-tailed 95 % Student-t critical values by degrees of freedom.
+#: Campaign cells aggregate a handful of replications, where the
+#: normal z=1.96 understates the interval badly (at n=2, df=1, the true
+#: critical value is 12.706 — a ~6.5× narrower-than-real CI).  The
+#: table covers df 1..30 exactly plus the conventional 40/60/120
+#: waypoints; untabulated df fall back to the largest tabulated df not
+#: exceeding them, which rounds the interval *wider* (conservative).
+_T_CRITICAL_95 = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
+    6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228,
+    11: 2.201, 12: 2.179, 13: 2.160, 14: 2.145, 15: 2.131,
+    16: 2.120, 17: 2.110, 18: 2.101, 19: 2.093, 20: 2.086,
+    21: 2.080, 22: 2.074, 23: 2.069, 24: 2.064, 25: 2.060,
+    26: 2.056, 27: 2.052, 28: 2.048, 29: 2.045, 30: 2.042,
+    40: 2.021, 60: 2.000, 120: 1.980,
+}
+
+
+def _t_critical(df: int) -> float:
+    """Two-tailed 95 % t critical value for ``df`` degrees of freedom."""
+    if df < 1:
+        raise ValueError("degrees of freedom must be >= 1")
+    exact = _T_CRITICAL_95.get(df)
+    if exact is not None:
+        return exact
+    # Conservative fallback: the largest tabulated df below the actual
+    # one has a slightly *larger* critical value, so the reported
+    # interval can only err wide, never narrow.
+    floor_df = max(d for d in _T_CRITICAL_95 if d <= df)
+    return _T_CRITICAL_95[floor_df]
+
+
 def _aggregate(values: Sequence[float]) -> MetricAggregate:
     n = len(values)
+    if n == 0:
+        raise ValueError("cannot aggregate an empty cell")
     mean = sum(values) / n
     if n > 1:
         var = sum((v - mean) ** 2 for v in values) / (n - 1)
         std = math.sqrt(var)
-        ci95 = 1.96 * std / math.sqrt(n)
+        ci95 = _t_critical(n - 1) * std / math.sqrt(n)
     else:
         std = 0.0
         ci95 = 0.0
@@ -267,6 +341,8 @@ class CampaignResult:
                 label = f"{label}@{cell.engine}"
             if cell.stream is not None:
                 label = f"{label}~{cell.stream}"
+            if cell.dag:
+                label = f"{label}^dag"
             return label
 
         width = max([15] + [len(label_for(cell)) for cell in self.cells])
@@ -339,6 +415,8 @@ def _run_replication(spec: ReplicationSpec) -> ReplicationResult:
     )
     if spec.stream is not None:
         return _stream_replication(spec, simulation, start)
+    if spec.dag is not None:
+        return _dag_replication(spec, simulation, registry, start)
     arrivals = uniform_arrivals(
         eembc_suite(),
         count=spec.count,
@@ -357,6 +435,56 @@ def _run_replication(spec: ReplicationSpec) -> ReplicationResult:
         non_best_decisions=result.non_best_decisions,
         seconds=time.perf_counter() - start,
         observed=registry.scalars() if registry is not None else {},
+    )
+
+
+def _dag_replication(
+    spec: ReplicationSpec,
+    simulation: SchedulerSimulation,
+    registry: Optional[MetricsRegistry],
+    start: float,
+) -> ReplicationResult:
+    """Task-graph variant of one grid point (precedence-gated run)."""
+    from repro.workloads.dag import generate_task_graphs
+
+    load = spec.dag
+    graphs = generate_task_graphs(
+        count=spec.count,
+        seed=spec.seed,
+        benchmarks=[s.name for s in eembc_suite()],
+        tasks_min=load.tasks_min,
+        tasks_max=load.tasks_max,
+        edge_density=load.edge_density,
+        deadline_slack=load.deadline_slack,
+        criticality_levels=load.criticality_levels,
+        mean_interarrival_cycles=spec.mean_interarrival_cycles,
+    )
+    result = simulation.run_dags(graphs)
+    # Deadline/slack outcomes ride back through ``observed`` alongside
+    # any registry scalars, so cells aggregate them like every other
+    # per-replication metric.
+    observed = dict(registry.scalars()) if registry is not None else {}
+    observed.update(
+        {
+            "dag.graphs": float(len(graphs)),
+            "dag.tasks": float(sum(g.task_count for g in graphs)),
+            "dag.edges": float(sum(g.edge_count for g in graphs)),
+            "dag.deadline_jobs": float(result.deadline_jobs),
+            "dag.deadline_misses": float(result.deadline_misses),
+            "dag.deadline_miss_rate": result.deadline_miss_rate,
+        }
+    )
+    return ReplicationResult(
+        spec=spec,
+        jobs_completed=result.jobs_completed,
+        makespan_cycles=result.makespan_cycles,
+        total_energy_nj=result.total_energy_nj,
+        idle_energy_nj=result.idle_energy_nj,
+        dynamic_energy_nj=result.dynamic_energy_nj,
+        mean_waiting_cycles=result.mean_waiting_cycles,
+        non_best_decisions=result.non_best_decisions,
+        seconds=time.perf_counter() - start,
+        observed=observed,
     )
 
 
@@ -441,6 +569,7 @@ def run_campaign(
     fault_plans: Sequence[Optional[FaultPlan]] = (None,),
     engine: str = "auto",
     stream: Optional[StreamLoad] = None,
+    dag: Optional[DagLoad] = None,
     progress: Optional[Callable[[int, int], None]] = None,
 ) -> CampaignResult:
     """Run a (policy × load × fault plan × seed) grid, optionally parallel.
@@ -510,6 +639,20 @@ def run_campaign(
         :attr:`CampaignCell.observed` under ``stream.*`` keys.  Like
         ``engine='fast'``, streaming rejects the metrics/validation/
         fault hooks up front.
+    dag:
+        Task-graph load axis (:class:`DagLoad`).  When set, every
+        replication generates a seed-keyed DAG set and runs it with
+        precedence gating
+        (:meth:`~repro.core.simulation.SchedulerSimulation.run_dags`):
+        ``loads`` become ``(graph count, mean graph interarrival)``,
+        and deadline/slack outcomes come back through
+        :attr:`CampaignCell.observed` under ``dag.*`` keys.  DAG
+        campaigns run on the reference engine, so ``collect_metrics``,
+        ``validate`` and ``fault_plans`` all compose with this axis;
+        ``stream`` and ``engine='fast'`` do not.  The deadline-aware
+        ``edf``/``heft`` policies
+        (:data:`~repro.core.policies.DEADLINE_POLICY_NAMES`) are
+        accepted alongside the paper's four.
     progress:
         ``progress(done, total)`` callback invoked after every finished
         replication (and once with ``(0, total)`` before the first), in
@@ -521,10 +664,25 @@ def run_campaign(
     if not policies:
         raise ValueError("need at least one policy")
     for name in policies:
-        if name not in POLICY_NAMES:
+        if name not in ALL_POLICY_NAMES:
             raise ValueError(
-                f"unknown policy {name!r}; choose from {POLICY_NAMES}"
+                f"unknown policy {name!r}; choose from {ALL_POLICY_NAMES}"
             )
+    ordering = [p for p in policies if p in DEADLINE_POLICY_NAMES]
+    if ordering and engine == "fast":
+        raise ValueError(
+            f"engine='fast' does not implement the policy-ordered ready "
+            f"queue of {ordering}; deadline-aware policies run on the "
+            "reference engine only (use engine='auto' or "
+            "engine='reference')"
+        )
+    if ordering and stream is not None:
+        raise ValueError(
+            f"an open-system stream campaign cannot sweep the "
+            f"deadline-aware policies {ordering}: streaming is "
+            "fast-engine only and policy-ordered queues are "
+            "reference-engine only"
+        )
     if not seeds:
         raise ValueError("need at least one replication seed")
     if not loads:
@@ -574,6 +732,27 @@ def run_campaign(
                 f"unknown admission policy {stream.admission!r}; "
                 f"choose from {ADMISSION_POLICIES}"
             )
+    if dag is not None:
+        if stream is not None:
+            raise ValueError(
+                "the dag and stream axes are mutually exclusive: "
+                "task-graph runs are closed-batch on the reference "
+                "engine, streaming is open-system on the fast engine"
+            )
+        if engine == "fast":
+            raise ValueError(
+                "engine='fast' does not implement precedence gating; "
+                "DAG campaigns run on the reference engine (use "
+                "engine='auto' or engine='reference')"
+            )
+        if not 0 < dag.tasks_min <= dag.tasks_max:
+            raise ValueError("need 0 < tasks_min <= tasks_max")
+        if not 0.0 <= dag.edge_density <= 1.0:
+            raise ValueError("edge_density must be within [0, 1]")
+        if dag.deadline_slack <= 0:
+            raise ValueError("deadline_slack must be positive")
+        if dag.criticality_levels < 1:
+            raise ValueError("criticality_levels must be >= 1")
 
     if predictor is None:
         predictor = OraclePredictor(store)
@@ -589,6 +768,7 @@ def run_campaign(
             fault_plan=plan,
             engine=engine,
             stream=stream,
+            dag=dag,
         )
         for policy in policies
         for count, gap in loads
@@ -656,7 +836,9 @@ def run_campaign(
                 # never-incremented counter), so cells stay well-formed
                 # even across heterogeneous runs.
                 observed: Dict[str, MetricAggregate] = {}
-                if members and (collect_metrics or stream is not None):
+                if members and (
+                    collect_metrics or stream is not None or dag is not None
+                ):
                     keys = sorted(
                         {key for m in members for key in m.observed}
                     )
@@ -677,6 +859,7 @@ def run_campaign(
                         faults=None if plan is None else plan.name,
                         engine=engine,
                         stream=None if stream is None else stream.process,
+                        dag=dag is not None,
                     )
                 )
 

@@ -24,6 +24,9 @@ any code:
 * ``faults`` — generate or describe deterministic fault-injection
   plans (:mod:`repro.faults`); ``--faults plan.json`` injects one into
   ``compare``/``campaign`` runs;
+* ``dag`` — generate or describe deterministic task-graph workloads
+  (:mod:`repro.workloads.dag`); ``campaign --dag`` switches the grid
+  to DAG replications with deadline-aware ``edf``/``heft`` policies;
 * ``telemetry`` — analyse a sampled-telemetry JSONL time series
   (written by ``--telemetry-out``) as a table, Prometheus-style
   exposition or JSON;
@@ -175,8 +178,10 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--policies", nargs="+",
                           default=["base", "proposed"],
                           choices=("base", "optimal", "energy_centric",
-                                   "proposed"),
-                          help="policies to sweep")
+                                   "proposed", "edf", "heft"),
+                          help="policies to sweep ('edf'/'heft' order "
+                               "the ready queue and need the reference "
+                               "engine)")
     campaign.add_argument("--seeds", nargs="+", type=int, default=[0, 1, 2],
                           help="replication seeds (one arrival stream each)")
     campaign.add_argument("--jobs", nargs="+", type=int, default=[1000],
@@ -231,6 +236,29 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--warmup", type=int, default=0,
                           help="metrics warm-up in cycles for --stream "
                                "runs")
+    campaign.add_argument("--dag", action="store_true",
+                          help="task-graph load axis: every replication "
+                               "generates --jobs task graphs "
+                               "(precedence edges + per-task deadlines) "
+                               "and runs them on the reference engine "
+                               "(incompatible with --stream and "
+                               "--engine fast)")
+    campaign.add_argument("--dag-tasks-min", type=int, default=3,
+                          help="minimum tasks per generated graph "
+                               "(--dag only; default: 3)")
+    campaign.add_argument("--dag-tasks-max", type=int, default=8,
+                          help="maximum tasks per generated graph "
+                               "(--dag only; default: 8)")
+    campaign.add_argument("--dag-edge-density", type=float, default=0.35,
+                          help="probability of a forward precedence "
+                               "edge (--dag only; default: 0.35)")
+    campaign.add_argument("--dag-deadline-slack", type=float, default=2.5,
+                          help="deadline slack multiplier over the "
+                               "critical path (--dag only; default: "
+                               "2.5)")
+    campaign.add_argument("--dag-criticality-levels", type=int, default=3,
+                          help="number of DAG criticality levels "
+                               "(--dag only; default: 3)")
     campaign.add_argument("--progress", action="store_true",
                           help="live replication-count progress line on "
                                "stderr (works with any engine/hooks)")
@@ -335,6 +363,39 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default: all)")
     faults.add_argument("--name", help="plan name (default: derived "
                                        "from the seed)")
+
+    dag = sub.add_parser(
+        "dag",
+        help="generate or describe a deterministic task-graph workload",
+    )
+    dag.add_argument("action", choices=("generate", "describe"),
+                     help="generate graphs from a seed, or describe an "
+                          "existing graph-set JSON")
+    dag.add_argument("path", nargs="?",
+                     help="graph-set JSON to describe (describe only)")
+    dag.add_argument("--out", metavar="PATH",
+                     help="write the generated graph-set JSON here "
+                          "(generate only)")
+    dag.add_argument("--seed", type=int, default=0,
+                     help="generation seed (the graph set is a pure "
+                          "function of it)")
+    dag.add_argument("--count", type=int, default=8,
+                     help="number of task graphs to generate")
+    dag.add_argument("--tasks-min", type=int, default=3,
+                     help="minimum tasks per graph")
+    dag.add_argument("--tasks-max", type=int, default=8,
+                     help="maximum tasks per graph")
+    dag.add_argument("--edge-density", type=float, default=0.35,
+                     help="probability of each forward precedence edge")
+    dag.add_argument("--deadline-slack", type=float, default=2.5,
+                     help="deadline slack multiplier over the critical "
+                          "path")
+    dag.add_argument("--criticality-levels", type=int, default=3,
+                     help="number of DAG criticality levels")
+    dag.add_argument("--interarrival", type=int, default=250_000,
+                     help="mean graph inter-arrival gap in cycles")
+    dag.add_argument("--name", default="generated",
+                     help="graph name prefix (default: generated)")
 
     telemetry = sub.add_parser(
         "telemetry",
@@ -739,6 +800,49 @@ def _cmd_campaign(args) -> int:
             file=sys.stderr,
         )
         return 2
+    ordering = sorted(set(args.policies) & {"edf", "heft"})
+    if ordering and args.engine == "fast":
+        print(
+            f"error: policies {ordering} order the ready queue, which "
+            "the fast engine does not implement; use --engine auto or "
+            "--engine reference",
+            file=sys.stderr,
+        )
+        return 2
+    if ordering and args.stream:
+        print(
+            f"error: policies {ordering} are incompatible with "
+            "--stream (the streaming engine runs discipline-ordered "
+            "queues only; use --discipline edf instead)",
+            file=sys.stderr,
+        )
+        return 2
+    dag_load = None
+    if args.dag:
+        if args.stream:
+            print(
+                "error: --dag and --stream are mutually exclusive load "
+                "axes",
+                file=sys.stderr,
+            )
+            return 2
+        if args.engine == "fast":
+            print(
+                "error: --dag needs the reference engine for "
+                "precedence gating; use --engine auto or "
+                "--engine reference",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.campaign import DagLoad
+
+        dag_load = DagLoad(
+            tasks_min=args.dag_tasks_min,
+            tasks_max=args.dag_tasks_max,
+            edge_density=args.dag_edge_density,
+            deadline_slack=args.dag_deadline_slack,
+            criticality_levels=args.dag_criticality_levels,
+        )
     stream_load = None
     if args.stream:
         if args.metrics_out or args.validate or args.faults:
@@ -795,6 +899,7 @@ def _cmd_campaign(args) -> int:
         fault_plans=fault_plans,
         engine=args.engine,
         stream=stream_load,
+        dag=dag_load,
         progress=progress,
     )
     print(result.summary())
@@ -817,6 +922,7 @@ def _cmd_campaign(args) -> int:
                 "count": cell.count,
                 "mean_interarrival_cycles": cell.mean_interarrival_cycles,
                 "faults": cell.faults,
+                "dag": cell.dag,
                 "n": cell.n,
                 "observed": {
                     key: dataclasses.asdict(aggregate)
@@ -1089,6 +1195,53 @@ def _cmd_faults(args) -> int:
     return 0
 
 
+def _cmd_dag(args) -> int:
+    from repro.workloads.dag import (
+        describe_graphs,
+        dump_graphs,
+        generate_task_graphs,
+        load_graphs,
+    )
+
+    if args.action == "describe":
+        if not args.path:
+            print("error: describe needs a graph-set JSON path",
+                  file=sys.stderr)
+            return 2
+        try:
+            graphs = load_graphs(args.path)
+        except (OSError, ValueError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        print(describe_graphs(graphs))
+        return 0
+
+    if args.path:
+        print("error: generate takes no positional path (use --out)",
+              file=sys.stderr)
+        return 2
+    try:
+        graphs = generate_task_graphs(
+            count=args.count,
+            seed=args.seed,
+            tasks_min=args.tasks_min,
+            tasks_max=args.tasks_max,
+            edge_density=args.edge_density,
+            deadline_slack=args.deadline_slack,
+            criticality_levels=args.criticality_levels,
+            mean_interarrival_cycles=args.interarrival,
+            name=args.name,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(describe_graphs(graphs))
+    if args.out:
+        dump_graphs(graphs, args.out)
+        print(f"\nwrote task-graph set to {args.out}")
+    return 0
+
+
 def _cmd_telemetry(args) -> int:
     from repro.obs import (
         read_telemetry,
@@ -1188,6 +1341,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "validate": _cmd_validate,
     "faults": _cmd_faults,
+    "dag": _cmd_dag,
     "telemetry": _cmd_telemetry,
     "bench": _cmd_bench,
     "reproduce": _cmd_reproduce,

@@ -19,14 +19,29 @@ Each policy sees the simulation through a narrow read interface (the
 ``sim`` argument of :meth:`SchedulingPolicy.choose`) and returns an
 :class:`~repro.core.scheduler.Assignment` or ``None`` to leave the job
 in the ready queue.
+
+Beyond the paper's four systems, two *deadline-aware* policies support
+the DAG/task-graph workload axis (:mod:`repro.workloads.dag`):
+
+* :class:`EdfPolicy` — earliest-deadline-first *ordering* of the ready
+  queue (dispatching like the base system otherwise).
+* :class:`HeftPolicy` — HEFT-style upward-rank ordering: each task's
+  rank is its estimated work plus the heaviest chain of work below it,
+  weighted by its graph's criticality, plus a graph-pressure term that
+  is decremented on every dispatch (the classic "rank update").
+
+These are registered under :data:`DEADLINE_POLICY_NAMES`, deliberately
+*not* under :data:`POLICY_NAMES`: the paper grids (fast engine,
+telemetry, streaming) are pinned to the four paper systems, and neither
+ordering policy is implemented by the struct-of-arrays fast engine.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.cache.config import CacheConfig
+from repro.cache.config import BASE_CONFIG, CacheConfig
 from repro.core.decision import evaluate_stall_decision
 from repro.core.scheduler import Assignment, CoreState, Job
 
@@ -36,7 +51,11 @@ __all__ = [
     "OptimalPolicy",
     "EnergyCentricPolicy",
     "ProposedPolicy",
+    "EdfPolicy",
+    "HeftPolicy",
     "POLICY_NAMES",
+    "DEADLINE_POLICY_NAMES",
+    "ALL_POLICY_NAMES",
     "make_policy",
 ]
 
@@ -50,6 +69,14 @@ class SchedulingPolicy(ABC):
     requires_profiling: bool = False
     #: Whether the ANN predictor is consulted after profiling.
     uses_predictor: bool = False
+    #: Whether the policy imposes its own ready-queue order via
+    #: :meth:`queue_key` (overriding the simulation's discipline).
+    #: Ordering policies are reference-engine only.
+    orders_queue: bool = False
+    #: Bumped whenever the policy's queue order may have changed for
+    #: reasons other than a queue mutation (e.g. a rank update on
+    #: dispatch); the simulation folds it into its queue-view cache key.
+    order_version: int = 0
 
     @abstractmethod
     def choose(self, job: Job, sim) -> Optional[Assignment]:
@@ -59,6 +86,29 @@ class SchedulingPolicy(ABC):
         (:class:`repro.core.simulation.SchedulerSimulation`); policies
         only read from it.
         """
+
+    # -- ordering / DAG hooks (no-ops for the paper's four systems) ---------
+
+    def queue_key(self, job: Job, sim):
+        """Sort key for ``job`` when ``orders_queue`` is set.
+
+        Lower keys dispatch first; ties fall back to arrival (FIFO)
+        order because the simulation sorts stably.
+        """
+        raise NotImplementedError(
+            f"{self.name!r} does not order the ready queue"
+        )
+
+    def observe_graphs(self, assignments: Sequence[Tuple[object, Dict[int, Job]]], sim) -> None:
+        """Called by :meth:`~repro.core.simulation.SchedulerSimulation.run_dags`
+        before the run starts, with ``(graph, task_id → job)`` pairs.
+
+        Rank-based policies precompute per-job urgency here; the default
+        is a no-op.
+        """
+
+    def on_dispatch(self, job: Job, sim) -> None:
+        """Called after every dispatch; rank-updating policies react here."""
 
     # -- shared helpers ------------------------------------------------------
 
@@ -247,20 +297,148 @@ class ProposedPolicy(SchedulingPolicy):
         return Assignment(core_index=candidate.index, config=candidate_config)
 
 
+class EdfPolicy(SchedulingPolicy):
+    """Earliest-deadline-first ordering of the ready queue.
+
+    Dispatching is the base system's (first idle core, current
+    configuration); only the *order* in which queued jobs are offered
+    changes.  Jobs without a deadline sort last, and equal deadlines
+    fall back to FIFO.  On a single saturated core EDF is the optimal
+    deadline-miss minimiser, which is what the congested-scenario
+    acceptance test leans on.
+    """
+
+    name = "edf"
+    requires_profiling = False
+    uses_predictor = False
+    orders_queue = True
+
+    def queue_key(self, job: Job, sim):
+        if job.deadline_cycle is None:
+            return float("inf")
+        return float(job.deadline_cycle)
+
+    def choose(self, job: Job, sim) -> Optional[Assignment]:
+        for core in self._idle_cores(sim):
+            return Assignment(core_index=core.index, config=core.current_config)
+        return None
+
+
+class HeftPolicy(SchedulingPolicy):
+    """HEFT-style upward-rank ordering with rank update on dispatch.
+
+    Before a DAG run starts, :meth:`observe_graphs` computes each
+    task's *upward rank* — its own estimated work (profiling-store
+    estimate in the base configuration) plus the heaviest chain of
+    successor work below it.  The queue key combines that rank
+    (weighted by the graph's criticality) with a *graph pressure* term,
+    the graph's total undispatched work.  Every dispatch shrinks the
+    dispatching graph's pressure and bumps :attr:`order_version`, so
+    queued tasks of *other* graphs observably gain relative urgency —
+    the "rank update on dispatch" of dynamic HEFT variants.
+
+    Plain (non-DAG) jobs rank by their own estimated work, i.e. a
+    longest-job-first order with no pressure term.
+    """
+
+    name = "heft"
+    requires_profiling = False
+    uses_predictor = False
+    orders_queue = True
+
+    def __init__(self) -> None:
+        self.order_version = 0
+        #: job_id → upward rank in estimated cycles.
+        self._rank: Dict[int, float] = {}
+        #: job_id → the job's own estimated work in cycles.
+        self._weight: Dict[int, float] = {}
+        #: job_id → owning graph id (absent for plain jobs).
+        self._graph_of: Dict[int, int] = {}
+        #: graph id → undispatched work remaining, in estimated cycles.
+        self._pending: Dict[int, float] = {}
+        #: graph id → criticality weight.
+        self._criticality: Dict[int, int] = {}
+
+    @staticmethod
+    def _estimate(benchmark: str, sim) -> float:
+        return float(sim.store.estimate(benchmark, BASE_CONFIG).total_cycles)
+
+    def observe_graphs(self, assignments, sim) -> None:
+        for graph, jobs in assignments:
+            successors = graph.successors()
+            by_task = {t.task_id: t for t in graph.tasks}
+            weight = {
+                tid: self._estimate(task.benchmark, sim)
+                for tid, task in by_task.items()
+            }
+            rank: Dict[int, float] = {}
+            for tid in reversed(graph.topological_order()):
+                rank[tid] = weight[tid] + max(
+                    (rank[s] for s in successors[tid]), default=0.0
+                )
+            self._pending[graph.graph_id] = sum(weight.values())
+            self._criticality[graph.graph_id] = graph.criticality
+            for tid, job in jobs.items():
+                self._rank[job.job_id] = rank[tid]
+                self._weight[job.job_id] = weight[tid]
+                self._graph_of[job.job_id] = graph.graph_id
+        self.order_version += 1
+
+    def queue_key(self, job: Job, sim):
+        graph_id = self._graph_of.get(job.job_id)
+        if graph_id is None:
+            weight = self._weight.get(job.job_id)
+            if weight is None:
+                weight = self._estimate(job.benchmark, sim)
+                self._weight[job.job_id] = weight
+            return -weight
+        urgency = (
+            self._criticality[graph_id] * self._rank[job.job_id]
+            + self._pending[graph_id]
+        )
+        return -urgency
+
+    def on_dispatch(self, job: Job, sim) -> None:
+        graph_id = self._graph_of.get(job.job_id)
+        if graph_id is None:
+            return
+        self._pending[graph_id] = max(
+            0.0, self._pending[graph_id] - self._weight[job.job_id]
+        )
+        self.order_version += 1
+
+    def choose(self, job: Job, sim) -> Optional[Assignment]:
+        for core in self._idle_cores(sim):
+            return Assignment(core_index=core.index, config=core.current_config)
+        return None
+
+
 _POLICIES = {
     cls.name: cls
     for cls in (BasePolicy, OptimalPolicy, EnergyCentricPolicy, ProposedPolicy)
 }
 
-#: Names accepted by :func:`make_policy`.
+_DEADLINE_POLICIES = {cls.name: cls for cls in (EdfPolicy, HeftPolicy)}
+
+#: The paper's four systems.  Deliberately *not* extended with the
+#: deadline-aware policies: the fast-engine/telemetry/streaming grids
+#: iterate this tuple and neither ordering policy runs on the fast
+#: engine.
 POLICY_NAMES = tuple(_POLICIES)
+
+#: Deadline-aware ordering policies for the DAG workload axis
+#: (reference engine only).
+DEADLINE_POLICY_NAMES = tuple(_DEADLINE_POLICIES)
+
+#: Every name :func:`make_policy` accepts.
+ALL_POLICY_NAMES = POLICY_NAMES + DEADLINE_POLICY_NAMES
 
 
 def make_policy(name: str) -> SchedulingPolicy:
-    """Construct one of the four evaluated policies by name."""
-    try:
-        return _POLICIES[name]()
-    except KeyError:
+    """Construct an evaluated policy (paper system or deadline-aware)."""
+    cls = _POLICIES.get(name) or _DEADLINE_POLICIES.get(name)
+    if cls is None:
         raise ValueError(
-            f"unknown policy {name!r}; choose from {POLICY_NAMES}"
-        ) from None
+            f"unknown policy {name!r}; choose from {ALL_POLICY_NAMES}"
+        )
+    return cls()

@@ -34,6 +34,7 @@ from repro.core.tuning import TuningHeuristic
 from repro.energy.tables import EnergyTable
 from repro.obs.events import (
     ConfigInstalled,
+    DeadlineMiss,
     EnergyAccrued,
     JobArrived,
     JobCompleted,
@@ -43,6 +44,7 @@ from repro.obs.events import (
     ProfilingStarted,
     SizePredicted,
     StallDecision,
+    TaskReady,
     TuningStep,
 )
 from repro.obs.metrics import MetricsRegistry
@@ -73,6 +75,10 @@ _METRIC_COUNTERS = (
     "sim.dispatch.non_best",
     "sim.dispatch.tuning",
     "sim.dispatch.profiling",
+    "sim.deadline.jobs",
+    "sim.deadline.misses",
+    "sim.dag.graphs",
+    "sim.dag.tasks_released",
 )
 
 _METRIC_HISTOGRAMS = (
@@ -81,6 +87,7 @@ _METRIC_HISTOGRAMS = (
     "sim.turnaround_cycles",
     "sim.service_cycles",
     "sim.tuner.exploration_steps",
+    "sim.deadline.slack_cycles",
 )
 
 
@@ -271,6 +278,13 @@ class SchedulerSimulation:
             raise ValueError(
                 f"unknown engine {engine!r}; choose from {self.ENGINES}"
             )
+        if engine == "fast" and policy.orders_queue:
+            raise ValueError(
+                f"engine='fast' does not implement the policy-ordered "
+                f"ready queue of policy {policy.name!r}; deadline-aware "
+                "ordering policies run on the reference engine only "
+                "(use engine='auto' or engine='reference')"
+            )
         self.engine_mode = engine
         self.discipline = discipline
         self.preemptive = preemptive
@@ -293,8 +307,16 @@ class SchedulerSimulation:
         #: Kept for the fast path, which builds its own core state.
         self._tuner_costs = tuner_costs
         self._preload_profiles_requested = preload_profiles
-        #: (queue.mutations, view) pair backing :meth:`_queue_view`.
+        #: ((queue.mutations, policy.order_version), view) pair backing
+        #: :meth:`_queue_view`.
         self._queue_view_cache = None
+        #: DAG bookkeeping, populated by :meth:`run_dags` (``None`` for
+        #: plain arrival runs): job_id → successor jobs, job_id →
+        #: unfinished-predecessor count, and job_id → (graph, task) ids
+        #: for trace labelling.
+        self._dag_successors: Optional[Dict[int, List[Job]]] = None
+        self._dag_remaining: Optional[Dict[int, int]] = None
+        self._dag_meta: Optional[Dict[int, tuple]] = None
         #: Per-(benchmark, config) memo over the store's estimate rows.
         self._estimate_cache: Dict[tuple, object] = {}
         #: Per-benchmark memo over the store's profiling counters.
@@ -404,6 +426,7 @@ class SchedulerSimulation:
             and self.metrics is None
             and self._validator is None
             and self._faults is None
+            and not self.policy.orders_queue
         )
 
     def _resolve_engine(self) -> str:
@@ -545,6 +568,13 @@ class SchedulerSimulation:
         fires at refill boundaries in O(1) memory, so it rides along on
         the fast path and into the stream's checkpoints.
         """
+        if self.policy.orders_queue:
+            raise ValueError(
+                f"streaming does not support the policy-ordered ready "
+                f"queue of policy {self.policy.name!r} (reference engine "
+                "only); use a queue discipline (e.g. discipline='edf') "
+                "for deadline ordering in open-system runs"
+            )
         if self.engine_mode == "reference" or not self._fast_eligible():
             raise ValueError(
                 "streaming is incompatible with tracing, metrics, "
@@ -631,6 +661,122 @@ class SchedulerSimulation:
             )
         return self._result()
 
+    def run_dags(self, graphs) -> SimulationResult:
+        """Simulate a task-graph workload with precedence gating.
+
+        Each :class:`~repro.workloads.dag.TaskGraph` is lowered to jobs
+        with globally sequential ids (graph order, then task order —
+        the numbering :func:`~repro.workloads.dag.dag_arrivals` mirrors,
+        so an edge-free graph set runs bit-identically to its lowered
+        plain-arrival equivalent).  A graph's *root* tasks enter the
+        ready queue as ordinary arrivals at the graph's arrival cycle;
+        every other task is released — pushed, counted and traced as
+        :class:`~repro.obs.events.TaskReady` — only when its last
+        predecessor completes.  Per-task deadlines are materialised as
+        ``graph.arrival_cycle + deadline_offset``.
+
+        DAG runs are reference-engine only: precedence gating hooks the
+        completion path, which the struct-of-arrays fast engine
+        compiles out.  ``engine='auto'`` routes here transparently;
+        ``engine='fast'`` is rejected up front, naming the limitation.
+        """
+        from repro.workloads.dag import TaskGraph
+
+        if not graphs:
+            raise ValueError("need at least one task graph")
+        if self.engine_mode == "fast":
+            raise ValueError(
+                "engine='fast' does not implement precedence gating: a "
+                "DAG task is released only when its predecessors "
+                "complete, which hooks the reference loop's completion "
+                "path.  Use engine='auto' or engine='reference' for "
+                "task-graph workloads"
+            )
+        if self.telemetry is not None:
+            raise ValueError(
+                "telemetry is the sampled observability of the fast and "
+                "streaming engines, and DAG runs are reference-engine "
+                "only; drop telemetry (attach recorder/metrics hooks "
+                "for full-fidelity DAG observability instead)"
+            )
+        seen_graphs: set = set()
+        for graph in graphs:
+            if not isinstance(graph, TaskGraph):
+                raise TypeError(
+                    f"expected TaskGraph, got {type(graph).__name__}"
+                )
+            if graph.graph_id in seen_graphs:
+                raise ValueError(f"duplicate graph id {graph.graph_id}")
+            seen_graphs.add(graph.graph_id)
+            for task in graph.tasks:
+                if task.benchmark not in self.store:
+                    raise KeyError(
+                        f"benchmark {task.benchmark!r} missing from the "
+                        "characterisation store"
+                    )
+
+        self._dag_successors = {}
+        self._dag_remaining = {}
+        self._dag_meta = {}
+        assignments = []
+        roots: List[Job] = []
+        next_id = 0
+        for graph in graphs:
+            by_task: Dict[int, Job] = {}
+            for task in graph.tasks:
+                deadline = (
+                    None
+                    if task.deadline_offset is None
+                    else graph.arrival_cycle + task.deadline_offset
+                )
+                job = Job(
+                    job_id=next_id,
+                    benchmark=task.benchmark,
+                    arrival_cycle=graph.arrival_cycle,
+                    priority=task.priority,
+                    deadline_cycle=deadline,
+                )
+                next_id += 1
+                by_task[task.task_id] = job
+                self._dag_meta[job.job_id] = (graph.graph_id, task.task_id)
+                self._dag_remaining[job.job_id] = len(task.predecessors)
+                if not task.predecessors:
+                    roots.append(job)
+            for task in graph.tasks:
+                for pred in task.predecessors:
+                    self._dag_successors.setdefault(
+                        by_task[pred].job_id, []
+                    ).append(by_task[task.task_id])
+            assignments.append((graph, by_task))
+
+        # Rank-based policies precompute per-job urgency up front.
+        self.policy.observe_graphs(assignments, self)
+        if self.metrics is not None:
+            self.metrics.counter("sim.dag.graphs").inc(len(graphs))
+        for job in roots:
+            self.engine.schedule_at(
+                job.arrival_cycle, EventKind.ARRIVAL, payload=job
+            )
+        if self._faults is not None:
+            self._faults.schedule_windows()
+        self.engine.run(self._handle)
+        if self.queue:
+            raise RuntimeError(
+                f"simulation drained with {len(self.queue)} jobs still queued"
+            )
+        unreleased = sorted(
+            job_id
+            for job_id, count in self._dag_remaining.items()
+            if count > 0
+        )
+        if unreleased:
+            raise RuntimeError(
+                f"simulation drained with {len(unreleased)} tasks never "
+                f"released (jobs {unreleased[:10]}); a predecessor never "
+                "completed"
+            )
+        return self._result()
+
     def _handle(self, event: Event) -> None:
         if event.kind is EventKind.ARRIVAL:
             job = event.payload
@@ -666,20 +812,30 @@ class SchedulerSimulation:
     # -- dispatch ------------------------------------------------------------
 
     def _queue_view(self):
-        """Queued jobs in the discipline's service order.
+        """Queued jobs in the active service order.
 
-        The view is cached against the queue's mutation counter: a
+        An ordering policy (``policy.orders_queue``) supersedes the
+        queue discipline: jobs sort by :meth:`SchedulingPolicy.queue_key`
+        (stable, so ties stay FIFO).  The view is cached against the
+        queue's mutation counter plus the policy's ``order_version``: a
         dispatch round that scans many jobs without assigning reuses one
-        sorted copy instead of re-copying and re-sorting per scan (the
-        sort keys — priority, deadline — are immutable, so only queue
-        membership changes can invalidate the order).
+        sorted copy, and a rank update on dispatch (which mutates no
+        queue membership) still invalidates through the version bump.
+        For the discipline sorts the keys — priority, deadline — are
+        immutable, so only queue membership changes can invalidate.
         """
+        policy = self.policy
         cached = self._queue_view_cache
-        mutations = self.queue.mutations
-        if cached is not None and cached[0] == mutations:
+        key = (
+            self.queue.mutations,
+            policy.order_version if policy.orders_queue else 0,
+        )
+        if cached is not None and cached[0] == key:
             return cached[1]
         jobs = list(self.queue)
-        if self.discipline == "priority":
+        if policy.orders_queue:
+            jobs.sort(key=lambda j: policy.queue_key(j, self))
+        elif self.discipline == "priority":
             # Stable sort: FIFO among equal priorities.
             jobs.sort(key=lambda j: -j.priority)
         elif self.discipline == "edf":
@@ -689,7 +845,7 @@ class SchedulerSimulation:
                     infinity if j.deadline_cycle is None else j.deadline_cycle
                 ),
             )
-        self._queue_view_cache = (mutations, jobs)
+        self._queue_view_cache = (key, jobs)
         return jobs
 
     def _dispatch(self) -> None:
@@ -917,6 +1073,9 @@ class SchedulerSimulation:
         job.waiting_cycles += self.now - enqueued_at
         job.last_enqueue_cycle = None
         core.begin(job, self.now, service)
+        # Rank-updating policies (HEFT) react to the dispatch; a no-op
+        # for the paper's four systems.
+        self.policy.on_dispatch(job, self)
         if self._validator is not None:
             self._validator.on_dispatch(
                 job, core,
@@ -1174,6 +1333,67 @@ class SchedulerSimulation:
                     waiting_cycles=waiting,
                 )
             )
+
+        # Deadline accounting (any run whose jobs carry deadlines, DAG
+        # or plain): slack is signed, a miss is strictly negative slack.
+        deadline = job.deadline_cycle
+        if deadline is not None:
+            slack = deadline - self.now
+            if self.metrics is not None:
+                self.metrics.counter("sim.deadline.jobs").inc()
+                self.metrics.histogram("sim.deadline.slack_cycles").observe(
+                    slack
+                )
+                if slack < 0:
+                    self.metrics.counter("sim.deadline.misses").inc()
+            if slack < 0 and self.recorder.enabled:
+                self.recorder.emit(
+                    DeadlineMiss(
+                        cycle=self.now,
+                        job_id=job.job_id,
+                        core_index=core_index,
+                        benchmark=benchmark,
+                        deadline_cycle=deadline,
+                        miss_cycles=self.now - deadline,
+                    )
+                )
+
+        if self._dag_successors is not None:
+            self._release_successors(job)
+
+    def _release_successors(self, job: Job) -> None:
+        """Push DAG successors whose last predecessor just completed.
+
+        A release is the DAG analogue of an arrival: the task enters
+        the ready queue, the queue-conservation validator and the
+        ``sim.jobs_arrived`` counter see it exactly like an arrival,
+        and the trace carries a :class:`TaskReady` instead of a
+        :class:`JobArrived`.  Successors release in task-declaration
+        order, keeping the stream deterministic.
+        """
+        for successor in self._dag_successors.get(job.job_id, ()):
+            remaining = self._dag_remaining[successor.job_id] - 1
+            self._dag_remaining[successor.job_id] = remaining
+            if remaining:
+                continue
+            successor.last_enqueue_cycle = self.now
+            self.queue.push(successor)
+            if self._validator is not None:
+                self._validator.on_arrival(successor)
+            if self.metrics is not None:
+                self.metrics.counter("sim.jobs_arrived").inc()
+                self.metrics.counter("sim.dag.tasks_released").inc()
+            if self.recorder.enabled:
+                graph_id, task_id = self._dag_meta[successor.job_id]
+                self.recorder.emit(
+                    TaskReady(
+                        cycle=self.now,
+                        job_id=successor.job_id,
+                        benchmark=successor.benchmark,
+                        graph_id=graph_id,
+                        task_id=task_id,
+                    )
+                )
 
     # -- result assembly ------------------------------------------------------
 

@@ -25,6 +25,7 @@ from .events import (
     ConfigInstalled,
     CoreDown,
     CoreUp,
+    DeadlineMiss,
     EnergyAccrued,
     FallbackDecision,
     FaultInjected,
@@ -37,6 +38,7 @@ from .events import (
     ProfilingStarted,
     SizePredicted,
     StallDecision,
+    TaskReady,
     TraceEvent,
     TuningStep,
     event_from_dict,
@@ -79,6 +81,7 @@ __all__ = [
     "CoreDown",
     "CoreUp",
     "Counter",
+    "DeadlineMiss",
     "EnergyAccrued",
     "ExecutionSegment",
     "FallbackDecision",
@@ -99,6 +102,7 @@ __all__ = [
     "ProfilingStarted",
     "SizePredicted",
     "StallDecision",
+    "TaskReady",
     "TraceEvent",
     "TraceRecorder",
     "TuningStep",

@@ -37,6 +37,8 @@ __all__ = [
     "CoreDown",
     "CoreUp",
     "FallbackDecision",
+    "TaskReady",
+    "DeadlineMiss",
     "EVENT_TYPES",
     "event_from_dict",
     "validate_event_dict",
@@ -311,6 +313,43 @@ class FallbackDecision(TraceEvent):
     core_index: Optional[int] = None
 
 
+@dataclass(frozen=True)
+class TaskReady(TraceEvent):
+    """A DAG task's last predecessor completed; it entered the queue.
+
+    Only emitted for *released* tasks (those with predecessors): root
+    tasks of a graph arrive through the normal :class:`JobArrived`
+    path, which keeps an edge-free DAG run's trace byte-identical to
+    the equivalent plain-arrival run.  ``graph_id``/``task_id`` locate
+    the task inside its :class:`~repro.workloads.dag.TaskGraph`.
+    """
+
+    kind = "task_ready"
+    cycle: int
+    job_id: int
+    benchmark: str
+    graph_id: int
+    task_id: int
+
+
+@dataclass(frozen=True)
+class DeadlineMiss(TraceEvent):
+    """A deadlined job completed after its deadline.
+
+    ``miss_cycles`` is the (positive) overshoot:
+    ``cycle - deadline_cycle``.  Jobs that meet their deadline emit no
+    event — the slack histogram in the metrics registry covers them.
+    """
+
+    kind = "deadline_miss"
+    cycle: int
+    job_id: int
+    core_index: int
+    benchmark: str
+    deadline_cycle: int
+    miss_cycles: int
+
+
 #: Wire name → event class, for deserialisation and schema validation.
 EVENT_TYPES: Dict[str, Type[TraceEvent]] = {
     cls.kind: cls
@@ -331,6 +370,8 @@ EVENT_TYPES: Dict[str, Type[TraceEvent]] = {
         CoreDown,
         CoreUp,
         FallbackDecision,
+        TaskReady,
+        DeadlineMiss,
     )
 }
 
@@ -392,6 +433,10 @@ def validate_event_dict(payload: dict) -> None:
         "predicted_size_kb": int,
         "waiting_cycles": int,
         "service_cycles": int,
+        "graph_id": int,
+        "task_id": int,
+        "deadline_cycle": int,
+        "miss_cycles": int,
     }
     for name in present:
         value = payload[name]

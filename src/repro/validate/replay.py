@@ -19,6 +19,10 @@ Checks performed:
   refunds) the trace accrued for that job;
 * ``waiting_cycles`` are non-negative, and at least the job's
   first-dispatch wait when the trace carries the arrival;
+* every ``task_ready`` (DAG release) registers a job exactly once —
+  releases are the DAG analogue of arrivals; every ``deadline_miss``
+  names a job that completed, with a positive overshoot satisfying
+  ``cycle - miss_cycles == deadline_cycle``;
 * at end of trace no execution is left open, and every arrived job
   either completed or was never dispatched (jobs may legitimately
   still be queued only if the trace was truncated — reported, not
@@ -33,10 +37,12 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.obs.events import (
     ConfigInstalled,
+    DeadlineMiss,
     EnergyAccrued,
     JobArrived,
     JobCompleted,
     JobPreempted,
+    TaskReady,
     TraceEvent,
 )
 
@@ -77,6 +83,10 @@ class ReplayReport:
     #: Jobs that arrived but neither completed nor were dispatched —
     #: nonempty only for truncated traces.
     unfinished_jobs: Tuple[int, ...] = ()
+    #: DAG task releases (``task_ready`` events) observed in the trace.
+    releases: int = 0
+    #: ``deadline_miss`` events observed in the trace.
+    deadline_misses: int = 0
 
     def summary(self) -> str:
         """Human-readable one-paragraph report."""
@@ -92,6 +102,15 @@ class ReplayReport:
             f"reconfig energy:   {self.reconfig_nj / 1e6:.4f} mJ",
             "ledger: conserved (charges - refunds == per-job attributions)",
         ]
+        if self.releases or self.deadline_misses:
+            lines.insert(
+                2,
+                f"task releases:     {self.releases}",
+            )
+            lines.insert(
+                3,
+                f"deadline misses:   {self.deadline_misses}",
+            )
         if self.unfinished_jobs:
             lines.append(
                 f"warning: {len(self.unfinished_jobs)} arrived jobs never "
@@ -114,7 +133,8 @@ def replay_trace(events: Iterable[TraceEvent]) -> ReplayReport:
     overhead_nj = 0.0
     reconfig_nj = 0.0
     counts = {"events": 0, "arrivals": 0, "completions": 0,
-              "preemptions": 0, "reconfigurations": 0}
+              "preemptions": 0, "reconfigurations": 0,
+              "releases": 0, "deadline_misses": 0}
     last_cycle = -1
 
     for index, event in enumerate(events):
@@ -131,6 +151,41 @@ def replay_trace(events: Iterable[TraceEvent]) -> ReplayReport:
         if isinstance(event, JobArrived):
             counts["arrivals"] += 1
             arrived[event.job_id] = cycle
+
+        elif isinstance(event, TaskReady):
+            counts["releases"] += 1
+            if event.job_id in arrived:
+                raise ValidationError(
+                    "replay.release",
+                    f"event {index}: job {event.job_id} released twice "
+                    "(or released after arriving)",
+                )
+            # A release is the DAG analogue of an arrival: the task
+            # enters the ready queue here, so downstream accounting
+            # (waiting, completion, drain) treats it identically.
+            arrived[event.job_id] = cycle
+
+        elif isinstance(event, DeadlineMiss):
+            counts["deadline_misses"] += 1
+            if event.job_id not in completed:
+                raise ValidationError(
+                    "replay.deadline",
+                    f"event {index}: deadline miss for job {event.job_id} "
+                    "which has not completed",
+                )
+            if event.miss_cycles <= 0:
+                raise ValidationError(
+                    "replay.deadline",
+                    f"event {index}: job {event.job_id} miss_cycles "
+                    f"{event.miss_cycles} must be positive",
+                )
+            if cycle - event.miss_cycles != event.deadline_cycle:
+                raise ValidationError(
+                    "replay.deadline",
+                    f"event {index}: job {event.job_id} miss arithmetic "
+                    f"broken: {cycle} - {event.miss_cycles} != "
+                    f"{event.deadline_cycle}",
+                )
 
         elif isinstance(event, ConfigInstalled):
             counts["reconfigurations"] += 1
@@ -278,4 +333,6 @@ def replay_trace(events: Iterable[TraceEvent]) -> ReplayReport:
         reconfig_nj=reconfig_nj,
         per_job_nj=dict(per_job),
         unfinished_jobs=unfinished,
+        releases=counts["releases"],
+        deadline_misses=counts["deadline_misses"],
     )

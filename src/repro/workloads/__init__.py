@@ -16,6 +16,15 @@ from .arrivals import (
     with_qos,
 )
 from .benchmark import BenchmarkSpec, InstructionMix, Trace
+from .dag import (
+    TaskGraph,
+    TaskSpec,
+    dag_arrivals,
+    describe_graphs,
+    dump_graphs,
+    generate_task_graphs,
+    load_graphs,
+)
 from .counters import (
     ALL_COUNTER_NAMES,
     ANN_SELECTED_FEATURES,
@@ -63,10 +72,17 @@ __all__ = [
     "RandomAccess",
     "SequentialStream",
     "StridedAccess",
+    "TaskGraph",
+    "TaskSpec",
     "Trace",
     "TraceComponent",
     "TraceMix",
     "collect_counters",
+    "dag_arrivals",
+    "describe_graphs",
+    "dump_graphs",
+    "generate_task_graphs",
+    "load_graphs",
     "eembc_benchmark",
     "eembc_suite",
     "interleave_chunks",

@@ -1,0 +1,155 @@
+"""DAG-run observability: trace content, golden determinism, replay.
+
+The task-graph analogues of the closed-batch tracing contracts:
+
+* a traced ``run_dags`` is bit-identical to an untraced one;
+* an edge-free DAG run's trace is **byte-identical** to the plain run
+  it lowers to (releases degrade to arrivals);
+* the golden congested scenario produces a schema-valid,
+  byte-deterministic trace with a known deadline-miss count;
+* a recorded DAG trace replays cleanly through the energy ledger.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.obs.events import (
+    DeadlineMiss,
+    JobArrived,
+    TaskReady,
+    validate_event_dict,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import ListRecorder, encode_event, read_trace, \
+    write_trace
+from repro.validate import replay_trace
+from repro.workloads.dag import dag_arrivals
+
+from tests.scenarios import congested_dag_graphs, dag_test_graphs
+
+from .conftest import make_simulation
+
+
+#: Deadline misses of the golden congested scenario under arrival-order
+#: (base/FIFO) dispatch.  The scenario is a pure function of its seed,
+#: so this count is part of the golden contract.
+GOLDEN_MISSES = 14
+
+
+@pytest.mark.parametrize("policy", ["base", "edf", "heft"])
+def test_traced_dag_run_is_bit_identical(small_store, oracle, policy):
+    graphs = dag_test_graphs()
+    plain = make_simulation(policy, small_store, oracle).run_dags(graphs)
+    recorder = ListRecorder()
+    registry = MetricsRegistry()
+    traced = make_simulation(
+        policy, small_store, oracle, recorder=recorder, metrics=registry
+    ).run_dags(graphs)
+    assert dataclasses.asdict(traced) == dataclasses.asdict(plain)
+    assert recorder.events, "tracing produced no events"
+
+
+def test_dag_event_stream_content(small_store, oracle):
+    graphs = dag_test_graphs(edge_density=0.7)
+    recorder = ListRecorder()
+    result = make_simulation(
+        "edf", small_store, oracle, recorder=recorder
+    ).run_dags(graphs)
+
+    arrivals = [e for e in recorder.events if isinstance(e, JobArrived)]
+    releases = [e for e in recorder.events if isinstance(e, TaskReady)]
+    misses = [e for e in recorder.events if isinstance(e, DeadlineMiss)]
+
+    roots = sum(len(g.roots()) for g in graphs)
+    gated = sum(
+        1 for g in graphs for t in g.tasks if t.predecessors
+    )
+    assert len(arrivals) == roots
+    assert len(releases) == gated
+    assert len(misses) == result.deadline_misses
+
+    # Every release names a real (graph, task) pair with predecessors.
+    by_graph = {g.graph_id: g for g in graphs}
+    for event in releases:
+        task = next(
+            t for t in by_graph[event.graph_id].tasks
+            if t.task_id == event.task_id
+        )
+        assert task.predecessors
+        assert task.benchmark == event.benchmark
+
+    # Miss arithmetic is embedded in every event.
+    for event in misses:
+        assert event.miss_cycles > 0
+        assert event.cycle - event.miss_cycles == event.deadline_cycle
+
+
+def test_edge_free_dag_trace_is_byte_identical_to_plain(small_store,
+                                                        oracle):
+    graphs = dag_test_graphs(edge_density=0.0)
+    blobs = []
+    for run in ("dag", "plain"):
+        recorder = ListRecorder()
+        sim = make_simulation("proposed", small_store, oracle,
+                              recorder=recorder, engine="reference")
+        if run == "dag":
+            sim.run_dags(graphs)
+        else:
+            sim.run(dag_arrivals(graphs))
+        blobs.append(
+            "\n".join(encode_event(e) for e in recorder.events)
+            .encode("utf-8")
+        )
+    assert blobs[0] == blobs[1]
+
+
+def test_golden_dag_trace_schema_and_determinism(small_store, oracle):
+    """The CI golden-trace check, DAG edition.
+
+    Fixed-seed congested scenario, two runs: every line satisfies the
+    event schema, the runs serialise to byte-identical JSONL, and the
+    deadline-miss count is the golden one.
+    """
+    graphs = congested_dag_graphs()
+    blobs = []
+    for _ in range(2):
+        recorder = ListRecorder()
+        result = make_simulation(
+            "base", small_store, oracle, recorder=recorder
+        ).run_dags(graphs)
+        lines = [encode_event(e) for e in recorder.events]
+        for line in lines:
+            validate_event_dict(json.loads(line))
+        assert result.deadline_misses == GOLDEN_MISSES
+        assert sum(
+            1 for e in recorder.events if isinstance(e, DeadlineMiss)
+        ) == GOLDEN_MISSES
+        blobs.append("\n".join(lines).encode("utf-8"))
+    assert blobs[0] == blobs[1]
+
+
+def test_dag_trace_round_trips_losslessly(small_store, oracle, tmp_path):
+    recorder = ListRecorder()
+    make_simulation(
+        "heft", small_store, oracle, recorder=recorder
+    ).run_dags(dag_test_graphs(edge_density=0.7))
+    assert any(isinstance(e, TaskReady) for e in recorder.events)
+    path = tmp_path / "dag.jsonl"
+    write_trace(recorder.events, path)
+    assert read_trace(path) == recorder.events
+
+
+def test_recorded_dag_trace_replays_cleanly(small_store, oracle):
+    recorder = ListRecorder()
+    result = make_simulation(
+        "edf", small_store, oracle, recorder=recorder
+    ).run_dags(dag_test_graphs(edge_density=0.7))
+    report = replay_trace(recorder.events)
+    assert report.completions == result.jobs_completed
+    assert report.releases == sum(
+        1 for e in recorder.events if isinstance(e, TaskReady)
+    )
+    assert report.deadline_misses == result.deadline_misses
+    assert not report.unfinished_jobs

@@ -7,6 +7,7 @@ from repro.obs.events import (
     EVENT_TYPES,
     CoreDown,
     CoreUp,
+    DeadlineMiss,
     EnergyAccrued,
     FallbackDecision,
     FaultInjected,
@@ -15,6 +16,7 @@ from repro.obs.events import (
     JobPreempted,
     SizePredicted,
     StallDecision,
+    TaskReady,
     TuningStep,
     event_from_dict,
     validate_event_dict,
@@ -43,6 +45,10 @@ SAMPLES = [
     CoreUp(cycle=90, core_index=2),
     FallbackDecision(cycle=100, job_id=8, benchmark="puwmod",
                      reason="predictor_outage", core_index=1),
+    TaskReady(cycle=110, job_id=9, benchmark="a2time", graph_id=2,
+              task_id=3),
+    DeadlineMiss(cycle=120, job_id=10, core_index=0, benchmark="idctrn",
+                 deadline_cycle=100, miss_cycles=20),
 ]
 
 
@@ -55,7 +61,7 @@ def test_round_trip(event):
 
 
 def test_kinds_are_unique_and_registered():
-    assert len(EVENT_TYPES) == 16
+    assert len(EVENT_TYPES) == 18
     for kind, cls in EVENT_TYPES.items():
         assert cls.kind == kind
 

@@ -26,6 +26,8 @@ __all__ = [
     "build_energy_table",
     "build_oracle",
     "build_small_store",
+    "congested_dag_graphs",
+    "dag_test_graphs",
     "make_simulation",
     "qos_arrivals",
     "qos_headline_arrivals",
@@ -80,6 +82,39 @@ def arrivals_for(names, gap=200_000, start=0):
         JobArrival(job_id=i, benchmark=name, arrival_cycle=start + i * gap)
         for i, name in enumerate(names)
     ]
+
+
+def dag_test_graphs(seed=7, count=6, edge_density=0.5, **kwargs):
+    """A small dense task-graph set over the small-store benchmarks."""
+    from repro.workloads.dag import generate_task_graphs
+
+    return generate_task_graphs(
+        count=count, seed=seed, benchmarks=SUITE_NAMES,
+        tasks_min=kwargs.pop("tasks_min", 2),
+        tasks_max=kwargs.pop("tasks_max", 5),
+        edge_density=edge_density,
+        mean_interarrival_cycles=kwargs.pop(
+            "mean_interarrival_cycles", 150_000
+        ),
+        **kwargs,
+    )
+
+
+def congested_dag_graphs(seed=3, count=10):
+    """The moderately-congested edge-free set for EDF-vs-FIFO checks.
+
+    Interarrival well below aggregate service keeps a backlog queued
+    without tipping into total overload (where EDF's domino effect can
+    lose to FIFO); at these parameters deadline-order dispatch saves a
+    measurable number of deadlines over arrival order.
+    """
+    from repro.workloads.dag import generate_task_graphs
+
+    return generate_task_graphs(
+        count=count, seed=seed, benchmarks=SUITE_NAMES,
+        tasks_min=3, tasks_max=6, edge_density=0.0,
+        deadline_slack=2.5, mean_interarrival_cycles=60_000,
+    )
 
 
 def qos_arrivals(repeats=10, gap=40_000, seed=1):

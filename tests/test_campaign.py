@@ -6,10 +6,13 @@ import pytest
 
 from repro.campaign import (
     CAMPAIGN_METRICS,
+    DagLoad,
     MetricAggregate,
     ReplicationSpec,
     StreamLoad,
+    _T_CRITICAL_95,
     _aggregate,
+    _t_critical,
     run_campaign,
 )
 from repro.core.predictor import FixedPredictor
@@ -131,12 +134,58 @@ class TestAggregation:
         expected_std = math.sqrt(sum((v - 2.5) ** 2 for v in
                                      (1.0, 2.0, 3.0, 4.0)) / 3)
         assert agg.std == pytest.approx(expected_std)
-        assert agg.ci95 == pytest.approx(1.96 * expected_std / 2.0)
+        # Four replications have 3 degrees of freedom: the half-width
+        # uses Student's t(3) = 3.182, not the normal z = 1.96.
+        assert agg.ci95 == pytest.approx(3.182 * expected_std / 2.0)
 
     def test_single_replication_has_zero_ci(self):
         assert _aggregate([5.0]) == MetricAggregate(
             mean=5.0, std=0.0, ci95=0.0, n=1
         )
+
+    def test_empty_cell_rejected(self):
+        with pytest.raises(ValueError,
+                           match="cannot aggregate an empty cell"):
+            _aggregate([])
+
+
+class TestStudentT:
+    """Regression for the z-vs-t confidence-interval bug.
+
+    The aggregator used to hard-code ``z = 1.96``, understating the
+    95% half-width for every realistic campaign (n <= 30 seeds).  The
+    half-width must use Student's t with ``n - 1`` degrees of freedom.
+    """
+
+    #: Two-tailed 95% critical values, df -> t (standard table).
+    PINNED = {1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
+              9: 2.262, 19: 2.093, 29: 2.045, 40: 2.021, 60: 2.000,
+              120: 1.980}
+
+    @pytest.mark.parametrize("df,expected", sorted(PINNED.items()))
+    def test_pinned_critical_values(self, df, expected):
+        assert _t_critical(df) == pytest.approx(expected)
+
+    @pytest.mark.parametrize("n", range(2, 31))
+    def test_aggregate_uses_t_for_small_n(self, n):
+        values = [float(i) for i in range(n)]
+        agg = _aggregate(values)
+        assert agg.ci95 == pytest.approx(
+            _T_CRITICAL_95[n - 1] * agg.std / math.sqrt(n)
+        )
+        # t(df) > z for every finite df, so the old z-based width
+        # always understated the interval.
+        assert agg.ci95 > 1.96 * agg.std / math.sqrt(n)
+
+    def test_untabulated_df_falls_back_conservatively(self):
+        # df between table entries snaps down to the nearest tabulated
+        # df, whose critical value is larger (wider, conservative).
+        assert _t_critical(35) == _T_CRITICAL_95[30]
+        assert _t_critical(200) == _T_CRITICAL_95[120]
+
+    def test_df_floor(self):
+        with pytest.raises(ValueError):
+            _t_critical(0)
 
     def test_cells_aggregate_over_seeds(self, store):
         campaign = run_campaign(
@@ -338,6 +387,82 @@ class TestStreamAxis:
                 store, policies=("base",),
                 stream=StreamLoad(admission="bounce"),
             )
+
+
+class TestDagAxis:
+    def dag_campaign(self, store, workers=1, policies=("base", "edf"),
+                     **kwargs):
+        load = DagLoad(tasks_min=2, tasks_max=4)
+        return run_campaign(
+            store,
+            policies=policies,
+            seeds=(0, 1),
+            loads=((3, 120_000),),
+            workers=workers,
+            dag=kwargs.pop("dag", load),
+            **kwargs,
+        )
+
+    def test_dag_cells(self, store):
+        result = self.dag_campaign(store)
+        assert len(result.replications) == 4
+        cell = result.cell("edf")
+        assert cell.dag
+        assert cell.n == 2
+        for key in ("dag.graphs", "dag.tasks", "dag.edges",
+                    "dag.deadline_jobs", "dag.deadline_misses",
+                    "dag.deadline_miss_rate"):
+            assert key in cell.observed
+        assert cell.observed["dag.graphs"].mean == 3
+        assert "edf^dag" in result.summary()
+
+    def test_deadline_policies_resolve(self, store):
+        result = self.dag_campaign(store, policies=("edf", "heft"))
+        assert {c.policy for c in result.cells} == {"edf", "heft"}
+
+    def test_worker_count_independent(self, store):
+        serial = self.dag_campaign(store, workers=1)
+        parallel = self.dag_campaign(store, workers=4)
+        for a, b in zip(serial.cells, parallel.cells):
+            assert a.metrics == b.metrics
+            assert a.observed == b.observed
+
+    def test_composes_with_validation(self, store):
+        result = self.dag_campaign(store, validate=True)
+        assert all(cell.dag for cell in result.cells)
+
+    def test_rejects_stream_combination(self, store):
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            self.dag_campaign(store, policies=("base", "proposed"),
+                              stream=StreamLoad())
+
+    def test_rejects_fast_engine(self, store):
+        with pytest.raises(ValueError, match="fast"):
+            self.dag_campaign(store, engine="fast")
+
+    def test_rejects_ordering_policy_on_fast_engine(self, store):
+        with pytest.raises(ValueError, match="fast"):
+            run_campaign(store, policies=("edf",), engine="fast")
+
+    def test_rejects_ordering_policy_with_stream(self, store):
+        with pytest.raises(ValueError, match="stream"):
+            run_campaign(store, policies=("heft",),
+                         stream=StreamLoad())
+
+    def test_rejects_bad_dag_load(self, store):
+        for bad in (DagLoad(tasks_min=5, tasks_max=2),
+                    DagLoad(edge_density=1.5),
+                    DagLoad(deadline_slack=0.0),
+                    DagLoad(criticality_levels=0)):
+            with pytest.raises(ValueError):
+                self.dag_campaign(store, dag=bad)
+
+    def test_repeat_run_deterministic(self, store):
+        a = self.dag_campaign(store)
+        b = self.dag_campaign(store)
+        for cell_a, cell_b in zip(a.cells, b.cells):
+            assert cell_a.metrics == cell_b.metrics
+            assert cell_a.observed == cell_b.observed
 
 
 class TestValidation:

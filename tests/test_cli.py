@@ -676,3 +676,112 @@ class TestBenchCli:
         code = main(["bench", "report", "--dir", str(tmp_path)])
         assert code == 2
         assert "no BENCH_" in capsys.readouterr().err
+
+
+class TestDagSubcommand:
+    def test_parser_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["dag", "generate"])
+        assert args.seed == 0
+        assert args.count == 8
+        assert args.tasks_min == 3
+        assert args.tasks_max == 8
+        assert args.edge_density == pytest.approx(0.35)
+        assert args.deadline_slack == pytest.approx(2.5)
+
+    def test_generate_round_trips_through_disk(self, capsys, tmp_path):
+        from repro.workloads.dag import generate_task_graphs, load_graphs
+
+        out = tmp_path / "graphs.json"
+        code = main([
+            "dag", "generate", "--out", str(out), "--seed", "3",
+            "--count", "4",
+        ])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "wrote task-graph set" in stdout
+        assert load_graphs(out) == generate_task_graphs(count=4, seed=3)
+
+    def test_describe_prints_graphs(self, capsys, tmp_path):
+        from repro.workloads.dag import dump_graphs, generate_task_graphs
+
+        path = tmp_path / "graphs.json"
+        dump_graphs(generate_task_graphs(count=2, seed=1), path)
+        code = main(["dag", "describe", str(path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 task graph(s)" in out
+
+    def test_describe_needs_path(self, capsys):
+        code = main(["dag", "describe"])
+        assert code == 2
+        assert "describe needs" in capsys.readouterr().err
+
+    def test_describe_missing_file(self, capsys, tmp_path):
+        code = main(["dag", "describe", str(tmp_path / "no.json")])
+        assert code == 2
+
+    def test_generate_rejects_positional_path(self, capsys, tmp_path):
+        code = main(["dag", "generate", str(tmp_path / "x.json")])
+        assert code == 2
+        assert "use --out" in capsys.readouterr().err
+
+    def test_generate_rejects_bad_parameters(self, capsys):
+        code = main(["dag", "generate", "--edge-density", "1.5"])
+        assert code == 2
+        assert "edge_density" in capsys.readouterr().err
+
+
+class TestCampaignDagFlags:
+    def test_parser_accepts_deadline_policies(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args([
+            "campaign", "--policies", "edf", "heft", "--dag",
+            "--dag-tasks-min", "2", "--dag-tasks-max", "4",
+        ])
+        assert args.policies == ["edf", "heft"]
+        assert args.dag
+        assert args.dag_tasks_min == 2
+
+    def test_dag_campaign_runs(self, capsys):
+        code = main([
+            "campaign", "--dag", "--policies", "base", "edf",
+            "--seeds", "0", "--jobs", "3", "--interarrival", "120000",
+            "--workers", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "base^dag" in out
+        assert "edf^dag" in out
+
+    def test_dag_rejects_stream(self, capsys):
+        code = main([
+            "campaign", "--dag", "--stream", "poisson",
+            "--policies", "base",
+        ])
+        assert code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_dag_rejects_fast_engine(self, capsys):
+        code = main([
+            "campaign", "--dag", "--engine", "fast",
+            "--policies", "base",
+        ])
+        assert code == 2
+        assert "reference" in capsys.readouterr().err
+
+    def test_ordering_policy_rejects_fast_engine(self, capsys):
+        code = main([
+            "campaign", "--policies", "edf", "--engine", "fast",
+        ])
+        assert code == 2
+        assert "fast engine" in capsys.readouterr().err
+
+    def test_ordering_policy_rejects_stream(self, capsys):
+        code = main([
+            "campaign", "--policies", "heft", "--stream", "poisson",
+        ])
+        assert code == 2
+        assert "--discipline edf" in capsys.readouterr().err

@@ -4,10 +4,12 @@ import pytest
 
 from repro.obs import (
     ConfigInstalled,
+    DeadlineMiss,
     EnergyAccrued,
     JobArrived,
     JobCompleted,
     JobPreempted,
+    TaskReady,
 )
 from repro.validate import ValidationError, replay_trace
 
@@ -32,6 +34,17 @@ def preempt(cycle, job_id, core=0, fraction=0.5, dynamic=5.0, static=2.0,
         refunded_dynamic_nj=dynamic, refunded_static_nj=static,
         refunded_overhead_nj=overhead,
     )
+
+
+def release(cycle, job_id, graph=0, task=1):
+    return TaskReady(cycle=cycle, job_id=job_id, benchmark="b",
+                     graph_id=graph, task_id=task)
+
+
+def miss(cycle, job_id, deadline, core=0):
+    return DeadlineMiss(cycle=cycle, job_id=job_id, core_index=core,
+                        benchmark="b", deadline_cycle=deadline,
+                        miss_cycles=cycle - deadline)
 
 
 def complete(cycle, job_id, core=0, energy=14.0, waiting=0):
@@ -81,6 +94,70 @@ class TestCleanTraces:
             arrive(10, 2),
             accrue(10, 1),
             complete(110, 1),
+        ])
+        assert report.unfinished_jobs == (2,)
+
+
+class TestDagTraces:
+    def test_release_counts_as_arrival(self):
+        report = replay_trace([
+            release(0, 1),
+            accrue(0, 1),
+            complete(100, 1, energy=14.0),
+        ])
+        assert report.releases == 1
+        assert report.arrivals == 0
+        assert report.completions == 1
+        assert not report.unfinished_jobs
+
+    def test_deadline_miss_counted(self):
+        report = replay_trace([
+            arrive(0, 1),
+            accrue(0, 1),
+            complete(100, 1, energy=14.0),
+            miss(100, 1, deadline=80),
+        ])
+        assert report.deadline_misses == 1
+        assert "deadline misses" in report.summary()
+
+    def test_double_release_rejected(self):
+        with pytest.raises(ValidationError, match="replay.release"):
+            replay_trace([release(0, 1), release(10, 1)])
+
+    def test_release_after_arrival_rejected(self):
+        with pytest.raises(ValidationError, match="replay.release"):
+            replay_trace([arrive(0, 1), release(10, 1)])
+
+    def test_miss_for_uncompleted_job_rejected(self):
+        with pytest.raises(ValidationError, match="replay.deadline"):
+            replay_trace([arrive(0, 1), miss(100, 1, deadline=80)])
+
+    def test_non_positive_miss_rejected(self):
+        with pytest.raises(ValidationError, match="must be positive"):
+            replay_trace([
+                arrive(0, 1),
+                accrue(0, 1),
+                complete(100, 1, energy=14.0),
+                miss(100, 1, deadline=100),
+            ])
+
+    def test_broken_miss_arithmetic_rejected(self):
+        with pytest.raises(ValidationError, match="arithmetic"):
+            replay_trace([
+                arrive(0, 1),
+                accrue(0, 1),
+                complete(100, 1, energy=14.0),
+                DeadlineMiss(cycle=100, job_id=1, core_index=0,
+                             benchmark="b", deadline_cycle=80,
+                             miss_cycles=5),
+            ])
+
+    def test_released_job_left_queued_is_reported(self):
+        report = replay_trace([
+            arrive(0, 1),
+            release(0, 2),
+            accrue(0, 1),
+            complete(100, 1, energy=14.0),
         ])
         assert report.unfinished_jobs == (2,)
 
