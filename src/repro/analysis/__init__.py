@@ -12,6 +12,12 @@ from .export import (
     results_to_csv,
     results_to_json,
 )
+from .frontier import (
+    FrontierPoint,
+    frontier_points,
+    pareto_front,
+    render_frontier,
+)
 from .normalize import METRICS, normalize_results, percent_change
 from .report import (
     format_table,
@@ -31,8 +37,12 @@ __all__ = [
     "load_bench_artifacts",
     "render_bench_report",
     "jobs_to_csv",
+    "FrontierPoint",
+    "frontier_points",
     "normalize_results",
+    "pareto_front",
     "percent_change",
+    "render_frontier",
     "render_benchmark_breakdown",
     "render_figure6",
     "render_energy_decomposition",

@@ -1,0 +1,169 @@
+"""Energy / deadline-miss trade-off frontiers over the power axis.
+
+A power-capped campaign (``run_campaign(..., power_configs=...)``)
+produces one cell per (policy, load, power configuration).  Tightening
+the cap trades energy headroom against deadline misses: cheaper degraded
+(config × DVFS) dispatches and throttled waits push completions later.
+This module turns those cells into a trade-off *frontier* — one point
+per power configuration with the cell's mean energy on one axis and its
+mean deadline-miss rate on the other — and marks the Pareto-optimal
+(non-dominated) points.
+
+The miss rate comes from :attr:`CampaignCell.observed` (default key
+``dag.deadline_miss_rate``, the precedence-gated DAG axis — the only
+built-in campaign load whose jobs carry deadlines).  Any observed key
+works, so a custom campaign can plot e.g. shed rates instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = ["FrontierPoint", "frontier_points", "pareto_front",
+           "render_frontier"]
+
+#: Observed key holding the deadline-miss rate of a DAG campaign cell.
+DEFAULT_MISS_KEY = "dag.deadline_miss_rate"
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    """One (power configuration → energy, miss-rate) trade-off point."""
+
+    policy: str
+    #: Power-configuration label (``None`` = unconstrained baseline).
+    power: Optional[str]
+    energy_nj: float
+    energy_ci95: float
+    miss_rate: float
+    miss_ci95: float
+    #: Replications behind the point.
+    n: int
+    #: Set by :func:`pareto_front`: no other point of the same policy
+    #: has both lower-or-equal energy and lower-or-equal miss rate (with
+    #: one strictly lower).
+    pareto: bool = False
+
+    @property
+    def label(self) -> str:
+        return "uncapped" if self.power is None else self.power
+
+
+def frontier_points(
+    result,
+    *,
+    policy: Optional[str] = None,
+    miss_key: str = DEFAULT_MISS_KEY,
+    energy_metric: str = "total_energy_nj",
+) -> List[FrontierPoint]:
+    """Trade-off points of a power-swept campaign, energy-ascending.
+
+    ``result`` is a :class:`~repro.campaign.CampaignResult` whose cells
+    carry the ``power`` axis and whose ``observed`` aggregates include
+    ``miss_key`` (run the campaign with the ``dag`` axis, or any load
+    that publishes a miss-rate key).  ``policy`` restricts the points to
+    one policy; by default every policy contributes its own frontier.
+    """
+    points = []
+    for cell in result.cells:
+        if policy is not None and cell.policy != policy:
+            continue
+        if miss_key not in cell.observed:
+            continue
+        energy = cell.metrics[energy_metric]
+        miss = cell.observed[miss_key]
+        points.append(
+            FrontierPoint(
+                policy=cell.policy,
+                power=cell.power,
+                energy_nj=energy.mean,
+                energy_ci95=energy.ci95,
+                miss_rate=miss.mean,
+                miss_ci95=miss.ci95,
+                n=cell.n,
+            )
+        )
+    if not points:
+        raise KeyError(
+            f"no campaign cell carries the {miss_key!r} observed key"
+            + ("" if policy is None else f" for policy {policy!r}")
+            + "; run the campaign with the dag axis (deadline-carrying "
+            "jobs) and a power_configs sweep"
+        )
+    points.sort(key=lambda p: (p.policy, p.energy_nj, p.miss_rate))
+    return pareto_front(points)
+
+
+def pareto_front(
+    points: Sequence[FrontierPoint],
+) -> List[FrontierPoint]:
+    """Mark each point's Pareto-optimality within its policy.
+
+    A point is dominated when another point of the same policy is no
+    worse on both axes and strictly better on at least one.  Returns new
+    :class:`FrontierPoint` instances (inputs are frozen), input order
+    preserved.
+    """
+    marked = []
+    for p in points:
+        dominated = False
+        for q in points:
+            if q is p or q.policy != p.policy:
+                continue
+            if (
+                q.energy_nj <= p.energy_nj
+                and q.miss_rate <= p.miss_rate
+                and (
+                    q.energy_nj < p.energy_nj
+                    or q.miss_rate < p.miss_rate
+                )
+            ):
+                dominated = True
+                break
+        marked.append(
+            FrontierPoint(
+                policy=p.policy,
+                power=p.power,
+                energy_nj=p.energy_nj,
+                energy_ci95=p.energy_ci95,
+                miss_rate=p.miss_rate,
+                miss_ci95=p.miss_ci95,
+                n=p.n,
+                pareto=not dominated,
+            )
+        )
+    return marked
+
+
+def render_frontier(
+    result,
+    *,
+    policy: Optional[str] = None,
+    miss_key: str = DEFAULT_MISS_KEY,
+    energy_metric: str = "total_energy_nj",
+) -> str:
+    """Text table of the energy / deadline-miss frontier.
+
+    Pareto-optimal points are starred; energies are mJ, miss rates
+    percentages, both with their 95 % CI half-widths.
+    """
+    points = frontier_points(
+        result, policy=policy, miss_key=miss_key,
+        energy_metric=energy_metric,
+    )
+    width = max([12] + [len(p.label) for p in points])
+    pwidth = max([6] + [len(p.policy) for p in points])
+    header = (
+        f"{'policy':<{pwidth}} {'power':<{width}} {'n':>3} "
+        f"{'energy (mJ)':>18} {'miss rate (%)':>18}  pareto"
+    )
+    lines = [header, "-" * len(header)]
+    for p in points:
+        lines.append(
+            f"{p.policy:<{pwidth}} {p.label:<{width}} {p.n:>3} "
+            f"{p.energy_nj / 1e6:>10.3f} ±{p.energy_ci95 / 1e6:<6.3f} "
+            f"{p.miss_rate * 100:>10.2f} ±{p.miss_ci95 * 100:<6.2f} "
+            f"{'*' if p.pareto else ''}"
+        )
+    return "\n".join(lines)

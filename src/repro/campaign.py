@@ -44,6 +44,8 @@ from repro.core.system import base_system, paper_system
 from repro.energy.tables import EnergyTable
 from repro.faults.plan import FaultPlan
 from repro.obs.metrics import MetricsRegistry
+from repro.power.budget import PowerConfig, normalize_power
+from repro.power.dvfs import DvfsTable
 from repro.workloads.arrivals import uniform_arrivals
 from repro.workloads.eembc import eembc_suite
 
@@ -57,6 +59,7 @@ __all__ = [
     "ReplicationResult",
     "ReplicationSpec",
     "StreamLoad",
+    "power_grid",
     "run_campaign",
 ]
 
@@ -129,6 +132,48 @@ class DagLoad:
     criticality_levels: int = 3
 
 
+def power_grid(
+    caps: Sequence[Optional[float]] = (None,),
+    *,
+    slacks: Sequence[float] = (0.0,),
+    dvfs: Optional[DvfsTable] = None,
+    cluster_caps: Tuple[Tuple[int, float], ...] = (),
+) -> Tuple[Optional[PowerConfig], ...]:
+    """The ``caps × slacks`` power axis for :func:`run_campaign`.
+
+    Builds one :class:`~repro.power.budget.PowerConfig` per (cap, slack)
+    pair, sharing the optional DVFS table and per-cluster caps.  A cap of
+    ``None`` (or ``inf``) means uncapped; configurations that end up
+    disabled entirely normalise to ``None`` (the unconstrained cell) and
+    collapse to a single ``None`` entry, so a sweep like
+    ``power_grid([None, 4e5, 2e5], slacks=[0, 20])`` yields exactly one
+    baseline cell plus the four capped ones.
+    """
+    if not caps:
+        raise ValueError("need at least one power cap (None = uncapped)")
+    if not slacks:
+        raise ValueError("need at least one slack percentage (0 = none)")
+    grid = []
+    seen_clean = False
+    for cap in caps:
+        cap_nj = None if cap is None or cap == float("inf") else float(cap)
+        for slack in slacks:
+            config = normalize_power(
+                PowerConfig(
+                    cap_nj=cap_nj,
+                    cluster_caps_nj=cluster_caps,
+                    slack_pct=float(slack),
+                    dvfs=dvfs,
+                )
+            )
+            if config is None:
+                if seen_clean:
+                    continue
+                seen_clean = True
+            grid.append(config)
+    return tuple(grid)
+
+
 @dataclass(frozen=True)
 class ReplicationSpec:
     """One point of the campaign grid: policy × load × fault plan × seed."""
@@ -150,6 +195,10 @@ class ReplicationSpec:
     stream: Optional[StreamLoad] = None
     #: Task-graph load (``None`` = independent-job arrivals).
     dag: Optional[DagLoad] = None
+    #: Power budget / DVFS configuration (``None`` = unconstrained).
+    #: :class:`~repro.power.budget.PowerConfig` is hashable/picklable
+    #: pure data, like :class:`~repro.faults.plan.FaultPlan`.
+    power: Optional[PowerConfig] = None
 
 
 @dataclass(frozen=True)
@@ -218,6 +267,12 @@ class CampaignCell:
     #: (:class:`DagLoad`).  Part of the cell label (``policy^dag``), so
     #: DAG results are never silently aggregated with plain-job ones.
     dag: bool = False
+    #: Label of the cell's power configuration
+    #: (:attr:`~repro.power.budget.PowerConfig.label`; ``None`` =
+    #: unconstrained).  Part of the cell label (``policy%cap=...``) and
+    #: of the cell identity, so differently capped results are never
+    #: silently aggregated.
+    power: Optional[str] = None
 
     def metric(self, name: str) -> MetricAggregate:
         """Aggregate by metric name."""
@@ -291,13 +346,17 @@ class CampaignResult:
         count: Optional[int] = None,
         mean_interarrival_cycles: Optional[int] = None,
         faults: Optional[str] = None,
+        power: Optional[str] = None,
     ) -> CampaignCell:
         """The unique cell matching the selectors.
 
-        Load and fault selectors may be omitted when the campaign swept
-        only one load / fault plan; ambiguous or empty selections raise
-        ``KeyError``.  ``faults`` matches the plan name; pass the
-        string ``"none"`` to select the clean cell of a mixed campaign.
+        Load, fault and power selectors may be omitted when the campaign
+        swept only one load / fault plan / power configuration;
+        ambiguous or empty selections raise ``KeyError``.  ``faults``
+        matches the plan name and ``power`` the
+        :attr:`~repro.power.budget.PowerConfig.label`; pass the string
+        ``"none"`` to select the clean / unconstrained cell of a mixed
+        campaign.
         """
 
         def faults_match(cell: CampaignCell) -> bool:
@@ -306,6 +365,13 @@ class CampaignResult:
             if faults == "none":
                 return cell.faults is None
             return cell.faults == faults
+
+        def power_match(cell: CampaignCell) -> bool:
+            if power is None:
+                return True
+            if power == "none":
+                return cell.power is None
+            return cell.power == power
 
         matches = [
             cell
@@ -317,6 +383,7 @@ class CampaignResult:
                 or cell.mean_interarrival_cycles == mean_interarrival_cycles
             )
             and faults_match(cell)
+            and power_match(cell)
         ]
         if not matches:
             raise KeyError(
@@ -326,8 +393,8 @@ class CampaignResult:
         if len(matches) > 1:
             raise KeyError(
                 f"{len(matches)} campaign cells match policy={policy!r}; "
-                "pass count= / mean_interarrival_cycles= / faults= to "
-                "disambiguate"
+                "pass count= / mean_interarrival_cycles= / faults= / "
+                "power= to disambiguate"
             )
         return matches[0]
 
@@ -343,6 +410,8 @@ class CampaignResult:
                 label = f"{label}~{cell.stream}"
             if cell.dag:
                 label = f"{label}^dag"
+            if cell.power is not None:
+                label = f"{label}%{cell.power}"
             return label
 
         width = max([15] + [len(label_for(cell)) for cell in self.cells])
@@ -391,6 +460,23 @@ def _init_worker(
     _WORKER_STATE["validate"] = validate
 
 
+def _pool_observed(simulation: SchedulerSimulation) -> Dict[str, float]:
+    """Flat ``power.*`` gauges of a powered run's token pool."""
+    pool = simulation.power_pool
+    if pool is None:
+        return {}
+    return {
+        "power.granted_nj": pool.granted_nj,
+        "power.refunded_nj": pool.refunded_nj,
+        "power.consumed_nj": pool.consumed_nj,
+        "power.grants": float(pool.grants),
+        "power.refunds": float(pool.refunds),
+        "power.throttled": float(pool.throttled),
+        "power.degraded": float(pool.degraded),
+        "power.overdrafts": float(pool.overdrafts),
+    }
+
+
 def _run_replication(spec: ReplicationSpec) -> ReplicationResult:
     """Simulate one grid point (executed inside a worker process)."""
     start = time.perf_counter()
@@ -412,6 +498,7 @@ def _run_replication(spec: ReplicationSpec) -> ReplicationResult:
         validate=_WORKER_STATE.get("validate", False),
         faults=spec.fault_plan,
         engine=spec.engine,
+        power=spec.power,
     )
     if spec.stream is not None:
         return _stream_replication(spec, simulation, start)
@@ -424,6 +511,8 @@ def _run_replication(spec: ReplicationSpec) -> ReplicationResult:
         mean_interarrival_cycles=spec.mean_interarrival_cycles,
     )
     result = simulation.run(arrivals)
+    observed = dict(registry.scalars()) if registry is not None else {}
+    observed.update(_pool_observed(simulation))
     return ReplicationResult(
         spec=spec,
         jobs_completed=result.jobs_completed,
@@ -434,7 +523,7 @@ def _run_replication(spec: ReplicationSpec) -> ReplicationResult:
         mean_waiting_cycles=result.mean_waiting_cycles,
         non_best_decisions=result.non_best_decisions,
         seconds=time.perf_counter() - start,
-        observed=registry.scalars() if registry is not None else {},
+        observed=observed,
     )
 
 
@@ -474,6 +563,7 @@ def _dag_replication(
             "dag.deadline_miss_rate": result.deadline_miss_rate,
         }
     )
+    observed.update(_pool_observed(simulation))
     return ReplicationResult(
         spec=spec,
         jobs_completed=result.jobs_completed,
@@ -533,6 +623,9 @@ def _stream_replication(
     ):
         for key, value in snapshot.items():
             observed[f"{prefix}.{key}"] = value
+    if result.power is not None:
+        for key, value in result.power.items():
+            observed[f"power.{key}"] = float(value)
     return ReplicationResult(
         spec=spec,
         jobs_completed=result.jobs_completed,
@@ -570,6 +663,7 @@ def run_campaign(
     engine: str = "auto",
     stream: Optional[StreamLoad] = None,
     dag: Optional[DagLoad] = None,
+    power_configs: Sequence[Optional[PowerConfig]] = (None,),
     progress: Optional[Callable[[int, int], None]] = None,
 ) -> CampaignResult:
     """Run a (policy × load × fault plan × seed) grid, optionally parallel.
@@ -653,6 +747,20 @@ def run_campaign(
         ``edf``/``heft`` policies
         (:data:`~repro.core.policies.DEADLINE_POLICY_NAMES`) are
         accepted alongside the paper's four.
+    power_configs:
+        Power budget / DVFS configurations to sweep as a grid axis (see
+        :mod:`repro.power` and the :func:`power_grid` helper); each
+        entry is a :class:`~repro.power.budget.PowerConfig` or ``None``
+        for an unconstrained run.  The default single-``None`` axis
+        leaves campaign behaviour bit-identical to before the axis
+        existed.  Labels must be unique within the sweep (they key the
+        cells); entries whose configuration enables nothing normalise
+        to ``None``.  The axis composes with every engine and with the
+        ``dag``/``stream``/``fault_plans`` axes; powered replications
+        ship their token-pool gauges back through
+        :attr:`CampaignCell.observed` under ``power.*`` keys, and
+        combined with ``dag`` the per-cell (energy, deadline-miss)
+        pairs feed :func:`repro.analysis.render_frontier`.
     progress:
         ``progress(done, total)`` callback invoked after every finished
         replication (and once with ``(0, total)`` before the first), in
@@ -697,6 +805,21 @@ def run_campaign(
     plan_names = [p.name for p in fault_plans if p is not None]
     if len(plan_names) != len(set(plan_names)):
         raise ValueError("fault plan names must be unique within a campaign")
+    if not power_configs:
+        raise ValueError(
+            "need at least one power entry (None = unconstrained)"
+        )
+    power_configs = tuple(normalize_power(p) for p in power_configs)
+    if sum(1 for p in power_configs if p is None) > 1:
+        raise ValueError(
+            "only one unconstrained power entry (None, or a disabled "
+            "PowerConfig) is allowed per campaign"
+        )
+    power_labels = [p.label for p in power_configs if p is not None]
+    if len(power_labels) != len(set(power_labels)):
+        raise ValueError(
+            "power configuration labels must be unique within a campaign"
+        )
     if engine not in SchedulerSimulation.ENGINES:
         raise ValueError(
             f"unknown engine {engine!r}; choose from "
@@ -769,10 +892,12 @@ def run_campaign(
             engine=engine,
             stream=stream,
             dag=dag,
+            power=pcfg,
         )
         for policy in policies
         for count, gap in loads
         for plan in fault_plans
+        for pcfg in power_configs
         for seed in seeds
     ]
 
@@ -815,53 +940,68 @@ def run_campaign(
     wall_seconds = time.perf_counter() - start
     logger.info("campaign: finished in %.2fs", wall_seconds)
 
+    powered = any(p is not None for p in power_configs)
     cells = []
     for policy in policies:
         for count, gap in loads:
             for plan in fault_plans:
-                members = [
-                    r
-                    for r in replications
-                    if r.spec.policy == policy
-                    and r.spec.count == count
-                    and r.spec.mean_interarrival_cycles == gap
-                    and r.spec.fault_plan is plan
-                ]
-                metrics = {
-                    name: _aggregate([m.metric(name) for m in members])
-                    for name in CAMPAIGN_METRICS
-                }
-                # Registry scalars aggregate over the union of keys
-                # (missing keys default to 0.0, matching a
-                # never-incremented counter), so cells stay well-formed
-                # even across heterogeneous runs.
-                observed: Dict[str, MetricAggregate] = {}
-                if members and (
-                    collect_metrics or stream is not None or dag is not None
-                ):
-                    keys = sorted(
-                        {key for m in members for key in m.observed}
-                    )
-                    observed = {
-                        key: _aggregate(
-                            [m.observed.get(key, 0.0) for m in members]
-                        )
-                        for key in keys
+                for pcfg in power_configs:
+                    members = [
+                        r
+                        for r in replications
+                        if r.spec.policy == policy
+                        and r.spec.count == count
+                        and r.spec.mean_interarrival_cycles == gap
+                        # Value equality, not identity: the worker pool
+                        # pickles specs, so the replication's plan and
+                        # power config are round-tripped copies.  Both
+                        # are frozen pure-data dataclasses, and sweep
+                        # entries are validated unique, so equality is
+                        # exact membership.
+                        and r.spec.fault_plan == plan
+                        and r.spec.power == pcfg
+                    ]
+                    metrics = {
+                        name: _aggregate([m.metric(name) for m in members])
+                        for name in CAMPAIGN_METRICS
                     }
-                cells.append(
-                    CampaignCell(
-                        policy=policy,
-                        count=count,
-                        mean_interarrival_cycles=gap,
-                        metrics=metrics,
-                        n=len(members),
-                        observed=observed,
-                        faults=None if plan is None else plan.name,
-                        engine=engine,
-                        stream=None if stream is None else stream.process,
-                        dag=dag is not None,
+                    # Registry scalars aggregate over the union of keys
+                    # (missing keys default to 0.0, matching a
+                    # never-incremented counter), so cells stay
+                    # well-formed even across heterogeneous runs.
+                    observed: Dict[str, MetricAggregate] = {}
+                    if members and (
+                        collect_metrics
+                        or stream is not None
+                        or dag is not None
+                        or powered
+                    ):
+                        keys = sorted(
+                            {key for m in members for key in m.observed}
+                        )
+                        observed = {
+                            key: _aggregate(
+                                [m.observed.get(key, 0.0) for m in members]
+                            )
+                            for key in keys
+                        }
+                    cells.append(
+                        CampaignCell(
+                            policy=policy,
+                            count=count,
+                            mean_interarrival_cycles=gap,
+                            metrics=metrics,
+                            n=len(members),
+                            observed=observed,
+                            faults=None if plan is None else plan.name,
+                            engine=engine,
+                            stream=(
+                                None if stream is None else stream.process
+                            ),
+                            dag=dag is not None,
+                            power=None if pcfg is None else pcfg.label,
+                        )
                     )
-                )
 
     return CampaignResult(
         replications=tuple(replications),

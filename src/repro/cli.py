@@ -43,6 +43,11 @@ layer (:mod:`repro.obs`) to ``compare``/``campaign``/``sweep`` runs;
 ``--progress`` attach the low-overhead sampled telemetry
 (:mod:`repro.obs.telemetry`) to fast-engine ``compare``/``stream`` runs,
 and ``campaign --progress`` shows a live replication count.
+``--power-cap``/``--power-slack``/``--dvfs`` attach the power-budget /
+DVFS axis (:mod:`repro.power`) to ``compare``/``campaign``/``stream``
+runs — ``campaign`` sweeps the caps × slacks grid as cells, and
+``campaign --dag ... --frontier`` prints the energy / deadline-miss
+trade-off frontier.
 """
 
 from __future__ import annotations
@@ -126,6 +131,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "--metrics-out/--validate/--faults); "
                               "'auto' picks it whenever those hooks "
                               "are off (default: auto)")
+    _add_power_args(compare, sweep=False)
     _add_telemetry_args(compare, per_policy=True)
 
     characterize = sub.add_parser(
@@ -259,6 +265,12 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--dag-criticality-levels", type=int, default=3,
                           help="number of DAG criticality levels "
                                "(--dag only; default: 3)")
+    _add_power_args(campaign, sweep=True)
+    campaign.add_argument("--frontier", action="store_true",
+                          help="print the energy / deadline-miss "
+                               "trade-off frontier after the summary "
+                               "(needs --dag for deadline-carrying "
+                               "jobs; pairs with a --power-cap sweep)")
     campaign.add_argument("--progress", action="store_true",
                           help="live replication-count progress line on "
                                "stderr (works with any engine/hooks)")
@@ -315,6 +327,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="diurnal: period in cycles")
     stream.add_argument("--json", metavar="PATH",
                         help="write the stream result as JSON")
+    _add_power_args(stream, sweep=False)
     _add_telemetry_args(stream, per_policy=False)
 
     trace = sub.add_parser(
@@ -464,6 +477,82 @@ def _add_telemetry_args(
                              "%% done, p99 wait, queue depth)")
 
 
+def _add_power_args(
+    parser: argparse.ArgumentParser, *, sweep: bool
+) -> None:
+    """The power-budget / DVFS flag group (single or sweep form)."""
+    if sweep:
+        parser.add_argument("--power-cap", nargs="+", metavar="NJ",
+                            default=None,
+                            help="global power-token caps (nJ) to sweep "
+                                 "as a grid axis ('inf' = uncapped; an "
+                                 "unconstrained baseline cell is always "
+                                 "included)")
+        parser.add_argument("--power-slack", nargs="+", type=float,
+                            default=[0.0], metavar="PCT",
+                            help="deadline slack percentages for "
+                                 "degraded-dispatch admission, crossed "
+                                 "with --power-cap (default: 0)")
+    else:
+        parser.add_argument("--power-cap", type=float, default=None,
+                            metavar="NJ",
+                            help="global power-token budget in nJ "
+                                 "(unset = unconstrained, bit-identical "
+                                 "to a run without the power axis)")
+        parser.add_argument("--power-slack", type=float, default=0.0,
+                            metavar="PCT",
+                            help="deadline slack percentage for "
+                                 "degraded-dispatch admission under "
+                                 "--power-cap (default: 0)")
+    parser.add_argument("--dvfs", nargs="?", const="default", default=None,
+                        metavar="SPEC",
+                        help="per-core DVFS operating points: bare "
+                             "--dvfs uses the built-in nominal/eco/slow "
+                             "ladder, or pass 'name:freq:volt,...' "
+                             "(nominal 1:1 first, then descending)")
+
+
+def _parse_dvfs(value: Optional[str]):
+    """``--dvfs`` value → :class:`~repro.power.dvfs.DvfsTable` or None."""
+    if value is None:
+        return None
+    from repro.power.dvfs import DEFAULT_DVFS_TABLE, DvfsTable
+
+    if value == "default":
+        return DEFAULT_DVFS_TABLE
+    return DvfsTable.from_spec(value)
+
+
+def _parse_power(args):
+    """Single-run power flags → normalised config (or ``None``)."""
+    from repro.power.budget import PowerConfig, normalize_power
+
+    cap = args.power_cap
+    if cap is not None and cap == float("inf"):
+        cap = None
+    return normalize_power(
+        PowerConfig(
+            cap_nj=cap,
+            slack_pct=args.power_slack,
+            dvfs=_parse_dvfs(args.dvfs),
+        )
+    )
+
+
+def _parse_power_grid(args):
+    """Campaign power flags → the ``power_configs`` axis tuple."""
+    from repro.campaign import power_grid
+
+    caps = [None]
+    for raw in args.power_cap or ():
+        cap = None if raw.lower() in ("inf", "none") else float(raw)
+        if cap not in caps:
+            caps.append(cap)
+    return power_grid(
+        caps, slacks=tuple(args.power_slack), dvfs=_parse_dvfs(args.dvfs)
+    )
+
+
 def _per_policy_path(template: str, policy: str) -> Path:
     """``out.jsonl`` + ``base`` → ``out.base.jsonl`` (suffix preserved)."""
     path = Path(template)
@@ -550,6 +639,13 @@ def _cmd_compare(args) -> int:
             return 2
         print(f"injecting fault plan '{fault_plan.name}' "
               f"({', '.join(fault_plan.classes()) or 'empty'})")
+    try:
+        power = _parse_power(args)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if power is not None:
+        print(f"power budget: {power.label}")
     store = default_store()
     predictor = default_predictor(
         store, kind=args.predictor, seed=args.seed
@@ -560,6 +656,7 @@ def _cmd_compare(args) -> int:
     )
     results = {}
     snapshots = {}
+    pools = {}
     for name in POLICY_NAMES:
         policy = make_policy(name)
         system = base_system() if name == "base" else paper_system()
@@ -578,6 +675,7 @@ def _cmd_compare(args) -> int:
             faults=fault_plan,
             engine=args.engine,
             telemetry=telemetry,
+            power=power,
         )
         try:
             results[name] = sim.run(arrivals)
@@ -588,10 +686,20 @@ def _cmd_compare(args) -> int:
                 telemetry.close()
         if registry is not None:
             snapshots[name] = registry.snapshot()
+        pools[name] = sim.power_pool
 
     print(render_figure6(results))
     print()
     print(render_figure7(results))
+    if power is not None:
+        print()
+        print(f"power accounting ({power.label}):")
+        for name, pool in pools.items():
+            print(f"  {name}: grants={pool.grants} "
+                  f"refunds={pool.refunds} throttled={pool.throttled} "
+                  f"degraded={pool.degraded} "
+                  f"overdrafts={pool.overdrafts} "
+                  f"consumed={pool.consumed_nj / 1e6:.3f} mJ")
     if args.summaries:
         for result in results.values():
             print()
@@ -873,6 +981,19 @@ def _cmd_campaign(args) -> int:
         except (OSError, ValueError) as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
+    try:
+        power_configs = _parse_power_grid(args)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.frontier and not args.dag:
+        print(
+            "error: --frontier needs --dag (the frontier plots the "
+            "deadline-miss rate, and only the DAG axis carries "
+            "deadlines)",
+            file=sys.stderr,
+        )
+        return 2
     store = default_store()
     predictor = None
     if args.predictor == "ann":
@@ -900,9 +1021,19 @@ def _cmd_campaign(args) -> int:
         engine=args.engine,
         stream=stream_load,
         dag=dag_load,
+        power_configs=power_configs,
         progress=progress,
     )
     print(result.summary())
+    if args.frontier:
+        from repro.analysis import render_frontier
+
+        print()
+        try:
+            print(render_frontier(result))
+        except KeyError as error:
+            print(f"error: {error.args[0]}", file=sys.stderr)
+            return 2
     if args.json:
         import dataclasses
 
@@ -923,6 +1054,7 @@ def _cmd_campaign(args) -> int:
                 "mean_interarrival_cycles": cell.mean_interarrival_cycles,
                 "faults": cell.faults,
                 "dag": cell.dag,
+                "power": cell.power,
                 "n": cell.n,
                 "observed": {
                     key: dataclasses.asdict(aggregate)
@@ -997,6 +1129,7 @@ def _cmd_stream(args) -> int:
         )
     system = base_system() if args.policy == "base" else paper_system()
     try:
+        power = _parse_power(args)
         telemetry = _make_telemetry(args, label=f"stream:{args.policy}")
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -1004,7 +1137,7 @@ def _cmd_stream(args) -> int:
     sim = SchedulerSimulation(
         system, policy, store,
         predictor=predictor, discipline=args.discipline,
-        telemetry=telemetry,
+        telemetry=telemetry, power=power,
     )
     try:
         result = sim.stream(
@@ -1051,6 +1184,15 @@ def _cmd_stream(args) -> int:
               f"p90={snapshot['p90'] / 1e3:.1f} "
               f"p99={snapshot['p99'] / 1e3:.1f} "
               f"mean={snapshot['mean'] / 1e3:.1f}")
+    if result.power is not None:
+        counts = result.power
+        print(f"power ({power.label}): "
+              f"grants={counts['grants']:.0f} "
+              f"refunds={counts['refunds']:.0f} "
+              f"throttled={counts['throttled']:.0f} "
+              f"degraded={counts['degraded']:.0f} "
+              f"overdrafts={counts['overdrafts']:.0f} "
+              f"consumed={counts['consumed_nj'] / 1e6:.3f} mJ")
     if args.checkpoint:
         print(f"checkpoint: {args.checkpoint}")
     if args.telemetry_out:

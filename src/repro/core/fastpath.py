@@ -39,6 +39,7 @@ def build_fast(sim) -> FastSimulation:
         preemption_quantum_cycles=sim.preemption_quantum_cycles,
         preload_profiles=sim._preload_profiles_requested,
         telemetry=sim.telemetry,
+        power=sim.power,
     )
 
 
@@ -72,6 +73,7 @@ def _write_back(sim, fast: FastSimulation, result: SimulationResult) -> None:
 
     for core, snap in zip(sim.cores, state["cores"]):
         core.current_job = None
+        core.dvfs = snap.get("dvfs")
         core.busy_until = snap["busy_until"]
         core.busy_cycles = snap["busy_cycles"]
         core.executions = snap["executions"]
@@ -127,3 +129,5 @@ def _write_back(sim, fast: FastSimulation, result: SimulationResult) -> None:
     sim._profiling_executions = acc["profiling_executions"]
     sim._preemption_count = acc["preemption_count"]
     sim._records = list(result.jobs)
+    if "power" in state:
+        sim._power_pool.load_state(state["power"])

@@ -110,6 +110,20 @@ class SchedulingPolicy(ABC):
     def on_dispatch(self, job: Job, sim) -> None:
         """Called after every dispatch; rank-updating policies react here."""
 
+    # -- power hook (no-op for the paper's four systems) --------------------
+
+    def choose_dvfs(self, job: Job, core: CoreState, table) -> Optional[str]:
+        """Operating-point name for dispatching ``job`` on ``core``.
+
+        Called by the power gate when a
+        :class:`~repro.power.DvfsTable` is configured.  Returning
+        ``None`` (the default) selects the table's nominal point; the
+        gate may still lower the point when the dispatch cannot afford
+        its token price.  Overriding this hook forces the reference
+        engine (the fast engine inlines only the default behaviour).
+        """
+        return None
+
     # -- shared helpers ------------------------------------------------------
 
     @staticmethod

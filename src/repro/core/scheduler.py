@@ -85,12 +85,19 @@ class Assignment:
         True when this execution is the job's profiling run.
     tuning:
         True when this execution is a tuning-heuristic exploration step.
+    dvfs:
+        Operating-point name for this dispatch when the power axis has
+        a DVFS table (``None`` = nominal / power axis off).  Policies
+        may set it via :meth:`SchedulingPolicy.choose_dvfs`; the power
+        gate resolves it and may lower it when degrading an
+        unaffordable dispatch.
     """
 
     core_index: int
     config: CacheConfig
     profiling: bool = False
     tuning: bool = False
+    dvfs: Optional[str] = None
 
 
 class CoreState:
@@ -113,6 +120,9 @@ class CoreState:
         self.failed = False
         #: Start time of the in-flight execution (for preemption).
         self.run_started_at = 0
+        #: Operating-point name of the most recent dispatch when the
+        #: power axis has a DVFS table; ``None`` otherwise.
+        self.dvfs: Optional[str] = None
         #: Increments on every begin/preempt; completion events carry the
         #: epoch they were scheduled under so stale ones are ignored.
         self.epoch = 0

@@ -40,11 +40,13 @@ from repro.obs.events import (
     JobCompleted,
     JobPreempted,
     NonBestDispatch,
+    PowerThrottled,
     ProfilingCompleted,
     ProfilingStarted,
     SizePredicted,
     StallDecision,
     TaskReady,
+    TokenGrant,
     TuningStep,
 )
 from repro.obs.metrics import MetricsRegistry
@@ -88,6 +90,16 @@ _METRIC_HISTOGRAMS = (
     "sim.service_cycles",
     "sim.tuner.exploration_steps",
     "sim.deadline.slack_cycles",
+)
+
+#: Counters pre-registered only when the power axis is enabled, so
+#: power-off metric snapshots stay byte-identical to pre-power runs.
+_POWER_COUNTERS = (
+    "sim.power.grants",
+    "sim.power.refunds",
+    "sim.power.throttled",
+    "sim.power.degraded",
+    "sim.power.overdrafts",
 )
 
 
@@ -227,6 +239,17 @@ class SchedulerSimulation:
         results bit-identical.  Requires the fast engine (attaching it
         alongside hooks, which force the reference engine, raises
         :class:`ValueError`).  See ``docs/observability.md``.
+    power:
+        Optional :class:`~repro.power.PowerConfig`: a power-token
+        budget (global and/or per-cluster caps priced in nJ from the
+        energy tables) and/or a DVFS operating-point table.  Every
+        dispatch must afford its dynamic+static charge from the token
+        pool; unaffordable dispatches degrade down the (config × DVFS)
+        ladder within their slack or wait, and tokens return on
+        completion/preemption through the existing refund path.  A
+        disabled configuration (``cap_nj=None``, no cluster caps, no
+        DVFS) normalises to ``None`` and the run is bit-identical to
+        ``power=None`` on every engine.  See ``docs/power.md``.
     """
 
     #: Queue disciplines supported by the dispatcher.
@@ -255,6 +278,7 @@ class SchedulerSimulation:
         faults=None,
         engine: str = "auto",
         telemetry=None,
+        power=None,
     ) -> None:
         if policy.uses_predictor and predictor is None:
             raise ValueError(
@@ -386,6 +410,23 @@ class SchedulerSimulation:
         else:
             self._faults = None
 
+        #: Normalised power configuration (``None`` when nothing is
+        #: enabled, so every power-off path is byte-for-byte the
+        #: pre-power code) and its runtime token pool.
+        self.power = None
+        self._power_pool = None
+        if power is not None:
+            # Imported lazily: the default path stays free of the power
+            # layer entirely.
+            from repro.power.budget import TokenPool, normalize_power
+
+            self.power = normalize_power(power)
+            if self.power is not None:
+                self._power_pool = TokenPool(self.power)
+                if metrics is not None:
+                    for name in _POWER_COUNTERS:
+                        metrics.counter(name)
+
         if engine == "fast" and not self._fast_eligible():
             raise ValueError(
                 "engine='fast' is incompatible with tracing, metrics, "
@@ -427,6 +468,14 @@ class SchedulerSimulation:
             and self._validator is None
             and self._faults is None
             and not self.policy.orders_queue
+            # The fast engine implements the power gate itself, but a
+            # policy that *chooses* operating points needs the
+            # reference loop's per-dispatch hook.
+            and (
+                self.power is None
+                or type(self.policy).choose_dvfs
+                is SchedulingPolicy.choose_dvfs
+            )
         )
 
     def _resolve_engine(self) -> str:
@@ -489,6 +538,14 @@ class SchedulerSimulation:
     def now(self) -> int:
         """Current simulation time in cycles."""
         return self.engine.now
+
+    @property
+    def power_pool(self):
+        """The run's :class:`~repro.power.TokenPool` (``None`` when the
+        power axis is off).  On the fast engine the pool state is
+        written back after :meth:`run`, so post-run reads see the same
+        account either way."""
+        return self._power_pool
 
     def predicted_size_kb(self, job: Job) -> int:
         """The job's predicted best cache size, mapped onto this system."""
@@ -605,6 +662,7 @@ class SchedulerSimulation:
             preload_profiles=self._preload_profiles_requested,
             config=config,
             telemetry=self.telemetry,
+            power=self.power,
         )
         if resume_from is not None:
             snapshot = (
@@ -868,6 +926,10 @@ class SchedulerSimulation:
                         assignment = faults.filter_dispatch(job, assignment)
                         if assignment is None:
                             continue  # dispatch failed; backoff scheduled
+                    if self._power_pool is not None:
+                        assignment = self._power_gate(job, assignment)
+                        if assignment is None:
+                            continue  # throttled: wait for tokens
                     self.queue.remove(job)
                     self._start(job, assignment)
                     assigned = True
@@ -964,6 +1026,15 @@ class SchedulerSimulation:
         )
         victim.preemptions += 1
         victim.last_enqueue_cycle = self.now
+        token_refund = None
+        if self._power_pool is not None:
+            # Tokens return through the same refund floats the energy
+            # path computed, so the ledger's token account balances
+            # bit-for-bit against the execution charges.
+            token_refund = refund_dynamic + refund_static
+            self._power_pool.refund(victim.job_id, token_refund)
+            if self.metrics is not None:
+                self.metrics.counter("sim.power.refunds").inc()
         self.queue.push(victim)
         if self._validator is not None:
             self._validator.on_preempt(
@@ -972,6 +1043,7 @@ class SchedulerSimulation:
                 refund_dynamic_nj=refund_dynamic,
                 refund_static_nj=refund_static,
                 refund_overhead_nj=refund_overhead,
+                token_nj=token_refund,
             )
         if self.metrics is not None:
             if reason == "preemption":
@@ -1010,6 +1082,150 @@ class SchedulerSimulation:
                     )
             return None
         return self.policy.choose(job, self)
+
+    def _power_gate(
+        self, job: Job, assignment: Assignment
+    ) -> Optional[Assignment]:
+        """Price the dispatch in power tokens; degrade or defer it.
+
+        Returns the (possibly degraded) assignment to start, or ``None``
+        when the job must wait for tokens.  The preferred option is the
+        policy's choice at the policy's operating point (nominal when
+        the policy abstains); when it is unaffordable, strictly cheaper
+        (config × DVFS) options *on the same core* are tried most
+        expensive first — the minimal degradation — subject to the
+        slack-percentage deadline test.  Profiling and tuning runs pin
+        their configuration, so only the DVFS axis may degrade them.
+        When nothing is affordable but no tokens are held anywhere, the
+        preferred option is granted as an *overdraft* — the progress
+        guarantee that a drained system always dispatches.
+        """
+        from repro.energy.scaling import scaled_charges
+        from repro.power.budget import pick_degraded
+
+        power = self.power
+        pool = self._power_pool
+        core = self.cores[assignment.core_index]
+        table = power.dvfs
+        point = None
+        if table is not None:
+            name = assignment.dvfs
+            if name is None:
+                name = self.policy.choose_dvfs(job, core, table)
+            point = table.default if name is None else table.get(name)
+        preferred = Assignment(
+            core_index=assignment.core_index,
+            config=assignment.config,
+            profiling=assignment.profiling,
+            tuning=assignment.tuning,
+            dvfs=None if point is None else point.name,
+        )
+        fraction = job.remaining_fraction
+        estimate = self._estimate(job.benchmark, assignment.config)
+        work, dynamic, static = scaled_charges(
+            estimate.total_cycles,
+            estimate.energy.dynamic_nj,
+            estimate.energy.static_nj,
+            fraction,
+            point,
+        )
+        price = dynamic + static
+        size_kb = core.spec.cache_size_kb
+        if pool.affordable(price, size_kb):
+            return preferred
+
+        # Degradation ladder: (config × operating point) on this core,
+        # enumerated configs-ascending × table order so the fast engine
+        # ranks candidates identically.
+        points = (point,) if table is None else tuple(table)
+        if assignment.profiling or assignment.tuning:
+            configs = (assignment.config,)
+        else:
+            configs = core.spec.configs
+        candidates = []
+        rank = 0
+        for config in configs:
+            try:
+                cand = self._estimate(job.benchmark, config)
+            except KeyError:
+                rank += len(points)
+                continue
+            for option in points:
+                cand_work, cand_dyn, cand_sta = scaled_charges(
+                    cand.total_cycles,
+                    cand.energy.dynamic_nj,
+                    cand.energy.static_nj,
+                    fraction,
+                    option,
+                )
+                candidates.append(
+                    (cand_dyn + cand_sta, cand_work, rank, (config, option))
+                )
+                rank += 1
+        chosen = pick_degraded(
+            pool,
+            size_kb,
+            price,
+            candidates,
+            now=self.now,
+            arrival_cycle=job.arrival_cycle,
+            deadline_cycle=job.deadline_cycle,
+            slack_pct=power.slack_pct,
+        )
+        if chosen is not None:
+            config, option = chosen
+            pool.degraded += 1
+            if self.metrics is not None:
+                self.metrics.counter("sim.power.degraded").inc()
+            if self.recorder.enabled:
+                self.recorder.emit(
+                    PowerThrottled(
+                        cycle=self.now,
+                        job_id=job.job_id,
+                        benchmark=job.benchmark,
+                        reason="degraded",
+                        price_nj=price,
+                    )
+                )
+            return Assignment(
+                core_index=assignment.core_index,
+                config=config,
+                profiling=assignment.profiling,
+                tuning=assignment.tuning,
+                dvfs=None if option is None else option.name,
+            )
+        if pool.idle():
+            # Progress guarantee: with no tokens held anywhere, the
+            # preferred dispatch always proceeds (counted as an
+            # overdraft when it exceeds the configured caps).
+            pool.overdrafts += 1
+            if self.metrics is not None:
+                self.metrics.counter("sim.power.overdrafts").inc()
+            if self.recorder.enabled:
+                self.recorder.emit(
+                    PowerThrottled(
+                        cycle=self.now,
+                        job_id=job.job_id,
+                        benchmark=job.benchmark,
+                        reason="overdraft",
+                        price_nj=price,
+                    )
+                )
+            return preferred
+        pool.throttled += 1
+        if self.metrics is not None:
+            self.metrics.counter("sim.power.throttled").inc()
+        if self.recorder.enabled:
+            self.recorder.emit(
+                PowerThrottled(
+                    cycle=self.now,
+                    job_id=job.job_id,
+                    benchmark=job.benchmark,
+                    reason="wait",
+                    price_nj=price,
+                )
+            )
+        return None
 
     def _start(self, job: Job, assignment: Assignment) -> None:
         core = self.cores[assignment.core_index]
@@ -1050,13 +1266,35 @@ class SchedulerSimulation:
         if assignment.tuning and fraction == 1.0:
             self._tuning_executions += 1
 
-        dynamic_charge = estimate.energy.dynamic_nj * fraction
-        static_charge = estimate.energy.static_nj * fraction
+        token_grant = None
+        if self._power_pool is not None:
+            from repro.energy.scaling import scaled_charges
+
+            point = None
+            if self.power.dvfs is not None and assignment.dvfs is not None:
+                point = self.power.dvfs.get(assignment.dvfs)
+            work_cycles, dynamic_charge, static_charge = scaled_charges(
+                estimate.total_cycles,
+                estimate.energy.dynamic_nj,
+                estimate.energy.static_nj,
+                fraction,
+                point,
+            )
+            token_grant = dynamic_charge + static_charge
+            self._power_pool.grant(
+                job.job_id, token_grant, core.spec.cache_size_kb
+            )
+            core.dvfs = assignment.dvfs
+            if self.metrics is not None:
+                self.metrics.counter("sim.power.grants").inc()
+        else:
+            dynamic_charge = estimate.energy.dynamic_nj * fraction
+            static_charge = estimate.energy.static_nj * fraction
+            work_cycles = max(1, int(round(estimate.total_cycles * fraction)))
         self._dynamic_nj += dynamic_charge
         self._busy_static_nj += static_charge
         job.charged_energy_nj += dynamic_charge + static_charge
 
-        work_cycles = max(1, int(round(estimate.total_cycles * fraction)))
         service = work_cycles + cost.cycles + overhead_cycles
         if self._faults is not None:
             # Transient slowdown dilates occupancy only; energy charges
@@ -1083,6 +1321,7 @@ class SchedulerSimulation:
                 static_nj=static_charge,
                 overhead_nj=overhead_nj,
                 reconfig_nj=cost.energy_nj,
+                token_nj=token_grant,
             )
 
         # Dispatch category, by precedence: a profiling run trumps
@@ -1186,6 +1425,18 @@ class SchedulerSimulation:
                     service_cycles=service,
                 )
             )
+            if token_grant is not None:
+                rec.emit(
+                    TokenGrant(
+                        cycle=self.now,
+                        job_id=job.job_id,
+                        core_index=core.index,
+                        benchmark=job.benchmark,
+                        config=assignment.config.name,
+                        dvfs=assignment.dvfs or "",
+                        tokens_nj=token_grant,
+                    )
+                )
 
     # -- completion ----------------------------------------------------------
 
@@ -1201,6 +1452,9 @@ class SchedulerSimulation:
             raise RuntimeError("completion does not match pending execution")
         job.completion_cycle = self.now
         job.remaining_fraction = 0.0
+        if self._power_pool is not None:
+            # Settle the dispatch's token grant: the energy was spent.
+            self._power_pool.consume(job.job_id)
 
         assignment = pending.assignment
         estimate = pending.estimate
@@ -1452,6 +1706,14 @@ class SchedulerSimulation:
                 metrics.gauge(f"{prefix}.busy_cycles").set(core.busy_cycles)
                 metrics.gauge(f"{prefix}.utilization").set(
                     core.busy_cycles / makespan if makespan else 0.0
+                )
+            if self._power_pool is not None:
+                pool = self._power_pool
+                metrics.gauge("sim.power.granted_nj").set(pool.granted_nj)
+                metrics.gauge("sim.power.refunded_nj").set(pool.refunded_nj)
+                metrics.gauge("sim.power.consumed_nj").set(pool.consumed_nj)
+                metrics.gauge("sim.power.outstanding_nj").set(
+                    pool.outstanding_nj
                 )
             hits = metrics.counter("sim.predictor_hits").value
             misses = metrics.counter("sim.predictor_misses").value

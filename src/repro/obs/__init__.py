@@ -34,11 +34,13 @@ from .events import (
     JobCompleted,
     JobPreempted,
     NonBestDispatch,
+    PowerThrottled,
     ProfilingCompleted,
     ProfilingStarted,
     SizePredicted,
     StallDecision,
     TaskReady,
+    TokenGrant,
     TraceEvent,
     TuningStep,
     event_from_dict,
@@ -98,11 +100,13 @@ __all__ = [
     "NonBestDispatch",
     "NullRecorder",
     "P2Quantile",
+    "PowerThrottled",
     "ProfilingCompleted",
     "ProfilingStarted",
     "SizePredicted",
     "StallDecision",
     "TaskReady",
+    "TokenGrant",
     "TraceEvent",
     "TraceRecorder",
     "TuningStep",

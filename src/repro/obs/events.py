@@ -39,6 +39,8 @@ __all__ = [
     "FallbackDecision",
     "TaskReady",
     "DeadlineMiss",
+    "TokenGrant",
+    "PowerThrottled",
     "EVENT_TYPES",
     "event_from_dict",
     "validate_event_dict",
@@ -350,6 +352,47 @@ class DeadlineMiss(TraceEvent):
     miss_cycles: int
 
 
+@dataclass(frozen=True)
+class TokenGrant(TraceEvent):
+    """A dispatch spent power tokens from the budget pool.
+
+    ``tokens_nj`` is the dispatch's dynamic+static charge at its
+    operating point — exactly what returns through the refund path on
+    preemption or settles on completion, so replaying a trace's grants
+    against its charges balances bit-for-bit.  ``dvfs`` is the
+    operating-point name (empty when no DVFS table is configured).
+    """
+
+    kind = "token_grant"
+    cycle: int
+    job_id: int
+    core_index: int
+    benchmark: str
+    config: str
+    dvfs: str
+    tokens_nj: float
+
+
+@dataclass(frozen=True)
+class PowerThrottled(TraceEvent):
+    """The power gate intervened in a dispatch.
+
+    ``reason`` is ``wait`` (the job stays queued until tokens free up),
+    ``degraded`` (a cheaper config/operating point was substituted
+    within the slack), or ``overdraft`` (nothing was affordable but no
+    tokens were held anywhere, so the preferred dispatch proceeded —
+    the progress guarantee).  ``price_nj`` is the preferred option's
+    token price.
+    """
+
+    kind = "power_throttled"
+    cycle: int
+    job_id: int
+    benchmark: str
+    reason: str
+    price_nj: float
+
+
 #: Wire name → event class, for deserialisation and schema validation.
 EVENT_TYPES: Dict[str, Type[TraceEvent]] = {
     cls.kind: cls
@@ -372,6 +415,8 @@ EVENT_TYPES: Dict[str, Type[TraceEvent]] = {
         FallbackDecision,
         TaskReady,
         DeadlineMiss,
+        TokenGrant,
+        PowerThrottled,
     )
 }
 
@@ -441,7 +486,7 @@ def validate_event_dict(payload: dict) -> None:
     for name in present:
         value = payload[name]
         if name in ("benchmark", "config", "category", "kind", "check",
-                    "detail", "reason", "fault", "site"):
+                    "detail", "reason", "fault", "site", "dvfs"):
             if not isinstance(value, str):
                 raise ValueError(f"{kind}.{name}: expected str")
         elif value is None and str(declared[name]).startswith("Optional"):

@@ -1,0 +1,188 @@
+"""Per-core DVFS operating points.
+
+A :class:`DvfsPoint` is a (frequency, voltage) pair expressed as scales
+of the nominal operating point.  Scaling follows the usual first-order
+CMOS model:
+
+- execution *cycles* stretch by ``1 / freq_scale`` (the work takes the
+  same number of nominal cycles, delivered at a slower clock);
+- *dynamic* energy scales by ``volt_scale ** 2`` (E ~ C V^2);
+- *busy static* energy scales by ``volt_scale / freq_scale`` (leakage
+  power ~ V, integrated over the stretched runtime).
+
+Idle leakage is deliberately left unscaled — idle cores are not running
+a dispatch, so they have no operating point to attribute — and DVFS
+transitions cost zero cycles/energy.  Both simplifications are
+documented in ``docs/power.md``.
+
+A :class:`DvfsTable` is an ordered set of points.  The first point must
+be the nominal one so that an enabled table with no policy/ladder
+intervention charges exactly what a DVFS-free run charges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Mapping, Tuple
+
+__all__ = ["DvfsPoint", "DvfsTable", "DEFAULT_DVFS_TABLE", "NOMINAL_NAME"]
+
+#: Name of the nominal operating point in the default table.
+NOMINAL_NAME = "nominal"
+
+
+@dataclass(frozen=True)
+class DvfsPoint:
+    """One (frequency, voltage) operating point, as scales of nominal."""
+
+    name: str
+    freq_scale: float
+    volt_scale: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("operating point needs a name")
+        if not 0.0 < self.freq_scale <= 1.0:
+            raise ValueError(
+                f"freq_scale must be in (0, 1], got {self.freq_scale!r}"
+            )
+        if not 0.0 < self.volt_scale <= 1.0:
+            raise ValueError(
+                f"volt_scale must be in (0, 1], got {self.volt_scale!r}"
+            )
+
+    @property
+    def is_nominal(self) -> bool:
+        """Whether this point leaves cycles and energy untouched."""
+        return self.freq_scale == 1.0 and self.volt_scale == 1.0
+
+    @property
+    def dyn_factor(self) -> float:
+        """Dynamic-energy scale: E(dyn) ~ V^2."""
+        return self.volt_scale * self.volt_scale
+
+    @property
+    def static_factor(self) -> float:
+        """Busy-static-energy scale: leakage ~ V over 1/f longer runtime."""
+        return self.volt_scale / self.freq_scale
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "freq_scale": self.freq_scale,
+            "volt_scale": self.volt_scale,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "DvfsPoint":
+        return cls(
+            name=str(payload["name"]),
+            freq_scale=float(payload["freq_scale"]),
+            volt_scale=float(payload["volt_scale"]),
+        )
+
+
+@dataclass(frozen=True)
+class DvfsTable:
+    """Ordered operating points, nominal first, descending frequency."""
+
+    points: Tuple[DvfsPoint, ...]
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise ValueError("a DVFS table needs at least one point")
+        names = [p.name for p in self.points]
+        if len(names) != len(set(names)):
+            raise ValueError(f"duplicate operating point names in {names}")
+        if not self.points[0].is_nominal:
+            raise ValueError(
+                "the first operating point must be nominal "
+                "(freq_scale == volt_scale == 1.0) so an untouched table "
+                "charges exactly what a DVFS-free run charges"
+            )
+        keys = [(p.freq_scale, p.volt_scale) for p in self.points]
+        if any(later >= earlier for later, earlier in zip(keys[1:], keys)):
+            raise ValueError(
+                "operating points must descend strictly in "
+                "(freq_scale, volt_scale) order"
+            )
+
+    @property
+    def default(self) -> DvfsPoint:
+        """The nominal point every dispatch starts from."""
+        return self.points[0]
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(p.name for p in self.points)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self) -> Iterator[DvfsPoint]:
+        return iter(self.points)
+
+    def get(self, name: str) -> DvfsPoint:
+        for point in self.points:
+            if point.name == name:
+                return point
+        raise ValueError(
+            f"unknown operating point {name!r}; choose from {self.names}"
+        )
+
+    def index(self, name: str) -> int:
+        for i, point in enumerate(self.points):
+            if point.name == name:
+                return i
+        raise ValueError(
+            f"unknown operating point {name!r}; choose from {self.names}"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"points": [p.to_dict() for p in self.points]}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "DvfsTable":
+        return cls(
+            points=tuple(
+                DvfsPoint.from_dict(entry) for entry in payload["points"]
+            )
+        )
+
+    def spec(self) -> str:
+        """Inverse of :meth:`from_spec`."""
+        return ",".join(
+            f"{p.name}:{p.freq_scale:g}:{p.volt_scale:g}" for p in self.points
+        )
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "DvfsTable":
+        """Parse ``name:freq:volt,name:freq:volt,...`` (CLI format)."""
+        points = []
+        for chunk in spec.split(","):
+            chunk = chunk.strip()
+            if not chunk:
+                continue
+            parts = chunk.split(":")
+            if len(parts) != 3:
+                raise ValueError(
+                    f"bad operating point {chunk!r}; expected name:freq:volt"
+                )
+            points.append(
+                DvfsPoint(
+                    name=parts[0],
+                    freq_scale=float(parts[1]),
+                    volt_scale=float(parts[2]),
+                )
+            )
+        return cls(points=tuple(points))
+
+
+#: Three-point default ladder used by ``--dvfs`` without an explicit spec.
+DEFAULT_DVFS_TABLE = DvfsTable(
+    points=(
+        DvfsPoint(NOMINAL_NAME, 1.0, 1.0),
+        DvfsPoint("eco", 0.8, 0.9),
+        DvfsPoint("slow", 0.6, 0.8),
+    )
+)

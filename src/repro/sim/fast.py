@@ -52,6 +52,7 @@ from repro.core.results import JobRecord, SimulationResult
 from repro.core.tuning import TuningSession
 from repro.energy.tables import EnergyTable
 from repro.obs.events import CATEGORIES as _CATEGORIES
+from repro.power.budget import TokenPool, normalize_power, pick_degraded
 from repro.workloads.arrivals import JobArrival
 
 __all__ = ["FastSimulation"]
@@ -99,6 +100,7 @@ class FastSimulation:
         preemption_quantum_cycles: int = 10_000,
         preload_profiles: bool = False,
         telemetry=None,
+        power=None,
     ) -> None:
         if policy.uses_predictor and predictor is None:
             raise ValueError(f"policy {policy.name!r} needs a predictor")
@@ -132,6 +134,16 @@ class FastSimulation:
         # completion-count thresholds only, so attaching it keeps the
         # fast path fast and the results bit-identical.
         self.telemetry = telemetry
+        # Power axis (cap + DVFS).  Engine selection only routes a
+        # powered run here when the policy does not override
+        # ``choose_dvfs``, so the preferred operating point is always
+        # the table's nominal one; the gate can still *degrade* to a
+        # lower point.  ``None`` keeps the loop's pre-power code paths
+        # byte-for-byte.
+        self.power = normalize_power(power)
+        self._power_pool = (
+            TokenPool(self.power) if self.power is not None else None
+        )
         self.final_state: Optional[dict] = None
 
         # -- configuration interning ------------------------------------
@@ -493,6 +505,22 @@ class FastSimulation:
         core_range = range(C)
         sessions = self.sessions
 
+        # Power axis locals.  ``pool is None`` is the only extra branch
+        # the power-off loop pays.
+        pool = self._power_pool
+        if pool is None:
+            dvfs_points: Optional[tuple] = None
+            nominal_point = None
+            n_points = 1
+            slack_pct = 0.0
+        else:
+            table = self.power.dvfs
+            dvfs_points = None if table is None else tuple(table)
+            nominal_point = None if table is None else table.default
+            n_points = 1 if dvfs_points is None else len(dvfs_points)
+            slack_pct = self.power.slack_pct
+        core_dvfs: List[Optional[str]] = [None] * C
+
         # Per-(benchmark, size) tuning-session state cache:
         # ``(done, cid, config)`` where ``cid`` is the interned id of the
         # best config (done) or the next sweep config (in progress), or
@@ -612,6 +640,8 @@ class FastSimulation:
                     n_busy -= 1
                     jcomp[jid] = now
                     remaining[jid] = 0.0
+                    if pool is not None:
+                        pool.consume(jlab[jid])
                     b = jbid[jid]
                     full = fraction_at_start == 1.0
                     if full:
@@ -947,6 +977,105 @@ class FastSimulation:
                                             False, False,
                                         )
 
+                        # ---- power gate ----------------------------
+                        # Mirrors SchedulerSimulation._power_gate with
+                        # the point pinned to nominal (engine selection
+                        # keeps policies that override choose_dvfs on
+                        # the reference engine).  All arithmetic repeats
+                        # repro.energy.scaling.scaled_charges operation
+                        # for operation.
+                        dvfs_point = None
+                        if pool is not None:
+                            ci, cid, prof, tun = assignment
+                            entry = est[b][cid]
+                            if entry is None:
+                                store.estimate(
+                                    bench_names[b], cfg_objs[cid]
+                                )
+                            tot_cycles, dyn, sta, _ = entry
+                            fraction = remaining[jid]
+                            if fraction == 1.0:
+                                g_dyn = dyn
+                                g_sta = sta
+                            else:
+                                g_dyn = dyn * fraction
+                                g_sta = sta * fraction
+                            dvfs_point = nominal_point
+                            price = g_dyn + g_sta
+                            csize = core_sizes[ci]
+                            if not pool.affordable(price, csize):
+                                eb = est[b]
+                                cfg_ladder = (
+                                    (cid,) if prof or tun
+                                    else core_cfg_ids[ci]
+                                )
+                                options = (
+                                    (None,) if dvfs_points is None
+                                    else dvfs_points
+                                )
+                                candidates = []
+                                rank = 0
+                                for ccid in cfg_ladder:
+                                    centry = eb[ccid]
+                                    if centry is None:
+                                        rank += n_points
+                                        continue
+                                    ctot, cdyn, csta, _ = centry
+                                    if fraction == 1.0:
+                                        cwork0 = ctot
+                                        cd0 = cdyn
+                                        cs0 = csta
+                                    else:
+                                        cwork0 = int(
+                                            round(ctot * fraction)
+                                        )
+                                        if cwork0 < 1:
+                                            cwork0 = 1
+                                        cd0 = cdyn * fraction
+                                        cs0 = csta * fraction
+                                    for option in options:
+                                        if (
+                                            option is None
+                                            or option.is_nominal
+                                        ):
+                                            cwork = cwork0
+                                            cd = cd0
+                                            cs = cs0
+                                        else:
+                                            cwork = int(round(
+                                                cwork0
+                                                / option.freq_scale
+                                            ))
+                                            if cwork < 1:
+                                                cwork = 1
+                                            cd = cd0 * option.dyn_factor
+                                            cs = (
+                                                cs0
+                                                * option.static_factor
+                                            )
+                                        candidates.append((
+                                            cd + cs, cwork, rank,
+                                            (ccid, option),
+                                        ))
+                                        rank += 1
+                                chosen = pick_degraded(
+                                    pool, csize, price, candidates,
+                                    now=now,
+                                    arrival_cycle=jarr[jid],
+                                    deadline_cycle=jdl[jid],
+                                    slack_pct=slack_pct,
+                                )
+                                if chosen is not None:
+                                    dcid, option = chosen
+                                    pool.degraded += 1
+                                    dvfs_point = option
+                                    assignment = (ci, dcid, prof, tun)
+                                elif pool.idle():
+                                    pool.overdrafts += 1
+                                else:
+                                    pool.throttled += 1
+                                    continue
+
                         # ---- job start -----------------------------
                         del queue[jid]
                         view = None
@@ -1005,6 +1134,33 @@ class FastSimulation:
                             work = int(round(tot_cycles * fraction))
                             if work < 1:
                                 work = 1
+                        if pool is not None:
+                            if (
+                                dvfs_point is not None
+                                and not dvfs_point.is_nominal
+                            ):
+                                work = int(round(
+                                    work / dvfs_point.freq_scale
+                                ))
+                                if work < 1:
+                                    work = 1
+                                dynamic_charge = (
+                                    dynamic_charge
+                                    * dvfs_point.dyn_factor
+                                )
+                                static_charge = (
+                                    static_charge
+                                    * dvfs_point.static_factor
+                                )
+                            pool.grant(
+                                jlab[jid],
+                                dynamic_charge + static_charge,
+                                core_sizes[ci],
+                            )
+                            core_dvfs[ci] = (
+                                None if dvfs_point is None
+                                else dvfs_point.name
+                            )
                         dynamic_nj += dynamic_charge
                         busy_static_nj += static_charge
                         charged[jid] += dynamic_charge + static_charge
@@ -1127,6 +1283,10 @@ class FastSimulation:
                     busy_static_nj -= refund_static
                     profiling_overhead_nj -= refund_overhead
                     charged[vjid] -= refund_dynamic + refund_static
+                    if pool is not None:
+                        pool.refund(
+                            jlab[vjid], refund_dynamic + refund_static
+                        )
                     remaining[vjid] = (
                         fraction_at_start * (1.0 - fraction_run)
                     )
@@ -1263,7 +1423,7 @@ class FastSimulation:
             residency_closed = []
             for s, e, icid, ibusy in res_closed[ci]:
                 residency_closed.append((s, e, cfg_objs[icid], ibusy))
-            core_snaps.append({
+            snap = {
                 "busy_until": busy_until[ci],
                 "busy_cycles": busy_cycles[ci],
                 "executions": execs[ci],
@@ -1276,7 +1436,10 @@ class FastSimulation:
                 "residency_closed": residency_closed,
                 "residency_start": res_start[ci],
                 "residency_busy": res_busy[ci],
-            })
+            }
+            if pool is not None:
+                snap["dvfs"] = core_dvfs[ci]
+            core_snaps.append(snap)
         self.final_state = {
             "now": now,
             "processed": processed,
@@ -1297,4 +1460,9 @@ class FastSimulation:
                 "preemption_count": preemption_count,
             },
         }
+        if pool is not None:
+            # The pool object itself is the live account; the snapshot
+            # keeps final_state self-contained for the glue layer and
+            # streaming checkpoints.
+            self.final_state["power"] = pool.state_dict()
         return result

@@ -55,6 +55,7 @@ from repro.core.results import JobRecord, SimulationResult
 from repro.core.tuning import TuningSession
 from repro.obs.events import CATEGORIES as _CATEGORIES
 from repro.obs.metrics import Histogram
+from repro.power.budget import pick_degraded
 from repro.sim.fast import FastSimulation
 from repro.workloads.arrivals import ArrivalProcess, JobArrival
 
@@ -69,8 +70,9 @@ __all__ = [
 
 #: Snapshot schema version; bumped on any layout change.  Loading a
 #: snapshot with a different version fails loudly.  v2 added the
-#: ``telemetry`` section (sample count + output byte offsets).
-STREAM_SNAPSHOT_VERSION = 2
+#: ``telemetry`` section (sample count + output byte offsets); v3 added
+#: the power axis (token-pool account + per-core DVFS points).
+STREAM_SNAPSHOT_VERSION = 3
 
 #: Bounded-queue admission policies.
 ADMISSION_POLICIES = ("drop", "shed", "block")
@@ -165,6 +167,8 @@ class StreamResult:
     waiting: Dict[str, float] = field(default_factory=dict)
     turnaround: Dict[str, float] = field(default_factory=dict)
     sim_result: Optional[SimulationResult] = None
+    #: Token-pool account gauges when the power axis was on, else None.
+    power: Optional[Dict[str, object]] = None
 
     @property
     def total_energy_nj(self) -> float:
@@ -304,6 +308,7 @@ class StreamingSimulation:
         preload_profiles: bool = False,
         config: StreamConfig = None,
         telemetry=None,
+        power=None,
     ) -> None:
         if config is None:
             raise ValueError("a StreamConfig is required")
@@ -319,6 +324,7 @@ class StreamingSimulation:
             preemptive=preemptive,
             preemption_quantum_cycles=preemption_quantum_cycles,
             preload_profiles=preload_profiles,
+            power=power,
         )
         self.config = config
         # Sampled telemetry sink (repro.obs.telemetry), fed once per
@@ -387,6 +393,7 @@ class StreamingSimulation:
             "res_busy": [0] * C,
             "pending": [None] * C,
             "per_power": [dict() for _ in range(C)],
+            "core_dvfs": [None] * C,
             # scalars
             "now": 0,
             "seq": 0,
@@ -567,6 +574,20 @@ class StreamingSimulation:
         disc = self.DISC_IDS[f.discipline]
         fifo = disc == 0
 
+        # Power axis locals (the fast engine's, on the inner sim).
+        pool = f._power_pool
+        if pool is None:
+            dvfs_points: Optional[tuple] = None
+            nominal_point = None
+            n_points = 1
+            slack_pct = 0.0
+        else:
+            table = f.power.dvfs
+            dvfs_points = None if table is None else tuple(table)
+            nominal_point = None if table is None else table.default
+            n_points = 1 if dvfs_points is None else len(dvfs_points)
+            slack_pct = f.power.slack_pct
+
         # -- run-state locals (scalars written back on exit) ------------
         jbid = s["jbid"]
         jlab = s["jlab"]
@@ -605,6 +626,7 @@ class StreamingSimulation:
         res_busy = s["res_busy"]
         pending = s["pending"]
         per_power = s["per_power"]
+        core_dvfs = s["core_dvfs"]
         now = s["now"]
         seq = s["seq"]
         processed = s["processed"]
@@ -753,6 +775,8 @@ class StreamingSimulation:
                         n_busy -= 1
                         jcomp[jid] = now
                         remaining[jid] = 0.0
+                        if pool is not None:
+                            pool.consume(jlab[jid])
                         b = jbid[jid]
                         full = fraction_at_start == 1.0
                         if full:
@@ -1204,6 +1228,101 @@ class StreamingSimulation:
                                             False, False,
                                         )
 
+                        # ---- power gate ----------------------------
+                        # Verbatim fast-engine gate (see repro.sim.fast
+                        # for the arithmetic notes).
+                        dvfs_point = None
+                        if pool is not None:
+                            ci, cid, prof, tun = assignment
+                            entry = est[b][cid]
+                            if entry is None:
+                                store.estimate(
+                                    bench_names[b], cfg_objs[cid]
+                                )
+                            tot_cycles, dyn, sta, _ = entry
+                            fraction = remaining[jid]
+                            if fraction == 1.0:
+                                g_dyn = dyn
+                                g_sta = sta
+                            else:
+                                g_dyn = dyn * fraction
+                                g_sta = sta * fraction
+                            dvfs_point = nominal_point
+                            price = g_dyn + g_sta
+                            csize = core_sizes[ci]
+                            if not pool.affordable(price, csize):
+                                eb = est[b]
+                                cfg_ladder = (
+                                    (cid,) if prof or tun
+                                    else core_cfg_ids[ci]
+                                )
+                                options = (
+                                    (None,) if dvfs_points is None
+                                    else dvfs_points
+                                )
+                                candidates = []
+                                rank = 0
+                                for ccid in cfg_ladder:
+                                    centry = eb[ccid]
+                                    if centry is None:
+                                        rank += n_points
+                                        continue
+                                    ctot, cdyn, csta, _ = centry
+                                    if fraction == 1.0:
+                                        cwork0 = ctot
+                                        cd0 = cdyn
+                                        cs0 = csta
+                                    else:
+                                        cwork0 = int(
+                                            round(ctot * fraction)
+                                        )
+                                        if cwork0 < 1:
+                                            cwork0 = 1
+                                        cd0 = cdyn * fraction
+                                        cs0 = csta * fraction
+                                    for option in options:
+                                        if (
+                                            option is None
+                                            or option.is_nominal
+                                        ):
+                                            cwork = cwork0
+                                            cd = cd0
+                                            cs = cs0
+                                        else:
+                                            cwork = int(round(
+                                                cwork0
+                                                / option.freq_scale
+                                            ))
+                                            if cwork < 1:
+                                                cwork = 1
+                                            cd = cd0 * option.dyn_factor
+                                            cs = (
+                                                cs0
+                                                * option.static_factor
+                                            )
+                                        candidates.append((
+                                            cd + cs, cwork, rank,
+                                            (ccid, option),
+                                        ))
+                                        rank += 1
+                                chosen = pick_degraded(
+                                    pool, csize, price, candidates,
+                                    now=now,
+                                    arrival_cycle=jarr[jid],
+                                    deadline_cycle=jdl[jid],
+                                    slack_pct=slack_pct,
+                                )
+                                if chosen is not None:
+                                    dcid, option = chosen
+                                    pool.degraded += 1
+                                    dvfs_point = option
+                                    assignment = (ci, dcid, prof, tun)
+                                elif pool.idle():
+                                    pool.overdrafts += 1
+                                else:
+                                    pool.throttled += 1
+                                    continue
+
                         # ---- job start -----------------------------
                         del queue[jid]
                         view = None
@@ -1277,6 +1396,33 @@ class StreamingSimulation:
                             work = int(round(tot_cycles * fraction))
                             if work < 1:
                                 work = 1
+                        if pool is not None:
+                            if (
+                                dvfs_point is not None
+                                and not dvfs_point.is_nominal
+                            ):
+                                work = int(round(
+                                    work / dvfs_point.freq_scale
+                                ))
+                                if work < 1:
+                                    work = 1
+                                dynamic_charge = (
+                                    dynamic_charge
+                                    * dvfs_point.dyn_factor
+                                )
+                                static_charge = (
+                                    static_charge
+                                    * dvfs_point.static_factor
+                                )
+                            pool.grant(
+                                jlab[jid],
+                                dynamic_charge + static_charge,
+                                core_sizes[ci],
+                            )
+                            core_dvfs[ci] = (
+                                None if dvfs_point is None
+                                else dvfs_point.name
+                            )
                         dynamic_nj += dynamic_charge
                         busy_static_nj += static_charge
                         charged[jid] += dynamic_charge + static_charge
@@ -1395,6 +1541,10 @@ class StreamingSimulation:
                     busy_static_nj -= refund_static
                     profiling_overhead_nj -= refund_overhead
                     charged[vjid] -= refund_dynamic + refund_static
+                    if pool is not None:
+                        pool.refund(
+                            jlab[vjid], refund_dynamic + refund_static
+                        )
                     remaining[vjid] = (
                         fraction_at_start * (1.0 - fraction_run)
                     )
@@ -1536,6 +1686,20 @@ class StreamingSimulation:
             waiting=self._wait_hist.snapshot(),
             turnaround=self._turn_hist.snapshot(),
             sim_result=sim_result,
+            power=(
+                None
+                if f._power_pool is None
+                else {
+                    "granted_nj": f._power_pool.granted_nj,
+                    "refunded_nj": f._power_pool.refunded_nj,
+                    "consumed_nj": f._power_pool.consumed_nj,
+                    "grants": f._power_pool.grants,
+                    "refunds": f._power_pool.refunds,
+                    "throttled": f._power_pool.throttled,
+                    "degraded": f._power_pool.degraded,
+                    "overdrafts": f._power_pool.overdrafts,
+                }
+            ),
         )
 
     def _assemble_sim_result(
@@ -1625,6 +1789,7 @@ class StreamingSimulation:
             "benchmarks": list(f.bench_names),
             "config": asdict(self.config),
             "process": self.process.params(),
+            "power": None if f.power is None else f.power.to_dict(),
         }
 
     def snapshot(self) -> dict:
@@ -1689,6 +1854,12 @@ class StreamingSimulation:
                 for pp in s["per_power"]
             ],
             "preempted_now": sorted(s["preempted_now"]),
+            "core_dvfs": list(s["core_dvfs"]),
+            "power": (
+                None
+                if f._power_pool is None
+                else f._power_pool.state_dict()
+            ),
         }
         for key in self._SCALAR_KEYS:
             engine[key] = s[key]
@@ -1822,6 +1993,7 @@ class StreamingSimulation:
                 for pairs in engine["per_power"]
             ],
             "preempted_now": set(engine["preempted_now"]),
+            "core_dvfs": list(engine["core_dvfs"]),
             "sess_state": [dict() for _ in self.f.bench_names],
         }
         for key in self._SCALAR_KEYS:
@@ -1829,6 +2001,8 @@ class StreamingSimulation:
         self._s = state
 
         f = self.f
+        if engine["power"] is not None:
+            f._power_pool.load_state(engine["power"])
         knowledge = snapshot["knowledge"]
         f.profiled = list(knowledge["profiled"])
         f.pred_raw = list(knowledge["pred_raw"])

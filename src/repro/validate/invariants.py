@@ -31,7 +31,7 @@ from typing import Optional
 
 from repro.obs.events import InvariantViolation
 
-from .ledger import EnergyLedger, ValidationError
+from .ledger import EnergyLedger, ValidationError, _close
 
 __all__ = ["SimulationValidator"]
 
@@ -79,7 +79,15 @@ class SimulationValidator:
         self.arrived += 1
 
     def on_dispatch(
-        self, job, core, *, dynamic_nj, static_nj, overhead_nj, reconfig_nj
+        self,
+        job,
+        core,
+        *,
+        dynamic_nj,
+        static_nj,
+        overhead_nj,
+        reconfig_nj,
+        token_nj=None,
     ) -> None:
         if core.failed:
             self._violate(
@@ -101,6 +109,7 @@ class SimulationValidator:
                 self.sim.now, job.job_id, core.index,
                 dynamic_nj=dynamic_nj, static_nj=static_nj,
                 overhead_nj=overhead_nj, reconfig_nj=reconfig_nj,
+                token_nj=token_nj,
             )
         except ValidationError as error:
             self._record_violation(
@@ -118,6 +127,7 @@ class SimulationValidator:
         refund_dynamic_nj,
         refund_static_nj,
         refund_overhead_nj,
+        token_nj=None,
     ) -> None:
         if not 0.0 <= fraction_run < 1.0:
             self._violate(
@@ -147,6 +157,7 @@ class SimulationValidator:
                 dynamic_nj=refund_dynamic_nj,
                 static_nj=refund_static_nj,
                 overhead_nj=refund_overhead_nj,
+                token_nj=token_nj,
             )
         except ValidationError as error:
             self._record_violation(
@@ -244,9 +255,53 @@ class SimulationValidator:
                 ).static_per_cycle_nj,
             )
             self.ledger.check(result)
+            self._check_power_pool()
         except ValidationError as error:
             self._record_violation(error.check, error.detail)
             raise
         finally:
             if sim.metrics is not None:
                 sim.metrics.counter("sim.validate.checks").inc(self.checks)
+
+    def _check_power_pool(self) -> None:
+        """Cross-check the token pool against the ledger's token account.
+
+        At drain every grant must have been consumed or refunded (the
+        pool holds nothing), and the pool's running grant/refund totals
+        must equal the ledger's independently-accumulated sums exactly:
+        both sides append the same floats, so any divergence is a leak,
+        a double-refund, or a dispatch that bypassed the gate.
+        """
+        pool = getattr(self.sim, "power_pool", None)
+        if pool is None:
+            return
+        if not pool.idle():
+            self._violate(
+                "token.pool",
+                f"run drained with {len(pool._held)} grant(s) still held "
+                f"({pool.outstanding_nj} nJ outstanding)",
+            )
+        if pool.grants != len(self.ledger.token_grants):
+            self._violate(
+                "token.pool",
+                f"pool issued {pool.grants} grant(s) but the ledger "
+                f"recorded {len(self.ledger.token_grants)}",
+            )
+        if pool.refunds != len(self.ledger.token_refunds):
+            self._violate(
+                "token.pool",
+                f"pool issued {pool.refunds} refund(s) but the ledger "
+                f"recorded {len(self.ledger.token_refunds)}",
+            )
+        if not _close(pool.granted_nj, self.ledger.token_granted_nj):
+            self._violate(
+                "token.pool",
+                f"pool granted {pool.granted_nj} nJ but ledger recorded "
+                f"{self.ledger.token_granted_nj} nJ",
+            )
+        if not _close(pool.refunded_nj, self.ledger.token_refunded_nj):
+            self._violate(
+                "token.pool",
+                f"pool refunded {pool.refunded_nj} nJ but ledger recorded "
+                f"{self.ledger.token_refunded_nj} nJ",
+            )

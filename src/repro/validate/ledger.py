@@ -120,6 +120,12 @@ class EnergyLedger:
         self.dispatches = 0
         self.refunds = 0
         self.closed = False
+        # Token account (power axis): every posted grant and refund is
+        # kept as an entry so conservation sums use math.fsum — the
+        # 2**-40 check must not inherit running-sum drift.  Empty lists
+        # (power off) cost nothing and disable the token checks.
+        self.token_grants: List[float] = []
+        self.token_refunds: List[float] = []
 
     # -- posting -------------------------------------------------------------
 
@@ -133,8 +139,17 @@ class EnergyLedger:
         static_nj: float,
         overhead_nj: float = 0.0,
         reconfig_nj: float = 0.0,
+        token_nj: Optional[float] = None,
     ) -> None:
-        """Record an execution start's charges (pro-rata for resumes)."""
+        """Record an execution start's charges (pro-rata for resumes).
+
+        ``token_nj`` is the power-token grant backing this dispatch
+        (``None`` when the power axis is off).  A granted dispatch must
+        spend exactly its dynamic+static charge — the budget is priced
+        from the same floats — so the grant is checked against the
+        charges here and enters the token account for the end-of-run
+        conservation check.
+        """
         self._require_open()
         for name, value in (
             ("dynamic_nj", dynamic_nj),
@@ -148,6 +163,28 @@ class EnergyLedger:
                     f"cycle {cycle} job {job_id}: {name}={value} "
                     "must be a non-negative number",
                 )
+        if token_nj is not None:
+            if token_nj < 0.0 or math.isnan(token_nj):
+                raise ValidationError(
+                    "token.grant",
+                    f"cycle {cycle} job {job_id}: token grant {token_nj} "
+                    "must be a non-negative number",
+                )
+            if token_nj != dynamic_nj + static_nj:
+                raise ValidationError(
+                    "token.grant",
+                    f"cycle {cycle} job {job_id}: granted {token_nj!r} nJ "
+                    f"of tokens for {dynamic_nj + static_nj!r} nJ of "
+                    "execution charges (the budget must spend exactly "
+                    "the dispatch's dynamic+static price)",
+                )
+            self.token_grants.append(token_nj)
+        elif self.token_grants:
+            raise ValidationError(
+                "token.grant",
+                f"cycle {cycle} job {job_id}: dispatch carried no token "
+                "grant although the power axis granted earlier dispatches",
+            )
         self.dynamic_nj += dynamic_nj
         self.busy_static_nj += static_nj
         self.overhead_nj += overhead_nj
@@ -179,8 +216,14 @@ class EnergyLedger:
         dynamic_nj: float,
         static_nj: float,
         overhead_nj: float = 0.0,
+        token_nj: Optional[float] = None,
     ) -> None:
-        """Record a preemption's pro-rata refund (amounts are positive)."""
+        """Record a preemption's pro-rata refund (amounts are positive).
+
+        ``token_nj`` is the power-token refund (``None`` when the power
+        axis is off); it must equal the dynamic+static refund exactly —
+        tokens return through the same floats the energy path refunds.
+        """
         self._require_open()
         for name, value in (
             ("dynamic_nj", dynamic_nj),
@@ -193,6 +236,27 @@ class EnergyLedger:
                     f"cycle {cycle} job {job_id}: refund {name}={value} "
                     "must be a non-negative number",
                 )
+        if token_nj is not None:
+            if token_nj != dynamic_nj + static_nj:
+                raise ValidationError(
+                    "token.refund",
+                    f"cycle {cycle} job {job_id}: refunded {token_nj!r} nJ "
+                    f"of tokens for {dynamic_nj + static_nj!r} nJ of "
+                    "refunded execution charges",
+                )
+            if not self.token_grants:
+                raise ValidationError(
+                    "token.refund",
+                    f"cycle {cycle} job {job_id}: token refund without any "
+                    "prior token grant",
+                )
+            self.token_refunds.append(token_nj)
+        elif self.token_grants:
+            raise ValidationError(
+                "token.refund",
+                f"cycle {cycle} job {job_id}: preemption refunded no "
+                "tokens although the power axis granted dispatches",
+            )
         charged = self.per_job_nj.get(job_id, 0.0)
         refunded = dynamic_nj + static_nj
         if refunded > charged and not _close(refunded, charged):
@@ -274,6 +338,16 @@ class EnergyLedger:
     def execution_nj(self) -> float:
         """Net execution energy (dynamic + busy static, refunds netted)."""
         return self.dynamic_nj + self.busy_static_nj
+
+    @property
+    def token_granted_nj(self) -> float:
+        """Total power tokens granted (``fsum`` over the account)."""
+        return math.fsum(self.token_grants)
+
+    @property
+    def token_refunded_nj(self) -> float:
+        """Total power tokens refunded (``fsum`` over the account)."""
+        return math.fsum(self.token_refunds)
 
     @property
     def dynamic_with_overheads_nj(self) -> float:
@@ -364,3 +438,26 @@ class EnergyLedger:
             math.fsum(self.per_core_nj.values()),
             self.total_nj,
         )
+
+        # Token conservation (power axis): every dispatch spent tokens,
+        # and granted − refunded equals the net execution charges.
+        if self.token_grants:
+            if len(self.token_grants) != self.dispatches:
+                raise ValidationError(
+                    "token.count",
+                    f"{self.dispatches} dispatches but "
+                    f"{len(self.token_grants)} token grants — a dispatch "
+                    "bypassed the power budget",
+                )
+            if len(self.token_refunds) != self.refunds:
+                raise ValidationError(
+                    "token.count",
+                    f"{self.refunds} refunds but "
+                    f"{len(self.token_refunds)} token refunds — a "
+                    "preemption leaked its grant",
+                )
+            self._compare(
+                "token.conservation",
+                self.token_granted_nj - self.token_refunded_nj,
+                self.execution_nj,
+            )

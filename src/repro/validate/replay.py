@@ -23,6 +23,10 @@ Checks performed:
   releases are the DAG analogue of arrivals; every ``deadline_miss``
   names a job that completed, with a positive overshoot satisfying
   ``cycle - miss_cycles == deadline_cycle``;
+* every ``token_grant`` (power axis) matches an open execution and
+  equals its dispatch charges; in a powered trace every dispatch is
+  granted, preemptions refund, and the granted-minus-refunded total
+  equals the net execution energy (token conservation, offline);
 * at end of trace no execution is left open, and every arrived job
   either completed or was never dispatched (jobs may legitimately
   still be queued only if the trace was truncated — reported, not
@@ -42,7 +46,9 @@ from repro.obs.events import (
     JobArrived,
     JobCompleted,
     JobPreempted,
+    PowerThrottled,
     TaskReady,
+    TokenGrant,
     TraceEvent,
 )
 
@@ -61,6 +67,8 @@ class _OpenExecution:
     dynamic_nj: float
     static_nj: float
     overhead_nj: float
+    #: Power tokens held by this execution (``None`` = no grant seen).
+    token_nj: Optional[float] = None
 
 
 @dataclass
@@ -87,6 +95,13 @@ class ReplayReport:
     releases: int = 0
     #: ``deadline_miss`` events observed in the trace.
     deadline_misses: int = 0
+    #: ``token_grant`` events observed (power axis enabled for the run).
+    token_grants: int = 0
+    #: ``power_throttled`` events (waits, degradations, overdrafts).
+    power_throttled: int = 0
+    #: Net tokens consumed: granted minus refunded-on-preemption.  For a
+    #: complete powered trace this equals :attr:`execution_nj`.
+    tokens_net_nj: float = 0.0
 
     def summary(self) -> str:
         """Human-readable one-paragraph report."""
@@ -102,6 +117,13 @@ class ReplayReport:
             f"reconfig energy:   {self.reconfig_nj / 1e6:.4f} mJ",
             "ledger: conserved (charges - refunds == per-job attributions)",
         ]
+        if self.token_grants:
+            lines.insert(
+                -1,
+                f"token grants:      {self.token_grants} "
+                f"({self.tokens_net_nj / 1e6:.4f} mJ net, "
+                f"{self.power_throttled} throttle events)",
+            )
         if self.releases or self.deadline_misses:
             lines.insert(
                 2,
@@ -134,7 +156,11 @@ def replay_trace(events: Iterable[TraceEvent]) -> ReplayReport:
     reconfig_nj = 0.0
     counts = {"events": 0, "arrivals": 0, "completions": 0,
               "preemptions": 0, "reconfigurations": 0,
-              "releases": 0, "deadline_misses": 0}
+              "releases": 0, "deadline_misses": 0,
+              "token_grants": 0, "power_throttled": 0}
+    token_granted_nj: List[float] = []
+    token_refunded_nj: List[float] = []
+    dispatches = 0
     last_cycle = -1
 
     for index, event in enumerate(events):
@@ -217,12 +243,48 @@ def replay_trace(events: Iterable[TraceEvent]) -> ReplayReport:
                 static_nj=event.static_nj,
                 overhead_nj=event.overhead_nj,
             )
+            dispatches += 1
             execution_nj += event.dynamic_nj + event.static_nj
             overhead_nj += event.overhead_nj
             per_job[event.job_id] = (
                 per_job.get(event.job_id, 0.0)
                 + (event.dynamic_nj + event.static_nj)
             )
+
+        elif isinstance(event, TokenGrant):
+            counts["token_grants"] += 1
+            execution = open_execs.get(event.core_index)
+            if execution is None or execution.job_id != event.job_id:
+                raise ValidationError(
+                    "replay.token",
+                    f"event {index}: token grant for job {event.job_id} on "
+                    f"core {event.core_index} matches no open execution",
+                )
+            if execution.token_nj is not None:
+                raise ValidationError(
+                    "replay.token",
+                    f"event {index}: job {event.job_id} granted tokens "
+                    "twice for one execution",
+                )
+            charges = execution.dynamic_nj + execution.static_nj
+            if not _close(event.tokens_nj, charges):
+                raise ValidationError(
+                    "replay.token",
+                    f"event {index}: job {event.job_id} granted "
+                    f"{event.tokens_nj!r} nJ of tokens but its dispatch "
+                    f"charged {charges!r} nJ",
+                )
+            execution.token_nj = event.tokens_nj
+            token_granted_nj.append(event.tokens_nj)
+
+        elif isinstance(event, PowerThrottled):
+            counts["power_throttled"] += 1
+            if event.price_nj < 0:
+                raise ValidationError(
+                    "replay.token",
+                    f"event {index}: negative throttle price for job "
+                    f"{event.job_id}",
+                )
 
         elif isinstance(event, JobPreempted):
             counts["preemptions"] += 1
@@ -264,6 +326,16 @@ def replay_trace(events: Iterable[TraceEvent]) -> ReplayReport:
                         f"{refunded!r} is not (1 - fraction_run) = "
                         f"{share!r} of the {charged!r} charged",
                     )
+            if execution.token_nj is not None:
+                token_refunded_nj.append(
+                    event.refunded_dynamic_nj + event.refunded_static_nj
+                )
+            elif token_granted_nj:
+                raise ValidationError(
+                    "replay.token",
+                    f"event {index}: job {event.job_id} preempted without "
+                    "a token grant in a powered trace (tokens leaked)",
+                )
             execution_nj -= (
                 event.refunded_dynamic_nj + event.refunded_static_nj
             )
@@ -292,6 +364,12 @@ def replay_trace(events: Iterable[TraceEvent]) -> ReplayReport:
                     "replay.complete",
                     f"event {index}: job {event.job_id} waiting_cycles "
                     f"{event.waiting_cycles} is negative",
+                )
+            if execution.token_nj is None and token_granted_nj:
+                raise ValidationError(
+                    "replay.token",
+                    f"event {index}: job {event.job_id} completed without "
+                    "a token grant in a powered trace",
                 )
             attributed = per_job.get(event.job_id, 0.0)
             if not _close(attributed, event.energy_nj):
@@ -322,6 +400,24 @@ def replay_trace(events: Iterable[TraceEvent]) -> ReplayReport:
             f"jobs {dispatched_unfinished} were charged but never "
             "completed",
         )
+    tokens_net = 0.0
+    if token_granted_nj:
+        if counts["token_grants"] != dispatches:
+            raise ValidationError(
+                "replay.token",
+                f"powered trace granted tokens on {counts['token_grants']} "
+                f"of {dispatches} dispatches",
+            )
+        tokens_net = (
+            math.fsum(token_granted_nj) - math.fsum(token_refunded_nj)
+        )
+        if not _close(tokens_net, execution_nj):
+            raise ValidationError(
+                "replay.token",
+                f"tokens not conserved: granted - refunded nets to "
+                f"{tokens_net!r} nJ but the trace accrued "
+                f"{execution_nj!r} nJ of execution energy",
+            )
     return ReplayReport(
         events=counts["events"],
         arrivals=counts["arrivals"],
@@ -335,4 +431,7 @@ def replay_trace(events: Iterable[TraceEvent]) -> ReplayReport:
         unfinished_jobs=unfinished,
         releases=counts["releases"],
         deadline_misses=counts["deadline_misses"],
+        token_grants=counts["token_grants"],
+        power_throttled=counts["power_throttled"],
+        tokens_net_nj=tokens_net,
     )

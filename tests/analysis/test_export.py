@@ -70,6 +70,58 @@ class TestJson:
         assert jobs[1]["deadline_cycle"] is None
 
 
+class TestEdgeCases:
+    def make_empty(self):
+        return SimulationResult(
+            policy="proposed", jobs_completed=0, makespan_cycles=0,
+            idle_energy_nj=0.0, dynamic_energy_nj=0.0,
+            busy_static_energy_nj=0.0, reconfig_energy_nj=0.0,
+            profiling_overhead_nj=0.0, reconfig_cycles=0,
+            stall_decisions=0, non_best_decisions=0, tuning_executions=0,
+            profiling_executions=0,
+        )
+
+    def test_empty_result_exports(self, tmp_path):
+        empty = self.make_empty()
+        summary = result_summary_dict(empty)
+        assert summary["jobs_completed"] == 0
+        assert summary["deadline_misses"] == 0
+
+        csv_path = tmp_path / "jobs.csv"
+        jobs_to_csv(empty, csv_path)
+        with open(csv_path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows == [list(JOB_FIELDS)]  # header only
+
+        json_path = tmp_path / "results.json"
+        results_to_json({"proposed": empty}, json_path, include_jobs=True)
+        assert json.loads(json_path.read_text())["proposed"]["jobs"] == []
+
+    def test_single_result_csv(self, tmp_path):
+        path = tmp_path / "summary.csv"
+        results_to_csv({"proposed": make_result()}, path)
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert len(rows) == 2
+
+    def test_csv_values_round_trip(self, tmp_path):
+        """The CSV is a faithful projection: parsing it back recovers
+        the summary dict's values."""
+        result = make_result()
+        path = tmp_path / "summary.csv"
+        results_to_csv({"proposed": result}, path)
+        with open(path) as handle:
+            row = next(csv.DictReader(handle))
+        summary = result_summary_dict(result)
+        for field in SUMMARY_FIELDS:
+            text = row[field]
+            expected = summary[field]
+            if isinstance(expected, str):
+                assert text == expected
+            else:
+                assert float(text) == pytest.approx(float(expected))
+
+
 class TestCsv:
     def test_jobs_csv(self, tmp_path):
         path = tmp_path / "jobs.csv"

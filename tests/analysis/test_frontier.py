@@ -1,0 +1,98 @@
+"""Tests for the energy / deadline-miss trade-off frontier."""
+
+import pytest
+
+from repro.analysis.frontier import (
+    DEFAULT_MISS_KEY,
+    FrontierPoint,
+    frontier_points,
+    pareto_front,
+    render_frontier,
+)
+from repro.campaign import DagLoad, power_grid, run_campaign
+from repro.experiment import default_store
+
+
+def point(policy="proposed", power=None, energy=1.0, miss=0.0):
+    return FrontierPoint(
+        policy=policy, power=power, energy_nj=energy, energy_ci95=0.0,
+        miss_rate=miss, miss_ci95=0.0, n=1,
+    )
+
+
+class TestParetoFront:
+    def test_single_point_is_optimal(self):
+        marked = pareto_front([point()])
+        assert marked[0].pareto
+
+    def test_domination(self):
+        # b dominates a (less energy, fewer misses); c trades off.
+        a = point(power="loose", energy=10.0, miss=0.5)
+        b = point(power="mid", energy=5.0, miss=0.2)
+        c = point(power="tight", energy=2.0, miss=0.9)
+        marked = {p.power: p.pareto for p in pareto_front([a, b, c])}
+        assert marked == {"loose": False, "mid": True, "tight": True}
+
+    def test_equal_points_both_survive(self):
+        twins = [point(power="x", energy=3.0, miss=0.1),
+                 point(power="y", energy=3.0, miss=0.1)]
+        assert all(p.pareto for p in pareto_front(twins))
+
+    def test_policies_do_not_dominate_each_other(self):
+        cheap_edf = point(policy="edf", power="a", energy=1.0, miss=0.0)
+        dear_heft = point(policy="heft", power="a", energy=9.0, miss=0.9)
+        marked = pareto_front([cheap_edf, dear_heft])
+        assert all(p.pareto for p in marked)
+
+    def test_uncapped_label(self):
+        assert point(power=None).label == "uncapped"
+        assert point(power="cap=1e+06").label == "cap=1e+06"
+
+
+class TestFrontierFromCampaign:
+    @pytest.fixture(scope="class")
+    def campaign(self):
+        store = default_store(cache_path=None)
+        return run_campaign(
+            store,
+            policies=("proposed", "edf"),
+            seeds=(0, 1),
+            loads=((12, 9_000),),
+            dag=DagLoad(deadline_slack=1.3),
+            power_configs=power_grid([None, 600_000.0, 300_000.0]),
+        )
+
+    def test_points_cover_the_power_axis(self, campaign):
+        points = frontier_points(campaign)
+        assert len(points) == 6  # 2 policies x 3 power cells
+        labels = {p.label for p in points}
+        assert labels == {"uncapped", "cap=600000", "cap=300000"}
+        # Energy-ascending within each policy, and someone is optimal.
+        for policy in ("proposed", "edf"):
+            energies = [p.energy_nj for p in points if p.policy == policy]
+            assert energies == sorted(energies)
+            assert any(p.pareto for p in points if p.policy == policy)
+
+    def test_policy_filter(self, campaign):
+        points = frontier_points(campaign, policy="edf")
+        assert points and all(p.policy == "edf" for p in points)
+
+    def test_render(self, campaign):
+        table = render_frontier(campaign)
+        lines = table.splitlines()
+        assert "pareto" in lines[0]
+        assert len(lines) == 2 + 6  # header + rule + one row per point
+        assert any(line.rstrip().endswith("*") for line in lines)
+        assert "uncapped" in table and "cap=300000" in table
+
+    def test_needs_deadline_carrying_cells(self):
+        store = default_store(cache_path=None)
+        plain = run_campaign(
+            store,
+            policies=("proposed",),
+            seeds=(0,),
+            loads=((10, 20_000),),
+            power_configs=power_grid([None, 500_000.0]),
+        )
+        with pytest.raises(KeyError, match=DEFAULT_MISS_KEY):
+            frontier_points(plain)

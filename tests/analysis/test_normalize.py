@@ -50,6 +50,26 @@ class TestNormalize:
         assert list(normalize_results(results, "base")) == ["optimal", "base"]
 
 
+class TestEdgeCases:
+    def test_baseline_only(self):
+        results = {"base": make_result("base", 10, 20, 5, 100)}
+        normalized = normalize_results(results, "base")
+        assert list(normalized) == ["base"]
+        for metric in METRICS:
+            assert normalized["base"][metric] == pytest.approx(1.0)
+
+    def test_metric_set_is_stable(self):
+        # The figure renderers index by these names; a silent rename
+        # would produce empty columns.
+        assert set(METRICS) == {
+            "idle_energy", "dynamic_energy", "total_energy", "cycles"
+        }
+        normalized = normalize_results(
+            {"base": make_result("base", 1, 1, 1, 1)}, "base"
+        )
+        assert set(normalized["base"]) == set(METRICS)
+
+
 class TestPercentChange:
     def test_reduction(self):
         assert percent_change(0.72) == pytest.approx(-28.0)

@@ -114,3 +114,71 @@ def test_other_policies_survive_mixed_chaos(policy, small_store, oracle):
     result = sim.run(arrivals)
     assert result.jobs_completed == len(arrivals)
     assert metrics.counter("sim.validate.violations").value == 0
+
+
+#: Power-cap chaos cells: the token account must survive faults.  A
+#: core failure while tokens are held must refund them through the
+#: requeue path, and dispatch-failure retry backoff must never leak a
+#: grant — both proven by the pool draining to idle, the ledger's
+#: end-of-run token-conservation check, and a clean offline replay.
+POWER_CHAOS_CLASSES = ("core_failure", "dispatch_failure")
+
+
+@pytest.mark.parametrize("discipline,preemptive", QUEUE_SHAPES,
+                         ids=lambda v: str(v))
+@pytest.mark.parametrize("fault_class", POWER_CHAOS_CLASSES)
+def test_power_cap_chaos_cell(fault_class, discipline, preemptive,
+                              small_store, oracle):
+    import math
+
+    from repro.power.budget import PowerConfig
+    from repro.power.dvfs import DEFAULT_DVFS_TABLE
+    from repro.validate.ledger import REL_TOLERANCE
+
+    plan = plan_for(fault_class, seed=3)
+    arrivals = chaos_arrivals(discipline)
+    recorder = ListRecorder()
+    metrics = MetricsRegistry()
+    sim = make_simulation(
+        "proposed", small_store, oracle,
+        discipline=discipline, preemptive=preemptive,
+        recorder=recorder, metrics=metrics, validate=True, faults=plan,
+        # Loose enough that the failing core is mid-dispatch when the
+        # fault lands (a tighter cap throttles it idle first), tight
+        # enough that the gate still prices every dispatch.
+        power=PowerConfig(cap_nj=800_000.0, slack_pct=25.0,
+                          dvfs=DEFAULT_DVFS_TABLE),
+    )
+    result = sim.run(arrivals)
+
+    # Termination and conservation under the fault, cap included.
+    assert result.jobs_completed == len(arrivals)
+    assert metrics.counter("sim.validate.violations").value == 0
+    assert metrics.counter(ALWAYS_FIRES[fault_class]).value > 0
+
+    # No leaked grants: every token granted was either refunded (core
+    # failure / preemption requeues) or consumed by a completion.
+    pool = sim.power_pool
+    assert pool.idle()
+    assert pool.grants >= len(arrivals)
+    if fault_class == "core_failure":
+        # The failing core held running grants — they came back.
+        assert metrics.counter("sim.faults.requeued").value > 0
+        assert pool.refunds >= metrics.counter(
+            "sim.faults.requeued"
+        ).value
+        assert metrics.counter("sim.power.refunds").value == pool.refunds
+    ledger = sim._validator.ledger
+    assert pool.grants == len(ledger.token_grants)
+    assert pool.refunds == len(ledger.token_refunds)
+    net = ledger.token_granted_nj - ledger.token_refunded_nj
+    assert math.isclose(pool.consumed_nj, net,
+                        rel_tol=REL_TOLERANCE, abs_tol=1e-9)
+
+    # Offline audit: the trace (token grants included) replays cleanly.
+    report = replay_trace(recorder.events)
+    assert report.completions == len(arrivals)
+    assert not report.unfinished_jobs
+    assert report.token_grants == pool.grants
+    assert math.isclose(report.tokens_net_nj, pool.consumed_nj,
+                        rel_tol=REL_TOLERANCE, abs_tol=1e-9)

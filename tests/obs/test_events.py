@@ -61,7 +61,7 @@ def test_round_trip(event):
 
 
 def test_kinds_are_unique_and_registered():
-    assert len(EVENT_TYPES) == 18
+    assert len(EVENT_TYPES) == 20
     for kind, cls in EVENT_TYPES.items():
         assert cls.kind == kind
 

@@ -1,0 +1,28 @@
+"""Fixtures for the power-budget / DVFS suites."""
+
+import pytest
+
+from tests.scenarios import (  # noqa: F401  (re-exported for tests)
+    SUITE_NAMES,
+    arrivals_for,
+    build_energy_table,
+    build_oracle,
+    build_small_store,
+    make_simulation,
+    qos_arrivals,
+)
+
+
+@pytest.fixture(scope="session")
+def small_store():
+    return build_small_store()
+
+
+@pytest.fixture(scope="session")
+def oracle(small_store):
+    return build_oracle(small_store)
+
+
+@pytest.fixture(scope="session")
+def energy_table():
+    return build_energy_table()

@@ -1,0 +1,252 @@
+"""Unit tests for the power package: config, pool, ladder, DVFS."""
+
+import pytest
+
+from repro.campaign import power_grid
+from repro.power.budget import (
+    PowerConfig,
+    TokenPool,
+    normalize_power,
+    pick_degraded,
+    slack_admissible,
+)
+from repro.power.dvfs import (
+    DEFAULT_DVFS_TABLE,
+    DvfsPoint,
+    DvfsTable,
+)
+
+
+class TestPowerConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="cap_nj must be positive"):
+            PowerConfig(cap_nj=0.0)
+        with pytest.raises(ValueError, match="cap_nj must be positive"):
+            PowerConfig(cap_nj=-5.0)
+        with pytest.raises(ValueError, match="sorted"):
+            PowerConfig(cluster_caps_nj=((8, 100.0), (4, 100.0)))
+        with pytest.raises(ValueError, match="sorted"):
+            PowerConfig(cluster_caps_nj=((4, 100.0), (4, 200.0)))
+        with pytest.raises(ValueError, match="cluster cap"):
+            PowerConfig(cluster_caps_nj=((4, 0.0),))
+        with pytest.raises(ValueError, match="slack_pct"):
+            PowerConfig(slack_pct=-1.0)
+
+    def test_enabled(self):
+        assert not PowerConfig().enabled
+        assert not PowerConfig(cap_nj=float("inf")).enabled
+        assert not PowerConfig(slack_pct=40.0).enabled
+        assert PowerConfig(cap_nj=1e6).enabled
+        assert PowerConfig(cluster_caps_nj=((4, 1e5),)).enabled
+        assert PowerConfig(dvfs=DEFAULT_DVFS_TABLE).enabled
+
+    def test_normalize(self):
+        assert normalize_power(None) is None
+        assert normalize_power(PowerConfig()) is None
+        assert normalize_power(PowerConfig(slack_pct=20.0)) is None
+        enabled = PowerConfig(cap_nj=1e6)
+        assert normalize_power(enabled) is enabled
+        with pytest.raises(TypeError, match="PowerConfig"):
+            normalize_power({"cap_nj": 1e6})
+
+    def test_labels(self):
+        assert PowerConfig(cap_nj=1e6).label == "cap=1e+06"
+        assert (
+            PowerConfig(
+                cap_nj=250_000.0,
+                cluster_caps_nj=((4, 100_000.0),),
+                slack_pct=20.0,
+                dvfs=DEFAULT_DVFS_TABLE,
+            ).label
+            == "cap=250000~4kb=100000~slack=20~dvfs"
+        )
+        assert PowerConfig(dvfs=DEFAULT_DVFS_TABLE).label == "cap=inf~dvfs"
+
+    def test_dict_round_trip(self):
+        config = PowerConfig(
+            cap_nj=5e5,
+            cluster_caps_nj=((2, 1e5), (8, 3e5)),
+            slack_pct=12.5,
+            dvfs=DEFAULT_DVFS_TABLE,
+        )
+        assert PowerConfig.from_dict(config.to_dict()) == config
+        # The payload is JSON-safe (lists, plain floats, no tuples).
+        import json
+
+        assert json.loads(json.dumps(config.to_dict())) == config.to_dict()
+
+
+class TestTokenPool:
+    def test_accounting_cycle(self):
+        pool = TokenPool(PowerConfig(cap_nj=1000.0))
+        assert pool.idle()
+        pool.grant(1, 400.0, 4)
+        pool.grant(2, 500.0, 8)
+        assert not pool.idle()
+        assert pool.outstanding_nj == 900.0
+        assert not pool.affordable(200.0, 4)
+        assert pool.affordable(100.0, 4)
+        assert pool.consume(1) == 400.0
+        assert pool.outstanding_nj == 500.0
+        assert pool.refund(2, 300.0) == 500.0
+        assert pool.idle()
+        assert pool.granted_nj == 900.0
+        assert pool.refunded_nj == 300.0
+        # consumed = granted - refunded - outstanding.
+        assert pool.consumed_nj == 600.0
+        assert pool.grants == 2 and pool.refunds == 1
+
+    def test_double_grant_rejected(self):
+        pool = TokenPool(PowerConfig(cap_nj=1000.0))
+        pool.grant(1, 10.0, 4)
+        with pytest.raises(RuntimeError, match="already holds"):
+            pool.grant(1, 10.0, 4)
+
+    def test_cluster_caps(self):
+        pool = TokenPool(
+            PowerConfig(cap_nj=1e6, cluster_caps_nj=((4, 100.0),))
+        )
+        pool.grant(1, 80.0, 4)
+        assert not pool.affordable(30.0, 4)   # 4KB cluster exhausted
+        assert pool.affordable(30.0, 8)       # other clusters uncapped
+        assert pool.cluster_outstanding_nj(4) == 80.0
+        assert pool.cluster_outstanding_nj(8) == 0.0
+
+    def test_state_dict_round_trip(self):
+        pool = TokenPool(PowerConfig(cap_nj=1000.0))
+        pool.grant(3, 120.0, 4)
+        pool.grant(7, 80.0, 8)
+        pool.refund(3, 60.0)
+        pool.throttled = 5
+        pool.degraded = 2
+        pool.overdrafts = 1
+        clone = TokenPool(PowerConfig(cap_nj=1000.0))
+        clone.load_state(pool.state_dict())
+        assert clone.state_dict() == pool.state_dict()
+        assert clone.outstanding_nj == pool.outstanding_nj
+        assert clone.consumed_nj == pool.consumed_nj
+
+
+class TestSlackAndLadder:
+    def test_slack_admissible(self):
+        # Deadline-free jobs degrade freely.
+        assert slack_admissible(100, 10_000, 0, None, 0.0)
+        # Exactly on the deadline is admitted, one cycle past is not.
+        assert slack_admissible(0, 1000, 0, 1000, 0.0)
+        assert not slack_admissible(1, 1000, 0, 1000, 0.0)
+        # slack_pct extends the limit by a fraction of the QoS budget.
+        assert slack_admissible(1, 1099, 0, 1000, 10.0)
+        assert not slack_admissible(1, 1100, 0, 1000, 10.0)
+
+    def test_pick_degraded_prefers_least_degraded(self):
+        pool = TokenPool(PowerConfig(cap_nj=100.0))
+        picked = pick_degraded(
+            pool, 4, 200.0,
+            [
+                (90.0, 1000, 0, "a"),
+                (95.0, 1100, 1, "b"),
+                (40.0, 2000, 2, "c"),
+            ],
+            now=0, arrival_cycle=0, deadline_cycle=None, slack_pct=0.0,
+        )
+        assert picked == "b"  # most expensive affordable option
+
+    def test_pick_degraded_ties_break_on_rank(self):
+        pool = TokenPool(PowerConfig(cap_nj=100.0))
+        picked = pick_degraded(
+            pool, 4, 200.0,
+            [(50.0, 1000, 3, "late"), (50.0, 1000, 1, "early")],
+            now=0, arrival_cycle=0, deadline_cycle=None, slack_pct=0.0,
+        )
+        assert picked == "early"
+
+    def test_pick_degraded_honours_slack_and_budget(self):
+        pool = TokenPool(PowerConfig(cap_nj=100.0))
+        # The cheaper option misses even the slack-extended deadline.
+        picked = pick_degraded(
+            pool, 4, 200.0,
+            [(90.0, 5_000, 0, "slow"), (80.0, 300, 1, "fast")],
+            now=800, arrival_cycle=0, deadline_cycle=1000, slack_pct=20.0,
+        )
+        assert picked == "fast"
+        # Nothing affordable at all -> None.
+        pool.grant(1, 95.0, 4)
+        assert pick_degraded(
+            pool, 4, 200.0,
+            [(90.0, 100, 0, "x")],
+            now=0, arrival_cycle=0, deadline_cycle=None, slack_pct=0.0,
+        ) is None
+
+    def test_only_strictly_cheaper_options_count(self):
+        pool = TokenPool(PowerConfig(cap_nj=1e6))
+        assert pick_degraded(
+            pool, 4, 50.0,
+            [(50.0, 100, 0, "same"), (60.0, 100, 1, "worse")],
+            now=0, arrival_cycle=0, deadline_cycle=None, slack_pct=0.0,
+        ) is None
+
+
+class TestDvfs:
+    def test_point_validation_and_factors(self):
+        with pytest.raises(ValueError, match="freq_scale"):
+            DvfsPoint("x", 0.0, 0.5)
+        with pytest.raises(ValueError, match="volt_scale"):
+            DvfsPoint("x", 0.5, 1.5)
+        point = DvfsPoint("eco", 0.8, 0.9)
+        assert point.dyn_factor == pytest.approx(0.81)
+        assert point.static_factor == pytest.approx(0.9 / 0.8)
+        assert DvfsPoint("n", 1.0, 1.0).is_nominal
+
+    def test_table_validation(self):
+        nominal = DvfsPoint("nominal", 1.0, 1.0)
+        with pytest.raises(ValueError, match="at least one point"):
+            DvfsTable(points=())
+        with pytest.raises(ValueError, match="must be nominal"):
+            DvfsTable(points=(DvfsPoint("eco", 0.8, 0.9),))
+        with pytest.raises(ValueError, match="descend strictly"):
+            DvfsTable(points=(
+                nominal,
+                DvfsPoint("a", 0.6, 0.8),
+                DvfsPoint("b", 0.8, 0.9),
+            ))
+        with pytest.raises(ValueError, match="duplicate"):
+            DvfsTable(points=(nominal, DvfsPoint("nominal", 0.8, 0.9)))
+
+    def test_lookup(self):
+        table = DEFAULT_DVFS_TABLE
+        assert table.default.is_nominal
+        assert table.names == ("nominal", "eco", "slow")
+        assert table.get("eco").freq_scale == 0.8
+        assert table.index("slow") == 2
+        with pytest.raises(ValueError, match="unknown operating point"):
+            table.get("turbo")
+
+    def test_round_trips(self):
+        table = DEFAULT_DVFS_TABLE
+        assert DvfsTable.from_dict(table.to_dict()) == table
+        assert DvfsTable.from_spec(table.spec()) == table
+        with pytest.raises(ValueError, match="name:freq:volt"):
+            DvfsTable.from_spec("eco")
+
+
+class TestPowerGrid:
+    def test_caps_times_slacks(self):
+        grid = power_grid([None, 4e5], slacks=[0.0, 20.0])
+        labels = [None if p is None else p.label for p in grid]
+        # The two disabled (cap, slack) pairs collapse to one baseline.
+        assert labels == [None, "cap=400000", "cap=400000~slack=20"]
+
+    def test_inf_cap_is_uncapped(self):
+        grid = power_grid([float("inf"), 4e5])
+        assert grid[0] is None
+        assert grid[1].cap_nj == 4e5
+
+    def test_dvfs_makes_every_cell_powered(self):
+        grid = power_grid([None, 4e5], dvfs=DEFAULT_DVFS_TABLE)
+        assert [p.label for p in grid] == ["cap=inf~dvfs", "cap=400000~dvfs"]
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ValueError, match="power cap"):
+            power_grid([])
+        with pytest.raises(ValueError, match="slack"):
+            power_grid([None], slacks=[])

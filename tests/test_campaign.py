@@ -465,6 +465,102 @@ class TestDagAxis:
             assert cell_a.observed == cell_b.observed
 
 
+class TestPowerAxis:
+    def power_campaign(self, store, workers=1, **kwargs):
+        from repro.power.budget import PowerConfig
+
+        configs = kwargs.pop(
+            "power_configs",
+            (None, PowerConfig(cap_nj=300_000.0, slack_pct=10.0)),
+        )
+        return run_campaign(
+            store,
+            policies=kwargs.pop("policies", ("proposed",)),
+            seeds=(0, 1),
+            loads=((20, 9_000),),
+            workers=workers,
+            power_configs=configs,
+            **kwargs,
+        )
+
+    def test_power_cells_and_observed(self, store):
+        result = self.power_campaign(store)
+        assert len(result.replications) == 4
+        baseline = result.cell("proposed", power="none")
+        capped = result.cell("proposed", power="cap=300000~slack=10")
+        assert baseline.power is None
+        assert capped.power == "cap=300000~slack=10"
+        # Powered cells ship the pool gauges; unpowered cells stay
+        # observation-free (bit-identity with the pre-power campaign).
+        assert "power.grants" in capped.observed
+        assert capped.observed["power.grants"].mean == 20.0
+        assert "power.grants" not in baseline.observed
+        assert "%cap=300000~slack=10" in result.summary()
+
+    def test_uncapped_cell_matches_no_axis(self, store):
+        plain = run_campaign(
+            store, policies=("proposed",), seeds=(0, 1),
+            loads=((20, 9_000),),
+        )
+        swept = self.power_campaign(store)
+        a = plain.cell("proposed")
+        b = swept.cell("proposed", power="none")
+        assert a.metrics == b.metrics
+
+    def test_worker_count_independent(self, store):
+        serial = self.power_campaign(store, workers=1)
+        parallel = self.power_campaign(store, workers=4)
+        for a, b in zip(serial.cells, parallel.cells):
+            assert a.power == b.power
+            assert a.metrics == b.metrics
+            assert a.observed == b.observed
+
+    def test_composes_with_stream_axis(self, store):
+        result = self.power_campaign(store, stream=StreamLoad())
+        capped = result.cell("proposed", power="cap=300000~slack=10")
+        assert "power.throttled" in capped.observed
+        assert "stream.throughput_jobs_per_mcycle" in capped.observed
+
+    def test_composes_with_validation(self, store):
+        result = self.power_campaign(store, validate=True)
+        assert {c.power for c in result.cells} == {
+            None, "cap=300000~slack=10"
+        }
+
+    def test_disabled_configs_normalize_to_baseline(self, store):
+        from repro.power.budget import PowerConfig
+
+        result = self.power_campaign(
+            store,
+            power_configs=(PowerConfig(cap_nj=float("inf")),
+                           PowerConfig(cap_nj=250_000.0)),
+        )
+        assert {c.power for c in result.cells} == {None, "cap=250000"}
+
+    def test_rejects_empty_axis(self, store):
+        with pytest.raises(ValueError, match="power"):
+            self.power_campaign(store, power_configs=())
+
+    def test_rejects_two_unconstrained_entries(self, store):
+        from repro.power.budget import PowerConfig
+
+        with pytest.raises(ValueError, match="unconstrained"):
+            self.power_campaign(
+                store,
+                power_configs=(None, PowerConfig(slack_pct=5.0)),
+            )
+
+    def test_rejects_duplicate_labels(self, store):
+        from repro.power.budget import PowerConfig
+
+        with pytest.raises(ValueError, match="unique"):
+            self.power_campaign(
+                store,
+                power_configs=(PowerConfig(cap_nj=1e5),
+                               PowerConfig(cap_nj=1e5)),
+            )
+
+
 class TestValidation:
     def test_empty_policies(self, store):
         with pytest.raises(ValueError):

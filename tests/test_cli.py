@@ -785,3 +785,109 @@ class TestCampaignDagFlags:
         ])
         assert code == 2
         assert "--discipline edf" in capsys.readouterr().err
+
+
+class TestPowerFlags:
+    def test_single_run_defaults(self):
+        for command in ("compare", "stream"):
+            args = build_parser().parse_args([command])
+            assert args.power_cap is None
+            assert args.power_slack == 0.0
+            assert args.dvfs is None
+
+    def test_single_run_options(self):
+        args = build_parser().parse_args([
+            "compare", "--power-cap", "400000",
+            "--power-slack", "15", "--dvfs",
+        ])
+        assert args.power_cap == 400_000.0
+        assert args.power_slack == 15.0
+        assert args.dvfs == "default"  # bare flag = built-in ladder
+
+    def test_campaign_sweep_form(self):
+        args = build_parser().parse_args(["campaign"])
+        assert args.power_cap is None
+        assert args.power_slack == [0.0]
+        assert not args.frontier
+        args = build_parser().parse_args([
+            "campaign", "--power-cap", "inf", "500000",
+            "--power-slack", "0", "20",
+            "--dvfs", "nominal:1:1,eco:0.8:0.9", "--frontier",
+        ])
+        assert args.power_cap == ["inf", "500000"]
+        assert args.power_slack == [0.0, 20.0]
+        assert args.dvfs == "nominal:1:1,eco:0.8:0.9"
+        assert args.frontier
+
+
+class TestPowerCommands:
+    def test_compare_prints_power_accounting(self, capsys):
+        code = main([
+            "compare", "--jobs", "40", "--seed", "0",
+            "--predictor", "oracle",
+            "--power-cap", "500000", "--power-slack", "10", "--dvfs",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "power budget: cap=500000~slack=10~dvfs" in out
+        assert "power accounting" in out
+        assert "grants=" in out and "consumed=" in out
+
+    def test_compare_without_power_stays_silent(self, capsys):
+        code = main([
+            "compare", "--jobs", "40", "--seed", "0",
+            "--predictor", "oracle",
+        ])
+        assert code == 0
+        assert "power" not in capsys.readouterr().out
+
+    def test_compare_rejects_bad_dvfs_spec(self, capsys):
+        code = main([
+            "compare", "--jobs", "20", "--dvfs", "eco",
+        ])
+        assert code == 2
+        assert "eco" in capsys.readouterr().err
+
+    def test_stream_prints_power_line(self, capsys):
+        code = main([
+            "stream", "--max-jobs", "80", "--seed", "2",
+            "--power-cap", "300000", "--power-slack", "25",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "power (cap=300000~slack=25):" in out
+        assert "throttled=" in out
+
+    def test_campaign_power_sweep_and_frontier(self, capsys):
+        code = main([
+            "campaign", "--policies", "proposed", "--seeds", "0",
+            "--jobs", "10", "--interarrival", "9000",
+            "--workers", "1", "--dag", "--dag-deadline-slack", "1.3",
+            "--power-cap", "inf", "300000", "--frontier",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "%cap=300000" in out          # summary carries the axis
+        assert "uncapped" in out and "pareto" in out  # frontier table
+
+    def test_frontier_needs_dag(self, capsys):
+        code = main([
+            "campaign", "--policies", "proposed", "--frontier",
+        ])
+        assert code == 2
+        assert "--frontier needs --dag" in capsys.readouterr().err
+
+    def test_campaign_metrics_out_records_power(self, capsys, tmp_path):
+        import json as json_module
+
+        metrics_path = tmp_path / "metrics.json"
+        code = main([
+            "campaign", "--policies", "proposed", "--seeds", "0",
+            "--jobs", "20", "--workers", "1",
+            "--power-cap", "400000",
+            "--metrics-out", str(metrics_path),
+        ])
+        assert code == 0
+        payload = json_module.loads(metrics_path.read_text())
+        powers = {cell["power"] for cell in payload}
+        assert powers == {None, "cap=400000"}

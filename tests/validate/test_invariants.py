@@ -183,10 +183,12 @@ class TestEndToEnd:
         original = EnergyLedger.post_dispatch
 
         def lossy(self, cycle, job_id, core_index, *, dynamic_nj,
-                  static_nj, overhead_nj=0.0, reconfig_nj=0.0):
+                  static_nj, overhead_nj=0.0, reconfig_nj=0.0,
+                  token_nj=None):
             original(self, cycle, job_id, core_index,
                      dynamic_nj=dynamic_nj * 0.5, static_nj=static_nj,
-                     overhead_nj=overhead_nj, reconfig_nj=reconfig_nj)
+                     overhead_nj=overhead_nj, reconfig_nj=reconfig_nj,
+                     token_nj=token_nj)
 
         monkeypatch.setattr(EnergyLedger, "post_dispatch", lossy)
         sim = make_simulation("base", small_store, oracle, energy_table,
